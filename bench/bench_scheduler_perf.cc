@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for compiler throughput: DAG
+ * construction, RCP/LPFS fine-grained scheduling, communication
+ * annotation and the whole toolflow. These measure the *compiler*, not
+ * the modelled quantum machine — the paper's hierarchical approach
+ * exists precisely to keep analysis time tractable at 10^12-gate scale
+ * (§3.1), so scheduler throughput is a first-class property.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/toolflow.hh"
+#include "ir/dag.hh"
+#include "sched/comm.hh"
+#include "sched/lpfs.hh"
+#include "sched/rcp.hh"
+#include "support/rng.hh"
+#include "workloads/workloads.hh"
+
+namespace {
+
+using namespace msq;
+
+/** Random leaf module mixing serial chains and 2-qubit couplings. */
+Module
+makeLeaf(unsigned qubits, unsigned ops)
+{
+    SplitMix64 rng(0xbeef);
+    Module mod("leaf");
+    auto reg = mod.addRegister("q", qubits);
+    const GateKind one_q[] = {GateKind::H, GateKind::T, GateKind::Tdag,
+                              GateKind::S, GateKind::X, GateKind::Z};
+    for (unsigned i = 0; i < ops; ++i) {
+        if (rng.nextBelow(100) < 20) {
+            QubitId a = static_cast<QubitId>(rng.nextBelow(qubits));
+            QubitId b = static_cast<QubitId>(rng.nextBelow(qubits));
+            if (a == b)
+                b = (b + 1) % qubits;
+            mod.addGate(GateKind::CNOT, {a, b});
+        } else {
+            mod.addGate(one_q[rng.nextBelow(6)],
+                        {static_cast<QubitId>(rng.nextBelow(qubits))});
+        }
+    }
+    return mod;
+}
+
+void
+BM_DagBuild(benchmark::State &state)
+{
+    Module mod = makeLeaf(32, static_cast<unsigned>(state.range(0)));
+    for (auto _ : state) {
+        DepDag dag = DepDag::build(mod);
+        benchmark::DoNotOptimize(dag.numNodes());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DagBuild)->Arg(1'000)->Arg(10'000)->Arg(100'000);
+
+void
+BM_RcpSchedule(benchmark::State &state)
+{
+    Module mod = makeLeaf(32, static_cast<unsigned>(state.range(0)));
+    MultiSimdArch arch(4);
+    RcpScheduler scheduler;
+    for (auto _ : state) {
+        LeafSchedule sched = scheduler.schedule(mod, arch);
+        benchmark::DoNotOptimize(sched.computeTimesteps());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RcpSchedule)->Arg(1'000)->Arg(10'000);
+
+void
+BM_LpfsSchedule(benchmark::State &state)
+{
+    Module mod = makeLeaf(32, static_cast<unsigned>(state.range(0)));
+    MultiSimdArch arch(4);
+    LpfsScheduler scheduler;
+    for (auto _ : state) {
+        LeafSchedule sched = scheduler.schedule(mod, arch);
+        benchmark::DoNotOptimize(sched.computeTimesteps());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LpfsSchedule)->Arg(1'000)->Arg(10'000);
+
+void
+BM_CommAnnotate(benchmark::State &state)
+{
+    Module mod = makeLeaf(32, static_cast<unsigned>(state.range(0)));
+    MultiSimdArch arch(4, unbounded, 16);
+    LpfsScheduler scheduler;
+    LeafSchedule sched = scheduler.schedule(mod, arch);
+    CommunicationAnalyzer comm(arch, CommMode::GlobalWithLocalMem);
+    for (auto _ : state) {
+        CommStats stats = comm.annotate(sched);
+        benchmark::DoNotOptimize(stats.totalCycles);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CommAnnotate)->Arg(1'000)->Arg(10'000);
+
+void
+BM_ToolflowGrovers(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Program prog = workloads::buildGrovers(8);
+        ToolflowConfig config;
+        config.scheduler = SchedulerKind::Lpfs;
+        config.commMode = CommMode::Global;
+        config.arch = MultiSimdArch(4);
+        config.rotations.sequenceLength = 50;
+        ToolflowResult result = Toolflow(config).run(prog);
+        benchmark::DoNotOptimize(result.scheduledCycles);
+    }
+}
+BENCHMARK(BM_ToolflowGrovers)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Table 2 reproduction: parallel rotations serialize on primitive
+ * hardware. n rotations Rz(q_i, theta_i) on distinct qubits are
+ * logically parallel, but each decomposes into a long serial primitive
+ * sequence (shown below, as in Table 2), and with SIMD-homogeneous
+ * regions the sequences only run concurrently when there are enough
+ * regions: schedule length scales with ceil(n/k).
+ */
+
+#include "common.hh"
+
+#include "passes/rotation_decomposer.hh"
+#include "sched/lpfs.hh"
+#include "sched/validator.hh"
+#include "support/stats.hh"
+#include "support/strings.hh"
+
+using namespace msq;
+
+int
+main()
+{
+    bench::banner("bench_table2_rotations",
+                  "Table 2 - parallel rotations need one SIMD region "
+                  "each once decomposed to primitives");
+
+    constexpr unsigned num_rotations = 8;
+    constexpr unsigned sequence_length = 200;
+
+    // Print the Table 2 illustration: each rotation's approximation
+    // prefix.
+    std::cout << "rotation -> primitive approximation sequence (first 8 "
+                 "of "
+              << sequence_length << " gates):\n";
+    for (unsigned i = 0; i < 4; ++i) {
+        double angle = 0.1 + 0.2 * i;
+        auto seq = RotationDecomposerPass::sequenceForAngle(
+            GateKind::Rz, angle, sequence_length);
+        std::vector<std::string> names;
+        for (unsigned g = 0; g < 8; ++g)
+            names.push_back(gateName(seq[g]));
+        std::cout << "  " << csprintf("Rz(q%u, %.2f)", i, angle) << " : "
+                  << join(names, " - ") << " - ...\n";
+    }
+    std::cout << "\n";
+
+    // Build n parallel rotations, decompose inline, schedule at various k.
+    ResultTable table(csprintf("%u parallel rotations, %u primitives "
+                               "each, LPFS schedule length by k",
+                               num_rotations, sequence_length));
+    table.setHeader({"k", "timesteps", "ideal ceil(n/k)*len",
+                     "utilization"});
+
+    for (unsigned k : {1u, 2u, 4u, 8u, 16u}) {
+        Program prog;
+        ModuleId id = prog.addModule("rotations");
+        Module &mod = prog.module(id);
+        auto reg = mod.addRegister("q", num_rotations);
+        for (unsigned i = 0; i < num_rotations; ++i)
+            mod.addGate(GateKind::Rz, {reg[i]}, 0.1 + 0.05 * i);
+        prog.setEntry(id);
+
+        RotationDecomposerPass::Config rot_config;
+        rot_config.sequenceLength = sequence_length;
+        RotationDecomposerPass(rot_config).run(prog);
+
+        MultiSimdArch arch(k);
+        LpfsScheduler lpfs;
+        LeafSchedule sched = lpfs.schedule(prog.module(id), arch);
+        validateLeafSchedule(sched, arch);
+
+        uint64_t ideal = static_cast<uint64_t>(
+                             (num_rotations + k - 1) / k) *
+                         sequence_length;
+        table.beginRow();
+        table.addCell(static_cast<unsigned long long>(k));
+        table.addCell(
+            static_cast<unsigned long long>(sched.computeTimesteps()));
+        table.addCell(static_cast<unsigned long long>(ideal));
+        table.addCell(static_cast<double>(ideal) /
+                          static_cast<double>(sched.computeTimesteps()),
+                      2);
+    }
+
+    table.printAscii(std::cout);
+    std::cout << "\npaper shape: although the rotations commute and act "
+                 "on distinct qubits, their primitive sequences rarely "
+                 "line up type-wise, so each effectively occupies a "
+                 "SIMD region; length shrinks ~linearly in k until "
+                 "k >= n.\n";
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction harnesses. Each bench
+ * binary regenerates the rows/series of one paper table or figure; the
+ * absolute numbers come from our simulator-based substrate, but the
+ * qualitative shape (who wins, by what factor, where crossovers fall)
+ * reproduces the paper (see EXPERIMENTS.md).
+ */
+
+#ifndef MSQ_BENCH_COMMON_HH
+#define MSQ_BENCH_COMMON_HH
+
+#include <iostream>
+#include <string>
+
+#include "core/toolflow.hh"
+#include "workloads/workloads.hh"
+
+namespace msq {
+namespace bench {
+
+/** One toolflow run for a named workload spec. */
+inline ToolflowResult
+runWorkload(const workloads::WorkloadSpec &spec, SchedulerKind scheduler,
+            CommMode mode, const MultiSimdArch &arch,
+            unsigned rotation_length = 0)
+{
+    Program prog = spec.build();
+    ToolflowConfig config;
+    config.scheduler = scheduler;
+    config.commMode = mode;
+    config.arch = arch;
+    config.rotations = Toolflow::rotationPresetFor(spec.shortName);
+    if (rotation_length != 0)
+        config.rotations.sequenceLength = rotation_length;
+    return Toolflow(config).run(prog);
+}
+
+/** Print the standard bench header. */
+inline void
+banner(const std::string &title, const std::string &paper_ref)
+{
+    std::cout << "==========================================================\n"
+              << title << "\n"
+              << "reproduces: " << paper_ref << "\n"
+              << "==========================================================\n\n";
+}
+
+} // namespace bench
+} // namespace msq
+
+#endif // MSQ_BENCH_COMMON_HH

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Example: design-space exploration across Multi-SIMD(k,d) parameters
+ * for one workload — the kind of study the architecture model exists
+ * for. Sweeps k, d and local-memory capacity, reporting schedule length
+ * and movement statistics.
+ *
+ * Usage: architecture_explorer [workload]   (default: gse; one of
+ *        bf bwt cn grovers gse sha1 shors tfp)
+ */
+
+#include <iostream>
+#include <string>
+
+#include "core/toolflow.hh"
+#include "support/stats.hh"
+#include "support/strings.hh"
+#include "workloads/workloads.hh"
+
+using namespace msq;
+
+int
+main(int argc, char **argv)
+{
+    std::string name = argc > 1 ? argv[1] : "gse";
+    auto spec = workloads::findWorkload(workloads::scaledParams(), name);
+
+    std::cout << "architecture exploration for " << spec.name << "\n\n";
+
+    // Sweep 1: number of regions k (d = inf, no local memory).
+    {
+        ResultTable table("sweep k (d = inf, no local memory, LPFS)");
+        table.setHeader({"k", "cycles", "speedup-vs-naive"});
+        for (unsigned k : {1u, 2u, 4u, 8u}) {
+            Program prog = spec.build();
+            ToolflowConfig config;
+            config.scheduler = SchedulerKind::Lpfs;
+            config.arch = MultiSimdArch(k);
+            config.commMode = CommMode::Global;
+            config.rotations = Toolflow::rotationPresetFor(spec.shortName);
+            auto result = Toolflow(config).run(prog);
+            table.beginRow();
+            table.addCell(static_cast<unsigned long long>(k));
+            table.addCell(withCommas(result.scheduledCycles));
+            table.addCell(result.speedupVsNaive, 2);
+        }
+        table.printAscii(std::cout);
+        std::cout << "\n";
+    }
+
+    // Sweep 2: region data width d (k = 4). The paper notes results
+    // barely change down to d = 32 (§5.4).
+    {
+        ResultTable table("sweep d (k = 4, no local memory, LPFS)");
+        table.setHeader({"d", "cycles", "speedup-vs-naive"});
+        for (uint64_t d : {uint64_t{4}, uint64_t{16}, uint64_t{32},
+                           uint64_t{128}, unbounded}) {
+            Program prog = spec.build();
+            ToolflowConfig config;
+            config.scheduler = SchedulerKind::Lpfs;
+            config.arch = MultiSimdArch(4, d);
+            config.commMode = CommMode::Global;
+            config.rotations = Toolflow::rotationPresetFor(spec.shortName);
+            auto result = Toolflow(config).run(prog);
+            table.beginRow();
+            table.addCell(d == unbounded ? std::string("inf")
+                                         : std::to_string(d));
+            table.addCell(withCommas(result.scheduledCycles));
+            table.addCell(result.speedupVsNaive, 2);
+        }
+        table.printAscii(std::cout);
+        std::cout << "\n";
+    }
+
+    // Sweep 3: local-memory capacity (k = 4, d = inf).
+    {
+        ResultTable table("sweep local-memory capacity (k = 4, LPFS)");
+        table.setHeader({"capacity", "cycles", "speedup-vs-naive"});
+        for (uint64_t capacity : {uint64_t{0}, uint64_t{2}, uint64_t{8},
+                                  uint64_t{32}, unbounded}) {
+            Program prog = spec.build();
+            ToolflowConfig config;
+            config.scheduler = SchedulerKind::Lpfs;
+            config.arch = MultiSimdArch(4, unbounded, capacity);
+            config.commMode = capacity == 0
+                                  ? CommMode::Global
+                                  : CommMode::GlobalWithLocalMem;
+            config.rotations = Toolflow::rotationPresetFor(spec.shortName);
+            auto result = Toolflow(config).run(prog);
+            table.beginRow();
+            table.addCell(capacity == unbounded
+                              ? std::string("inf")
+                              : std::to_string(capacity));
+            table.addCell(withCommas(result.scheduledCycles));
+            table.addCell(result.speedupVsNaive, 2);
+        }
+        table.printAscii(std::cout);
+    }
+    return 0;
+}

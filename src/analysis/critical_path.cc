@@ -1,0 +1,37 @@
+#include "analysis/critical_path.hh"
+
+#include "ir/dag.hh"
+#include "support/logging.hh"
+#include "support/saturate.hh"
+
+namespace msq {
+
+CriticalPathAnalysis::CriticalPathAnalysis(const Program &prog)
+    : prog(&prog), lengths(prog.numModules(), 0)
+{
+    for (ModuleId id : prog.bottomUpOrder()) {
+        const Module &mod = prog.module(id);
+        DepDag dag = DepDag::build(mod, [this](const Operation &op) {
+            if (op.isCall())
+                return satMul(op.repeat, lengths[op.callee]);
+            return uint64_t{1};
+        });
+        lengths[id] = dag.criticalPathLength();
+    }
+}
+
+uint64_t
+CriticalPathAnalysis::criticalPath(ModuleId id) const
+{
+    if (id >= lengths.size())
+        panic("CriticalPathAnalysis: module id out of range");
+    return lengths[id];
+}
+
+uint64_t
+CriticalPathAnalysis::programCriticalPath() const
+{
+    return criticalPath(prog->entry());
+}
+
+} // namespace msq

@@ -1,0 +1,79 @@
+#include "analysis/gate_mix.hh"
+
+#include "support/logging.hh"
+#include "support/saturate.hh"
+
+namespace msq {
+
+uint64_t
+GateMix::count(GateKind kind) const
+{
+    return counts[static_cast<size_t>(kind)];
+}
+
+uint64_t
+GateMix::tCount() const
+{
+    return satAdd(count(GateKind::T), count(GateKind::Tdag));
+}
+
+uint64_t
+GateMix::twoQubitCount() const
+{
+    return satAdd(count(GateKind::CNOT), count(GateKind::CZ));
+}
+
+uint64_t
+GateMix::measurementCount() const
+{
+    return satAdd(count(GateKind::MeasZ), count(GateKind::MeasX));
+}
+
+uint64_t
+GateMix::total() const
+{
+    uint64_t sum = 0;
+    for (size_t i = 0; i < counts.size(); ++i) {
+        if (static_cast<GateKind>(i) == GateKind::Call)
+            continue;
+        sum = satAdd(sum, counts[i]);
+    }
+    return sum;
+}
+
+GateMixAnalysis::GateMixAnalysis(const Program &prog)
+    : prog(&prog), mixes(prog.numModules())
+{
+    for (ModuleId id : prog.bottomUpOrder()) {
+        GateMix &mix = mixes[id];
+        for (const auto &op : prog.module(id).ops()) {
+            if (op.isCall()) {
+                const GateMix &callee = mixes[op.callee];
+                for (size_t i = 0; i < mix.counts.size(); ++i) {
+                    mix.counts[i] = satAdd(
+                        mix.counts[i],
+                        satMul(op.repeat, callee.counts[i]));
+                }
+            } else {
+                auto index = static_cast<size_t>(op.kind);
+                mix.counts[index] = satAdd(mix.counts[index], 1);
+            }
+        }
+    }
+}
+
+const GateMix &
+GateMixAnalysis::mix(ModuleId id) const
+{
+    if (id >= mixes.size())
+        panic("GateMixAnalysis: module id out of range");
+    return mixes[id];
+}
+
+const GateMix &
+GateMixAnalysis::programMix() const
+{
+    return mix(prog->entry());
+}
+
+} // namespace msq

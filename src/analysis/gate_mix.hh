@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Hierarchical gate-mix analysis: how many operations of each gate kind
+ * one invocation of a module (or the whole program) executes. Reports
+ * the metrics quantum architects actually budget for — T count (the
+ * expensive magic-state gate under most QECC schemes), two-qubit-gate
+ * count, and measurement count — without unrolling repeat-counted calls.
+ */
+
+#ifndef MSQ_ANALYSIS_GATE_MIX_HH
+#define MSQ_ANALYSIS_GATE_MIX_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "ir/program.hh"
+
+namespace msq {
+
+/** Per-kind operation counts (saturating). */
+struct GateMix
+{
+    std::array<uint64_t, numGateKinds> counts{};
+
+    uint64_t count(GateKind kind) const;
+
+    /** T + Tdag: the magic-state budget. */
+    uint64_t tCount() const;
+
+    /** CNOT + CZ operations. */
+    uint64_t twoQubitCount() const;
+
+    /** MeasZ + MeasX operations. */
+    uint64_t measurementCount() const;
+
+    /** All operations. */
+    uint64_t total() const;
+};
+
+/** Computes the hierarchical gate mix of every reachable module. */
+class GateMixAnalysis
+{
+  public:
+    explicit GateMixAnalysis(const Program &prog);
+
+    /** Mix for one invocation of @p id (callees and repeats included). */
+    const GateMix &mix(ModuleId id) const;
+
+    /** Mix of the whole program. */
+    const GateMix &programMix() const;
+
+  private:
+    const Program *prog;
+    std::vector<GateMix> mixes;
+};
+
+} // namespace msq
+
+#endif // MSQ_ANALYSIS_GATE_MIX_HH

@@ -1,0 +1,36 @@
+#include "analysis/invocation_counts.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+#include "support/saturate.hh"
+
+namespace msq {
+
+InvocationCountAnalysis::InvocationCountAnalysis(const Program &prog)
+    : prog(&prog), counts(prog.numModules(), 0)
+{
+    // Top-down: callers before callees.
+    auto order = prog.bottomUpOrder();
+    std::reverse(order.begin(), order.end());
+    counts[prog.entry()] = 1;
+    for (ModuleId id : order) {
+        const Module &mod = prog.module(id);
+        for (const auto &op : mod.ops()) {
+            if (!op.isCall())
+                continue;
+            counts[op.callee] = satAdd(
+                counts[op.callee], satMul(counts[id], op.repeat));
+        }
+    }
+}
+
+uint64_t
+InvocationCountAnalysis::invocations(ModuleId id) const
+{
+    if (id >= counts.size())
+        panic("InvocationCountAnalysis: module id out of range");
+    return counts[id];
+}
+
+} // namespace msq

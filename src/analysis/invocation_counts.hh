@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Hierarchical invocation counting: how many times each module executes
+ * in one run of the program, with repeat-counted calls multiplied
+ * through the call graph. Used to weight per-module statistics (gate
+ * mix, movement traffic) into whole-program aggregates without
+ * unrolling.
+ */
+
+#ifndef MSQ_ANALYSIS_INVOCATION_COUNTS_HH
+#define MSQ_ANALYSIS_INVOCATION_COUNTS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/program.hh"
+
+namespace msq {
+
+/** Per-module execution counts for one program run (saturating). */
+class InvocationCountAnalysis
+{
+  public:
+    /** Analyze all modules reachable from @p prog's entry. */
+    explicit InvocationCountAnalysis(const Program &prog);
+
+    /** Times module @p id runs in one program execution (entry = 1). */
+    uint64_t invocations(ModuleId id) const;
+
+  private:
+    const Program *prog;
+    std::vector<uint64_t> counts;
+};
+
+} // namespace msq
+
+#endif // MSQ_ANALYSIS_INVOCATION_COUNTS_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Hierarchical resource estimation (paper §3.1): total gate counts per
+ * module including all transitively called modules and repeat counts,
+ * without unrolling. Used to pick flattening thresholds (Fig. 5) and as
+ * the sequential-execution baseline for speedup computations.
+ */
+
+#ifndef MSQ_ANALYSIS_RESOURCE_ESTIMATOR_HH
+#define MSQ_ANALYSIS_RESOURCE_ESTIMATOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/program.hh"
+
+namespace msq {
+
+/**
+ * Gate-count estimates for every module of a program. Counts saturate at
+ * UINT64_MAX (paper-scale benchmarks reach 10^12 operations).
+ */
+class ResourceEstimator
+{
+  public:
+    /** Analyze all modules reachable from @p prog's entry. */
+    explicit ResourceEstimator(const Program &prog);
+
+    /**
+     * Total gate operations executed by one invocation of @p id,
+     * including all callees and their repeat counts.
+     */
+    uint64_t totalGates(ModuleId id) const;
+
+    /** Total gates of the whole program (one run of the entry module). */
+    uint64_t programGates() const;
+
+    /** Modules reachable from the entry, callees first. */
+    const std::vector<ModuleId> &analyzedModules() const { return order; }
+
+  private:
+    const Program *prog;
+    std::vector<ModuleId> order;
+    std::vector<uint64_t> totals; ///< indexed by ModuleId
+};
+
+/**
+ * Histogram of per-module gate counts over fixed ranges, reproducing the
+ * bucketing of paper Fig. 5.
+ */
+class ModuleHistogram
+{
+  public:
+    /** The paper's Fig. 5 bucket boundaries (upper bounds, inclusive). */
+    static const std::vector<uint64_t> &bucketBounds();
+
+    /** Human-readable label of bucket @p index, e.g. "1k - 5k". */
+    static std::string bucketLabel(size_t index);
+
+    /** Build the histogram of @p estimator's module totals. */
+    explicit ModuleHistogram(const ResourceEstimator &estimator);
+
+    size_t numBuckets() const { return counts_.size(); }
+
+    /** Number of modules in bucket @p index. */
+    uint64_t count(size_t index) const { return counts_.at(index); }
+
+    /** Fraction (0..1) of modules in bucket @p index. */
+    double fraction(size_t index) const;
+
+    /**
+     * Fraction of modules whose total gate count is <= @p threshold —
+     * i.e. the fraction a FlattenPass with that threshold would flatten.
+     */
+    double fractionAtOrBelow(uint64_t threshold) const;
+
+    uint64_t totalModules() const { return total; }
+
+  private:
+    std::vector<uint64_t> counts_;
+    std::vector<uint64_t> moduleTotals;
+    uint64_t total = 0;
+};
+
+} // namespace msq
+
+#endif // MSQ_ANALYSIS_RESOURCE_ESTIMATOR_HH

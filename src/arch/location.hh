@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Where a logical qubit physically resides at a point in a schedule: the
+ * global quantum memory, inside a SIMD operating region, or in a region's
+ * local scratchpad memory.
+ */
+
+#ifndef MSQ_ARCH_LOCATION_HH
+#define MSQ_ARCH_LOCATION_HH
+
+#include <cstdint>
+#include <string>
+
+namespace msq {
+
+/** A physical residence for one qubit. */
+struct Location
+{
+    enum class Kind : uint8_t {
+        GlobalMemory,
+        Region,
+        LocalMemory, ///< the scratchpad attached to @ref region
+    };
+
+    Kind kind = Kind::GlobalMemory;
+    unsigned region = 0; ///< valid for Region and LocalMemory
+
+    static Location global() { return {Kind::GlobalMemory, 0}; }
+    static Location inRegion(unsigned r) { return {Kind::Region, r}; }
+    static Location inLocalMem(unsigned r) { return {Kind::LocalMemory, r}; }
+
+    bool isGlobal() const { return kind == Kind::GlobalMemory; }
+    bool isRegion() const { return kind == Kind::Region; }
+    bool isLocalMem() const { return kind == Kind::LocalMemory; }
+
+    bool
+    operator==(const Location &other) const
+    {
+        if (kind != other.kind)
+            return false;
+        return kind == Kind::GlobalMemory || region == other.region;
+    }
+
+    bool operator!=(const Location &other) const { return !(*this == other); }
+
+    /** @return e.g. "mem", "r2", "r2.local". */
+    std::string
+    describe() const
+    {
+        switch (kind) {
+          case Kind::GlobalMemory:
+            return "mem";
+          case Kind::Region:
+            return "r" + std::to_string(region);
+          case Kind::LocalMemory:
+            return "r" + std::to_string(region) + ".local";
+        }
+        return "?";
+    }
+};
+
+/**
+ * One qubit movement between locations.
+ *
+ * A move is *local* (ballistic, 1 cycle) exactly when it shuttles between a
+ * region and that same region's scratchpad; every other move teleports
+ * through the global memory fabric (4 cycles).
+ */
+struct Move
+{
+    uint32_t qubit = 0;
+    Location from;
+    Location to;
+
+    /**
+     * Whether this move blocks the schedule. Teleports whose qubit is
+     * idle for at least the teleport latency on both ends are masked by
+     * EPR pre-distribution and pipelining (paper §2.3) and cost nothing;
+     * tight moves serialize with computation. Local ballistic moves are
+     * always non-blocking in the teleport sense but cost their one
+     * cycle. Defaults to true (conservative) until the communication
+     * analyzer classifies the move.
+     */
+    bool blocking = true;
+
+    bool
+    isLocal() const
+    {
+        return (from.isRegion() && to.isLocalMem() &&
+                from.region == to.region) ||
+               (from.isLocalMem() && to.isRegion() &&
+                from.region == to.region);
+    }
+};
+
+} // namespace msq
+
+#endif // MSQ_ARCH_LOCATION_HH

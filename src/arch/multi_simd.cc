@@ -1,0 +1,44 @@
+#include "arch/multi_simd.hh"
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace msq {
+
+const char *
+commModeName(CommMode mode)
+{
+    switch (mode) {
+      case CommMode::None:
+        return "none";
+      case CommMode::Global:
+        return "global";
+      case CommMode::GlobalWithLocalMem:
+        return "global+local";
+    }
+    panic("unknown CommMode");
+}
+
+void
+MultiSimdArch::validate() const
+{
+    if (k == 0)
+        fatal("Multi-SIMD architecture needs at least one region (k >= 1)");
+    if (d == 0)
+        fatal("Multi-SIMD region width d must be >= 1");
+}
+
+std::string
+MultiSimdArch::describe() const
+{
+    std::string d_text = d == unbounded ? "inf" : std::to_string(d);
+    std::string text = csprintf("Multi-SIMD(%u,%s)", k, d_text.c_str());
+    if (localMemCapacity == unbounded)
+        text += "+local(inf)";
+    else if (localMemCapacity > 0)
+        text += csprintf("+local(%llu)",
+                         static_cast<unsigned long long>(localMemCapacity));
+    return text;
+}
+
+} // namespace msq

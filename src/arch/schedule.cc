@@ -1,0 +1,75 @@
+#include "arch/schedule.hh"
+
+#include <algorithm>
+
+namespace msq {
+
+Timestep &
+LeafSchedule::appendStep()
+{
+    steps_.emplace_back();
+    steps_.back().regions.resize(k_);
+    return steps_.back();
+}
+
+unsigned
+LeafSchedule::width() const
+{
+    unsigned best = 0;
+    for (const auto &step : steps_)
+        best = std::max(best, step.activeRegions());
+    return best;
+}
+
+uint64_t
+LeafSchedule::scheduledOps() const
+{
+    uint64_t count = 0;
+    for (const auto &step : steps_)
+        for (const auto &slot : step.regions)
+            count += slot.ops.size();
+    return count;
+}
+
+uint64_t
+LeafSchedule::totalCycles(uint64_t epr_bandwidth) const
+{
+    uint64_t cycles = 0;
+    for (const auto &step : steps_)
+        cycles += MultiSimdArch::gateCycles +
+                  step.movePhaseCycles(epr_bandwidth);
+    return cycles;
+}
+
+uint64_t
+LeafSchedule::peakBlockingMoves() const
+{
+    uint64_t peak = 0;
+    for (const auto &step : steps_)
+        peak = std::max(peak, step.blockingMoveCount());
+    return peak;
+}
+
+uint64_t
+LeafSchedule::teleportMoves() const
+{
+    uint64_t count = 0;
+    for (const auto &step : steps_)
+        for (const auto &move : step.moves)
+            if (!move.isLocal())
+                ++count;
+    return count;
+}
+
+uint64_t
+LeafSchedule::localMoves() const
+{
+    uint64_t count = 0;
+    for (const auto &step : steps_)
+        for (const auto &move : step.moves)
+            if (move.isLocal())
+                ++count;
+    return count;
+}
+
+} // namespace msq

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Schedule representation for leaf modules, exactly as described in paper
+ * §4: "Schedules are stored as a list of sequential timesteps. Each
+ * timestep consists of an array of k+1 SIMD regions. The 0th region
+ * contains a list of the qubits that will be moved and their sources and
+ * destinations. The remaining SIMD regions contain an unsorted list of
+ * operations to be performed in that region."
+ */
+
+#ifndef MSQ_ARCH_SCHEDULE_HH
+#define MSQ_ARCH_SCHEDULE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/location.hh"
+#include "arch/multi_simd.hh"
+#include "ir/module.hh"
+
+namespace msq {
+
+/**
+ * What one SIMD region does in one timestep: a single gate type applied to
+ * the operands of one or more operations (SIMD semantics: one control
+ * signal, many qubits).
+ */
+struct RegionSlot
+{
+    GateKind kind = GateKind::X;
+    std::vector<uint32_t> ops; ///< indices into the module's op list
+
+    bool active() const { return !ops.empty(); }
+};
+
+/** One logical timestep: the movement slot plus k region slots. */
+struct Timestep
+{
+    std::vector<Move> moves;         ///< the "0th region"
+    std::vector<RegionSlot> regions; ///< exactly k entries
+
+    /** Number of regions executing an operation this step. */
+    unsigned
+    activeRegions() const
+    {
+        unsigned n = 0;
+        for (const auto &slot : regions)
+            if (slot.active())
+                ++n;
+        return n;
+    }
+
+    /** Any teleport that blocks the schedule (tight reuse window). */
+    bool
+    hasBlockingGlobalMove() const
+    {
+        for (const auto &move : moves)
+            if (!move.isLocal() && move.blocking)
+                return true;
+        return false;
+    }
+
+    bool
+    hasLocalMove() const
+    {
+        for (const auto &move : moves)
+            if (move.isLocal())
+                return true;
+        return false;
+    }
+
+    /** Number of blocking (tight) teleports in this step's move slot. */
+    uint64_t
+    blockingMoveCount() const
+    {
+        uint64_t count = 0;
+        for (const auto &move : moves)
+            if (!move.isLocal() && move.blocking)
+                ++count;
+        return count;
+    }
+
+    /**
+     * Cycles spent on this timestep's movement phase: the full 4-cycle
+     * teleport time if any blocking global move occurs (paper §4.4),
+     * 1 cycle if only local (ballistic) moves block, 0 otherwise —
+     * masked teleports overlap computation (paper §2.3). A finite EPR
+     * channel bandwidth serializes excess blocking moves into
+     * additional teleport phases.
+     */
+    uint64_t
+    movePhaseCycles(uint64_t epr_bandwidth = unbounded) const
+    {
+        uint64_t blocking = blockingMoveCount();
+        if (blocking > 0) {
+            uint64_t phases = 1;
+            if (epr_bandwidth != unbounded && epr_bandwidth > 0)
+                phases = (blocking + epr_bandwidth - 1) / epr_bandwidth;
+            return phases * MultiSimdArch::teleportCycles;
+        }
+        if (hasLocalMove())
+            return MultiSimdArch::localMoveCycles;
+        return 0;
+    }
+};
+
+/**
+ * A complete fine-grained schedule of one leaf module on a Multi-SIMD
+ * machine. Produced by the leaf schedulers (compute placement only) and
+ * then annotated with movement by the CommunicationAnalyzer.
+ */
+class LeafSchedule
+{
+  public:
+    /**
+     * @param mod the scheduled leaf module (must outlive the schedule).
+     * @param k number of SIMD regions the schedule may use.
+     */
+    LeafSchedule(const Module &mod, unsigned k) : mod(&mod), k_(k) {}
+
+    const Module &module() const { return *mod; }
+    unsigned k() const { return k_; }
+
+    /** Append an empty timestep (regions pre-sized to k) and return it. */
+    Timestep &appendStep();
+
+    const std::vector<Timestep> &steps() const { return steps_; }
+    std::vector<Timestep> &steps() { return steps_; }
+
+    /** Number of compute timesteps. */
+    uint64_t computeTimesteps() const { return steps_.size(); }
+
+    /** Maximum number of simultaneously active regions over all steps. */
+    unsigned width() const;
+
+    /** Total operations placed (for completeness checks). */
+    uint64_t scheduledOps() const;
+
+    /**
+     * Total cycles including per-step movement phases. Before movement
+     * annotation this equals computeTimesteps().
+     * @param epr_bandwidth optional EPR channel constraint (see
+     *        Timestep::movePhaseCycles).
+     */
+    uint64_t totalCycles(uint64_t epr_bandwidth = unbounded) const;
+
+    /** Largest number of blocking teleports in any single timestep —
+     * the peak EPR bandwidth demand of this schedule. */
+    uint64_t peakBlockingMoves() const;
+
+    /** Number of teleportation (global) moves across all steps. */
+    uint64_t teleportMoves() const;
+
+    /** Number of ballistic (local-memory) moves across all steps. */
+    uint64_t localMoves() const;
+
+  private:
+    const Module *mod;
+    unsigned k_;
+    std::vector<Timestep> steps_;
+};
+
+} // namespace msq
+
+#endif // MSQ_ARCH_SCHEDULE_HH

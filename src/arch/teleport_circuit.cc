@@ -1,0 +1,38 @@
+#include "arch/teleport_circuit.hh"
+
+namespace msq {
+
+void
+appendTeleport(Module &mod, QubitId source, QubitId epr_src,
+               QubitId epr_dst)
+{
+    using GK = GateKind;
+    // EPR pair preparation + distribution (pipelined ahead of time in
+    // the execution model, §2.3).
+    mod.addGate(GK::PrepZ, {epr_src});
+    mod.addGate(GK::PrepZ, {epr_dst});
+    mod.addGate(GK::H, {epr_src});
+    mod.addGate(GK::CNOT, {epr_src, epr_dst});
+
+    // Source-side Bell measurement (Fig. 2: the q1/q2 column).
+    mod.addGate(GK::CNOT, {source, epr_src});
+    mod.addGate(GK::H, {source});
+    mod.addGate(GK::MeasZ, {source});
+    mod.addGate(GK::MeasZ, {epr_src});
+
+    // Destination-side corrections (classically controlled on the two
+    // measurement bits; emitted unconditionally at the logical level).
+    mod.addGate(GK::X, {epr_dst});
+    mod.addGate(GK::Z, {epr_dst});
+}
+
+unsigned
+teleportCriticalSteps()
+{
+    // CNOT(source, epr_src) -> H(source) -> measurements -> corrections:
+    // four sequential manipulation steps between "source available" and
+    // "destination usable" (Fig. 2, §2.3).
+    return 4;
+}
+
+} // namespace msq

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The quantum teleportation circuit of paper Fig. 2: transmitting the
+ * state of a source qubit to a destination qubit through a
+ * pre-distributed EPR pair and two classical bits.
+ *
+ * The Multi-SIMD cost model treats a teleport as an opaque 4-cycle move;
+ * this generator makes the underlying gate sequence available as real IR
+ * (for inspection, for counting the "four qubit manipulation steps"
+ * §3.2 refers to, and for toolflows that want to schedule QT
+ * sub-operations explicitly). The classically-controlled X/Z corrections
+ * are emitted as plain gates — the IR carries no classical control, and
+ * the schedule-level cost is identical.
+ */
+
+#ifndef MSQ_ARCH_TELEPORT_CIRCUIT_HH
+#define MSQ_ARCH_TELEPORT_CIRCUIT_HH
+
+#include "ir/module.hh"
+
+namespace msq {
+
+/**
+ * Append the Fig. 2 teleportation sequence to @p mod:
+ *
+ *   prep + entangle the EPR pair (epr_src / epr_dst),
+ *   source-side Bell measurement of (source, epr_src),
+ *   destination-side X/Z corrections on epr_dst.
+ *
+ * Afterwards epr_dst carries the source state; source and epr_src end
+ * measured (reusable as fresh ancilla / future EPR halves, §4.4).
+ */
+void appendTeleport(Module &mod, QubitId source, QubitId epr_src,
+                    QubitId epr_dst);
+
+/**
+ * Number of logical timesteps the teleportation sequence occupies on
+ * the source/destination critical path — the paper's 4-cycle move cost
+ * (MultiSimdArch::teleportCycles). EPR preparation happens ahead of
+ * time and does not count (§2.3).
+ */
+unsigned teleportCriticalSteps();
+
+} // namespace msq
+
+#endif // MSQ_ARCH_TELEPORT_CIRCUIT_HH

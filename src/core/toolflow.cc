@@ -1,0 +1,119 @@
+#include "core/toolflow.hh"
+
+#include "analysis/critical_path.hh"
+#include "analysis/qubit_estimator.hh"
+#include "analysis/resource_estimator.hh"
+#include "passes/cancel_inverses.hh"
+#include "passes/decompose_toffoli.hh"
+#include "passes/pass_manager.hh"
+#include "sched/lpfs.hh"
+#include "sched/rcp.hh"
+#include "support/logging.hh"
+#include "support/saturate.hh"
+
+namespace msq {
+
+const char *
+schedulerKindName(SchedulerKind kind)
+{
+    switch (kind) {
+      case SchedulerKind::Sequential:
+        return "sequential";
+      case SchedulerKind::Rcp:
+        return "rcp";
+      case SchedulerKind::Lpfs:
+        return "lpfs";
+    }
+    panic("unknown SchedulerKind");
+}
+
+Toolflow::Toolflow(ToolflowConfig config) : config_(std::move(config))
+{
+    config_.arch.validate();
+}
+
+std::unique_ptr<LeafScheduler>
+Toolflow::makeScheduler(SchedulerKind kind)
+{
+    switch (kind) {
+      case SchedulerKind::Sequential:
+        return std::make_unique<SequentialScheduler>();
+      case SchedulerKind::Rcp:
+        return std::make_unique<RcpScheduler>();
+      case SchedulerKind::Lpfs:
+        return std::make_unique<LpfsScheduler>();
+    }
+    panic("unknown SchedulerKind");
+}
+
+std::unique_ptr<LeafScheduler>
+Toolflow::makeConfiguredScheduler() const
+{
+    switch (config_.scheduler) {
+      case SchedulerKind::Sequential:
+        return std::make_unique<SequentialScheduler>();
+      case SchedulerKind::Rcp:
+        return std::make_unique<RcpScheduler>(config_.rcpWeights);
+      case SchedulerKind::Lpfs:
+        return std::make_unique<LpfsScheduler>(config_.lpfsOptions);
+    }
+    panic("unknown SchedulerKind");
+}
+
+RotationDecomposerPass::Config
+Toolflow::rotationPresetFor(const std::string &workload_short_name)
+{
+    RotationDecomposerPass::Config config;
+    if (workload_short_name == "shors") {
+        config.outline = true;
+        config.noInlineOutlined = true;
+    }
+    return config;
+}
+
+ToolflowResult
+Toolflow::run(Program &prog) const
+{
+    prog.validate();
+
+    if (config_.decompose) {
+        PassManager passes;
+        passes.add(std::make_unique<DecomposeToffoliPass>());
+        passes.add(std::make_unique<RotationDecomposerPass>(
+            config_.rotations));
+        passes.add(std::make_unique<FlattenPass>(config_.flattenThreshold));
+        if (config_.optimize)
+            passes.add(std::make_unique<CancelInversesPass>());
+        passes.run(prog);
+    }
+
+    ToolflowResult result;
+    ResourceEstimator resources(prog);
+    result.totalGates = resources.programGates();
+    CriticalPathAnalysis critical(prog);
+    result.criticalPath = critical.programCriticalPath();
+    QubitEstimator qubits(prog);
+    result.qubits = qubits.programQubits();
+
+    auto leaf_scheduler = makeConfiguredScheduler();
+    CoarseScheduler::Options coarse_options;
+    coarse_options.widths = config_.coarseWidths;
+    CoarseScheduler coarse(config_.arch, *leaf_scheduler, config_.commMode,
+                           coarse_options);
+    result.schedule = coarse.schedule(prog);
+    result.scheduledCycles = result.schedule.totalCycles;
+
+    if (result.scheduledCycles > 0) {
+        result.speedupVsSequential =
+            static_cast<double>(result.totalGates) /
+            static_cast<double>(result.scheduledCycles);
+        result.speedupVsNaive =
+            static_cast<double>(
+                satMul(MultiSimdArch::naiveCyclesPerGate,
+                       result.totalGates)) /
+            static_cast<double>(result.scheduledCycles);
+    }
+    return result;
+}
+
+} // namespace msq

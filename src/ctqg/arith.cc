@@ -1,0 +1,152 @@
+#include "ctqg/arith.hh"
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace msq {
+namespace ctqg {
+
+namespace {
+
+/** MAJ block of the Cuccaro adder. */
+void
+maj(Module &mod, QubitId c, QubitId b, QubitId a)
+{
+    mod.addGate(GateKind::CNOT, {a, b});
+    mod.addGate(GateKind::CNOT, {a, c});
+    mod.addGate(GateKind::Toffoli, {c, b, a});
+}
+
+/** UMA block (2-CNOT variant) of the Cuccaro adder. */
+void
+uma(Module &mod, QubitId c, QubitId b, QubitId a)
+{
+    mod.addGate(GateKind::Toffoli, {c, b, a});
+    mod.addGate(GateKind::CNOT, {a, c});
+    mod.addGate(GateKind::CNOT, {c, b});
+}
+
+void
+checkSameWidth(const Register &a, const Register &b, const char *what)
+{
+    if (a.size() != b.size())
+        fatal(csprintf("ctqg %s: register widths differ (%zu vs %zu)",
+                       what, a.size(), b.size()));
+    if (a.empty())
+        fatal(csprintf("ctqg %s: empty register", what));
+}
+
+} // anonymous namespace
+
+void
+cuccaroAdd(Module &mod, const Register &a, const Register &b,
+           QubitId carry_anc, QubitId carry_out)
+{
+    checkSameWidth(a, b, "cuccaroAdd");
+    size_t n = a.size();
+
+    // Forward MAJ ripple: carry flows through the a wires.
+    maj(mod, carry_anc, b[0], a[0]);
+    for (size_t i = 1; i < n; ++i)
+        maj(mod, a[i - 1], b[i], a[i]);
+
+    if (carry_out != invalidQubit)
+        mod.addGate(GateKind::CNOT, {a[n - 1], carry_out});
+
+    // Backward UMA ripple restores a and the carry ancilla.
+    for (size_t i = n; i-- > 1;)
+        uma(mod, a[i - 1], b[i], a[i]);
+    uma(mod, carry_anc, b[0], a[0]);
+}
+
+void
+cuccaroSub(Module &mod, const Register &a, const Register &b,
+           QubitId carry_anc)
+{
+    // b - a = ~(~b + a)
+    for (QubitId q : b)
+        mod.addGate(GateKind::X, {q});
+    cuccaroAdd(mod, a, b, carry_anc);
+    for (QubitId q : b)
+        mod.addGate(GateKind::X, {q});
+}
+
+void
+addConst(Module &mod, uint64_t constant, const Register &b,
+         const Register &scratch, QubitId carry_anc)
+{
+    checkSameWidth(b, scratch, "addConst");
+    auto load = [&]() {
+        for (size_t i = 0; i < b.size() && i < 64; ++i)
+            if ((constant >> i) & 1)
+                mod.addGate(GateKind::X, {scratch[i]});
+    };
+    load();
+    cuccaroAdd(mod, scratch, b, carry_anc);
+    load(); // X is self-inverse: unload
+}
+
+void
+compareLess(Module &mod, const Register &a, const Register &b,
+            QubitId less, const Register &scratch, QubitId carry_anc)
+{
+    checkSameWidth(a, b, "compareLess");
+    checkSameWidth(a, scratch, "compareLess");
+
+    // carry(~a + b) == 1  <=>  a < b
+    for (size_t i = 0; i < b.size(); ++i)
+        mod.addGate(GateKind::CNOT, {b[i], scratch[i]}); // scratch = b
+    for (QubitId q : a)
+        mod.addGate(GateKind::X, {q}); // a = ~a
+    cuccaroAdd(mod, a, scratch, carry_anc, less);
+    cuccaroSub(mod, a, scratch, carry_anc); // scratch back to b
+    for (QubitId q : a)
+        mod.addGate(GateKind::X, {q}); // restore a
+    for (size_t i = 0; i < b.size(); ++i)
+        mod.addGate(GateKind::CNOT, {b[i], scratch[i]}); // scratch = 0
+}
+
+void
+controlledAdd(Module &mod, QubitId ctl, const Register &a,
+              const Register &b, const Register &scratch,
+              QubitId carry_anc)
+{
+    checkSameWidth(a, b, "controlledAdd");
+    checkSameWidth(a, scratch, "controlledAdd");
+    for (size_t i = 0; i < a.size(); ++i)
+        mod.addGate(GateKind::Toffoli, {ctl, a[i], scratch[i]});
+    cuccaroAdd(mod, scratch, b, carry_anc);
+    for (size_t i = 0; i < a.size(); ++i)
+        mod.addGate(GateKind::Toffoli, {ctl, a[i], scratch[i]});
+}
+
+void
+multiplyAccumulate(Module &mod, const Register &a, const Register &b,
+                   const Register &product, const Register &scratch,
+                   QubitId carry_anc)
+{
+    if (product.size() < a.size() + b.size())
+        fatal("ctqg multiplyAccumulate: product register too narrow");
+    if (scratch.size() < product.size())
+        fatal("ctqg multiplyAccumulate: scratch register too narrow");
+
+    // Shift-and-add with a zero-extended addend so no carry is lost:
+    // for each set bit i of b, add (a << i) into product[i..] through a
+    // full-width scratch whose upper bits stay zero.
+    for (size_t i = 0; i < b.size(); ++i) {
+        size_t window_width = product.size() - i;
+        Register window(product.begin() + static_cast<long>(i),
+                        product.end());
+        Register addend(scratch.begin(),
+                        scratch.begin() +
+                            static_cast<long>(window_width));
+        for (size_t j = 0; j < a.size(); ++j)
+            mod.addGate(GateKind::Toffoli, {b[i], a[j], addend[j]});
+        cuccaroAdd(mod, addend, window, carry_anc);
+        for (size_t j = 0; j < a.size(); ++j)
+            mod.addGate(GateKind::Toffoli, {b[i], a[j], addend[j]});
+    }
+}
+
+} // namespace ctqg
+} // namespace msq

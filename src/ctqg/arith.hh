@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Classical-To-Quantum-Gates (CTQG) arithmetic generators (paper §3.1).
+ *
+ * ScaffCC's CTQG tool decomposes classical arithmetic (a + b = c,
+ * comparisons, multiplication) into reversible gate networks. The paper
+ * notes the resulting code is "unoptimized ... highly locally serialized"
+ * (§5.2) — long ripple-carry chains with little parallelism — which is
+ * precisely what these generators produce.
+ *
+ * All functions append gates to an existing module. Registers are
+ * little-endian vectors of qubit ids (index 0 = least significant bit).
+ * Composite gates (Toffoli) are emitted directly; run
+ * DecomposeToffoliPass before scheduling.
+ */
+
+#ifndef MSQ_CTQG_ARITH_HH
+#define MSQ_CTQG_ARITH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/module.hh"
+
+namespace msq {
+namespace ctqg {
+
+/** A little-endian qubit register. */
+using Register = std::vector<QubitId>;
+
+/**
+ * Cuccaro ripple-carry adder: b += a (mod 2^n).
+ *
+ * @param mod destination module.
+ * @param a addend register (unchanged).
+ * @param b target register, receives the sum; |b| == |a|.
+ * @param carry_anc a borrowed ancilla, returned to its input state.
+ * @param carry_out when valid (!= invalidQubit), receives the final
+ *        carry, making the adder a full n+1-bit adder.
+ */
+constexpr QubitId invalidQubit = ~QubitId{0};
+void cuccaroAdd(Module &mod, const Register &a, const Register &b,
+                QubitId carry_anc, QubitId carry_out = invalidQubit);
+
+/** b -= a (mod 2^n), the adder run through complement identities. */
+void cuccaroSub(Module &mod, const Register &a, const Register &b,
+                QubitId carry_anc);
+
+/**
+ * b += constant (mod 2^n). CTQG-style: the constant is loaded into the
+ * scratch register with X gates, added, then unloaded.
+ * @param scratch ancilla register, |scratch| == |b|, in and out |0...0>.
+ */
+void addConst(Module &mod, uint64_t constant, const Register &b,
+              const Register &scratch, QubitId carry_anc);
+
+/**
+ * Unsigned comparison: flips @p less when a < b.
+ * Computes b - a into scratch via ripple borrow, copies the borrow out,
+ * then uncomputes. |scratch| == |a|.
+ */
+void compareLess(Module &mod, const Register &a, const Register &b,
+                 QubitId less, const Register &scratch, QubitId carry_anc);
+
+/**
+ * Controlled addition: b += a when ctl is set. CTQG lowers this by
+ * AND-ing a into scratch under the control (Toffolis), adding scratch,
+ * and uncomputing — serial but simple. |scratch| == |a|.
+ */
+void controlledAdd(Module &mod, QubitId ctl, const Register &a,
+                   const Register &b, const Register &scratch,
+                   QubitId carry_anc);
+
+/**
+ * Shift-and-add multiplier: product += a * b.
+ * @param product register of width at least |a| + |b|.
+ * @param scratch clean ancilla register of width at least |product|
+ *        (the addend is zero-extended so no partial-sum carry is lost);
+ *        returned clean.
+ */
+void multiplyAccumulate(Module &mod, const Register &a, const Register &b,
+                        const Register &product, const Register &scratch,
+                        QubitId carry_anc);
+
+} // namespace ctqg
+} // namespace msq
+
+#endif // MSQ_CTQG_ARITH_HH

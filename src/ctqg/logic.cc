@@ -1,0 +1,162 @@
+#include "ctqg/logic.hh"
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace msq {
+namespace ctqg {
+
+namespace {
+
+void
+checkWidths(size_t a, size_t b, const char *what)
+{
+    if (a != b)
+        fatal(csprintf("ctqg %s: register widths differ (%zu vs %zu)",
+                       what, a, b));
+}
+
+} // anonymous namespace
+
+void
+bitwiseXor(Module &mod, const Register &a, const Register &b)
+{
+    checkWidths(a.size(), b.size(), "bitwiseXor");
+    for (size_t i = 0; i < a.size(); ++i)
+        mod.addGate(GateKind::CNOT, {a[i], b[i]});
+}
+
+void
+bitwiseAnd(Module &mod, const Register &a, const Register &b,
+           const Register &out)
+{
+    checkWidths(a.size(), b.size(), "bitwiseAnd");
+    checkWidths(a.size(), out.size(), "bitwiseAnd");
+    for (size_t i = 0; i < a.size(); ++i)
+        mod.addGate(GateKind::Toffoli, {a[i], b[i], out[i]});
+}
+
+void
+bitwiseOr(Module &mod, const Register &a, const Register &b,
+          const Register &out)
+{
+    checkWidths(a.size(), b.size(), "bitwiseOr");
+    checkWidths(a.size(), out.size(), "bitwiseOr");
+    // a | b = ~(~a & ~b)
+    for (size_t i = 0; i < a.size(); ++i) {
+        mod.addGate(GateKind::X, {a[i]});
+        mod.addGate(GateKind::X, {b[i]});
+        mod.addGate(GateKind::Toffoli, {a[i], b[i], out[i]});
+        mod.addGate(GateKind::X, {a[i]});
+        mod.addGate(GateKind::X, {b[i]});
+        mod.addGate(GateKind::X, {out[i]});
+    }
+}
+
+void
+setConst(Module &mod, const Register &reg, uint64_t value)
+{
+    for (size_t i = 0; i < reg.size() && i < 64; ++i)
+        if ((value >> i) & 1)
+            mod.addGate(GateKind::X, {reg[i]});
+}
+
+Register
+rotl(const Register &reg, unsigned amount)
+{
+    if (reg.empty())
+        return reg;
+    Register out(reg.size());
+    for (size_t i = 0; i < reg.size(); ++i)
+        out[(i + amount) % reg.size()] = reg[i];
+    return out;
+}
+
+void
+chooseFunction(Module &mod, const Register &x, const Register &y,
+               const Register &z, const Register &out)
+{
+    checkWidths(x.size(), y.size(), "chooseFunction");
+    checkWidths(x.size(), z.size(), "chooseFunction");
+    checkWidths(x.size(), out.size(), "chooseFunction");
+    // Ch(x,y,z) = (x & y) ^ (~x & z) = z ^ (x & (y ^ z))
+    for (size_t i = 0; i < x.size(); ++i) {
+        mod.addGate(GateKind::CNOT, {z[i], y[i]});
+        mod.addGate(GateKind::Toffoli, {x[i], y[i], out[i]});
+        mod.addGate(GateKind::CNOT, {z[i], y[i]});
+        mod.addGate(GateKind::CNOT, {z[i], out[i]});
+    }
+}
+
+void
+majorityFunction(Module &mod, const Register &x, const Register &y,
+                 const Register &z, const Register &out)
+{
+    checkWidths(x.size(), y.size(), "majorityFunction");
+    checkWidths(x.size(), z.size(), "majorityFunction");
+    checkWidths(x.size(), out.size(), "majorityFunction");
+    for (size_t i = 0; i < x.size(); ++i) {
+        mod.addGate(GateKind::Toffoli, {x[i], y[i], out[i]});
+        mod.addGate(GateKind::Toffoli, {x[i], z[i], out[i]});
+        mod.addGate(GateKind::Toffoli, {y[i], z[i], out[i]});
+    }
+}
+
+void
+parityFunction(Module &mod, const Register &x, const Register &y,
+               const Register &z, const Register &out)
+{
+    checkWidths(x.size(), y.size(), "parityFunction");
+    checkWidths(x.size(), z.size(), "parityFunction");
+    checkWidths(x.size(), out.size(), "parityFunction");
+    for (size_t i = 0; i < x.size(); ++i) {
+        mod.addGate(GateKind::CNOT, {x[i], out[i]});
+        mod.addGate(GateKind::CNOT, {y[i], out[i]});
+        mod.addGate(GateKind::CNOT, {z[i], out[i]});
+    }
+}
+
+void
+multiControlledX(Module &mod, const Register &controls, QubitId target,
+                 const Register &anc)
+{
+    size_t n = controls.size();
+    if (n == 0) {
+        mod.addGate(GateKind::X, {target});
+        return;
+    }
+    if (n == 1) {
+        mod.addGate(GateKind::CNOT, {controls[0], target});
+        return;
+    }
+    if (n == 2) {
+        mod.addGate(GateKind::Toffoli, {controls[0], controls[1], target});
+        return;
+    }
+    if (anc.size() < n - 1)
+        fatal(csprintf("ctqg multiControlledX: need %zu ancilla, have %zu",
+                       n - 1, anc.size()));
+
+    // Compute the AND ladder into ancilla, flip, then uncompute.
+    mod.addGate(GateKind::Toffoli, {controls[0], controls[1], anc[0]});
+    for (size_t i = 2; i < n; ++i)
+        mod.addGate(GateKind::Toffoli, {controls[i], anc[i - 2],
+                                        anc[i - 1]});
+    mod.addGate(GateKind::CNOT, {anc[n - 2], target});
+    for (size_t i = n; i-- > 2;)
+        mod.addGate(GateKind::Toffoli, {controls[i], anc[i - 2],
+                                        anc[i - 1]});
+    mod.addGate(GateKind::Toffoli, {controls[0], controls[1], anc[0]});
+}
+
+void
+multiControlledZ(Module &mod, const Register &controls, QubitId target,
+                 const Register &anc)
+{
+    mod.addGate(GateKind::H, {target});
+    multiControlledX(mod, controls, target, anc);
+    mod.addGate(GateKind::H, {target});
+}
+
+} // namespace ctqg
+} // namespace msq

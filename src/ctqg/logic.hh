@@ -1,0 +1,67 @@
+/**
+ * @file
+ * CTQG bitwise/boolean logic generators: word-level XOR/AND/OR, the SHA-1
+ * round functions (choose, majority, parity), constant loading, rotation
+ * (a free wire permutation), and multi-controlled gates via Toffoli
+ * ladders — the building blocks of the BF, CN, SHA-1 and Grover oracles.
+ */
+
+#ifndef MSQ_CTQG_LOGIC_HH
+#define MSQ_CTQG_LOGIC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/module.hh"
+
+namespace msq {
+namespace ctqg {
+
+using Register = std::vector<QubitId>;
+
+/** b ^= a, bitwise. */
+void bitwiseXor(Module &mod, const Register &a, const Register &b);
+
+/** out ^= a & b, bitwise (Toffolis). */
+void bitwiseAnd(Module &mod, const Register &a, const Register &b,
+                const Register &out);
+
+/** out ^= a | b, bitwise (De Morgan via X-conjugated Toffolis). */
+void bitwiseOr(Module &mod, const Register &a, const Register &b,
+               const Register &out);
+
+/** Load @p value into @p reg with X gates (reg assumed |0...0>). */
+void setConst(Module &mod, const Register &reg, uint64_t value);
+
+/** @return @p reg rotated left by @p amount — a wire relabeling, free. */
+Register rotl(const Register &reg, unsigned amount);
+
+/** SHA-1 Ch: out ^= (x & y) ^ (~x & z), bitwise. */
+void chooseFunction(Module &mod, const Register &x, const Register &y,
+                    const Register &z, const Register &out);
+
+/** SHA-1 Maj: out ^= (x & y) ^ (x & z) ^ (y & z), bitwise. */
+void majorityFunction(Module &mod, const Register &x, const Register &y,
+                      const Register &z, const Register &out);
+
+/** SHA-1 Parity: out ^= x ^ y ^ z, bitwise. */
+void parityFunction(Module &mod, const Register &x, const Register &y,
+                    const Register &z, const Register &out);
+
+/**
+ * Multi-controlled X: flips @p target when every control is 1, using a
+ * Toffoli ladder over |controls| - 1 ancilla (uncomputed afterwards).
+ * With 0 controls this is a plain X; with 1, a CNOT; with 2, a Toffoli.
+ * @param anc ancilla register with at least |controls| - 1 clean qubits.
+ */
+void multiControlledX(Module &mod, const Register &controls,
+                      QubitId target, const Register &anc);
+
+/** Multi-controlled Z via H-conjugated multiControlledX. */
+void multiControlledZ(Module &mod, const Register &controls,
+                      QubitId target, const Register &anc);
+
+} // namespace ctqg
+} // namespace msq
+
+#endif // MSQ_CTQG_LOGIC_HH

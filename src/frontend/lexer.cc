@@ -1,0 +1,164 @@
+#include "frontend/lexer.hh"
+
+#include <cctype>
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace msq {
+
+const char *
+tokenKindName(TokenKind kind)
+{
+    switch (kind) {
+      case TokenKind::Identifier: return "identifier";
+      case TokenKind::Integer:    return "integer";
+      case TokenKind::Float:      return "float";
+      case TokenKind::KwModule:   return "'module'";
+      case TokenKind::KwQbit:     return "'qbit'";
+      case TokenKind::KwRepeat:   return "'repeat'";
+      case TokenKind::LParen:     return "'('";
+      case TokenKind::RParen:     return "')'";
+      case TokenKind::LBrace:     return "'{'";
+      case TokenKind::RBrace:     return "'}'";
+      case TokenKind::LBracket:   return "'['";
+      case TokenKind::RBracket:   return "']'";
+      case TokenKind::Comma:      return "','";
+      case TokenKind::Semicolon:  return "';'";
+      case TokenKind::Minus:      return "'-'";
+      case TokenKind::EndOfFile:  return "end of input";
+    }
+    return "?";
+}
+
+std::vector<Token>
+tokenize(const std::string &source)
+{
+    std::vector<Token> tokens;
+    unsigned line = 1;
+    size_t i = 0;
+    size_t n = source.size();
+
+    auto push = [&](TokenKind kind) {
+        Token tok;
+        tok.kind = kind;
+        tok.line = line;
+        tokens.push_back(tok);
+    };
+
+    while (i < n) {
+        char c = source[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        // Comments.
+        if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+            while (i < n && source[i] != '\n')
+                ++i;
+            continue;
+        }
+        if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+            i += 2;
+            while (i + 1 < n && !(source[i] == '*' && source[i + 1] == '/')) {
+                if (source[i] == '\n')
+                    ++line;
+                ++i;
+            }
+            if (i + 1 >= n)
+                fatal(csprintf("line %u: unterminated block comment", line));
+            i += 2;
+            continue;
+        }
+        // Identifiers and keywords.
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            size_t begin = i;
+            while (i < n && (std::isalnum(static_cast<unsigned char>(
+                                 source[i])) ||
+                             source[i] == '_'))
+                ++i;
+            std::string text = source.substr(begin, i - begin);
+            Token tok;
+            tok.line = line;
+            if (text == "module") {
+                tok.kind = TokenKind::KwModule;
+            } else if (text == "qbit" || text == "qreg") {
+                tok.kind = TokenKind::KwQbit;
+            } else if (text == "repeat") {
+                tok.kind = TokenKind::KwRepeat;
+            } else {
+                tok.kind = TokenKind::Identifier;
+                tok.text = std::move(text);
+            }
+            tokens.push_back(tok);
+            continue;
+        }
+        // Numbers (integer or float; exponents supported).
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && i + 1 < n &&
+             std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+            size_t begin = i;
+            bool is_float = false;
+            while (i < n) {
+                char d = source[i];
+                if (std::isdigit(static_cast<unsigned char>(d))) {
+                    ++i;
+                } else if (d == '.') {
+                    is_float = true;
+                    ++i;
+                } else if (d == 'e' || d == 'E') {
+                    is_float = true;
+                    ++i;
+                    if (i < n && (source[i] == '+' || source[i] == '-'))
+                        ++i;
+                } else {
+                    break;
+                }
+            }
+            std::string text = source.substr(begin, i - begin);
+            Token tok;
+            tok.line = line;
+            try {
+                if (is_float) {
+                    tok.kind = TokenKind::Float;
+                    tok.floatValue = std::stod(text);
+                } else {
+                    tok.kind = TokenKind::Integer;
+                    tok.intValue = std::stoull(text);
+                }
+            } catch (const std::exception &) {
+                fatal(csprintf("line %u: bad numeric literal '%s'", line,
+                               text.c_str()));
+            }
+            tokens.push_back(tok);
+            continue;
+        }
+        switch (c) {
+          case '(': push(TokenKind::LParen); break;
+          case ')': push(TokenKind::RParen); break;
+          case '{': push(TokenKind::LBrace); break;
+          case '}': push(TokenKind::RBrace); break;
+          case '[': push(TokenKind::LBracket); break;
+          case ']': push(TokenKind::RBracket); break;
+          case ',': push(TokenKind::Comma); break;
+          case ';': push(TokenKind::Semicolon); break;
+          case '-': push(TokenKind::Minus); break;
+          default:
+            fatal(csprintf("line %u: unexpected character '%c'", line, c));
+        }
+        ++i;
+    }
+
+    Token eof;
+    eof.kind = TokenKind::EndOfFile;
+    eof.line = line;
+    tokens.push_back(eof);
+    return tokens;
+}
+
+} // namespace msq

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Tokenizer for the Scaffold-subset input language (see parser.hh for the
+ * grammar). Supports C/C++-style comments and reports line numbers for
+ * diagnostics.
+ */
+
+#ifndef MSQ_FRONTEND_LEXER_HH
+#define MSQ_FRONTEND_LEXER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace msq {
+
+/** Lexical token kinds. */
+enum class TokenKind : uint8_t {
+    Identifier,
+    Integer,
+    Float,
+    KwModule,
+    KwQbit,
+    KwRepeat,
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semicolon,
+    Minus,
+    EndOfFile,
+};
+
+/** @return a printable name for @p kind (for diagnostics). */
+const char *tokenKindName(TokenKind kind);
+
+/** One lexical token. */
+struct Token
+{
+    TokenKind kind = TokenKind::EndOfFile;
+    std::string text;      ///< identifier spelling
+    uint64_t intValue = 0; ///< for Integer
+    double floatValue = 0; ///< for Float
+    unsigned line = 0;     ///< 1-based source line
+};
+
+/**
+ * Tokenize @p source completely.
+ * Calls fatal() with a line-numbered message on invalid input.
+ * The returned vector always ends with an EndOfFile token.
+ */
+std::vector<Token> tokenize(const std::string &source);
+
+} // namespace msq
+
+#endif // MSQ_FRONTEND_LEXER_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Parser for the Scaffold-subset input language, producing an IR Program.
+ *
+ * Grammar (EBNF):
+ *
+ *   program   := module*
+ *   module    := "module" IDENT "(" paramlist? ")" "{" stmt* "}"
+ *   paramlist := param ("," param)*
+ *   param     := "qbit" IDENT ("[" INT "]")?
+ *   stmt      := "qbit" IDENT ("[" INT "]")? ";"      // local declaration
+ *              | ("repeat" INT)? apply ";"            // gate or module call
+ *   apply     := IDENT "(" arglist? ")"
+ *   arglist   := arg ("," arg)*
+ *   arg       := IDENT ("[" INT "]")?                 // qubit / register
+ *              | NUMBER                               // rotation angle
+ *
+ * Semantics:
+ *  - `qbit r[4]` declares a 4-qubit register; `qbit q` a scalar.
+ *  - Passing a bare register name expands to its elements in order.
+ *  - An applied IDENT naming a known gate becomes that gate; otherwise it
+ *    must name a module (declared anywhere in the file).
+ *  - Rotation gates take a trailing numeric angle argument.
+ *  - The entry module is `main`, or the last module when absent.
+ */
+
+#ifndef MSQ_FRONTEND_PARSER_HH
+#define MSQ_FRONTEND_PARSER_HH
+
+#include <string>
+
+#include "ir/program.hh"
+
+namespace msq {
+
+/**
+ * Parse @p source into a validated Program.
+ * Calls fatal() with line-numbered diagnostics on errors.
+ */
+Program parseScaffold(const std::string &source);
+
+/** Parse the file at @p path (fatal() when unreadable). */
+Program parseScaffoldFile(const std::string &path);
+
+} // namespace msq
+
+#endif // MSQ_FRONTEND_PARSER_HH

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Reader for the hierarchical QASM format produced by
+ * emitHierarchicalQasm(): `.module <name> <params...>` blocks containing
+ * `qbit` declarations, gate lines, `call[xN] <module> <args...>` lines
+ * and a closing `.end`. Round-trips with the emitter, letting compiled
+ * programs be stored and reloaded.
+ */
+
+#ifndef MSQ_FRONTEND_QASM_READER_HH
+#define MSQ_FRONTEND_QASM_READER_HH
+
+#include <string>
+
+#include "ir/program.hh"
+
+namespace msq {
+
+/**
+ * Parse hierarchical QASM text into a validated Program. The entry is
+ * the last module in the stream (the emitter writes callees first).
+ * Calls fatal() with line-numbered diagnostics on malformed input.
+ */
+Program parseHierarchicalQasm(const std::string &text);
+
+} // namespace msq
+
+#endif // MSQ_FRONTEND_QASM_READER_HH

@@ -1,0 +1,111 @@
+#include "ir/dag.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace msq {
+
+DepDag
+DepDag::build(const Module &mod, const WeightFn &weight_fn)
+{
+    DepDag dag;
+    size_t n = mod.numOps();
+    dag.succs_.resize(n);
+    dag.preds_.resize(n);
+    dag.nodeWeights.resize(n);
+
+    // lastUse[q] = index of the most recent op touching qubit q, or -1.
+    std::vector<int64_t> last_use(mod.numQubits(), -1);
+
+    for (uint32_t i = 0; i < n; ++i) {
+        const Operation &op = mod.op(i);
+        uint64_t w = weight_fn ? weight_fn(op) : 1;
+        dag.nodeWeights[i] = w;
+        for (QubitId q : op.operands) {
+            int64_t prev = last_use[q];
+            if (prev >= 0) {
+                auto p = static_cast<uint32_t>(prev);
+                // Avoid duplicate edges from multi-qubit overlaps.
+                if (dag.succs_[p].empty() || dag.succs_[p].back() != i)
+                    dag.succs_[p].push_back(i);
+            }
+            last_use[q] = i;
+        }
+    }
+    for (uint32_t i = 0; i < n; ++i) {
+        for (uint32_t s : dag.succs_[i])
+            dag.preds_[s].push_back(i);
+    }
+    for (uint32_t i = 0; i < n; ++i) {
+        if (dag.preds_[i].empty())
+            dag.roots_.push_back(i);
+    }
+    return dag;
+}
+
+std::vector<uint64_t>
+DepDag::depthFromTop() const
+{
+    // Nodes are already in a topological order (program order).
+    std::vector<uint64_t> depth(numNodes(), 0);
+    for (uint32_t i = 0; i < numNodes(); ++i) {
+        uint64_t best = 0;
+        for (uint32_t p : preds_[i])
+            best = std::max(best, depth[p]);
+        depth[i] = best + nodeWeights[i];
+    }
+    return depth;
+}
+
+std::vector<uint64_t>
+DepDag::heightToBottom() const
+{
+    std::vector<uint64_t> height(numNodes(), 0);
+    for (uint32_t i = static_cast<uint32_t>(numNodes()); i-- > 0;) {
+        uint64_t best = 0;
+        for (uint32_t s : succs_[i])
+            best = std::max(best, height[s]);
+        height[i] = best + nodeWeights[i];
+    }
+    return height;
+}
+
+uint64_t
+DepDag::criticalPathLength() const
+{
+    uint64_t best = 0;
+    for (uint64_t d : depthFromTop())
+        best = std::max(best, d);
+    return best;
+}
+
+std::vector<uint64_t>
+DepDag::slack() const
+{
+    auto depth = depthFromTop();
+    auto height = heightToBottom();
+    uint64_t cp = 0;
+    for (uint64_t d : depth)
+        cp = std::max(cp, d);
+    std::vector<uint64_t> out(numNodes(), 0);
+    for (uint32_t i = 0; i < numNodes(); ++i) {
+        uint64_t through = depth[i] + height[i] - nodeWeights[i];
+        if (through > cp)
+            panic("slack: path through node exceeds critical path");
+        out[i] = cp - through;
+    }
+    return out;
+}
+
+std::vector<uint32_t>
+DepDag::topoOrder() const
+{
+    // Program order is a valid topological order by construction.
+    std::vector<uint32_t> order(numNodes());
+    for (uint32_t i = 0; i < numNodes(); ++i)
+        order[i] = i;
+    return order;
+}
+
+} // namespace msq

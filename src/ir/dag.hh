@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Data-dependence DAG over a module's operation list.
+ *
+ * Quantum operations cannot fan out (no-cloning theorem, paper §2.1), so
+ * any two operations sharing a qubit operand are ordered by their program
+ * order: the dependence DAG simply chains each operation to the previous
+ * operation touching each of its operands. Node weights default to 1 cycle
+ * per gate; a caller-supplied weight function lets the hierarchical
+ * analyses weight Call nodes by their callee's schedule length.
+ */
+
+#ifndef MSQ_IR_DAG_HH
+#define MSQ_IR_DAG_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "ir/module.hh"
+
+namespace msq {
+
+/** Dependence DAG of one module. Node i corresponds to module op i. */
+class DepDag
+{
+  public:
+    /** Latency (in cycles) assigned to an operation. */
+    using WeightFn = std::function<uint64_t(const Operation &)>;
+
+    /**
+     * Build the DAG for @p mod.
+     * @param weight_fn optional per-op latency; defaults to 1 per op
+     *        (including calls — appropriate for leaf modules only).
+     */
+    static DepDag build(const Module &mod, const WeightFn &weight_fn = {});
+
+    size_t numNodes() const { return nodeWeights.size(); }
+
+    const std::vector<uint32_t> &succs(uint32_t n) const { return succs_[n]; }
+    const std::vector<uint32_t> &preds(uint32_t n) const { return preds_[n]; }
+
+    /** Nodes with no predecessors. */
+    const std::vector<uint32_t> &roots() const { return roots_; }
+
+    uint64_t weight(uint32_t n) const { return nodeWeights[n]; }
+
+    /**
+     * @return for each node, the longest weighted distance from a root,
+     * inclusive of the node's own weight (ASAP finish time).
+     */
+    std::vector<uint64_t> depthFromTop() const;
+
+    /**
+     * @return for each node, the longest weighted distance to a sink,
+     * inclusive of the node's own weight.
+     */
+    std::vector<uint64_t> heightToBottom() const;
+
+    /** Longest weighted root-to-sink path length (critical path). */
+    uint64_t criticalPathLength() const;
+
+    /**
+     * Per-node slack: criticalPath - (depth + height - weight). Zero for
+     * critical-path nodes. Used as the w_slack term of RCP (Algorithm 1).
+     */
+    std::vector<uint64_t> slack() const;
+
+    /** @return node indices in a topological order. */
+    std::vector<uint32_t> topoOrder() const;
+
+  private:
+    std::vector<std::vector<uint32_t>> succs_;
+    std::vector<std::vector<uint32_t>> preds_;
+    std::vector<uint32_t> roots_;
+    std::vector<uint64_t> nodeWeights;
+};
+
+} // namespace msq
+
+#endif // MSQ_IR_DAG_HH

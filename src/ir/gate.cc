@@ -1,0 +1,133 @@
+#include "ir/gate.hh"
+
+#include <array>
+#include <unordered_map>
+
+#include "support/logging.hh"
+
+namespace msq {
+
+namespace {
+
+struct GateInfo
+{
+    const char *name;
+    int arity;
+    bool rotation;
+    bool primitive;
+    bool measure;
+};
+
+constexpr std::array<GateInfo, numGateKinds> gateTable = {{
+    {"X", 1, false, true, false},
+    {"Y", 1, false, true, false},
+    {"Z", 1, false, true, false},
+    {"H", 1, false, true, false},
+    {"S", 1, false, true, false},
+    {"Sdag", 1, false, true, false},
+    {"T", 1, false, true, false},
+    {"Tdag", 1, false, true, false},
+    {"PrepZ", 1, false, true, false},
+    {"PrepX", 1, false, true, false},
+    {"MeasZ", 1, false, true, true},
+    {"MeasX", 1, false, true, true},
+    {"CNOT", 2, false, true, false},
+    {"CZ", 2, false, true, false},
+    {"Rx", 1, true, false, false},
+    {"Ry", 1, true, false, false},
+    {"Rz", 1, true, false, false},
+    {"Swap", 2, false, false, false},
+    {"Toffoli", 3, false, false, false},
+    {"Fredkin", 3, false, false, false},
+    {"call", -1, false, false, false},
+}};
+
+const GateInfo &
+info(GateKind kind)
+{
+    auto index = static_cast<size_t>(kind);
+    if (index >= gateTable.size())
+        panic("gate kind out of range: " + std::to_string(index));
+    return gateTable[index];
+}
+
+} // anonymous namespace
+
+const char *
+gateName(GateKind kind)
+{
+    return info(kind).name;
+}
+
+bool
+parseGateName(const std::string &name, GateKind &kind)
+{
+    static const std::unordered_map<std::string, GateKind> byName = [] {
+        std::unordered_map<std::string, GateKind> map;
+        for (size_t i = 0; i < gateTable.size(); ++i)
+            map.emplace(gateTable[i].name, static_cast<GateKind>(i));
+        return map;
+    }();
+    auto it = byName.find(name);
+    if (it == byName.end())
+        return false;
+    kind = it->second;
+    return true;
+}
+
+int
+gateArity(GateKind kind)
+{
+    return info(kind).arity;
+}
+
+bool
+isRotationGate(GateKind kind)
+{
+    return info(kind).rotation;
+}
+
+bool
+isPrimitiveGate(GateKind kind)
+{
+    return info(kind).primitive;
+}
+
+bool
+isMeasureGate(GateKind kind)
+{
+    return info(kind).measure;
+}
+
+GateKind
+daggerOf(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::S:
+        return GateKind::Sdag;
+      case GateKind::Sdag:
+        return GateKind::S;
+      case GateKind::T:
+        return GateKind::Tdag;
+      case GateKind::Tdag:
+        return GateKind::T;
+      case GateKind::X:
+      case GateKind::Y:
+      case GateKind::Z:
+      case GateKind::H:
+      case GateKind::CNOT:
+      case GateKind::CZ:
+      case GateKind::Swap:
+      case GateKind::Toffoli:
+      case GateKind::Fredkin:
+      case GateKind::Rx:
+      case GateKind::Ry:
+      case GateKind::Rz:
+        return kind; // self-inverse, or caller negates the angle
+      default:
+        panic(std::string("daggerOf: gate has no inverse: ") +
+              gateName(kind));
+    }
+}
+
+} // namespace msq

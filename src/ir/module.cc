@@ -1,0 +1,114 @@
+#include "ir/module.hh"
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace msq {
+
+QubitId
+Module::addParam(const std::string &qubit_name)
+{
+    if (numParams_ != qubitNames.size())
+        panic("Module " + name_ + ": parameters must precede locals");
+    qubitNames.push_back(qubit_name);
+    return static_cast<QubitId>(numParams_++);
+}
+
+QubitId
+Module::addLocal(const std::string &qubit_name)
+{
+    qubitNames.push_back(qubit_name);
+    return static_cast<QubitId>(qubitNames.size() - 1);
+}
+
+std::vector<QubitId>
+Module::addRegister(const std::string &base, size_t width)
+{
+    std::vector<QubitId> reg;
+    reg.reserve(width);
+    for (size_t i = 0; i < width; ++i)
+        reg.push_back(addLocal(csprintf("%s[%zu]", base.c_str(), i)));
+    return reg;
+}
+
+void
+Module::addGate(GateKind kind, std::vector<QubitId> operands, double angle)
+{
+    if (kind == GateKind::Call)
+        panic("Module::addGate cannot add calls; use addCall");
+    int arity = gateArity(kind);
+    if (arity >= 0 && operands.size() != static_cast<size_t>(arity)) {
+        panic(csprintf("Module %s: gate %s expects %d operands, got %zu",
+                       name_.c_str(), gateName(kind), arity,
+                       operands.size()));
+    }
+    for (QubitId q : operands) {
+        if (q >= qubitNames.size()) {
+            panic(csprintf("Module %s: operand %u out of range (%zu qubits)",
+                           name_.c_str(), q, qubitNames.size()));
+        }
+    }
+    for (size_t i = 0; i < operands.size(); ++i) {
+        for (size_t j = i + 1; j < operands.size(); ++j) {
+            if (operands[i] == operands[j]) {
+                panic(csprintf("Module %s: gate %s has duplicate operand %u",
+                               name_.c_str(), gateName(kind), operands[i]));
+            }
+        }
+    }
+    ops_.emplace_back(kind, std::move(operands), angle);
+}
+
+void
+Module::addCall(ModuleId callee, std::vector<QubitId> args, uint64_t repeat)
+{
+    if (callee == invalidModule)
+        panic("Module " + name_ + ": call to invalid module");
+    if (repeat == 0)
+        panic("Module " + name_ + ": call repeat count must be >= 1");
+    for (QubitId q : args) {
+        if (q >= qubitNames.size()) {
+            panic(csprintf("Module %s: call arg %u out of range",
+                           name_.c_str(), q));
+        }
+    }
+    ops_.push_back(Operation::makeCall(callee, std::move(args), repeat));
+}
+
+void
+Module::addOperation(Operation op)
+{
+    if (op.isCall())
+        addCall(op.callee, std::move(op.operands), op.repeat);
+    else
+        addGate(op.kind, std::move(op.operands), op.angle);
+}
+
+const std::string &
+Module::qubitName(QubitId q) const
+{
+    if (q >= qubitNames.size())
+        panic(csprintf("Module %s: qubit %u out of range", name_.c_str(), q));
+    return qubitNames[q];
+}
+
+bool
+Module::isLeaf() const
+{
+    for (const auto &op : ops_)
+        if (op.isCall())
+            return false;
+    return true;
+}
+
+uint64_t
+Module::localGateCount() const
+{
+    uint64_t count = 0;
+    for (const auto &op : ops_)
+        if (!op.isCall())
+            ++count;
+    return count;
+}
+
+} // namespace msq

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * A single IR operation: a primitive or composite gate applied to qubit
+ * operands, or a (possibly repeat-counted) call to another module.
+ */
+
+#ifndef MSQ_IR_OPERATION_HH
+#define MSQ_IR_OPERATION_HH
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "ir/gate.hh"
+
+namespace msq {
+
+/** Index of a qubit within its enclosing module's qubit table. */
+using QubitId = uint32_t;
+
+/** Index of a module within its enclosing program. */
+using ModuleId = uint32_t;
+
+/** Sentinel for "no module". */
+constexpr ModuleId invalidModule = std::numeric_limits<ModuleId>::max();
+
+/**
+ * One IR operation.
+ *
+ * For gate kinds other than Call, @ref operands holds gateArity(kind)
+ * qubits, @ref angle is meaningful only for rotation gates, and @ref callee
+ * / @ref repeat are unused. For Call, @ref operands holds the actual
+ * arguments bound to the callee's parameters (in parameter order), and
+ * @ref repeat is the classically known trip count of the enclosing loop
+ * (1 when not in a loop): the call executes repeat times back-to-back.
+ * Repeat counts let the toolflow represent the paper's 10^7-10^12-gate
+ * benchmarks without unrolling (paper §3.1).
+ */
+struct Operation
+{
+    GateKind kind = GateKind::X;
+    std::vector<QubitId> operands;
+    double angle = 0.0;
+    ModuleId callee = invalidModule;
+    uint64_t repeat = 1;
+
+    Operation() = default;
+
+    /** Construct a plain gate. */
+    Operation(GateKind kind, std::vector<QubitId> operands,
+              double angle = 0.0)
+        : kind(kind), operands(std::move(operands)), angle(angle)
+    {}
+
+    /** Construct a call. */
+    static Operation
+    makeCall(ModuleId callee, std::vector<QubitId> args, uint64_t repeat = 1)
+    {
+        Operation op;
+        op.kind = GateKind::Call;
+        op.operands = std::move(args);
+        op.callee = callee;
+        op.repeat = repeat;
+        return op;
+    }
+
+    bool isCall() const { return kind == GateKind::Call; }
+
+    bool
+    operator==(const Operation &other) const
+    {
+        return kind == other.kind && operands == other.operands &&
+               angle == other.angle && callee == other.callee &&
+               repeat == other.repeat;
+    }
+};
+
+} // namespace msq
+
+#endif // MSQ_IR_OPERATION_HH

@@ -1,0 +1,169 @@
+#include "ir/printer.hh"
+
+#include <cctype>
+
+#include "support/strings.hh"
+
+namespace msq {
+
+namespace {
+
+/** True when @p text is a lexable identifier. */
+bool
+isIdentifier(const std::string &text)
+{
+    if (text.empty())
+        return false;
+    if (!std::isalpha(static_cast<unsigned char>(text[0])) &&
+        text[0] != '_')
+        return false;
+    for (char c : text)
+        if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_')
+            return false;
+    return true;
+}
+
+/**
+ * Split a qubit name of the form base[index] into its parts.
+ * @return true when the name has that shape with a lexable base.
+ */
+bool
+splitIndexedName(const std::string &name, std::string &base,
+                 uint64_t &index)
+{
+    size_t lb = name.find('[');
+    if (lb == std::string::npos || name.back() != ']' || lb == 0)
+        return false;
+    base = name.substr(0, lb);
+    if (!isIdentifier(base))
+        return false;
+    std::string digits = name.substr(lb + 1, name.size() - lb - 2);
+    if (digits.empty())
+        return false;
+    for (char c : digits)
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            return false;
+    index = std::stoull(digits);
+    return true;
+}
+
+/**
+ * Printable form of a qubit name: indexed register elements print as-is;
+ * anything else (e.g. flattening-generated "callee.0.anc") is mangled
+ * into a lexable identifier. Distinct names can in principle collide
+ * after mangling; the printer is a debugging/round-trip aid, not a
+ * canonical serializer for pass-generated programs.
+ */
+std::string
+printableName(const std::string &name)
+{
+    std::string base;
+    uint64_t index = 0;
+    if (isIdentifier(name) || splitIndexedName(name, base, index))
+        return name;
+    std::string out;
+    for (char c : name) {
+        if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+            c == '[' || c == ']')
+            out += c;
+        else
+            out += '_';
+    }
+    if (out.empty() ||
+        (!std::isalpha(static_cast<unsigned char>(out[0])) &&
+         out[0] != '_'))
+        out = "q_" + out;
+    return out;
+}
+
+/**
+ * Declaration list for qubits [begin, end): runs named base[0..n) over
+ * consecutive ids collapse into a register declaration "base[n]".
+ */
+std::vector<std::string>
+declarationList(const Module &mod, QubitId begin, QubitId end)
+{
+    std::vector<std::string> decls;
+    QubitId i = begin;
+    while (i < end) {
+        std::string base;
+        uint64_t index = 0;
+        if (splitIndexedName(mod.qubitName(i), base, index) &&
+            index == 0) {
+            QubitId j = i;
+            while (j < end) {
+                std::string expect =
+                    csprintf("%s[%llu]", base.c_str(),
+                             static_cast<unsigned long long>(j - i));
+                if (mod.qubitName(j) != expect)
+                    break;
+                ++j;
+            }
+            if (j - i >= 1) {
+                decls.push_back(csprintf(
+                    "%s[%llu]", base.c_str(),
+                    static_cast<unsigned long long>(j - i)));
+                i = j;
+                continue;
+            }
+        }
+        decls.push_back(printableName(mod.qubitName(i)));
+        ++i;
+    }
+    return decls;
+}
+
+} // anonymous namespace
+
+std::string
+formatOperation(const Program &prog, const Module &mod, const Operation &op)
+{
+    std::vector<std::string> args;
+    args.reserve(op.operands.size());
+    for (QubitId q : op.operands)
+        args.push_back(printableName(mod.qubitName(q)));
+
+    std::string text;
+    if (op.isCall()) {
+        text = prog.module(op.callee).name();
+        text += "(" + join(args, ", ") + ")";
+        if (op.repeat != 1)
+            text = csprintf("repeat %llu ",
+                            static_cast<unsigned long long>(op.repeat)) +
+                   text;
+    } else if (isRotationGate(op.kind)) {
+        text = csprintf("%s(%s, %.12g)", gateName(op.kind),
+                        join(args, ", ").c_str(), op.angle);
+    } else {
+        text = std::string(gateName(op.kind)) + "(" + join(args, ", ") + ")";
+    }
+    return text;
+}
+
+void
+printModule(std::ostream &os, const Program &prog, const Module &mod)
+{
+    std::vector<std::string> params;
+    for (const auto &decl :
+         declarationList(mod, 0, static_cast<QubitId>(mod.numParams())))
+        params.push_back("qbit " + decl);
+    os << "module " << mod.name() << "(" << join(params, ", ") << ") {\n";
+    for (const auto &decl :
+         declarationList(mod, static_cast<QubitId>(mod.numParams()),
+                         static_cast<QubitId>(mod.numQubits())))
+        os << "    qbit " << decl << ";\n";
+    for (const auto &op : mod.ops())
+        os << "    " << formatOperation(prog, mod, op) << ";\n";
+    os << "}\n";
+}
+
+void
+printProgram(std::ostream &os, const Program &prog)
+{
+    for (ModuleId id : prog.bottomUpOrder()) {
+        printModule(os, prog, prog.module(id));
+        os << "\n";
+    }
+}
+
+} // namespace msq

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Human-readable textual dump of IR programs and modules, in a syntax close
+ * to the Scaffold-subset accepted by the frontend (so dumps round-trip).
+ */
+
+#ifndef MSQ_IR_PRINTER_HH
+#define MSQ_IR_PRINTER_HH
+
+#include <ostream>
+#include <string>
+
+#include "ir/program.hh"
+
+namespace msq {
+
+/** Print one operation of @p mod as a single line (no newline). */
+std::string formatOperation(const Program &prog, const Module &mod,
+                            const Operation &op);
+
+/** Print @p mod in frontend-compatible syntax. */
+void printModule(std::ostream &os, const Program &prog, const Module &mod);
+
+/** Print all modules reachable from the entry, callees first. */
+void printProgram(std::ostream &os, const Program &prog);
+
+} // namespace msq
+
+#endif // MSQ_IR_PRINTER_HH

@@ -1,0 +1,113 @@
+#include "passes/cancel_inverses.hh"
+
+namespace msq {
+
+bool
+CancelInversesPass::cancels(const Operation &a, const Operation &b)
+{
+    if (a.isCall() || b.isCall())
+        return false;
+    if (a.operands != b.operands)
+        return false;
+    switch (a.kind) {
+      // Self-inverse gates.
+      case GateKind::X:
+      case GateKind::Y:
+      case GateKind::Z:
+      case GateKind::H:
+      case GateKind::CNOT:
+      case GateKind::CZ:
+      case GateKind::Swap:
+      case GateKind::Toffoli:
+      case GateKind::Fredkin:
+        return b.kind == a.kind;
+      // Dagger pairs.
+      case GateKind::S:
+        return b.kind == GateKind::Sdag;
+      case GateKind::Sdag:
+        return b.kind == GateKind::S;
+      case GateKind::T:
+        return b.kind == GateKind::Tdag;
+      case GateKind::Tdag:
+        return b.kind == GateKind::T;
+      // Rotations cancel when the angles sum to zero.
+      case GateKind::Rx:
+      case GateKind::Ry:
+      case GateKind::Rz:
+        return b.kind == a.kind && a.angle == -b.angle;
+      default:
+        return false; // preparation / measurement never cancel
+    }
+}
+
+std::vector<Operation>
+CancelInversesPass::sweep(const std::vector<Operation> &ops,
+                          uint64_t &removed)
+{
+    removed = 0;
+    std::vector<Operation> kept;
+    kept.reserve(ops.size());
+    std::vector<bool> alive;
+    alive.reserve(ops.size());
+
+    // For each qubit, the index (into `kept`) of the last live op
+    // touching it; barrier (-2) after a cancellation hides earlier
+    // history until the next sweep.
+    constexpr int64_t none = -1;
+    constexpr int64_t barrier = -2;
+    size_t num_qubits = 0;
+    for (const auto &op : ops)
+        for (QubitId q : op.operands)
+            num_qubits = std::max<size_t>(num_qubits, q + 1);
+    std::vector<int64_t> last(num_qubits, none);
+
+    for (const auto &op : ops) {
+        bool cancelled = false;
+        if (!op.operands.empty()) {
+            int64_t prev = last[op.operands[0]];
+            bool same_prev = prev >= 0 && alive[static_cast<size_t>(prev)];
+            for (QubitId q : op.operands)
+                same_prev = same_prev && last[q] == prev;
+            if (same_prev &&
+                cancels(kept[static_cast<size_t>(prev)], op)) {
+                alive[static_cast<size_t>(prev)] = false;
+                removed += 2;
+                for (QubitId q : op.operands)
+                    last[q] = barrier;
+                cancelled = true;
+            }
+        }
+        if (!cancelled) {
+            kept.push_back(op);
+            alive.push_back(true);
+            auto index = static_cast<int64_t>(kept.size() - 1);
+            for (QubitId q : op.operands)
+                last[q] = index;
+        }
+    }
+
+    std::vector<Operation> out;
+    out.reserve(kept.size());
+    for (size_t i = 0; i < kept.size(); ++i)
+        if (alive[i])
+            out.push_back(std::move(kept[i]));
+    return out;
+}
+
+void
+CancelInversesPass::run(Program &prog)
+{
+    totalRemoved_ = 0;
+    for (ModuleId id : prog.bottomUpOrder()) {
+        Module &mod = prog.module(id);
+        uint64_t removed = 0;
+        std::vector<Operation> ops = mod.ops();
+        do {
+            ops = sweep(ops, removed);
+            totalRemoved_ += removed;
+        } while (removed > 0);
+        mod.setOps(std::move(ops));
+    }
+}
+
+} // namespace msq

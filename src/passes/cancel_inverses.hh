@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Peephole cancellation of adjacent inverse gate pairs. ScaffCC-style
+ * flows run cleanup after CTQG and decomposition because generated code
+ * is littered with compute/uncompute pairs (X dressing, Toffoli ladders)
+ * that meet back-to-back once surrounding code is inlined. Cancelling
+ * G . G^-1 on the same operands when no intervening operation touches
+ * those qubits shortens both the gate count and the critical path
+ * without changing program semantics.
+ */
+
+#ifndef MSQ_PASSES_CANCEL_INVERSES_HH
+#define MSQ_PASSES_CANCEL_INVERSES_HH
+
+#include "passes/pass_manager.hh"
+
+namespace msq {
+
+/** Iteratively removes adjacent inverse pairs in every module. */
+class CancelInversesPass : public Pass
+{
+  public:
+    const char *name() const override { return "cancel-inverses"; }
+    void run(Program &prog) override;
+
+    /**
+     * One cancellation sweep over an operation list.
+     * @return the rewritten list and (via @p removed) how many
+     *         operations were eliminated.
+     */
+    static std::vector<Operation>
+    sweep(const std::vector<Operation> &ops, uint64_t &removed);
+
+    /** Do @p a and @p b cancel when adjacent on identical operands? */
+    static bool cancels(const Operation &a, const Operation &b);
+
+    /** Total operations removed by the last run(). */
+    uint64_t totalRemoved() const { return totalRemoved_; }
+
+  private:
+    uint64_t totalRemoved_ = 0;
+};
+
+} // namespace msq
+
+#endif // MSQ_PASSES_CANCEL_INVERSES_HH

@@ -1,0 +1,94 @@
+#include "passes/decompose_toffoli.hh"
+
+namespace msq {
+
+void
+DecomposeToffoliPass::expandToffoli(QubitId a, QubitId b, QubitId c,
+                                    std::vector<Operation> &out)
+{
+    // The 16-operation Clifford+T expansion from paper Fig. 4:
+    //   H(c); CNOT(b,c); Tdag(c); CNOT(a,c); T(c); CNOT(b,c); Tdag(c);
+    //   CNOT(a,c); Tdag(b); T(c); CNOT(a,b); H(c); Tdag(b); CNOT(a,b);
+    //   T(a); S(b)
+    using GK = GateKind;
+    out.emplace_back(GK::H, std::vector<QubitId>{c});
+    out.emplace_back(GK::CNOT, std::vector<QubitId>{b, c});
+    out.emplace_back(GK::Tdag, std::vector<QubitId>{c});
+    out.emplace_back(GK::CNOT, std::vector<QubitId>{a, c});
+    out.emplace_back(GK::T, std::vector<QubitId>{c});
+    out.emplace_back(GK::CNOT, std::vector<QubitId>{b, c});
+    out.emplace_back(GK::Tdag, std::vector<QubitId>{c});
+    out.emplace_back(GK::CNOT, std::vector<QubitId>{a, c});
+    out.emplace_back(GK::Tdag, std::vector<QubitId>{b});
+    out.emplace_back(GK::T, std::vector<QubitId>{c});
+    out.emplace_back(GK::CNOT, std::vector<QubitId>{a, b});
+    out.emplace_back(GK::H, std::vector<QubitId>{c});
+    out.emplace_back(GK::Tdag, std::vector<QubitId>{b});
+    out.emplace_back(GK::CNOT, std::vector<QubitId>{a, b});
+    out.emplace_back(GK::T, std::vector<QubitId>{a});
+    out.emplace_back(GK::S, std::vector<QubitId>{b});
+}
+
+void
+DecomposeToffoliPass::expandSwap(QubitId a, QubitId b,
+                                 std::vector<Operation> &out)
+{
+    using GK = GateKind;
+    out.emplace_back(GK::CNOT, std::vector<QubitId>{a, b});
+    out.emplace_back(GK::CNOT, std::vector<QubitId>{b, a});
+    out.emplace_back(GK::CNOT, std::vector<QubitId>{a, b});
+}
+
+void
+DecomposeToffoliPass::expandFredkin(QubitId ctl, QubitId x, QubitId y,
+                                    std::vector<Operation> &out)
+{
+    // Fredkin(ctl;x,y) = CNOT(y,x) . Toffoli(ctl,x,y) . CNOT(y,x)
+    using GK = GateKind;
+    out.emplace_back(GK::CNOT, std::vector<QubitId>{y, x});
+    expandToffoli(ctl, x, y, out);
+    out.emplace_back(GK::CNOT, std::vector<QubitId>{y, x});
+}
+
+void
+DecomposeToffoliPass::run(Program &prog)
+{
+    for (ModuleId id : prog.bottomUpOrder()) {
+        Module &mod = prog.module(id);
+        bool needs_rewrite = false;
+        for (const auto &op : mod.ops()) {
+            if (op.kind == GateKind::Toffoli ||
+                op.kind == GateKind::Fredkin ||
+                op.kind == GateKind::Swap) {
+                needs_rewrite = true;
+                break;
+            }
+        }
+        if (!needs_rewrite)
+            continue;
+
+        std::vector<Operation> rewritten;
+        rewritten.reserve(mod.numOps());
+        for (const auto &op : mod.ops()) {
+            switch (op.kind) {
+              case GateKind::Toffoli:
+                expandToffoli(op.operands[0], op.operands[1],
+                              op.operands[2], rewritten);
+                break;
+              case GateKind::Fredkin:
+                expandFredkin(op.operands[0], op.operands[1],
+                              op.operands[2], rewritten);
+                break;
+              case GateKind::Swap:
+                expandSwap(op.operands[0], op.operands[1], rewritten);
+                break;
+              default:
+                rewritten.push_back(op);
+                break;
+            }
+        }
+        mod.setOps(std::move(rewritten));
+    }
+}
+
+} // namespace msq

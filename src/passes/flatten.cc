@@ -1,0 +1,79 @@
+#include "passes/flatten.hh"
+
+#include "analysis/resource_estimator.hh"
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace msq {
+
+void
+FlattenPass::inlineCall(Module &caller, const Operation &call,
+                        const Module &callee, size_t site_index,
+                        std::vector<Operation> &out)
+{
+    if (!call.isCall())
+        panic("FlattenPass::inlineCall: operation is not a call");
+    if (call.operands.size() != callee.numParams())
+        panic("FlattenPass::inlineCall: arity mismatch");
+
+    // Map callee qubits to caller qubits: parameters bind to the call
+    // arguments; locals get fresh caller ancilla (reused across repeats).
+    std::vector<QubitId> qubit_map(callee.numQubits());
+    for (size_t i = 0; i < callee.numParams(); ++i)
+        qubit_map[i] = call.operands[i];
+    for (size_t i = callee.numParams(); i < callee.numQubits(); ++i) {
+        qubit_map[i] = caller.addLocal(
+            csprintf("%s.%zu.%s", callee.name().c_str(), site_index,
+                     callee.qubitName(static_cast<QubitId>(i)).c_str()));
+    }
+
+    for (uint64_t rep = 0; rep < call.repeat; ++rep) {
+        for (const auto &op : callee.ops()) {
+            Operation copy = op;
+            for (auto &operand : copy.operands)
+                operand = qubit_map[operand];
+            out.push_back(std::move(copy));
+        }
+    }
+}
+
+void
+FlattenPass::run(Program &prog)
+{
+    ResourceEstimator resources(prog);
+
+    // Bottom-up: a flattenable module's callees are at or below its own
+    // total, so they have already been flattened into leaves (or are
+    // noInline blackboxes we keep as calls).
+    for (ModuleId id : prog.bottomUpOrder()) {
+        Module &mod = prog.module(id);
+        if (mod.isLeaf())
+            continue;
+        if (resources.totalGates(id) > threshold)
+            continue;
+
+        std::vector<Operation> rewritten;
+        size_t site_index = 0;
+        for (const auto &op : mod.ops()) {
+            if (!op.isCall()) {
+                rewritten.push_back(op);
+                continue;
+            }
+            const Module &callee = prog.module(op.callee);
+            if (callee.noInline()) {
+                rewritten.push_back(op);
+                continue;
+            }
+            if (!callee.isLeaf()) {
+                // Only possible via noInline calls nested below; keep
+                // the call to preserve those blackboxes.
+                rewritten.push_back(op);
+                continue;
+            }
+            inlineCall(mod, op, callee, site_index++, rewritten);
+        }
+        mod.setOps(std::move(rewritten));
+    }
+}
+
+} // namespace msq

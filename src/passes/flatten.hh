@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Leaf-module flattening (paper §3.1.1): any module whose total
+ * (hierarchical) gate count is at or below the Flattening Threshold (FTh)
+ * has all of its calls inlined, turning it into a leaf of at most FTh
+ * operations that the fine-grained schedulers can analyze whole. Modules
+ * above the threshold keep their calls and are stitched together by the
+ * coarse-grained scheduler.
+ *
+ * Calls to modules marked noInline (e.g. outlined rotations, §5.4) are
+ * never inlined.
+ */
+
+#ifndef MSQ_PASSES_FLATTEN_HH
+#define MSQ_PASSES_FLATTEN_HH
+
+#include <cstdint>
+
+#include "passes/pass_manager.hh"
+
+namespace msq {
+
+/** Inlines calls inside every module at or below the threshold. */
+class FlattenPass : public Pass
+{
+  public:
+    /** Paper default: 2M operations (3M for SHA-1). */
+    static constexpr uint64_t defaultThreshold = 2'000'000;
+
+    explicit FlattenPass(uint64_t threshold = defaultThreshold)
+        : threshold(threshold)
+    {}
+
+    const char *name() const override { return "flatten"; }
+    void run(Program &prog) override;
+
+    /**
+     * Inline one call site into @p out: the callee body is spliced
+     * @p call.repeat times with parameters bound to the call arguments
+     * and fresh caller locals allocated for callee ancilla (shared
+     * across the repeats, as a physical machine would reuse them).
+     *
+     * @param caller module receiving the splice (gains locals).
+     * @param call the call operation being expanded.
+     * @param callee the called module.
+     * @param site_index unique index for local-name disambiguation.
+     * @param out destination operation list.
+     */
+    static void inlineCall(Module &caller, const Operation &call,
+                           const Module &callee, size_t site_index,
+                           std::vector<Operation> &out);
+
+  private:
+    uint64_t threshold;
+};
+
+} // namespace msq
+
+#endif // MSQ_PASSES_FLATTEN_HH

@@ -1,0 +1,23 @@
+#include "passes/pass_manager.hh"
+
+#include "support/logging.hh"
+
+namespace msq {
+
+void
+PassManager::add(std::unique_ptr<Pass> pass)
+{
+    passes.push_back(std::move(pass));
+}
+
+void
+PassManager::run(Program &prog) const
+{
+    for (const auto &pass : passes) {
+        inform(std::string("running pass: ") + pass->name());
+        pass->run(prog);
+    }
+    prog.validate();
+}
+
+} // namespace msq

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Minimal pass infrastructure: a Pass rewrites a Program in place; the
+ * PassManager runs a sequence of passes, mirroring the ScaffCC/LLVM pass
+ * pipeline the paper's toolflow is built on (§3.1).
+ */
+
+#ifndef MSQ_PASSES_PASS_MANAGER_HH
+#define MSQ_PASSES_PASS_MANAGER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/program.hh"
+
+namespace msq {
+
+/** A program-level rewriting pass. */
+class Pass
+{
+  public:
+    virtual ~Pass() = default;
+
+    /** Short identifier used in logs, e.g. "decompose-toffoli". */
+    virtual const char *name() const = 0;
+
+    /** Rewrite @p prog in place. */
+    virtual void run(Program &prog) = 0;
+};
+
+/** Runs a pipeline of passes in order. */
+class PassManager
+{
+  public:
+    /** Append @p pass to the pipeline. */
+    void add(std::unique_ptr<Pass> pass);
+
+    /** Run every pass, in order, on @p prog; validates afterwards. */
+    void run(Program &prog) const;
+
+    size_t numPasses() const { return passes.size(); }
+
+  private:
+    std::vector<std::unique_ptr<Pass>> passes;
+};
+
+} // namespace msq
+
+#endif // MSQ_PASSES_PASS_MANAGER_HH

@@ -1,0 +1,380 @@
+#include "sched/coarse.hh"
+
+#include <algorithm>
+#include <queue>
+
+#include "ir/dag.hh"
+#include "support/logging.hh"
+#include "support/saturate.hh"
+
+namespace msq {
+
+uint64_t
+ModuleScheduleInfo::bestLength() const
+{
+    if (dims.empty())
+        panic("ModuleScheduleInfo: no dimensions available");
+    uint64_t best = dims.front().length;
+    for (const auto &bb : dims)
+        best = std::min(best, bb.length);
+    return best;
+}
+
+unsigned
+ModuleScheduleInfo::bestWidth() const
+{
+    uint64_t best = bestLength();
+    for (const auto &bb : dims)
+        if (bb.length == best)
+            return bb.width;
+    panic("ModuleScheduleInfo: inconsistent dims");
+}
+
+const Blackbox &
+ModuleScheduleInfo::bestWithin(unsigned max_width) const
+{
+    const Blackbox *best = nullptr;
+    for (const auto &bb : dims) {
+        if (bb.width > max_width)
+            continue;
+        if (!best || bb.length < best->length)
+            best = &bb;
+    }
+    if (!best)
+        panic("ModuleScheduleInfo: no dimension fits width budget");
+    return *best;
+}
+
+const ModuleScheduleInfo &
+ProgramSchedule::forModule(ModuleId id) const
+{
+    if (id >= modules.size() || !modules[id].analyzed)
+        panic("ProgramSchedule: module not analyzed");
+    return modules[id];
+}
+
+CoarseScheduler::CoarseScheduler(const MultiSimdArch &arch,
+                                 const LeafScheduler &leaf_scheduler,
+                                 CommMode mode, Options options)
+    : arch(arch), leafScheduler(&leaf_scheduler), mode(mode),
+      widths(std::move(options.widths))
+{
+    arch.validate();
+    if (widths.empty()) {
+        for (unsigned w = 1; w < arch.k; w *= 2)
+            widths.push_back(w);
+        widths.push_back(arch.k);
+    }
+    std::sort(widths.begin(), widths.end());
+    widths.erase(std::unique(widths.begin(), widths.end()), widths.end());
+    if (widths.front() < 1 || widths.back() > arch.k)
+        fatal("CoarseScheduler: width sweep outside [1, k]");
+}
+
+ModuleScheduleInfo
+CoarseScheduler::scheduleLeaf(const Module &mod) const
+{
+    ModuleScheduleInfo info;
+    info.analyzed = true;
+    info.leaf = true;
+
+    CommunicationAnalyzer comm(arch, mode);
+    uint64_t best_so_far = ~uint64_t{0};
+    for (unsigned w : widths) {
+        MultiSimdArch sub = arch;
+        sub.k = w;
+        LeafSchedule sched = leafScheduler->schedule(mod, sub);
+        CommStats stats = comm.annotate(sched);
+        // Schedulers are heuristic; clamp so the width/length trade-off
+        // curve is monotone (a wider machine can always emulate a
+        // narrower schedule).
+        uint64_t length = std::min(stats.totalCycles, best_so_far);
+        best_so_far = length;
+        info.dims.push_back({w, length});
+        if (w == widths.back())
+            info.comm = stats;
+    }
+    return info;
+}
+
+namespace {
+
+/** An entry of the current parallel set during coarse list scheduling. */
+struct SetItem
+{
+    uint32_t opIndex;
+    uint64_t start;        ///< absolute start cycle
+    uint64_t length;       ///< current chosen length
+    unsigned width;        ///< current chosen width
+    const std::vector<Blackbox> *dims; ///< null for fixed-shape gates
+    uint64_t perInvokeOverhead; ///< call flush overhead (cycles)
+    uint64_t repeat;
+    bool successorScheduled = false; ///< reshaping would break dependents
+
+    uint64_t finish() const { return start + length; }
+
+    /** Total length for dimension choice @p bb. */
+    uint64_t
+    lengthFor(const Blackbox &bb) const
+    {
+        return satMul(repeat, satAdd(bb.length, perInvokeOverhead));
+    }
+};
+
+} // anonymous namespace
+
+uint64_t
+CoarseScheduler::scheduleNonLeaf(const Program &prog, const Module &mod,
+                                 const ProgramSchedule &partial,
+                                 unsigned max_width) const
+{
+    const uint64_t gate_cost =
+        mode == CommMode::None
+            ? MultiSimdArch::gateCycles
+            : MultiSimdArch::gateCycles + MultiSimdArch::teleportCycles;
+    const uint64_t call_overhead =
+        mode == CommMode::None ? 0 : MultiSimdArch::callOverheadCycles;
+
+    // Priorities: height in the module DAG with hierarchical weights.
+    DepDag dag = DepDag::build(mod, [&](const Operation &op) -> uint64_t {
+        if (op.isCall()) {
+            uint64_t len = partial.forModule(op.callee).bestLength();
+            return satMul(op.repeat, satAdd(len, call_overhead));
+        }
+        return gate_cost;
+    });
+    auto priority = dag.heightToBottom();
+
+    std::vector<uint32_t> pending_preds(dag.numNodes());
+    for (uint32_t i = 0; i < dag.numNodes(); ++i)
+        pending_preds[i] = static_cast<uint32_t>(dag.preds(i).size());
+
+    // Max-priority ready queue.
+    auto cmp = [&](uint32_t a, uint32_t b) {
+        return priority[a] < priority[b];
+    };
+    std::priority_queue<uint32_t, std::vector<uint32_t>, decltype(cmp)>
+        ready(cmp);
+    for (uint32_t root : dag.roots())
+        ready.push(root);
+
+    std::vector<uint64_t> finish(dag.numNodes(), 0);
+    std::vector<SetItem> set;
+    uint64_t total_len = 0; ///< cycles completed before the current set
+    uint64_t curr_len = 0;  ///< length of the current parallel set
+    uint64_t curr_width = 0;
+
+    auto close_set = [&]() {
+        total_len = satAdd(total_len, curr_len);
+        curr_len = 0;
+        curr_width = 0;
+        set.clear();
+    };
+
+    auto make_item = [&](uint32_t op_index) {
+        const Operation &op = mod.op(op_index);
+        SetItem item;
+        item.opIndex = op_index;
+        if (op.isCall()) {
+            const auto &callee = partial.forModule(op.callee);
+            const Blackbox &bb = callee.bestWithin(max_width);
+            item.dims = &callee.dims;
+            item.width = bb.width;
+            item.perInvokeOverhead = call_overhead;
+            item.repeat = op.repeat;
+            item.length = item.lengthFor(bb);
+        } else {
+            item.dims = nullptr;
+            item.width = 1;
+            item.perInvokeOverhead = 0;
+            item.repeat = 1;
+            item.length = gate_cost;
+        }
+        return item;
+    };
+
+    // Shrink-then-regrow width-combination search: reshape the reshapable
+    // items of {items, item} so total width fits max_width, minimizing
+    // the set length. Returns false when infeasible. Operates on copies;
+    // the caller compares the reshaped set length against serializing
+    // before committing.
+    auto try_refit = [&](std::vector<SetItem> &items,
+                         SetItem &item) -> bool {
+        std::vector<SetItem *> all;
+        uint64_t width_sum = 0;
+        for (auto &existing : items) {
+            all.push_back(&existing);
+            width_sum += existing.width;
+        }
+        all.push_back(&item);
+        width_sum += item.width;
+
+        // Shrink: step the widest reshapable item down one dimension at
+        // a time, preferring the smallest length penalty.
+        while (width_sum > max_width) {
+            SetItem *best_item = nullptr;
+            const Blackbox *best_choice = nullptr;
+            uint64_t best_penalty = 0;
+            for (SetItem *cand : all) {
+                if (!cand->dims || cand->successorScheduled)
+                    continue;
+                // Largest width strictly below the current one.
+                const Blackbox *next = nullptr;
+                for (const auto &bb : *cand->dims) {
+                    if (bb.width < cand->width &&
+                        (!next || bb.width > next->width))
+                        next = &bb;
+                }
+                if (!next)
+                    continue;
+                uint64_t penalty = cand->lengthFor(*next) - cand->length;
+                if (!best_item || penalty < best_penalty ||
+                    (penalty == best_penalty &&
+                     cand->width > best_item->width)) {
+                    best_item = cand;
+                    best_choice = next;
+                    best_penalty = penalty;
+                }
+            }
+            if (!best_item)
+                return false; // nothing left to shrink
+            width_sum -= best_item->width - best_choice->width;
+            best_item->width = best_choice->width;
+            best_item->length = best_item->lengthFor(*best_choice);
+        }
+
+        // Regrow: spend leftover width on whichever item currently ends
+        // the set, while that improves the set length.
+        bool improved = true;
+        while (improved) {
+            improved = false;
+            SetItem *longest = nullptr;
+            for (SetItem *cand : all)
+                if (!longest || cand->finish() > longest->finish())
+                    longest = cand;
+            if (!longest || !longest->dims || longest->successorScheduled)
+                break;
+            const Blackbox *next = nullptr;
+            for (const auto &bb : *longest->dims) {
+                if (bb.width > longest->width &&
+                    width_sum + (bb.width - longest->width) <= max_width &&
+                    (!next || bb.width < next->width))
+                    next = &bb;
+            }
+            if (next && longest->lengthFor(*next) < longest->length) {
+                width_sum += next->width - longest->width;
+                longest->width = next->width;
+                longest->length = longest->lengthFor(*next);
+                improved = true;
+            }
+        }
+        return true;
+    };
+
+    while (!ready.empty()) {
+        uint32_t op_index = ready.top();
+        ready.pop();
+
+        uint64_t earliest = 0;
+        for (uint32_t p : dag.preds(op_index))
+            earliest = std::max(earliest, finish[p]);
+
+        SetItem item = make_item(op_index);
+
+        bool placed = false;
+        if (earliest < satAdd(total_len, curr_len) || set.empty()) {
+            item.start = std::max(earliest, total_len);
+            if (curr_width + item.width <= max_width) {
+                set.push_back(item);
+                placed = true;
+            } else {
+                // Width-combination search on a copy, then keep the
+                // reshaped set only when it beats plain serialization
+                // (shrinking a wide repeated call to slip a 1-cycle
+                // gate alongside can be a terrible trade).
+                std::vector<SetItem> candidate = set;
+                SetItem candidate_item = item;
+                if (try_refit(candidate, candidate_item)) {
+                    candidate.push_back(candidate_item);
+                    uint64_t refit_len = 0;
+                    for (const auto &entry : candidate) {
+                        refit_len = std::max(refit_len,
+                                             entry.finish() - total_len);
+                    }
+                    uint64_t serial_len =
+                        satAdd(curr_len, item.length);
+                    if (refit_len < serial_len) {
+                        set = std::move(candidate);
+                        placed = true;
+                    }
+                }
+            }
+            if (placed) {
+                curr_width = 0;
+                curr_len = 0;
+                for (const auto &entry : set) {
+                    curr_width += entry.width;
+                    curr_len = std::max(curr_len,
+                                        entry.finish() - total_len);
+                    // Reshaping may have changed earlier finishes.
+                    finish[entry.opIndex] = entry.finish();
+                }
+            }
+        }
+        if (!placed) {
+            // Serialize: close the current set and start a new one.
+            close_set();
+            item.start = std::max(earliest, total_len);
+            set.push_back(item);
+            curr_width = item.width;
+            curr_len = item.finish() - total_len;
+        }
+
+        finish[op_index] = set.back().finish();
+        // Mark set members whose dependents are now placed as fixed.
+        for (auto &entry : set) {
+            for (uint32_t s : dag.succs(entry.opIndex)) {
+                if (s == op_index)
+                    entry.successorScheduled = true;
+            }
+        }
+        for (uint32_t s : dag.succs(op_index)) {
+            if (--pending_preds[s] == 0)
+                ready.push(s);
+        }
+    }
+    close_set();
+    return total_len;
+}
+
+ProgramSchedule
+CoarseScheduler::schedule(const Program &prog) const
+{
+    ProgramSchedule result;
+    result.modules.resize(prog.numModules());
+
+    for (ModuleId id : prog.bottomUpOrder()) {
+        const Module &mod = prog.module(id);
+        if (mod.isLeaf()) {
+            result.modules[id] = scheduleLeaf(mod);
+            continue;
+        }
+        ModuleScheduleInfo info;
+        info.analyzed = true;
+        info.leaf = false;
+        uint64_t best_so_far = ~uint64_t{0};
+        for (unsigned w : widths) {
+            uint64_t length = scheduleNonLeaf(prog, mod, result, w);
+            length = std::min(length, best_so_far);
+            best_so_far = length;
+            info.dims.push_back({w, length});
+        }
+        result.modules[id] = std::move(info);
+    }
+
+    result.totalCycles =
+        result.forModule(prog.entry()).bestLength();
+    return result;
+}
+
+} // namespace msq

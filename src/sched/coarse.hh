@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Hierarchical coarse-grained scheduling — paper §4.3, Algorithm 3.
+ *
+ * Leaf modules are fine-grain scheduled (RCP or LPFS) at several widths
+ * between 1 and k, producing *flexible blackbox dimensions* (width,
+ * length) per module. Non-leaf modules are then list-scheduled in
+ * criticality order: parallelizable blackboxes are packed side-by-side
+ * subject to the total-width constraint k, and when packing would exceed
+ * k, a width-combination search reshapes the parallel set ("Try all
+ * combinations of possible widths ... choose combination with smallest
+ * length"). We implement the combination search as a shrink-then-regrow
+ * greedy over the monotone width/length trade-off curves, which explores
+ * the same space without exponential blowup (see DESIGN.md).
+ *
+ * Coarse-level costs (paper §4.3): a plain gate has execution cost 1 and
+ * movement cost 4 (when communication is modelled); a call costs its
+ * blackbox length plus one teleportation cycle of flush overhead per
+ * invocation (§3.2), times its repeat count.
+ */
+
+#ifndef MSQ_SCHED_COARSE_HH
+#define MSQ_SCHED_COARSE_HH
+
+#include <vector>
+
+#include "arch/multi_simd.hh"
+#include "ir/program.hh"
+#include "sched/comm.hh"
+#include "sched/leaf_scheduler.hh"
+
+namespace msq {
+
+/** One available shape of a module's schedule. */
+struct Blackbox
+{
+    unsigned width = 1;  ///< SIMD regions occupied
+    uint64_t length = 0; ///< cycles
+};
+
+/** Scheduling results for one module. */
+struct ModuleScheduleInfo
+{
+    bool analyzed = false; ///< reachable from entry and scheduled
+    bool leaf = false;
+    /** Available dimensions, strictly increasing width, non-increasing
+     * length. */
+    std::vector<Blackbox> dims;
+    /** Movement statistics of the widest fine-grained schedule (leaves
+     * only). */
+    CommStats comm;
+
+    /** Shortest available length. */
+    uint64_t bestLength() const;
+
+    /** Smallest width achieving bestLength(). */
+    unsigned bestWidth() const;
+
+    /** Fastest dimension choice with width <= @p max_width (panics when
+     * even width 1 is unavailable). */
+    const Blackbox &bestWithin(unsigned max_width) const;
+};
+
+/** Whole-program schedule summary. */
+struct ProgramSchedule
+{
+    std::vector<ModuleScheduleInfo> modules; ///< indexed by ModuleId
+    uint64_t totalCycles = 0;                ///< entry module best length
+
+    const ModuleScheduleInfo &forModule(ModuleId id) const;
+};
+
+/** The hierarchical scheduler. */
+class CoarseScheduler
+{
+  public:
+    struct Options
+    {
+        /**
+         * Widths at which each module is pre-scheduled. Empty selects
+         * powers of two up to k plus k itself (the full 1..k sweep the
+         * paper describes is quadratic in k; powers of two preserve the
+         * trade-off curve shape at large k, e.g. Fig. 9's k = 128).
+         */
+        std::vector<unsigned> widths;
+    };
+
+    /**
+     * @param arch machine model; arch.k bounds total width.
+     * @param leaf_scheduler fine-grained scheduler for leaf modules.
+     * @param mode communication model applied to leaf schedules and
+     *        coarse-level costs.
+     */
+    CoarseScheduler(const MultiSimdArch &arch,
+                    const LeafScheduler &leaf_scheduler, CommMode mode)
+        : CoarseScheduler(arch, leaf_scheduler, mode, Options{})
+    {}
+    CoarseScheduler(const MultiSimdArch &arch,
+                    const LeafScheduler &leaf_scheduler, CommMode mode,
+                    Options options);
+
+    /** Schedule every module reachable from @p prog's entry. */
+    ProgramSchedule schedule(const Program &prog) const;
+
+    /** The width sweep in effect (after defaulting). */
+    const std::vector<unsigned> &widthSweep() const { return widths; }
+
+  private:
+    MultiSimdArch arch;
+    const LeafScheduler *leafScheduler;
+    CommMode mode;
+    std::vector<unsigned> widths;
+
+    /** Fine-grain schedule @p mod at every sweep width. */
+    ModuleScheduleInfo scheduleLeaf(const Module &mod) const;
+
+    /** Coarse list-schedule @p mod under width budget @p max_width. */
+    uint64_t scheduleNonLeaf(const Program &prog, const Module &mod,
+                             const ProgramSchedule &partial,
+                             unsigned max_width) const;
+};
+
+} // namespace msq
+
+#endif // MSQ_SCHED_COARSE_HH

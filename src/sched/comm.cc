@@ -1,0 +1,215 @@
+#include "sched/comm.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace msq {
+
+namespace {
+
+/** Per-qubit ordered use sites (timestep, region) within a schedule. */
+struct UseLists
+{
+    std::vector<std::vector<std::pair<uint64_t, unsigned>>> uses;
+    std::vector<size_t> cursor; ///< next-use index per qubit
+
+    UseLists(const LeafSchedule &sched)
+        : uses(sched.module().numQubits()),
+          cursor(sched.module().numQubits(), 0)
+    {
+        const Module &mod = sched.module();
+        for (uint64_t ts = 0; ts < sched.steps().size(); ++ts) {
+            const Timestep &step = sched.steps()[ts];
+            for (unsigned r = 0; r < step.regions.size(); ++r) {
+                for (uint32_t op_index : step.regions[r].ops)
+                    for (QubitId q : mod.op(op_index).operands)
+                        uses[q].emplace_back(ts, r);
+            }
+        }
+    }
+
+    /** Advance cursors past timestep @p ts for the given qubit. */
+    void
+    consume(QubitId q, uint64_t ts)
+    {
+        while (cursor[q] < uses[q].size() && uses[q][cursor[q]].first <= ts)
+            ++cursor[q];
+    }
+
+    /** Next use strictly after @p ts, or nullptr. */
+    const std::pair<uint64_t, unsigned> *
+    nextUseAfter(QubitId q, uint64_t ts) const
+    {
+        size_t i = cursor[q];
+        const auto &list = uses[q];
+        while (i < list.size() && list[i].first <= ts)
+            ++i;
+        return i < list.size() ? &list[i] : nullptr;
+    }
+};
+
+/** Sentinel for "never touched". */
+constexpr int64_t neverTouched = -(1LL << 60);
+
+} // anonymous namespace
+
+CommStats
+CommunicationAnalyzer::annotate(LeafSchedule &sched) const
+{
+    arch.validate();
+    CommStats stats;
+
+    for (auto &step : sched.steps())
+        step.moves.clear();
+
+    if (mode == CommMode::None) {
+        stats.totalCycles = sched.totalCycles(arch.eprBandwidth);
+        return stats;
+    }
+
+    const Module &mod = sched.module();
+    const bool use_local = mode == CommMode::GlobalWithLocalMem &&
+                           arch.localMemCapacity > 0;
+    const auto mask_window =
+        static_cast<int64_t>(MultiSimdArch::teleportCycles);
+
+    UseLists uses(sched);
+
+    // All qubits (including ancilla, which are generated at the global
+    // memory, §3.2) start in global memory.
+    std::vector<Location> loc(mod.numQubits(), Location::global());
+    std::vector<uint64_t> local_count(sched.k(), 0);
+
+    // Last timestep each qubit was touched (operand or moved); a
+    // teleport is masked only when the qubit is quiescent for a full
+    // teleport window on the departing side.
+    std::vector<int64_t> last_touch(mod.numQubits(), neverTouched);
+
+    // Qubits currently parked inside each region (between uses).
+    std::vector<std::vector<QubitId>> parked(sched.k());
+
+    for (uint64_t ts = 0; ts < sched.steps().size(); ++ts) {
+        Timestep &step = sched.steps()[ts];
+        auto now = static_cast<int64_t>(ts);
+
+        // Operand sets per region for this timestep.
+        std::vector<std::vector<QubitId>> operands(sched.k());
+        std::vector<QubitId> all_operands;
+        for (unsigned r = 0; r < sched.k(); ++r) {
+            for (uint32_t op_index : step.regions[r].ops) {
+                for (QubitId q : mod.op(op_index).operands) {
+                    operands[r].push_back(q);
+                    all_operands.push_back(q);
+                }
+            }
+        }
+
+        // Phase 1 - evictions: a region active this timestep must shed
+        // every parked qubit that is not one of its operands. An
+        // eviction blocks only when the qubit is needed again within
+        // the teleport window; distant reuse is masked by pipelining.
+        for (unsigned r = 0; r < sched.k(); ++r) {
+            if (!step.regions[r].active())
+                continue;
+            std::vector<QubitId> keep;
+            for (QubitId q : parked[r]) {
+                // A qubit operated on anywhere this timestep is not
+                // evicted: either it stays (same region) or the fetch
+                // phase teleports it region-to-region directly.
+                bool is_operand =
+                    std::find(all_operands.begin(), all_operands.end(),
+                              q) != all_operands.end();
+                if (is_operand) {
+                    keep.push_back(q);
+                    continue;
+                }
+                const auto *next = uses.nextUseAfter(q, ts);
+                bool tight = next && static_cast<int64_t>(next->first) -
+                                             now < mask_window;
+                bool to_local = use_local && tight && next &&
+                                next->second == r &&
+                                local_count[r] < arch.localMemCapacity;
+                Move move;
+                move.qubit = q;
+                move.from = Location::inRegion(r);
+                if (to_local) {
+                    move.to = Location::inLocalMem(r);
+                    move.blocking = false;
+                    loc[q] = move.to;
+                    ++local_count[r];
+                } else {
+                    move.to = Location::global();
+                    move.blocking = tight;
+                    loc[q] = move.to;
+                }
+                step.moves.push_back(move);
+                last_touch[q] = now;
+            }
+            parked[r] = std::move(keep);
+        }
+
+        // Phase 2 - fetches: bring each operand into its region. A
+        // teleport fetch blocks unless the qubit has been quiescent for
+        // a full window (its EPR-paired transfer was pipelined ahead).
+        for (unsigned r = 0; r < sched.k(); ++r) {
+            for (QubitId q : operands[r]) {
+                if (loc[q] == Location::inRegion(r)) {
+                    last_touch[q] = now;
+                    continue;
+                }
+                Move move;
+                move.qubit = q;
+                move.from = loc[q];
+                move.to = Location::inRegion(r);
+                if (move.isLocal()) {
+                    move.blocking = false;
+                } else {
+                    move.blocking = now - last_touch[q] < mask_window;
+                }
+                if (loc[q].isLocalMem())
+                    --local_count[loc[q].region];
+                if (loc[q].isRegion()) {
+                    auto &old = parked[loc[q].region];
+                    old.erase(std::find(old.begin(), old.end(), q));
+                }
+                step.moves.push_back(move);
+                loc[q] = move.to;
+                parked[r].push_back(q);
+                last_touch[q] = now;
+            }
+        }
+
+        // Advance next-use cursors.
+        for (unsigned r = 0; r < sched.k(); ++r)
+            for (QubitId q : operands[r])
+                uses.consume(q, ts);
+
+        // Accumulate statistics.
+        bool any_blocking = false;
+        bool any_local = false;
+        for (const auto &move : step.moves) {
+            if (move.isLocal()) {
+                ++stats.localMoves;
+                any_local = true;
+            } else {
+                ++stats.teleportMoves;
+                if (move.blocking) {
+                    ++stats.blockingTeleports;
+                    any_blocking = true;
+                }
+            }
+        }
+        if (any_blocking)
+            ++stats.stepsWithBlockingMove;
+        else if (any_local)
+            ++stats.stepsWithOnlyLocalMoves;
+    }
+
+    stats.peakBlockingMovesPerStep = sched.peakBlockingMoves();
+    stats.totalCycles = sched.totalCycles(arch.eprBandwidth);
+    return stats;
+}
+
+} // namespace msq

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Communication analysis and movement scheduling (paper §2.3, §3.2, §4.4).
+ *
+ * Given a compute-only leaf schedule, derives every qubit movement the
+ * Multi-SIMD execution model requires and writes it into each timestep's
+ * movement slot:
+ *
+ *  - a qubit scheduled in a region it does not currently occupy is
+ *    teleported in (from global memory, another region, or a local
+ *    scratchpad);
+ *  - when a region is active in a timestep, any qubit parked there that is
+ *    not an operand must first be evicted — to the region's local
+ *    scratchpad when the qubit's next use is in the same region and
+ *    capacity remains (1-cycle ballistic move), otherwise to global
+ *    memory (teleport);
+ *  - qubits parked in idle regions stay put for free.
+ *
+ * Latency masking (§2.3): "by choosing QT as the method of communication,
+ * we mask the latency of moving qubits around. This masking is possible by
+ * pre-distribution of these [EPR] pairs before they are needed." A
+ * teleport therefore only *blocks* the schedule when it is tight — when
+ * the qubit was still in use fewer than 4 timesteps before it is needed
+ * (inbound), or is needed again fewer than 4 timesteps after it leaves
+ * (outbound). Loose moves overlap computation at zero cost; this is what
+ * separates scheduled communication from the naive every-timestep
+ * movement model (5x, §4).
+ *
+ * Timestep cost: the movement phase costs the full 4 cycles if any
+ * blocking (tight, global) move occurs in it ("If any SIMD regions in a
+ * timestep have a global move, the full four cycle move time is
+ * retained", §4.4), 1 cycle if only local ballistic moves occur, 0
+ * otherwise.
+ */
+
+#ifndef MSQ_SCHED_COMM_HH
+#define MSQ_SCHED_COMM_HH
+
+#include <cstdint>
+
+#include "arch/multi_simd.hh"
+#include "arch/schedule.hh"
+
+namespace msq {
+
+/** Movement statistics for one annotated schedule. */
+struct CommStats
+{
+    /** All teleportation moves, masked or not. */
+    uint64_t teleportMoves = 0;
+    /** Teleports that block the schedule (tight reuse windows). */
+    uint64_t blockingTeleports = 0;
+    /** Ballistic region<->scratchpad moves. */
+    uint64_t localMoves = 0;
+    /** Timesteps whose movement phase costs the full teleport time. */
+    uint64_t stepsWithBlockingMove = 0;
+    /** Timesteps whose movement phase costs one local-move cycle. */
+    uint64_t stepsWithOnlyLocalMoves = 0;
+    /** Peak blocking teleports in any one timestep (EPR bandwidth
+     * demand, paper §2.3). */
+    uint64_t peakBlockingMovesPerStep = 0;
+    /** Schedule length in cycles including movement phases (under the
+     * architecture's EPR bandwidth). */
+    uint64_t totalCycles = 0;
+};
+
+/** Derives and schedules qubit movement for leaf schedules. */
+class CommunicationAnalyzer
+{
+  public:
+    /**
+     * @param arch machine model (local capacity read from here).
+     * @param mode CommMode::None leaves the schedule move-free;
+     *        Global forbids scratchpad use; GlobalWithLocalMem uses
+     *        scratchpads up to arch.localMemCapacity.
+     */
+    CommunicationAnalyzer(const MultiSimdArch &arch, CommMode mode)
+        : arch(arch), mode(mode)
+    {}
+
+    /**
+     * Clear any existing movement annotation on @p sched, recompute all
+     * moves under this analyzer's mode, and return the statistics.
+     */
+    CommStats annotate(LeafSchedule &sched) const;
+
+  private:
+    MultiSimdArch arch;
+    CommMode mode;
+};
+
+} // namespace msq
+
+#endif // MSQ_SCHED_COMM_HH

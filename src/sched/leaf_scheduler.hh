@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Interface of the fine-grained (leaf-module) schedulers: RCP (paper
+ * Algorithm 1), LPFS (Algorithm 2) and the sequential baseline. A leaf
+ * scheduler places each operation of a leaf module into a (timestep,
+ * region) slot subject to Multi-SIMD constraints:
+ *
+ *  - dependences: an op runs strictly after every op it depends on;
+ *  - SIMD homogeneity: all ops in one region in one timestep share one
+ *    gate type;
+ *  - width: at most k regions active per timestep;
+ *  - data width: at most d qubits touched per region per timestep.
+ *
+ * Movement is added afterwards by the CommunicationAnalyzer; schedulers
+ * are communication-aware only through their placement heuristics.
+ */
+
+#ifndef MSQ_SCHED_LEAF_SCHEDULER_HH
+#define MSQ_SCHED_LEAF_SCHEDULER_HH
+
+#include "arch/multi_simd.hh"
+#include "arch/schedule.hh"
+#include "ir/module.hh"
+
+namespace msq {
+
+/** Abstract fine-grained scheduler. */
+class LeafScheduler
+{
+  public:
+    virtual ~LeafScheduler() = default;
+
+    /** Short identifier, e.g. "rcp", "lpfs", "sequential". */
+    virtual const char *name() const = 0;
+
+    /**
+     * Schedule leaf module @p mod onto @p arch.
+     * @pre mod.isLeaf() and every op is a primitive gate.
+     */
+    virtual LeafSchedule schedule(const Module &mod,
+                                  const MultiSimdArch &arch) const = 0;
+
+  protected:
+    /** Shared precondition checks; panics on violations. */
+    static void checkInputs(const Module &mod, const MultiSimdArch &arch);
+};
+
+/**
+ * Number of qubits a set of same-kind ops occupies in a region; used to
+ * enforce the d constraint.
+ */
+inline uint64_t
+opQubitCount(const Operation &op)
+{
+    return op.operands.size();
+}
+
+/**
+ * The sequential baseline: one operation per timestep, all in region 0.
+ * Paper speedups are reported "over sequential execution".
+ */
+class SequentialScheduler : public LeafScheduler
+{
+  public:
+    const char *name() const override { return "sequential"; }
+    LeafSchedule schedule(const Module &mod,
+                          const MultiSimdArch &arch) const override;
+};
+
+} // namespace msq
+
+#endif // MSQ_SCHED_LEAF_SCHEDULER_HH

@@ -1,0 +1,383 @@
+#include "sched/lpfs.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "ir/dag.hh"
+#include "support/logging.hh"
+
+namespace msq {
+
+namespace {
+
+/**
+ * How many timesteps a ready op may starve in its home region before any
+ * region may steal it. Small values spread independent serial chains
+ * across regions quickly while keeping established chains pinned (the
+ * whole point of LPFS's locality strategy, §4.2).
+ */
+constexpr uint32_t stealAge = 4;
+
+/**
+ * DAG height at or below which a fresh (memory-resident) op is considered
+ * a one-shot data-parallel sibling rather than the head of a long serial
+ * chain. Shallow ops may join any region's SIMD group; deep chain heads
+ * are adopted one per region so independent chains spread out instead of
+ * piling into one region and thrashing.
+ */
+constexpr uint64_t shallowHeight = 12;
+
+/** Mutable per-run scheduling state. */
+struct LpfsState
+{
+    const Module &mod;
+    const MultiSimdArch &arch;
+    DepDag dag;
+    std::vector<uint32_t> pendingPreds;
+    std::vector<uint64_t> height; ///< static DAG height (chain depth)
+    std::vector<bool> scheduled;
+    std::vector<bool> onPath;
+    std::vector<uint32_t> age;  ///< timesteps spent ready but unplaced
+    std::vector<int> qubitRegion; ///< region holding each qubit, or -1
+    /** Operand qubits each region touched in the previous timestep;
+     * used to keep a region working on the same serial chain. */
+    std::vector<std::vector<QubitId>> lastQubits;
+    std::deque<uint32_t> ready; ///< FIFO free/ready list
+    /** Ops committed this timestep; their successors are released only
+     * at the end of the step so dependent ops never share a timestep
+     * with their predecessor. */
+    std::vector<uint32_t> committedThisStep;
+    uint64_t remaining;         ///< unscheduled op count
+
+    LpfsState(const Module &mod, const MultiSimdArch &arch)
+        : mod(mod), arch(arch), dag(DepDag::build(mod)),
+          scheduled(mod.numOps(), false), onPath(mod.numOps(), false),
+          age(mod.numOps(), 0), qubitRegion(mod.numQubits(), -1),
+          lastQubits(arch.k), remaining(mod.numOps())
+    {
+        height = dag.heightToBottom();
+        pendingPreds.resize(dag.numNodes());
+        for (uint32_t i = 0; i < dag.numNodes(); ++i)
+            pendingPreds[i] = static_cast<uint32_t>(dag.preds(i).size());
+        for (uint32_t root : dag.roots())
+            ready.push_back(root);
+    }
+
+    bool
+    isReady(uint32_t op) const
+    {
+        return !scheduled[op] && pendingPreds[op] == 0;
+    }
+
+    /**
+     * The region an op's data currently lives in, or -1 when its
+     * operands are fresh (still in memory).
+     */
+    int
+    homeRegion(uint32_t op) const
+    {
+        for (QubitId q : mod.op(op).operands) {
+            int r = qubitRegion[q];
+            if (r >= 0)
+                return r;
+        }
+        return -1;
+    }
+
+    /**
+     * May @p op join @p region's SIMD group under the affinity rules?
+     * Homed ops stay in their region; fresh ops join freely only when
+     * shallow (one-shot siblings); anything may move once steal-aged.
+     */
+    bool
+    placeable(uint32_t op, unsigned region) const
+    {
+        int home = homeRegion(op);
+        if (home >= 0)
+            return home == static_cast<int>(region);
+        return height[op] <= shallowHeight;
+    }
+
+    /**
+     * Extract the longest path through unscheduled, un-pathed nodes,
+     * starting from the currently ready frontier (getNextLongestPath).
+     */
+    std::deque<uint32_t>
+    nextLongestPath()
+    {
+        size_t n = dag.numNodes();
+        // Heights over the unscheduled, un-pathed subgraph.
+        std::vector<uint64_t> height(n, 0);
+        for (uint32_t i = static_cast<uint32_t>(n); i-- > 0;) {
+            if (scheduled[i] || onPath[i])
+                continue;
+            uint64_t best = 0;
+            for (uint32_t s : dag.succs(i)) {
+                if (!scheduled[s] && !onPath[s])
+                    best = std::max(best, height[s]);
+            }
+            height[i] = best + dag.weight(i);
+        }
+
+        // Start from the deepest ready node.
+        int64_t start = -1;
+        uint64_t best_height = 0;
+        for (uint32_t op : ready) {
+            if (onPath[op] || scheduled[op])
+                continue;
+            if (start < 0 || height[op] > best_height) {
+                start = op;
+                best_height = height[op];
+            }
+        }
+        std::deque<uint32_t> path;
+        if (start < 0)
+            return path;
+
+        auto cur = static_cast<uint32_t>(start);
+        while (true) {
+            path.push_back(cur);
+            onPath[cur] = true;
+            int64_t next = -1;
+            uint64_t next_height = 0;
+            for (uint32_t s : dag.succs(cur)) {
+                if (scheduled[s] || onPath[s])
+                    continue;
+                if (next < 0 || height[s] > next_height) {
+                    next = s;
+                    next_height = height[s];
+                }
+            }
+            if (next < 0)
+                break;
+            cur = static_cast<uint32_t>(next);
+        }
+        return path;
+    }
+
+    /** Mark @p op scheduled; its dependents are released by
+     * endOfStep(). */
+    void
+    commit(uint32_t op)
+    {
+        scheduled[op] = true;
+        onPath[op] = false;
+        --remaining;
+        committedThisStep.push_back(op);
+    }
+
+    /** Release the successors of everything committed this timestep. */
+    void
+    endOfStep()
+    {
+        for (uint32_t op : committedThisStep) {
+            for (uint32_t succ : dag.succs(op)) {
+                if (--pendingPreds[succ] == 0)
+                    ready.push_back(succ);
+            }
+        }
+        committedThisStep.clear();
+    }
+
+    /** Drop scheduled / stale entries from the front of the ready list. */
+    void
+    pruneReady()
+    {
+        while (!ready.empty() && scheduled[ready.front()])
+            ready.pop_front();
+    }
+
+    /**
+     * Fill @p slot with ready free-list (non-path) ops of @p kind that
+     * the affinity rules allow into @p region, until the qubit budget
+     * runs out. Entries are taken in FIFO order.
+     *
+     * commit() appends newly readied successors to the deque, so we
+     * iterate the pre-call prefix by index (deque indices stay valid
+     * across push_back); scheduled entries are skipped lazily and
+     * reclaimed by pruneReady().
+     */
+    void
+    fillWithType(RegionSlot &slot, GateKind kind, uint64_t &budget,
+                 unsigned region, int64_t adopted = -1)
+    {
+        slot.kind = kind;
+        size_t prefix = ready.size();
+        for (size_t i = 0; i < prefix; ++i) {
+            uint32_t op = ready[i];
+            if (scheduled[op] || onPath[op] || mod.op(op).kind != kind)
+                continue;
+            if (static_cast<int64_t>(op) != adopted &&
+                !placeable(op, region))
+                continue;
+            uint64_t need = opQubitCount(mod.op(op));
+            if (need > budget)
+                break;
+            budget -= need;
+            slot.ops.push_back(op);
+            commit(op);
+        }
+    }
+
+    /**
+     * Pick the operation whose type region @p region should execute, in
+     * priority order: (1) the continuation of the chain the region ran
+     * last timestep; (2) the oldest other op homed in the region;
+     * (3) the deepest fresh chain head (adopting a new chain); (4) the
+     * oldest steal-aged op marooned in a busy region; (5) any ready op
+     * at all - an idle region is pure waste, and one (usually maskable)
+     * migration beats stalling. Returns -1 only when nothing is ready.
+     */
+    int64_t
+    pickForRegion(unsigned region)
+    {
+        int64_t homed_pick = -1;
+        int64_t fresh_pick = -1;
+        int64_t aged_pick = -1;
+        int64_t any_pick = -1;
+        const auto &recent = lastQubits[region];
+        for (uint32_t op : ready) {
+            if (scheduled[op] || onPath[op])
+                continue;
+            if (any_pick < 0 && age[op] >= 1)
+                any_pick = op;
+            int home = homeRegion(op);
+            if (home == static_cast<int>(region)) {
+                for (QubitId q : mod.op(op).operands) {
+                    if (std::find(recent.begin(), recent.end(), q) !=
+                        recent.end())
+                        return op; // chain continuation
+                }
+                if (homed_pick < 0)
+                    homed_pick = op;
+            } else if (home < 0) {
+                if (fresh_pick < 0 ||
+                    height[op] > height[static_cast<size_t>(fresh_pick)])
+                    fresh_pick = op;
+            } else if (aged_pick < 0 && age[op] >= stealAge) {
+                aged_pick = op;
+            }
+        }
+        if (homed_pick >= 0)
+            return homed_pick;
+        if (fresh_pick >= 0)
+            return fresh_pick;
+        return aged_pick >= 0 ? aged_pick : any_pick;
+    }
+};
+
+} // anonymous namespace
+
+LeafSchedule
+LpfsScheduler::schedule(const Module &mod, const MultiSimdArch &arch) const
+{
+    checkInputs(mod, arch);
+    if (options.l == 0)
+        fatal("LPFS: l must be >= 1");
+    // The hierarchical width sweep schedules leaves on narrower
+    // sub-machines; clamp the dedicated-path count to what exists.
+    const unsigned l = std::min(options.l, arch.k);
+
+    LeafSchedule sched(mod, arch.k);
+    if (mod.numOps() == 0)
+        return sched;
+
+    LpfsState st(mod, arch);
+
+    // Initial longest paths for the l dedicated regions.
+    std::vector<std::deque<uint32_t>> paths(l);
+    for (auto &path : paths)
+        path = st.nextLongestPath();
+
+    while (st.remaining > 0) {
+        Timestep &step = sched.appendStep();
+        bool placed_any = false;
+
+        // Dedicated path regions.
+        for (unsigned i = 0; i < l; ++i) {
+            auto &path = paths[i];
+            while (!path.empty() && st.scheduled[path.front()])
+                path.pop_front();
+            if (path.empty() && options.refill)
+                path = st.nextLongestPath();
+
+            RegionSlot &slot = step.regions[i];
+            uint64_t budget = arch.d;
+            if (!path.empty() && st.isReady(path.front())) {
+                uint32_t op = path.front();
+                path.pop_front();
+                slot.kind = mod.op(op).kind;
+                slot.ops.push_back(op);
+                budget -= opQubitCount(mod.op(op));
+                st.commit(op);
+                placed_any = true;
+                if (options.simd)
+                    st.fillWithType(slot, slot.kind, budget, i);
+            } else if (options.simd) {
+                // Stalled (or no path): execute free-list ops instead.
+                int64_t free_op = st.pickForRegion(i);
+                if (free_op >= 0) {
+                    st.fillWithType(slot, mod.op(free_op).kind, budget, i,
+                                    free_op);
+                    placed_any = placed_any || slot.active();
+                }
+            }
+        }
+
+        // Unallocated regions: schedule from the free list by type, with
+        // location affinity so serial chains stay pinned in place.
+        for (unsigned i = l; i < arch.k; ++i) {
+            int64_t free_op = st.pickForRegion(i);
+            if (free_op < 0)
+                continue;
+            uint64_t budget = arch.d;
+            st.fillWithType(step.regions[i], mod.op(free_op).kind, budget,
+                            i, free_op);
+            placed_any = placed_any || step.regions[i].active();
+        }
+
+        // Progress guarantee: if every path head stalled and no free op
+        // was available, force the first ready op through.
+        if (!placed_any) {
+            st.pruneReady();
+            int64_t any = -1;
+            for (uint32_t op : st.ready) {
+                if (st.isReady(op)) {
+                    any = op;
+                    break;
+                }
+            }
+            if (any < 0)
+                panic("LPFS: no ready operation but work remains "
+                      "(dependence cycle?)");
+            auto op = static_cast<uint32_t>(any);
+            RegionSlot &slot = step.regions[0];
+            slot.kind = mod.op(op).kind;
+            slot.ops.push_back(op);
+            st.commit(op);
+        }
+
+        st.endOfStep();
+
+        // Operand qubits now live where their ops ran; waiting ops age
+        // toward stealability.
+        for (unsigned r = 0; r < arch.k; ++r) {
+            st.lastQubits[r].clear();
+            for (uint32_t op_index : step.regions[r].ops) {
+                for (QubitId q : mod.op(op_index).operands) {
+                    st.qubitRegion[q] = static_cast<int>(r);
+                    st.lastQubits[r].push_back(q);
+                }
+            }
+        }
+        for (uint32_t op : st.ready)
+            if (!st.scheduled[op] && !st.onPath[op])
+                ++st.age[op];
+
+        st.pruneReady();
+    }
+
+    return sched;
+}
+
+} // namespace msq

@@ -1,0 +1,190 @@
+#include "sched/rcp.hh"
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+
+#include "ir/dag.hh"
+#include "support/logging.hh"
+
+namespace msq {
+
+namespace {
+
+constexpr int inMemory = -1;
+
+/** Mutable per-run scheduling state. */
+struct RcpState
+{
+    const Module &mod;
+    const MultiSimdArch &arch;
+    DepDag dag;
+    std::vector<int64_t> dynSlack;     ///< decays while an op waits ready
+    std::vector<uint32_t> pendingPreds;
+    std::vector<uint32_t> ready;
+    std::array<uint32_t, numGateKinds> readyCount{};
+    std::vector<int> qubitRegion; ///< region holding each qubit, or memory
+
+    RcpState(const Module &mod, const MultiSimdArch &arch)
+        : mod(mod), arch(arch), dag(DepDag::build(mod)),
+          qubitRegion(mod.numQubits(), inMemory)
+    {
+        auto static_slack = dag.slack();
+        dynSlack.assign(static_slack.begin(), static_slack.end());
+        pendingPreds.resize(dag.numNodes());
+        for (uint32_t i = 0; i < dag.numNodes(); ++i)
+            pendingPreds[i] = static_cast<uint32_t>(dag.preds(i).size());
+        for (uint32_t root : dag.roots())
+            pushReady(root);
+    }
+
+    void
+    pushReady(uint32_t op)
+    {
+        ready.push_back(op);
+        ++readyCount[static_cast<size_t>(mod.op(op).kind)];
+    }
+
+    /** @return true when op has an operand resident in region r. */
+    bool
+    inPlace(uint32_t op, unsigned r) const
+    {
+        for (QubitId q : mod.op(op).operands)
+            if (qubitRegion[q] == static_cast<int>(r))
+                return true;
+        return false;
+    }
+};
+
+} // anonymous namespace
+
+LeafSchedule
+RcpScheduler::schedule(const Module &mod, const MultiSimdArch &arch) const
+{
+    checkInputs(mod, arch);
+    LeafSchedule sched(mod, arch.k);
+    if (mod.numOps() == 0)
+        return sched;
+
+    RcpState st(mod, arch);
+
+    while (!st.ready.empty()) {
+        Timestep &step = sched.appendStep();
+        std::vector<bool> region_used(arch.k, false);
+        unsigned regions_left = arch.k;
+        std::vector<uint32_t> scheduled_now;
+
+        // getMaxWeightSimdOpType + extract loop (Algorithm 1 inner loop).
+        while (regions_left > 0 && !st.ready.empty()) {
+            // Pick the (op type, region) with the highest weight. For a
+            // given op the weight over regions differs only by whether
+            // the op has an operand resident in an available region, so
+            // scanning each op's operand regions suffices.
+            double best_weight = -1e300;
+            int best_region = -1;
+            GateKind best_kind = GateKind::X;
+            for (uint32_t op_index : st.ready) {
+                const Operation &op = st.mod.op(op_index);
+                auto kind_index = static_cast<size_t>(op.kind);
+                double base =
+                    weights.op *
+                        static_cast<double>(st.readyCount[kind_index]) -
+                    weights.slack *
+                        static_cast<double>(st.dynSlack[op_index]);
+                // Preferred region: one that already holds an operand.
+                int preferred = -1;
+                for (QubitId q : op.operands) {
+                    int r = st.qubitRegion[q];
+                    if (r >= 0 && !region_used[r]) {
+                        preferred = r;
+                        break;
+                    }
+                }
+                double weight = base + (preferred >= 0 ? weights.dist : 0.0);
+                if (weight > best_weight) {
+                    best_weight = weight;
+                    best_kind = op.kind;
+                    if (preferred >= 0) {
+                        best_region = preferred;
+                    } else {
+                        best_region = -1; // any free region
+                    }
+                }
+            }
+            if (best_region < 0) {
+                for (unsigned r = 0; r < arch.k; ++r) {
+                    if (!region_used[r]) {
+                        best_region = static_cast<int>(r);
+                        break;
+                    }
+                }
+            }
+
+            // extract_optype: gather ready ops of the winning type,
+            // in-place ops first, then most critical (lowest slack).
+            std::vector<uint32_t> candidates;
+            for (uint32_t op_index : st.ready)
+                if (st.mod.op(op_index).kind == best_kind)
+                    candidates.push_back(op_index);
+            auto r_unsigned = static_cast<unsigned>(best_region);
+            std::stable_sort(
+                candidates.begin(), candidates.end(),
+                [&](uint32_t a, uint32_t b) {
+                    bool a_in = st.inPlace(a, r_unsigned);
+                    bool b_in = st.inPlace(b, r_unsigned);
+                    if (a_in != b_in)
+                        return a_in;
+                    return st.dynSlack[a] < st.dynSlack[b];
+                });
+
+            RegionSlot &slot = step.regions[r_unsigned];
+            slot.kind = best_kind;
+            uint64_t qubit_budget = st.arch.d;
+            for (uint32_t op_index : candidates) {
+                uint64_t need = opQubitCount(st.mod.op(op_index));
+                if (need > qubit_budget)
+                    break;
+                qubit_budget -= need;
+                slot.ops.push_back(op_index);
+                scheduled_now.push_back(op_index);
+            }
+            if (slot.ops.empty())
+                panic("RCP: selected region accepted no operations");
+
+            // Retire the region and drop scheduled ops from the ready
+            // list.
+            region_used[r_unsigned] = true;
+            --regions_left;
+            for (uint32_t op_index : slot.ops) {
+                st.ready.erase(std::find(st.ready.begin(), st.ready.end(),
+                                         op_index));
+                --st.readyCount[static_cast<size_t>(best_kind)];
+            }
+        }
+
+        // updateRcpq: operand qubits now live in their regions; newly
+        // dependence-free children become ready next timestep; waiting
+        // ops grow more urgent.
+        for (unsigned r = 0; r < arch.k; ++r) {
+            for (uint32_t op_index : step.regions[r].ops)
+                for (QubitId q : st.mod.op(op_index).operands)
+                    st.qubitRegion[q] = static_cast<int>(r);
+        }
+        for (int64_t &slack : st.dynSlack) {
+            // Only ops still waiting matter; decrementing all is harmless
+            // and cheaper than tracking membership.
+            if (slack > 0)
+                --slack;
+        }
+        for (uint32_t op_index : scheduled_now) {
+            for (uint32_t succ : st.dag.succs(op_index)) {
+                if (--st.pendingPreds[succ] == 0)
+                    st.pushReady(succ);
+            }
+        }
+    }
+
+    return sched;
+}
+
+} // namespace msq

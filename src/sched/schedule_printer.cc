@@ -1,0 +1,52 @@
+#include "sched/schedule_printer.hh"
+
+#include "support/strings.hh"
+
+namespace msq {
+
+void
+printTimeline(std::ostream &os, const LeafSchedule &sched,
+              const TimelinePrintOptions &options)
+{
+    const Module &mod = sched.module();
+    uint64_t limit = options.maxSteps == 0 ? sched.steps().size()
+                                           : options.maxSteps;
+
+    for (uint64_t ts = 0; ts < sched.steps().size() && ts < limit; ++ts) {
+        const Timestep &step = sched.steps()[ts];
+        os << csprintf("t%-5llu [%llu] ",
+                       static_cast<unsigned long long>(ts),
+                       static_cast<unsigned long long>(
+                           MultiSimdArch::gateCycles +
+                           step.movePhaseCycles()));
+        for (unsigned r = 0; r < step.regions.size(); ++r) {
+            const RegionSlot &slot = step.regions[r];
+            if (!slot.active()) {
+                os << " r" << r << "{--}";
+                continue;
+            }
+            os << " r" << r << "{" << gateName(slot.kind) << ":";
+            for (uint32_t op_index : slot.ops)
+                for (QubitId q : mod.op(op_index).operands)
+                    os << " " << mod.qubitName(q);
+            os << "}";
+        }
+        if (options.showMoves && !step.moves.empty()) {
+            os << "  | moves:";
+            for (const auto &move : step.moves) {
+                os << " " << mod.qubitName(move.qubit) << " "
+                   << move.from.describe() << "->" << move.to.describe();
+                if (!move.isLocal() && move.blocking)
+                    os << "!";
+            }
+        }
+        os << "\n";
+    }
+    if (limit < sched.steps().size()) {
+        os << "... ("
+           << static_cast<unsigned long long>(sched.steps().size() - limit)
+           << " more timesteps)\n";
+    }
+}
+
+} // namespace msq

@@ -1,0 +1,43 @@
+#include "sched/leaf_scheduler.hh"
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace msq {
+
+void
+LeafScheduler::checkInputs(const Module &mod, const MultiSimdArch &arch)
+{
+    arch.validate();
+    if (!mod.isLeaf())
+        panic("leaf scheduler invoked on non-leaf module " + mod.name());
+    for (const auto &op : mod.ops()) {
+        if (!isPrimitiveGate(op.kind)) {
+            panic(csprintf("leaf scheduler: module %s contains "
+                           "non-primitive gate %s; run decomposition "
+                           "passes first",
+                           mod.name().c_str(), gateName(op.kind)));
+        }
+        if (opQubitCount(op) > arch.d) {
+            panic(csprintf("leaf scheduler: gate %s touches %zu qubits, "
+                           "more than region width d",
+                           gateName(op.kind), op.operands.size()));
+        }
+    }
+}
+
+LeafSchedule
+SequentialScheduler::schedule(const Module &mod,
+                              const MultiSimdArch &arch) const
+{
+    checkInputs(mod, arch);
+    LeafSchedule sched(mod, arch.k);
+    for (uint32_t i = 0; i < mod.numOps(); ++i) {
+        Timestep &step = sched.appendStep();
+        step.regions[0].kind = mod.op(i).kind;
+        step.regions[0].ops.push_back(i);
+    }
+    return sched;
+}
+
+} // namespace msq

@@ -1,0 +1,143 @@
+#include "sched/validator.hh"
+
+#include <vector>
+
+#include "ir/dag.hh"
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace msq {
+
+void
+validateLeafSchedule(const LeafSchedule &sched, const MultiSimdArch &arch,
+                     bool moves_annotated)
+{
+    const Module &mod = sched.module();
+    const auto &steps = sched.steps();
+
+    if (sched.k() != arch.k)
+        panic("validate: schedule k differs from architecture k");
+
+    // Invariant 1: coverage; also record each op's timestep.
+    constexpr uint64_t unscheduled = ~uint64_t{0};
+    std::vector<uint64_t> op_step(mod.numOps(), unscheduled);
+    for (uint64_t ts = 0; ts < steps.size(); ++ts) {
+        const Timestep &step = steps[ts];
+        if (step.regions.size() != arch.k)
+            panic(csprintf("validate: step %llu has %zu regions, want %u",
+                           static_cast<unsigned long long>(ts),
+                           step.regions.size(), arch.k));
+        for (unsigned r = 0; r < arch.k; ++r) {
+            const RegionSlot &slot = step.regions[r];
+            uint64_t qubits_touched = 0;
+            for (uint32_t op_index : slot.ops) {
+                if (op_index >= mod.numOps())
+                    panic("validate: op index out of range");
+                if (op_step[op_index] != unscheduled)
+                    panic(csprintf("validate: op %u scheduled twice",
+                                   op_index));
+                op_step[op_index] = ts;
+                const Operation &op = mod.op(op_index);
+                // Invariant 3: homogeneity.
+                if (op.kind != slot.kind) {
+                    panic(csprintf(
+                        "validate: step %llu region %u mixes %s and %s",
+                        static_cast<unsigned long long>(ts), r,
+                        gateName(slot.kind), gateName(op.kind)));
+                }
+                qubits_touched += op.operands.size();
+            }
+            // Invariant 5: d budget.
+            if (qubits_touched > arch.d) {
+                panic(csprintf(
+                    "validate: step %llu region %u touches %llu qubits, "
+                    "budget d=%llu",
+                    static_cast<unsigned long long>(ts), r,
+                    static_cast<unsigned long long>(qubits_touched),
+                    static_cast<unsigned long long>(arch.d)));
+            }
+        }
+        // Invariant 4: qubit exclusivity across the whole timestep.
+        std::vector<QubitId> touched;
+        for (const auto &slot : step.regions)
+            for (uint32_t op_index : slot.ops)
+                for (QubitId q : mod.op(op_index).operands)
+                    touched.push_back(q);
+        std::sort(touched.begin(), touched.end());
+        for (size_t i = 1; i < touched.size(); ++i) {
+            if (touched[i] == touched[i - 1]) {
+                panic(csprintf(
+                    "validate: step %llu touches qubit %u twice",
+                    static_cast<unsigned long long>(ts), touched[i]));
+            }
+        }
+    }
+    for (uint32_t i = 0; i < mod.numOps(); ++i)
+        if (op_step[i] == unscheduled)
+            panic(csprintf("validate: op %u never scheduled", i));
+
+    // Invariant 2: dependences strictly ordered.
+    DepDag dag = DepDag::build(mod);
+    for (uint32_t i = 0; i < dag.numNodes(); ++i) {
+        for (uint32_t s : dag.succs(i)) {
+            if (op_step[s] <= op_step[i]) {
+                panic(csprintf(
+                    "validate: op %u (step %llu) depends on op %u "
+                    "(step %llu)",
+                    s, static_cast<unsigned long long>(op_step[s]), i,
+                    static_cast<unsigned long long>(op_step[i])));
+            }
+        }
+    }
+
+    if (!moves_annotated)
+        return;
+
+    // Invariant 6: movement consistency.
+    std::vector<Location> loc(mod.numQubits(), Location::global());
+    std::vector<uint64_t> local_count(arch.k, 0);
+    for (uint64_t ts = 0; ts < steps.size(); ++ts) {
+        const Timestep &step = steps[ts];
+        for (const auto &move : step.moves) {
+            if (move.qubit >= mod.numQubits())
+                panic("validate: move of unknown qubit");
+            if (loc[move.qubit] != move.from) {
+                panic(csprintf(
+                    "validate: step %llu moves qubit %u from %s but it "
+                    "is at %s",
+                    static_cast<unsigned long long>(ts), move.qubit,
+                    move.from.describe().c_str(),
+                    loc[move.qubit].describe().c_str()));
+            }
+            if (move.to == move.from)
+                panic("validate: degenerate move");
+            if (move.from.isLocalMem())
+                --local_count[move.from.region];
+            if (move.to.isLocalMem()) {
+                unsigned r = move.to.region;
+                if (++local_count[r] > arch.localMemCapacity) {
+                    panic(csprintf(
+                        "validate: step %llu overflows local memory of "
+                        "region %u",
+                        static_cast<unsigned long long>(ts), r));
+                }
+            }
+            loc[move.qubit] = move.to;
+        }
+        for (unsigned r = 0; r < arch.k; ++r) {
+            for (uint32_t op_index : step.regions[r].ops) {
+                for (QubitId q : mod.op(op_index).operands) {
+                    if (!(loc[q] == Location::inRegion(r))) {
+                        panic(csprintf(
+                            "validate: step %llu op %u operand %u not in "
+                            "region %u (at %s)",
+                            static_cast<unsigned long long>(ts), op_index,
+                            q, r, loc[q].describe().c_str()));
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace msq

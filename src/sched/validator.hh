@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Structural validation of leaf schedules. Used by tests and available to
+ * library users as a debugging aid; every scheduler's output must pass.
+ *
+ * Checked invariants:
+ *  1. every module operation is scheduled exactly once;
+ *  2. dependences: each op runs in a strictly later timestep than every
+ *     op it depends on;
+ *  3. SIMD homogeneity: a region executes a single gate type per step;
+ *  4. qubit exclusivity: no qubit is touched by two ops in one timestep;
+ *  5. width: a region touches at most d qubits per timestep;
+ *  6. when movement is annotated: every move's source matches the
+ *     qubit's tracked location, every operand is resident in its
+ *     region when its op executes, and local-memory occupancy never
+ *     exceeds capacity.
+ */
+
+#ifndef MSQ_SCHED_VALIDATOR_HH
+#define MSQ_SCHED_VALIDATOR_HH
+
+#include "arch/multi_simd.hh"
+#include "arch/schedule.hh"
+
+namespace msq {
+
+/**
+ * Validate @p sched against @p arch.
+ * @param moves_annotated when true, also verify movement consistency
+ *        (invariant 6); leave false for compute-only schedules.
+ * Panics with a diagnostic on the first violation.
+ */
+void validateLeafSchedule(const LeafSchedule &sched,
+                          const MultiSimdArch &arch,
+                          bool moves_annotated = false);
+
+} // namespace msq
+
+#endif // MSQ_SCHED_VALIDATOR_HH

@@ -1,0 +1,51 @@
+#include "support/logging.hh"
+
+#include <atomic>
+#include <iostream>
+
+namespace msq {
+
+namespace {
+
+std::atomic<bool> verboseEnabled{false};
+
+} // anonymous namespace
+
+void
+panic(const std::string &msg)
+{
+    throw PanicError("panic: " + msg);
+}
+
+void
+fatal(const std::string &msg)
+{
+    throw FatalError("fatal: " + msg);
+}
+
+void
+warn(const std::string &msg)
+{
+    std::cerr << "warn: " << msg << "\n";
+}
+
+void
+inform(const std::string &msg)
+{
+    if (verboseEnabled.load(std::memory_order_relaxed))
+        std::cerr << "info: " << msg << "\n";
+}
+
+void
+setVerbose(bool enabled)
+{
+    verboseEnabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+verbose()
+{
+    return verboseEnabled.load(std::memory_order_relaxed);
+}
+
+} // namespace msq

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Small string-formatting helpers used across the library. GCC 12 does not
+ * ship std::format, so we provide a minimal printf-style csprintf() plus a
+ * few join/parse utilities.
+ */
+
+#ifndef MSQ_SUPPORT_STRINGS_HH
+#define MSQ_SUPPORT_STRINGS_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace msq {
+
+/**
+ * printf-style formatting into a std::string.
+ *
+ * @param fmt printf format string.
+ * @return the formatted string.
+ */
+std::string csprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Join the elements of @p parts with @p sep between them. */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &sep);
+
+/** Split @p text on @p sep, dropping empty fields when @p keep_empty. */
+std::vector<std::string> split(const std::string &text, char sep,
+                               bool keep_empty = false);
+
+/** Strip leading and trailing ASCII whitespace. */
+std::string trim(const std::string &text);
+
+/** @return true when @p text begins with @p prefix. */
+bool startsWith(const std::string &text, const std::string &prefix);
+
+/** Render @p value with thousands separators, e.g. 1234567 -> "1,234,567". */
+std::string withCommas(unsigned long long value);
+
+} // namespace msq
+
+#endif // MSQ_SUPPORT_STRINGS_HH

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Boolean Formula (paper §3.3): evaluating a winning strategy for the
+ * game of Hex on an x-by-y board via the AND-OR formula-evaluation
+ * algorithm [Ambainis et al., FOCS'07]. The Scaffold original is built
+ * from CTQG-generated arithmetic — the paper singles out BF (with CN and
+ * SHA-1) as "composed of several CTQG modules, which produces unoptimized
+ * code that is highly locally serialized" (§5.2) — so the generator leans
+ * on serial adders, comparators and an AND-OR reduction tree.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "support/rng.hh"
+#include "workloads/detail.hh"
+
+namespace msq {
+namespace workloads {
+
+using namespace detail;
+
+Program
+buildBooleanFormula(unsigned x, unsigned y)
+{
+    if (x < 2 || y < 2)
+        fatal("boolean_formula: board must be at least 2x2");
+    Program prog;
+    const unsigned cells = x * y;
+    const unsigned word = 8; // score accumulator width
+
+    SplitMix64 rng(hashString("bf") ^ (uint64_t{x} << 32) ^ y);
+
+    // cell_eval_<i>(board, score[word]): CTQG arithmetic scoring one
+    // cell: add a positional constant, compare against a threshold.
+    std::vector<ModuleId> cell_mods;
+    for (unsigned i = 0; i < cells; ++i) {
+        ModuleId id = prog.addModule(csprintf("cell_eval_%u", i));
+        cell_mods.push_back(id);
+        Module &mod = prog.module(id);
+        QubitId cell = mod.addParam("cell");
+        ctqg::Register score = addParamReg(mod, "score", word);
+        QubitId above = mod.addParam("above");
+        ctqg::Register scratch = mod.addRegister("scratch", word);
+        ctqg::Register cmp = mod.addRegister("cmp", word);
+        QubitId carry = mod.addLocal("carry");
+
+        // score += weight(i) when the cell is occupied.
+        uint64_t weight = (rng.next() % 23) + 1;
+        ctqg::setConst(mod, scratch, weight);
+        ctqg::controlledAdd(mod, cell, scratch, score, cmp, carry);
+        ctqg::setConst(mod, scratch, weight);
+        // above ^= (threshold < score)
+        ctqg::setConst(mod, scratch, 11);
+        ctqg::compareLess(mod, scratch, score, above, cmp, carry);
+        ctqg::setConst(mod, scratch, 11);
+    }
+
+    // formula_eval(board, flag): serial cell evaluations feeding an
+    // AND-OR tree over the per-cell "above" bits.
+    ModuleId formula_id = prog.addModule("formula_eval");
+    {
+        Module &mod = prog.module(formula_id);
+        ctqg::Register board = addParamReg(mod, "board", cells);
+        QubitId flag = mod.addParam("flag");
+        ctqg::Register score = mod.addRegister("score", word);
+        ctqg::Register above = mod.addRegister("above", cells);
+
+        for (unsigned i = 0; i < cells; ++i) {
+            std::vector<QubitId> args{board[i]};
+            args.insert(args.end(), score.begin(), score.end());
+            args.push_back(above[i]);
+            mod.addCall(cell_mods[i], args);
+        }
+        // AND-OR tree: pairwise OR (rows) then AND into the flag.
+        ctqg::Register level = above;
+        std::vector<ctqg::Register> scratch_levels;
+        unsigned depth = 0;
+        while (level.size() > 2) {
+            unsigned half = static_cast<unsigned>(level.size()) / 2;
+            ctqg::Register next =
+                mod.addRegister(csprintf("tree%u", depth++), half);
+            for (unsigned i = 0; i < half; ++i) {
+                if (depth % 2 == 1) {
+                    ctqg::bitwiseOr(mod, {level[2 * i]},
+                                    {level[2 * i + 1]}, {next[i]});
+                } else {
+                    ctqg::bitwiseAnd(mod, {level[2 * i]},
+                                     {level[2 * i + 1]}, {next[i]});
+                }
+            }
+            level = next;
+        }
+        if (level.size() == 2)
+            mod.addGate(GateKind::Toffoli, {level[0], level[1], flag});
+        else
+            mod.addGate(GateKind::CNOT, {level[0], flag});
+    }
+
+    // diffuse(board): standard Grover diffusion over strategies.
+    ModuleId diffuse_id = prog.addModule("diffuse");
+    {
+        Module &mod = prog.module(diffuse_id);
+        ctqg::Register board = addParamReg(mod, "board", cells);
+        ctqg::Register anc = mod.addRegister("anc",
+                                             cells > 2 ? cells - 2 : 1);
+        hadamardAll(mod, board);
+        xAll(mod, board);
+        ctqg::Register controls(board.begin(), board.end() - 1);
+        ctqg::multiControlledZ(mod, controls, board.back(), anc);
+        xAll(mod, board);
+        hadamardAll(mod, board);
+    }
+
+    ModuleId main_id = prog.addModule("main");
+    {
+        Module &mod = prog.module(main_id);
+        ctqg::Register board = mod.addRegister("board", cells);
+        QubitId flag = mod.addLocal("flag");
+        prepAll(mod, board);
+        mod.addGate(GateKind::PrepZ, {flag});
+        mod.addGate(GateKind::X, {flag});
+        mod.addGate(GateKind::H, {flag});
+        hadamardAll(mod, board);
+        std::vector<QubitId> args(board.begin(), board.end());
+        args.push_back(flag);
+        uint64_t reps = groverIterations(cells);
+        mod.addCall(formula_id, args, reps);
+        mod.addCall(diffuse_id, board, reps);
+        measureAll(mod, board);
+    }
+
+    prog.setEntry(main_id);
+    prog.validate();
+    return prog;
+}
+
+} // namespace workloads
+} // namespace msq

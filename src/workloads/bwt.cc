@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Binary Welded Tree (paper §3.3): quantum-random-walk traversal of two
+ * binary trees welded at the leaves [Childs et al., STOC'03]. The walk
+ * alternates three edge-coloring oracles; each oracle computes the
+ * colored neighbor of the current node with CTQG-style reversible
+ * arithmetic, and the walk step mixes the node and neighbor registers.
+ * Parameterized by tree height n and walk-time parameter s.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "support/rng.hh"
+#include "workloads/detail.hh"
+
+namespace msq {
+namespace workloads {
+
+using namespace detail;
+
+Program
+buildBwt(unsigned n, unsigned s)
+{
+    if (n < 2 || s < 1)
+        fatal("bwt: need n >= 2 and s >= 1");
+    Program prog;
+    const unsigned width = n + 2; // node labels need n+2 bits
+
+    SplitMix64 rng(hashString("bwt") ^ (uint64_t{n} << 32) ^ s);
+
+    // One oracle per edge color c: b ^= neighbor_c(a).
+    // neighbor_c is an affine-ish reversible function: constant add,
+    // parity-controlled increments, and an a<->b entangling layer.
+    ModuleId color_oracle[3];
+    for (unsigned c = 0; c < 3; ++c) {
+        ModuleId id = prog.addModule(csprintf("color_oracle_%u", c));
+        color_oracle[c] = id;
+        Module &mod = prog.module(id);
+        ctqg::Register a = addParamReg(mod, "a", width);
+        ctqg::Register b = addParamReg(mod, "b", width);
+        ctqg::Register scratch = mod.addRegister("scratch", width);
+        QubitId carry = mod.addLocal("carry");
+        QubitId ctl = mod.addLocal("ctl");
+
+        // b ^= a (copy node label), then arithmetic on b.
+        ctqg::bitwiseXor(mod, a, b);
+        uint64_t mask = width >= 64 ? ~uint64_t{0}
+                                    : ((uint64_t{1} << width) - 1);
+        uint64_t color_const = rng.next() & mask;
+        ctqg::addConst(mod, color_const | 1, b, scratch, carry);
+        // Parity(a)-controlled add of a into b: a serial adder chain
+        // coupling the node and neighbor registers.
+        for (QubitId q : a)
+            mod.addGate(GateKind::CNOT, {q, ctl});
+        ctqg::controlledAdd(mod, ctl, a, b, scratch, carry);
+        for (QubitId q : a)
+            mod.addGate(GateKind::CNOT, {q, ctl});
+    }
+
+    // walk_step(a, b): for each color, compute the neighbor, mix, and
+    // uncompute (oracles are their own structural inverse here).
+    ModuleId step_id = prog.addModule("walk_step");
+    {
+        Module &mod = prog.module(step_id);
+        ctqg::Register a = addParamReg(mod, "a", width);
+        ctqg::Register b = addParamReg(mod, "b", width);
+        std::vector<QubitId> args;
+        args.insert(args.end(), a.begin(), a.end());
+        args.insert(args.end(), b.begin(), b.end());
+        for (unsigned c = 0; c < 3; ++c) {
+            mod.addCall(color_oracle[c], args);
+            // Coin/mixing layer between the registers.
+            for (unsigned i = 0; i < width; ++i) {
+                mod.addGate(GateKind::H, {b[i]});
+                mod.addGate(GateKind::CNOT, {b[i], a[i]});
+            }
+            mod.addCall(color_oracle[c], args);
+        }
+    }
+
+    ModuleId main_id = prog.addModule("main");
+    {
+        Module &mod = prog.module(main_id);
+        ctqg::Register a = mod.addRegister("a", width);
+        ctqg::Register b = mod.addRegister("b", width);
+        prepAll(mod, a);
+        prepAll(mod, b);
+        // Start at the entry node (label 1).
+        mod.addGate(GateKind::X, {a[0]});
+        std::vector<QubitId> args;
+        args.insert(args.end(), a.begin(), a.end());
+        args.insert(args.end(), b.begin(), b.end());
+        mod.addCall(step_id, args, s);
+        measureAll(mod, a);
+    }
+
+    prog.setEntry(main_id);
+    prog.validate();
+    return prog;
+}
+
+} // namespace workloads
+} // namespace msq

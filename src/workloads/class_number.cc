@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Class Number (paper §3.3): computing the class group of a real
+ * quadratic number field [Hallgren, STOC'05]. The quantum core is a
+ * period-finding loop over fixed-point arithmetic evaluations of the
+ * field's principal-ideal distance function — in the Scaffold original,
+ * wall-to-wall CTQG arithmetic (the paper groups CN with BF and SHA-1 as
+ * highly locally serialized CTQG code, §5.2). Parameter p is the number
+ * of fixed-point digits after the radix point.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "support/rng.hh"
+#include "workloads/detail.hh"
+
+namespace msq {
+namespace workloads {
+
+using namespace detail;
+
+Program
+buildClassNumber(unsigned p)
+{
+    if (p < 1)
+        fatal("class_number: p must be >= 1");
+    Program prog;
+    const unsigned word = 6 + p; // integer part + p fractional digits
+
+    SplitMix64 rng(hashString("cn") ^ p);
+
+    // fp_mul(a, b, prod): fixed-point multiply-accumulate.
+    ModuleId mul_id = prog.addModule("fp_mul");
+    {
+        Module &mod = prog.module(mul_id);
+        ctqg::Register a = addParamReg(mod, "a", word);
+        ctqg::Register b = addParamReg(mod, "b", word);
+        ctqg::Register prod = addParamReg(mod, "prod", 2 * word);
+        ctqg::Register scratch = mod.addRegister("scratch", 2 * word);
+        QubitId carry = mod.addLocal("carry");
+        ctqg::multiplyAccumulate(mod, a, b, prod, scratch, carry);
+    }
+
+    // fp_reduce(prod, modulus-const): subtract-and-compare reduction.
+    ModuleId reduce_id = prog.addModule("fp_reduce");
+    {
+        Module &mod = prog.module(reduce_id);
+        ctqg::Register prod = addParamReg(mod, "prod", 2 * word);
+        ctqg::Register cmp = mod.addRegister("cmp", 2 * word);
+        QubitId flag = mod.addLocal("flag");
+        QubitId carry = mod.addLocal("carry");
+        uint64_t modulus = (rng.next() % 251) + 5;
+        ctqg::Register mod_reg = mod.addRegister("modreg", 2 * word);
+        ctqg::setConst(mod, mod_reg, modulus);
+        ctqg::compareLess(mod, mod_reg, prod, flag, cmp, carry);
+        ctqg::cuccaroSub(mod, mod_reg, prod, carry);
+        ctqg::setConst(mod, mod_reg, modulus);
+    }
+
+    // distance_step(x, acc, prod): one evaluation of the principal-ideal
+    // distance function: multiply, reduce, accumulate.
+    ModuleId step_id = prog.addModule("distance_step");
+    {
+        Module &mod = prog.module(step_id);
+        ctqg::Register x = addParamReg(mod, "x", word);
+        ctqg::Register acc = addParamReg(mod, "acc", word);
+        ctqg::Register prod = mod.addRegister("prod", 2 * word);
+        ctqg::Register scratch = mod.addRegister("scratch", word);
+        QubitId carry = mod.addLocal("carry");
+
+        std::vector<QubitId> mul_args;
+        mul_args.insert(mul_args.end(), x.begin(), x.end());
+        mul_args.insert(mul_args.end(), acc.begin(), acc.end());
+        mul_args.insert(mul_args.end(), prod.begin(), prod.end());
+        mod.addCall(mul_id, mul_args);
+        mod.addCall(reduce_id, prod);
+        ctqg::Register low(prod.begin(), prod.begin() + word);
+        ctqg::cuccaroAdd(mod, low, acc, carry);
+        // Uncompute the product for reuse next step.
+        mod.addCall(reduce_id, prod);
+        mod.addCall(mul_id, mul_args);
+        (void)scratch;
+    }
+
+    ModuleId main_id = prog.addModule("main");
+    {
+        Module &mod = prog.module(main_id);
+        ctqg::Register x = mod.addRegister("x", word);
+        ctqg::Register acc = mod.addRegister("acc", word);
+        prepAll(mod, x);
+        prepAll(mod, acc);
+        hadamardAll(mod, x); // period-finding superposition
+        std::vector<QubitId> args;
+        args.insert(args.end(), x.begin(), x.end());
+        args.insert(args.end(), acc.begin(), acc.end());
+        // The regulator-precision loop: O(p * word) distance evaluations.
+        mod.addCall(step_id, args, uint64_t{p} * word * 4);
+        // Fourier readout of the period.
+        hadamardAll(mod, x);
+        measureAll(mod, x);
+        measureAll(mod, acc);
+    }
+
+    prog.setEntry(main_id);
+    prog.validate();
+    return prog;
+}
+
+} // namespace workloads
+} // namespace msq

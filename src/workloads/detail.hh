@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Internal helpers shared by the workload generators.
+ */
+
+#ifndef MSQ_WORKLOADS_DETAIL_HH
+#define MSQ_WORKLOADS_DETAIL_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "ctqg/arith.hh"
+#include "ctqg/logic.hh"
+#include "ir/module.hh"
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace msq {
+namespace workloads {
+namespace detail {
+
+/** Declare a parameter register base[0..width) on @p mod. */
+inline ctqg::Register
+addParamReg(Module &mod, const char *base, unsigned width)
+{
+    ctqg::Register reg;
+    reg.reserve(width);
+    for (unsigned i = 0; i < width; ++i)
+        reg.push_back(mod.addParam(csprintf("%s[%u]", base, i)));
+    return reg;
+}
+
+/** Prepare every qubit of @p reg in |0>. */
+inline void
+prepAll(Module &mod, const ctqg::Register &reg)
+{
+    for (QubitId q : reg)
+        mod.addGate(GateKind::PrepZ, {q});
+}
+
+/** Apply H to every qubit of @p reg. */
+inline void
+hadamardAll(Module &mod, const ctqg::Register &reg)
+{
+    for (QubitId q : reg)
+        mod.addGate(GateKind::H, {q});
+}
+
+/** Apply X to every qubit of @p reg. */
+inline void
+xAll(Module &mod, const ctqg::Register &reg)
+{
+    for (QubitId q : reg)
+        mod.addGate(GateKind::X, {q});
+}
+
+/** Measure every qubit of @p reg in the Z basis. */
+inline void
+measureAll(Module &mod, const ctqg::Register &reg)
+{
+    for (QubitId q : reg)
+        mod.addGate(GateKind::MeasZ, {q});
+}
+
+/** Grover iteration count ceil(pi/4 * 2^(n/2)), saturating at 2^62. */
+inline uint64_t
+groverIterations(unsigned n)
+{
+    if (n >= 120)
+        return uint64_t{1} << 62;
+    double reps = 0.7853981633974483 *
+                  std::pow(2.0, static_cast<double>(n) / 2.0);
+    double capped = std::min(reps, 4.6e18);
+    return std::max<uint64_t>(1, static_cast<uint64_t>(capped));
+}
+
+} // namespace detail
+} // namespace workloads
+} // namespace msq
+
+#endif // MSQ_WORKLOADS_DETAIL_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Grover's Search (paper §3.3): amplitude amplification over a database of
+ * 2^n elements [Grover '96]. Structure: an oracle marking one basis state
+ * (X-dressed multi-controlled X onto a phase-kickback flag), the standard
+ * diffusion operator, and ceil(pi/4 * 2^(n/2)) repetitions of the two.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "support/rng.hh"
+#include "workloads/detail.hh"
+
+namespace msq {
+namespace workloads {
+
+using namespace detail;
+
+Program
+buildGrovers(unsigned n)
+{
+    if (n < 3)
+        fatal("grovers: n must be >= 3");
+    Program prog;
+
+    // Deterministic marked element.
+    SplitMix64 rng(hashString("grovers") ^ n);
+    uint64_t marked = rng.next() & ((n >= 64) ? ~uint64_t{0}
+                                              : ((uint64_t{1} << n) - 1));
+
+    // oracle(x[n], flag): flip flag when x == marked.
+    ModuleId oracle_id = prog.addModule("oracle");
+    {
+        Module &mod = prog.module(oracle_id);
+        ctqg::Register x = addParamReg(mod, "x", n);
+        QubitId flag = mod.addParam("flag");
+        ctqg::Register anc = mod.addRegister("anc", n - 1);
+        auto dress = [&]() {
+            for (unsigned i = 0; i < n; ++i)
+                if (!((marked >> i) & 1))
+                    mod.addGate(GateKind::X, {x[i]});
+        };
+        dress();
+        ctqg::multiControlledX(mod, x, flag, anc);
+        dress();
+    }
+
+    // diffuse(x[n]): 2|s><s| - I.
+    ModuleId diffuse_id = prog.addModule("diffuse");
+    {
+        Module &mod = prog.module(diffuse_id);
+        ctqg::Register x = addParamReg(mod, "x", n);
+        ctqg::Register anc = mod.addRegister("anc", n - 2);
+        hadamardAll(mod, x);
+        xAll(mod, x);
+        ctqg::Register controls(x.begin(), x.end() - 1);
+        ctqg::multiControlledZ(mod, controls, x.back(), anc);
+        xAll(mod, x);
+        hadamardAll(mod, x);
+    }
+
+    // grover_iter(x[n], flag): one amplification round.
+    ModuleId iter_id = prog.addModule("grover_iter");
+    {
+        Module &mod = prog.module(iter_id);
+        ctqg::Register x = addParamReg(mod, "x", n);
+        QubitId flag = mod.addParam("flag");
+        std::vector<QubitId> oracle_args(x.begin(), x.end());
+        oracle_args.push_back(flag);
+        mod.addCall(oracle_id, oracle_args);
+        mod.addCall(diffuse_id, x);
+    }
+
+    // main: prepare, amplify, measure.
+    ModuleId main_id = prog.addModule("main");
+    {
+        Module &mod = prog.module(main_id);
+        ctqg::Register x = mod.addRegister("x", n);
+        QubitId flag = mod.addLocal("flag");
+        prepAll(mod, x);
+        mod.addGate(GateKind::PrepZ, {flag});
+        // |-> on the flag for phase kickback.
+        mod.addGate(GateKind::X, {flag});
+        mod.addGate(GateKind::H, {flag});
+        hadamardAll(mod, x);
+        std::vector<QubitId> iter_args(x.begin(), x.end());
+        iter_args.push_back(flag);
+        mod.addCall(iter_id, iter_args, groverIterations(n));
+        measureAll(mod, x);
+    }
+
+    prog.setEntry(main_id);
+    prog.validate();
+    return prog;
+}
+
+} // namespace workloads
+} // namespace msq

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Triangle Finding Problem (paper §3.3): locate a triangle in a dense
+ * n-node graph [Magniez-Santha-Szegedy '05]. The oracle tests every node
+ * triple with an independent 2-Toffoli check on its own ancilla — a wide
+ * fan of *small* leaf modules. This gives TFP the structure that makes it
+ * the paper's one benchmark where RCP beats LPFS (§5.1): narrow RCP leaf
+ * schedules let the coarse-grained scheduler run check blackboxes in
+ * parallel.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "workloads/detail.hh"
+
+namespace msq {
+namespace workloads {
+
+using namespace detail;
+
+Program
+buildTfp(unsigned n)
+{
+    if (n < 3)
+        fatal("tfp: n must be >= 3");
+    Program prog;
+    const unsigned num_edges = n * (n - 1) / 2;
+
+    auto edge_index = [n](unsigned i, unsigned j) -> unsigned {
+        // i < j; row-major upper triangle.
+        return i * n - i * (i + 1) / 2 + (j - i - 1);
+    };
+
+    // triple_check(eij, ejk, eik, out): out ^= eij & ejk & eik.
+    ModuleId check_id = prog.addModule("triple_check");
+    {
+        Module &mod = prog.module(check_id);
+        QubitId eij = mod.addParam("eij");
+        QubitId ejk = mod.addParam("ejk");
+        QubitId eik = mod.addParam("eik");
+        QubitId out = mod.addParam("out");
+        QubitId anc = mod.addLocal("anc");
+        mod.addGate(GateKind::Toffoli, {eij, ejk, anc});
+        mod.addGate(GateKind::Toffoli, {anc, eik, out});
+        mod.addGate(GateKind::Toffoli, {eij, ejk, anc});
+    }
+
+    const unsigned num_triples = n * (n - 1) * (n - 2) / 6;
+
+    // oracle(e[], flag): check all triples in parallel, OR-reduce.
+    ModuleId oracle_id = prog.addModule("oracle");
+    {
+        Module &mod = prog.module(oracle_id);
+        ctqg::Register edges = addParamReg(mod, "e", num_edges);
+        QubitId flag = mod.addParam("flag");
+        ctqg::Register outs = mod.addRegister("hit", num_triples);
+
+        unsigned t = 0;
+        for (unsigned i = 0; i < n; ++i) {
+            for (unsigned j = i + 1; j < n; ++j) {
+                for (unsigned k = j + 1; k < n; ++k) {
+                    mod.addCall(check_id,
+                                {edges[edge_index(i, j)],
+                                 edges[edge_index(j, k)],
+                                 edges[edge_index(i, k)], outs[t]});
+                    ++t;
+                }
+            }
+        }
+        // OR-reduce the hits into the flag (X-conjugated AND over the
+        // complemented hits would be exact; the CNOT reduction keeps the
+        // parity structure and the serial tail the original has).
+        for (unsigned u = 0; u < num_triples; ++u)
+            mod.addGate(GateKind::CNOT, {outs[u], flag});
+        // Uncompute the checks.
+        t = 0;
+        for (unsigned i = 0; i < n; ++i) {
+            for (unsigned j = i + 1; j < n; ++j) {
+                for (unsigned k = j + 1; k < n; ++k) {
+                    mod.addCall(check_id,
+                                {edges[edge_index(i, j)],
+                                 edges[edge_index(j, k)],
+                                 edges[edge_index(i, k)], outs[t]});
+                    ++t;
+                }
+            }
+        }
+    }
+
+    // diffuse(e[]): inversion about the mean over edge superpositions.
+    ModuleId diffuse_id = prog.addModule("diffuse");
+    {
+        Module &mod = prog.module(diffuse_id);
+        ctqg::Register edges = addParamReg(mod, "e", num_edges);
+        ctqg::Register anc = mod.addRegister("anc", num_edges - 2);
+        hadamardAll(mod, edges);
+        xAll(mod, edges);
+        ctqg::Register controls(edges.begin(), edges.end() - 1);
+        ctqg::multiControlledZ(mod, controls, edges.back(), anc);
+        xAll(mod, edges);
+        hadamardAll(mod, edges);
+    }
+
+    ModuleId iter_id = prog.addModule("tfp_iter");
+    {
+        Module &mod = prog.module(iter_id);
+        ctqg::Register edges = addParamReg(mod, "e", num_edges);
+        QubitId flag = mod.addParam("flag");
+        std::vector<QubitId> args(edges.begin(), edges.end());
+        args.push_back(flag);
+        mod.addCall(oracle_id, args);
+        mod.addCall(diffuse_id, edges);
+    }
+
+    ModuleId main_id = prog.addModule("main");
+    {
+        Module &mod = prog.module(main_id);
+        ctqg::Register edges = mod.addRegister("e", num_edges);
+        QubitId flag = mod.addLocal("flag");
+        prepAll(mod, edges);
+        mod.addGate(GateKind::PrepZ, {flag});
+        mod.addGate(GateKind::X, {flag});
+        mod.addGate(GateKind::H, {flag});
+        hadamardAll(mod, edges);
+        std::vector<QubitId> args(edges.begin(), edges.end());
+        args.push_back(flag);
+        mod.addCall(iter_id, args, groverIterations(num_edges / 2));
+        measureAll(mod, edges);
+    }
+
+    prog.setEntry(main_id);
+    prog.validate();
+    return prog;
+}
+
+} // namespace workloads
+} // namespace msq

@@ -1,0 +1,51 @@
+#include "workloads/workloads.hh"
+
+#include "support/logging.hh"
+
+namespace msq {
+namespace workloads {
+
+std::vector<WorkloadSpec>
+paperParams()
+{
+    return {
+        {"BF x=2,y=2", "bf", [] { return buildBooleanFormula(2, 2); }},
+        {"BWT n=300,s=3000", "bwt", [] { return buildBwt(300, 3000); }},
+        {"CN p=6", "cn", [] { return buildClassNumber(6); }},
+        {"Grovers n=40", "grovers", [] { return buildGrovers(40); }},
+        {"GSE M=10", "gse", [] { return buildGse(10, 20); }},
+        {"SHA-1 n=448", "sha1", [] { return buildSha1(448, 32, 80); }},
+        {"Shors n=512", "shors", [] { return buildShors(512); }},
+        {"TFP n=5", "tfp", [] { return buildTfp(5); }},
+    };
+}
+
+std::vector<WorkloadSpec>
+scaledParams()
+{
+    // Same structure, smaller instances: these schedule in seconds while
+    // preserving each benchmark's serial/parallel character (DESIGN.md).
+    return {
+        {"BF x=2,y=2", "bf", [] { return buildBooleanFormula(2, 2); }},
+        {"BWT n=10,s=100", "bwt", [] { return buildBwt(10, 100); }},
+        {"CN p=4", "cn", [] { return buildClassNumber(4); }},
+        {"Grovers n=10", "grovers", [] { return buildGrovers(10); }},
+        {"GSE M=10", "gse", [] { return buildGse(10, 6); }},
+        {"SHA-1 n=64", "sha1", [] { return buildSha1(64, 8, 20); }},
+        {"Shors n=8", "shors", [] { return buildShors(8); }},
+        {"TFP n=5", "tfp", [] { return buildTfp(5); }},
+    };
+}
+
+WorkloadSpec
+findWorkload(const std::vector<WorkloadSpec> &specs,
+             const std::string &short_name)
+{
+    for (const auto &spec : specs)
+        if (spec.shortName == short_name)
+            return spec;
+    fatal("unknown workload: " + short_name);
+}
+
+} // namespace workloads
+} // namespace msq

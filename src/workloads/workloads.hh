@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The paper's benchmark suite (§3.3): parameterized generators for the
+ * eight large-scale quantum benchmarks, built from the same algorithmic
+ * structure the Scaffold originals have (oracle/iteration skeletons, CTQG
+ * arithmetic, QFT rotation ladders).
+ *
+ * Two parameter presets are provided:
+ *  - paperParams(): the paper's problem sizes (BF 2x2, BWT n=300 s=3000,
+ *    CN p=6, Grovers n=40, GSE M=10, SHA-1 n=448/128, Shors n=512,
+ *    TFP n=5). Repeat-counted calls keep these representable without
+ *    unrolling; use them for resource estimation (Fig. 5, Table 1).
+ *  - scaledParams(): reduced sizes with identical structure that
+ *    schedule in seconds; use them for the scheduling studies
+ *    (Figs. 6-9). See DESIGN.md for the substitution rationale.
+ */
+
+#ifndef MSQ_WORKLOADS_WORKLOADS_HH
+#define MSQ_WORKLOADS_WORKLOADS_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/program.hh"
+
+namespace msq {
+namespace workloads {
+
+/** Grover's Search over a database of 2^n elements. */
+Program buildGrovers(unsigned n);
+
+/** Binary Welded Tree quantum walk; tree height n, s walk steps. */
+Program buildBwt(unsigned n, unsigned s);
+
+/**
+ * Ground State Estimation by quantum phase estimation.
+ * @param m molecule size (molecular weight).
+ * @param precision_bits phase-readout bits (paper GSE M=10 has Q=13).
+ */
+Program buildGse(unsigned m, unsigned precision_bits);
+
+/** Triangle Finding Problem on an n-node dense graph. */
+Program buildTfp(unsigned n);
+
+/** Boolean Formula (Hex winning strategy) on an x-by-y board. */
+Program buildBooleanFormula(unsigned x, unsigned y);
+
+/** Class Number with p digits after the radix point. */
+Program buildClassNumber(unsigned p);
+
+/**
+ * SHA-1 preimage search (SHA-1 as a Grover oracle).
+ * @param n message size in bits.
+ * @param word_bits word width (32 in the standard; scaled runs shrink
+ *        it to keep leaf sizes tractable).
+ * @param rounds number of SHA-1 rounds (80 in the standard).
+ */
+Program buildSha1(unsigned n, unsigned word_bits = 32,
+                  unsigned rounds = 80);
+
+/** Shor's factoring of an n-bit number (QFT + modular exponentiation). */
+Program buildShors(unsigned n);
+
+/** A named, pre-parameterized benchmark instance. */
+struct WorkloadSpec
+{
+    std::string name;      ///< display name, e.g. "BWT n=300,s=3000"
+    std::string shortName; ///< e.g. "bwt"
+    std::function<Program()> build;
+};
+
+/** All eight benchmarks at the paper's problem sizes. */
+std::vector<WorkloadSpec> paperParams();
+
+/** All eight benchmarks at scaled-down sizes (same structure). */
+std::vector<WorkloadSpec> scaledParams();
+
+/** Look up a spec by shortName in @p specs (fatal when missing).
+ * Returns a copy so callers may pass a temporary spec list. */
+WorkloadSpec findWorkload(const std::vector<WorkloadSpec> &specs,
+                          const std::string &short_name);
+
+} // namespace workloads
+} // namespace msq
+
+#endif // MSQ_WORKLOADS_WORKLOADS_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Test-only classical simulator for reversible (X/CNOT/Toffoli/Fredkin/
+ * Swap) circuits. CTQG-generated arithmetic uses only classical
+ * reversible gates, so adders/comparators/multipliers can be verified
+ * against ordinary integer arithmetic on basis states.
+ */
+
+#ifndef MSQ_TESTS_REVERSIBLE_SIM_HH
+#define MSQ_TESTS_REVERSIBLE_SIM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/module.hh"
+#include "support/logging.hh"
+
+namespace msq {
+namespace test {
+
+/** Simulate @p mod on a basis state; returns the final bit vector. */
+inline std::vector<bool>
+simulateReversible(const Module &mod, std::vector<bool> state)
+{
+    if (state.size() != mod.numQubits())
+        panic("simulateReversible: state width mismatch");
+    for (const auto &op : mod.ops()) {
+        const auto &args = op.operands;
+        switch (op.kind) {
+          case GateKind::X:
+            state[args[0]] = !state[args[0]];
+            break;
+          case GateKind::CNOT:
+            if (state[args[0]])
+                state[args[1]] = !state[args[1]];
+            break;
+          case GateKind::Toffoli:
+            if (state[args[0]] && state[args[1]])
+                state[args[2]] = !state[args[2]];
+            break;
+          case GateKind::Swap: {
+            bool tmp = state[args[0]];
+            state[args[0]] = state[args[1]];
+            state[args[1]] = tmp;
+            break;
+          }
+          case GateKind::Fredkin:
+            if (state[args[0]]) {
+                bool tmp = state[args[1]];
+                state[args[1]] = state[args[2]];
+                state[args[2]] = tmp;
+            }
+            break;
+          case GateKind::PrepZ:
+            state[args[0]] = false;
+            break;
+          case GateKind::MeasZ:
+            // Measurement of a basis state is the identity classically.
+            break;
+          default:
+            panic(std::string("simulateReversible: non-classical gate ") +
+                  gateName(op.kind));
+        }
+    }
+    return state;
+}
+
+/** Pack register bits (little-endian) from @p state into an integer. */
+inline uint64_t
+readRegister(const std::vector<bool> &state,
+             const std::vector<QubitId> &reg)
+{
+    uint64_t value = 0;
+    for (size_t i = 0; i < reg.size() && i < 64; ++i)
+        if (state[reg[i]])
+            value |= uint64_t{1} << i;
+    return value;
+}
+
+/** Write @p value into register bits of @p state (little-endian). */
+inline void
+writeRegister(std::vector<bool> &state, const std::vector<QubitId> &reg,
+              uint64_t value)
+{
+    for (size_t i = 0; i < reg.size() && i < 64; ++i)
+        state[reg[i]] = (value >> i) & 1;
+}
+
+} // namespace test
+} // namespace msq
+
+#endif // MSQ_TESTS_REVERSIBLE_SIM_HH

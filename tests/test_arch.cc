@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests for the architecture model: Multi-SIMD configuration, locations,
+ * moves, timesteps and the LeafSchedule container.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/location.hh"
+#include "arch/multi_simd.hh"
+#include "arch/schedule.hh"
+#include "support/logging.hh"
+
+namespace {
+
+using namespace msq;
+
+TEST(MultiSimdArch, Defaults)
+{
+    MultiSimdArch arch;
+    EXPECT_EQ(arch.k, 4u);
+    EXPECT_EQ(arch.d, unbounded);
+    EXPECT_EQ(arch.localMemCapacity, 0u);
+    arch.validate();
+}
+
+TEST(MultiSimdArch, ValidateRejectsZeroK)
+{
+    MultiSimdArch arch(0);
+    EXPECT_THROW(arch.validate(), FatalError);
+}
+
+TEST(MultiSimdArch, ValidateRejectsZeroD)
+{
+    MultiSimdArch arch(2, 0);
+    EXPECT_THROW(arch.validate(), FatalError);
+}
+
+TEST(MultiSimdArch, Describe)
+{
+    EXPECT_EQ(MultiSimdArch(4).describe(), "Multi-SIMD(4,inf)");
+    EXPECT_EQ(MultiSimdArch(2, 128).describe(), "Multi-SIMD(2,128)");
+    EXPECT_EQ(MultiSimdArch(4, unbounded, 32).describe(),
+              "Multi-SIMD(4,inf)+local(32)");
+    EXPECT_EQ(MultiSimdArch(4, unbounded, unbounded).describe(),
+              "Multi-SIMD(4,inf)+local(inf)");
+}
+
+TEST(MultiSimdArch, CostConstants)
+{
+    EXPECT_EQ(MultiSimdArch::gateCycles, 1u);
+    EXPECT_EQ(MultiSimdArch::teleportCycles, 4u);
+    EXPECT_EQ(MultiSimdArch::localMoveCycles, 1u);
+    EXPECT_EQ(MultiSimdArch::naiveCyclesPerGate, 5u);
+}
+
+TEST(CommMode, Names)
+{
+    EXPECT_STREQ(commModeName(CommMode::None), "none");
+    EXPECT_STREQ(commModeName(CommMode::Global), "global");
+    EXPECT_STREQ(commModeName(CommMode::GlobalWithLocalMem),
+                 "global+local");
+}
+
+TEST(Location, EqualityIgnoresRegionForGlobal)
+{
+    Location g1 = Location::global();
+    Location g2 = Location::global();
+    g2.region = 7; // irrelevant
+    EXPECT_EQ(g1, g2);
+    EXPECT_NE(Location::inRegion(1), Location::inRegion(2));
+    EXPECT_NE(Location::inRegion(1), Location::inLocalMem(1));
+    EXPECT_EQ(Location::inLocalMem(3), Location::inLocalMem(3));
+}
+
+TEST(Location, Describe)
+{
+    EXPECT_EQ(Location::global().describe(), "mem");
+    EXPECT_EQ(Location::inRegion(2).describe(), "r2");
+    EXPECT_EQ(Location::inLocalMem(2).describe(), "r2.local");
+}
+
+TEST(Move, LocalityClassification)
+{
+    Move to_local{0, Location::inRegion(1), Location::inLocalMem(1), true};
+    EXPECT_TRUE(to_local.isLocal());
+    Move from_local{0, Location::inLocalMem(1), Location::inRegion(1),
+                    true};
+    EXPECT_TRUE(from_local.isLocal());
+    Move cross{0, Location::inLocalMem(1), Location::inRegion(2), true};
+    EXPECT_FALSE(cross.isLocal());
+    Move teleport{0, Location::global(), Location::inRegion(0), true};
+    EXPECT_FALSE(teleport.isLocal());
+    Move region_to_region{0, Location::inRegion(0), Location::inRegion(1),
+                          true};
+    EXPECT_FALSE(region_to_region.isLocal());
+}
+
+TEST(Timestep, MovePhaseCosts)
+{
+    Timestep step;
+    step.regions.resize(2);
+    EXPECT_EQ(step.movePhaseCycles(), 0u);
+
+    // Masked teleport: free.
+    step.moves.push_back(
+        {0, Location::global(), Location::inRegion(0), false});
+    EXPECT_EQ(step.movePhaseCycles(), 0u);
+
+    // Local move: one cycle.
+    step.moves.push_back(
+        {1, Location::inRegion(0), Location::inLocalMem(0), false});
+    EXPECT_EQ(step.movePhaseCycles(), 1u);
+
+    // Any blocking teleport: full four cycles.
+    step.moves.push_back(
+        {2, Location::inRegion(1), Location::global(), true});
+    EXPECT_EQ(step.movePhaseCycles(), 4u);
+}
+
+TEST(Timestep, ActiveRegions)
+{
+    Timestep step;
+    step.regions.resize(3);
+    EXPECT_EQ(step.activeRegions(), 0u);
+    step.regions[1].ops.push_back(0);
+    step.regions[2].ops.push_back(1);
+    EXPECT_EQ(step.activeRegions(), 2u);
+}
+
+TEST(LeafSchedule, Accounting)
+{
+    Module mod("m");
+    auto reg = mod.addRegister("q", 2);
+    mod.addGate(GateKind::H, {reg[0]});
+    mod.addGate(GateKind::H, {reg[1]});
+    mod.addGate(GateKind::CNOT, {reg[0], reg[1]});
+
+    LeafSchedule sched(mod, 2);
+    Timestep &s0 = sched.appendStep();
+    s0.regions[0].kind = GateKind::H;
+    s0.regions[0].ops = {0, 1};
+    Timestep &s1 = sched.appendStep();
+    s1.regions[1].kind = GateKind::CNOT;
+    s1.regions[1].ops = {2};
+    s1.moves.push_back(
+        {reg[1], Location::inRegion(0), Location::inRegion(1), true});
+    s1.moves.push_back(
+        {reg[0], Location::inRegion(0), Location::inLocalMem(0), false});
+
+    EXPECT_EQ(sched.computeTimesteps(), 2u);
+    EXPECT_EQ(sched.scheduledOps(), 3u);
+    EXPECT_EQ(sched.width(), 1u);
+    EXPECT_EQ(sched.teleportMoves(), 1u);
+    EXPECT_EQ(sched.localMoves(), 1u);
+    // cycles: (1 + 0) + (1 + 4)
+    EXPECT_EQ(sched.totalCycles(), 6u);
+}
+
+} // namespace

@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Semantic tests for the CTQG reversible-arithmetic generators: circuits
+ * are run on basis states through a classical reversible simulator and
+ * compared against ordinary integer arithmetic, including parameterized
+ * sweeps over operand values and register widths.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ctqg/arith.hh"
+#include "ctqg/logic.hh"
+#include "support/rng.hh"
+#include "reversible_sim.hh"
+
+namespace {
+
+using namespace msq;
+using namespace msq::ctqg;
+using test::readRegister;
+using test::simulateReversible;
+using test::writeRegister;
+
+struct AdderFixture
+{
+    Module mod{"m"};
+    Register a, b, scratch;
+    QubitId carry = 0, carry_out = 0, flag = 0;
+
+    explicit AdderFixture(unsigned width)
+    {
+        a = mod.addRegister("a", width);
+        b = mod.addRegister("b", width);
+        scratch = mod.addRegister("s", width);
+        carry = mod.addLocal("carry");
+        carry_out = mod.addLocal("cout");
+        flag = mod.addLocal("flag");
+    }
+
+    std::vector<bool>
+    run(uint64_t va, uint64_t vb)
+    {
+        std::vector<bool> state(mod.numQubits(), false);
+        writeRegister(state, a, va);
+        writeRegister(state, b, vb);
+        return simulateReversible(mod, state);
+    }
+};
+
+class CuccaroAddSweep
+    : public ::testing::TestWithParam<std::tuple<unsigned, uint64_t>>
+{};
+
+TEST_P(CuccaroAddSweep, AddsModulo2N)
+{
+    auto [width, seed] = GetParam();
+    AdderFixture fx(width);
+    cuccaroAdd(fx.mod, fx.a, fx.b, fx.carry);
+
+    SplitMix64 rng(seed);
+    uint64_t mask = width >= 64 ? ~uint64_t{0}
+                                : ((uint64_t{1} << width) - 1);
+    for (int trial = 0; trial < 20; ++trial) {
+        uint64_t va = rng.next() & mask;
+        uint64_t vb = rng.next() & mask;
+        auto state = fx.run(va, vb);
+        EXPECT_EQ(readRegister(state, fx.b), (va + vb) & mask)
+            << va << " + " << vb << " width " << width;
+        // a unchanged, ancilla restored.
+        EXPECT_EQ(readRegister(state, fx.a), va);
+        EXPECT_FALSE(state[fx.carry]);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Widths, CuccaroAddSweep,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 5u, 8u, 16u, 32u),
+                       ::testing::Values(uint64_t{11}, uint64_t{97})));
+
+TEST(CuccaroAdd, CarryOut)
+{
+    AdderFixture fx(4);
+    cuccaroAdd(fx.mod, fx.a, fx.b, fx.carry, fx.carry_out);
+    auto state = fx.run(12, 7); // 19 = 16 + 3
+    EXPECT_EQ(readRegister(state, fx.b), 3u);
+    EXPECT_TRUE(state[fx.carry_out]);
+
+    auto state2 = fx.run(3, 7); // no carry
+    EXPECT_EQ(readRegister(state2, fx.b), 10u);
+    EXPECT_FALSE(state2[fx.carry_out]);
+}
+
+TEST(CuccaroSub, SubtractsModulo2N)
+{
+    AdderFixture fx(6);
+    cuccaroSub(fx.mod, fx.a, fx.b, fx.carry);
+    SplitMix64 rng(5);
+    for (int trial = 0; trial < 30; ++trial) {
+        uint64_t va = rng.nextBelow(64);
+        uint64_t vb = rng.nextBelow(64);
+        auto state = fx.run(va, vb);
+        EXPECT_EQ(readRegister(state, fx.b), (vb - va) & 63u)
+            << vb << " - " << va;
+        EXPECT_EQ(readRegister(state, fx.a), va);
+    }
+}
+
+TEST(AddConst, AddsConstantAndClearsScratch)
+{
+    AdderFixture fx(8);
+    addConst(fx.mod, 57, fx.b, fx.scratch, fx.carry);
+    auto state = fx.run(0, 100);
+    EXPECT_EQ(readRegister(state, fx.b), (100u + 57u) & 255u);
+    EXPECT_EQ(readRegister(state, fx.scratch), 0u);
+}
+
+TEST(CompareLess, FlagsStrictlyLess)
+{
+    AdderFixture fx(5);
+    compareLess(fx.mod, fx.a, fx.b, fx.flag, fx.scratch, fx.carry);
+    for (uint64_t va : {0u, 3u, 15u, 16u, 31u}) {
+        for (uint64_t vb : {0u, 3u, 15u, 16u, 31u}) {
+            auto state = fx.run(va, vb);
+            EXPECT_EQ(state[fx.flag], va < vb) << va << " < " << vb;
+            // Inputs and scratch restored.
+            EXPECT_EQ(readRegister(state, fx.a), va);
+            EXPECT_EQ(readRegister(state, fx.b), vb);
+            EXPECT_EQ(readRegister(state, fx.scratch), 0u);
+        }
+    }
+}
+
+TEST(ControlledAdd, AddsOnlyWhenControlSet)
+{
+    Module mod("m");
+    auto a = mod.addRegister("a", 6);
+    auto b = mod.addRegister("b", 6);
+    auto scratch = mod.addRegister("s", 6);
+    QubitId carry = mod.addLocal("carry");
+    QubitId ctl = mod.addLocal("ctl");
+    controlledAdd(mod, ctl, a, b, scratch, carry);
+
+    for (bool on : {false, true}) {
+        std::vector<bool> state(mod.numQubits(), false);
+        writeRegister(state, a, 21);
+        writeRegister(state, b, 30);
+        state[ctl] = on;
+        auto out = simulateReversible(mod, state);
+        EXPECT_EQ(readRegister(out, b), on ? (21u + 30u) & 63u : 30u);
+        EXPECT_EQ(readRegister(out, scratch), 0u);
+    }
+}
+
+TEST(MultiplyAccumulate, ComputesProduct)
+{
+    Module mod("m");
+    auto a = mod.addRegister("a", 4);
+    auto b = mod.addRegister("b", 4);
+    auto prod = mod.addRegister("p", 8);
+    auto scratch = mod.addRegister("s", 8);
+    QubitId carry = mod.addLocal("carry");
+    multiplyAccumulate(mod, a, b, prod, scratch, carry);
+
+    SplitMix64 rng(3);
+    for (int trial = 0; trial < 20; ++trial) {
+        uint64_t va = rng.nextBelow(16);
+        uint64_t vb = rng.nextBelow(16);
+        std::vector<bool> state(mod.numQubits(), false);
+        writeRegister(state, a, va);
+        writeRegister(state, b, vb);
+        auto out = simulateReversible(mod, state);
+        EXPECT_EQ(readRegister(out, prod), va * vb) << va << "*" << vb;
+        EXPECT_EQ(readRegister(out, scratch), 0u);
+    }
+}
+
+TEST(Logic, BitwiseXor)
+{
+    Module mod("m");
+    auto a = mod.addRegister("a", 8);
+    auto b = mod.addRegister("b", 8);
+    bitwiseXor(mod, a, b);
+    std::vector<bool> state(mod.numQubits(), false);
+    writeRegister(state, a, 0xA5);
+    writeRegister(state, b, 0x0F);
+    auto out = simulateReversible(mod, state);
+    EXPECT_EQ(readRegister(out, b), 0xA5u ^ 0x0Fu);
+}
+
+TEST(Logic, BitwiseAndOr)
+{
+    Module mod("m");
+    auto a = mod.addRegister("a", 8);
+    auto b = mod.addRegister("b", 8);
+    auto and_out = mod.addRegister("ao", 8);
+    auto or_out = mod.addRegister("oo", 8);
+    bitwiseAnd(mod, a, b, and_out);
+    bitwiseOr(mod, a, b, or_out);
+    std::vector<bool> state(mod.numQubits(), false);
+    writeRegister(state, a, 0x3C);
+    writeRegister(state, b, 0x66);
+    auto out = simulateReversible(mod, state);
+    EXPECT_EQ(readRegister(out, and_out), 0x3Cu & 0x66u);
+    EXPECT_EQ(readRegister(out, or_out), 0x3Cu | 0x66u);
+}
+
+TEST(Logic, SetConstLoadsValue)
+{
+    Module mod("m");
+    auto reg = mod.addRegister("r", 8);
+    setConst(mod, reg, 0xB7);
+    std::vector<bool> state(mod.numQubits(), false);
+    auto out = simulateReversible(mod, state);
+    EXPECT_EQ(readRegister(out, reg), 0xB7u);
+}
+
+TEST(Logic, RotlPermutesWires)
+{
+    Register reg = {10, 11, 12, 13};
+    Register rot = rotl(reg, 1);
+    // bit i of input appears at position (i+1) mod 4.
+    EXPECT_EQ(rot[1], 10u);
+    EXPECT_EQ(rot[2], 11u);
+    EXPECT_EQ(rot[0], 13u);
+    EXPECT_EQ(rotl(reg, 4), reg);
+    EXPECT_TRUE(rotl({}, 3).empty());
+}
+
+TEST(Logic, Sha1RoundFunctions)
+{
+    Module mod("m");
+    auto x = mod.addRegister("x", 8);
+    auto y = mod.addRegister("y", 8);
+    auto z = mod.addRegister("z", 8);
+    auto ch = mod.addRegister("ch", 8);
+    auto maj = mod.addRegister("mj", 8);
+    auto par = mod.addRegister("pr", 8);
+    chooseFunction(mod, x, y, z, ch);
+    majorityFunction(mod, x, y, z, maj);
+    parityFunction(mod, x, y, z, par);
+
+    SplitMix64 rng(9);
+    for (int trial = 0; trial < 20; ++trial) {
+        uint64_t vx = rng.nextBelow(256);
+        uint64_t vy = rng.nextBelow(256);
+        uint64_t vz = rng.nextBelow(256);
+        std::vector<bool> state(mod.numQubits(), false);
+        writeRegister(state, x, vx);
+        writeRegister(state, y, vy);
+        writeRegister(state, z, vz);
+        auto out = simulateReversible(mod, state);
+        EXPECT_EQ(readRegister(out, ch), (vx & vy) ^ (~vx & vz & 0xFF));
+        EXPECT_EQ(readRegister(out, maj),
+                  (vx & vy) ^ (vx & vz) ^ (vy & vz));
+        EXPECT_EQ(readRegister(out, par), vx ^ vy ^ vz);
+        // Inputs restored.
+        EXPECT_EQ(readRegister(out, x), vx);
+        EXPECT_EQ(readRegister(out, y), vy);
+        EXPECT_EQ(readRegister(out, z), vz);
+    }
+}
+
+class MultiControlledXSweep : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(MultiControlledXSweep, FlipsIffAllControlsSet)
+{
+    unsigned n = GetParam();
+    Module mod("m");
+    auto controls = mod.addRegister("c", n);
+    QubitId target = mod.addLocal("t");
+    auto anc = mod.addRegister("anc", n > 1 ? n - 1 : 1);
+    multiControlledX(mod, controls, target, anc);
+
+    // All-ones flips; every single-zero pattern does not.
+    std::vector<bool> state(mod.numQubits(), false);
+    writeRegister(state, controls, (uint64_t{1} << n) - 1);
+    auto out = simulateReversible(mod, state);
+    EXPECT_TRUE(out[target]);
+    EXPECT_EQ(readRegister(out, anc), 0u) << "ancilla not uncomputed";
+
+    for (unsigned z = 0; z < n; ++z) {
+        std::vector<bool> st2(mod.numQubits(), false);
+        writeRegister(st2, controls,
+                      ((uint64_t{1} << n) - 1) & ~(uint64_t{1} << z));
+        auto out2 = simulateReversible(mod, st2);
+        EXPECT_FALSE(out2[target]) << "zero control " << z;
+        EXPECT_EQ(readRegister(out2, anc), 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Controls, MultiControlledXSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 6u, 9u));
+
+TEST(MultiControlledX, ZeroControlsIsX)
+{
+    Module mod("m");
+    QubitId target = mod.addLocal("t");
+    multiControlledX(mod, {}, target, {});
+    std::vector<bool> state(1, false);
+    EXPECT_TRUE(simulateReversible(mod, state)[target]);
+}
+
+TEST(MultiControlledX, InsufficientAncillaFatal)
+{
+    Module mod("m");
+    auto controls = mod.addRegister("c", 5);
+    QubitId target = mod.addLocal("t");
+    auto anc = mod.addRegister("anc", 2); // needs 4
+    EXPECT_THROW(multiControlledX(mod, controls, target, anc), FatalError);
+}
+
+TEST(Arith, WidthMismatchFatal)
+{
+    Module mod("m");
+    auto a = mod.addRegister("a", 4);
+    auto b = mod.addRegister("b", 5);
+    QubitId carry = mod.addLocal("carry");
+    EXPECT_THROW(cuccaroAdd(mod, a, b, carry), FatalError);
+}
+
+} // namespace

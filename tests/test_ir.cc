@@ -1,0 +1,358 @@
+/**
+ * @file
+ * Unit tests for the IR: gate metadata, modules, programs, dependence DAGs
+ * and the textual printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ir/dag.hh"
+#include "ir/printer.hh"
+#include "ir/program.hh"
+#include "support/logging.hh"
+
+namespace {
+
+using namespace msq;
+
+TEST(Gate, NamesRoundTrip)
+{
+    for (size_t i = 0; i < numGateKinds; ++i) {
+        auto kind = static_cast<GateKind>(i);
+        GateKind parsed;
+        ASSERT_TRUE(parseGateName(gateName(kind), parsed)) << gateName(kind);
+        EXPECT_EQ(parsed, kind);
+    }
+}
+
+TEST(Gate, UnknownNameRejected)
+{
+    GateKind kind;
+    EXPECT_FALSE(parseGateName("NOPE", kind));
+}
+
+TEST(Gate, Arity)
+{
+    EXPECT_EQ(gateArity(GateKind::H), 1);
+    EXPECT_EQ(gateArity(GateKind::CNOT), 2);
+    EXPECT_EQ(gateArity(GateKind::Toffoli), 3);
+    EXPECT_EQ(gateArity(GateKind::Call), -1);
+}
+
+TEST(Gate, Classification)
+{
+    EXPECT_TRUE(isRotationGate(GateKind::Rz));
+    EXPECT_FALSE(isRotationGate(GateKind::T));
+    EXPECT_TRUE(isPrimitiveGate(GateKind::CNOT));
+    EXPECT_FALSE(isPrimitiveGate(GateKind::Toffoli));
+    EXPECT_TRUE(isMeasureGate(GateKind::MeasZ));
+    EXPECT_FALSE(isMeasureGate(GateKind::PrepZ));
+}
+
+TEST(Gate, Dagger)
+{
+    EXPECT_EQ(daggerOf(GateKind::T), GateKind::Tdag);
+    EXPECT_EQ(daggerOf(GateKind::Sdag), GateKind::S);
+    EXPECT_EQ(daggerOf(GateKind::H), GateKind::H);
+    EXPECT_EQ(daggerOf(GateKind::CNOT), GateKind::CNOT);
+    EXPECT_THROW(daggerOf(GateKind::MeasZ), PanicError);
+}
+
+TEST(Module, QubitTables)
+{
+    Module mod("m");
+    QubitId a = mod.addParam("a");
+    QubitId b = mod.addParam("b");
+    QubitId anc = mod.addLocal("anc");
+    EXPECT_EQ(a, 0u);
+    EXPECT_EQ(b, 1u);
+    EXPECT_EQ(anc, 2u);
+    EXPECT_EQ(mod.numParams(), 2u);
+    EXPECT_EQ(mod.numQubits(), 3u);
+    EXPECT_EQ(mod.qubitName(anc), "anc");
+}
+
+TEST(Module, ParamAfterLocalPanics)
+{
+    Module mod("m");
+    mod.addLocal("x");
+    EXPECT_THROW(mod.addParam("p"), PanicError);
+}
+
+TEST(Module, RegisterNaming)
+{
+    Module mod("m");
+    auto reg = mod.addRegister("r", 3);
+    ASSERT_EQ(reg.size(), 3u);
+    EXPECT_EQ(mod.qubitName(reg[1]), "r[1]");
+}
+
+TEST(Module, GateArityChecked)
+{
+    Module mod("m");
+    auto reg = mod.addRegister("r", 3);
+    EXPECT_THROW(mod.addGate(GateKind::CNOT, {reg[0]}), PanicError);
+    EXPECT_THROW(mod.addGate(GateKind::H, {reg[0], reg[1]}), PanicError);
+}
+
+TEST(Module, DuplicateOperandPanics)
+{
+    Module mod("m");
+    auto reg = mod.addRegister("r", 2);
+    EXPECT_THROW(mod.addGate(GateKind::CNOT, {reg[0], reg[0]}), PanicError);
+}
+
+TEST(Module, OutOfRangeOperandPanics)
+{
+    Module mod("m");
+    mod.addLocal("x");
+    EXPECT_THROW(mod.addGate(GateKind::H, {5}), PanicError);
+}
+
+TEST(Module, LeafDetection)
+{
+    Program prog;
+    ModuleId callee_id = prog.addModule("leaf");
+    prog.module(callee_id).addParam("q");
+    prog.module(callee_id).addGate(GateKind::H, {0});
+
+    ModuleId caller_id = prog.addModule("caller");
+    prog.module(caller_id).addLocal("x");
+    prog.module(caller_id).addCall(callee_id, {0});
+
+    EXPECT_TRUE(prog.module(callee_id).isLeaf());
+    EXPECT_FALSE(prog.module(caller_id).isLeaf());
+    EXPECT_EQ(prog.module(caller_id).localGateCount(), 0u);
+    EXPECT_EQ(prog.module(callee_id).localGateCount(), 1u);
+}
+
+TEST(Program, DuplicateModuleNameFatal)
+{
+    Program prog;
+    prog.addModule("m");
+    EXPECT_THROW(prog.addModule("m"), FatalError);
+}
+
+TEST(Program, FindModule)
+{
+    Program prog;
+    ModuleId id = prog.addModule("m");
+    EXPECT_EQ(prog.findModule("m"), id);
+    EXPECT_EQ(prog.findModule("nope"), invalidModule);
+}
+
+TEST(Program, ValidateRequiresEntry)
+{
+    Program prog;
+    prog.addModule("m");
+    EXPECT_THROW(prog.validate(), FatalError);
+}
+
+TEST(Program, ValidateChecksCallArity)
+{
+    Program prog;
+    ModuleId leaf = prog.addModule("leaf");
+    prog.module(leaf).addParam("a");
+    prog.module(leaf).addParam("b");
+    ModuleId top = prog.addModule("top");
+    prog.module(top).addLocal("x");
+    prog.module(top).addCall(leaf, {0}); // wrong arity
+    prog.setEntry(top);
+    EXPECT_THROW(prog.validate(), FatalError);
+}
+
+TEST(Program, RecursionRejected)
+{
+    Program prog;
+    ModuleId a = prog.addModule("a");
+    ModuleId b = prog.addModule("b");
+    prog.module(a).addLocal("q");
+    prog.module(b).addParam("q");
+    prog.module(a).addCall(b, {0});
+    prog.module(b).addCall(a, {});
+    prog.setEntry(a);
+    EXPECT_THROW(prog.validate(), FatalError);
+}
+
+TEST(Program, BottomUpOrderPutsCalleesFirst)
+{
+    Program prog;
+    ModuleId leaf = prog.addModule("leaf");
+    prog.module(leaf).addParam("q");
+    prog.module(leaf).addGate(GateKind::T, {0});
+    ModuleId mid = prog.addModule("mid");
+    prog.module(mid).addParam("q");
+    prog.module(mid).addCall(leaf, {0});
+    ModuleId top = prog.addModule("top");
+    prog.module(top).addLocal("q");
+    prog.module(top).addCall(mid, {0});
+    prog.setEntry(top);
+
+    auto order = prog.bottomUpOrder();
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], leaf);
+    EXPECT_EQ(order[1], mid);
+    EXPECT_EQ(order[2], top);
+}
+
+TEST(Program, UnreachableModulesExcluded)
+{
+    Program prog;
+    ModuleId top = prog.addModule("top");
+    prog.module(top).addLocal("q");
+    prog.module(top).addGate(GateKind::H, {0});
+    prog.addModule("orphan");
+    prog.setEntry(top);
+    EXPECT_EQ(prog.reachableModules().size(), 1u);
+}
+
+// --- Dependence DAG ---
+
+// Build a small diamond: H(a); H(b); CNOT(a,b); T(b).
+Module
+diamondModule()
+{
+    Module mod("diamond");
+    mod.addLocal("a");
+    mod.addLocal("b");
+    mod.addGate(GateKind::H, {0});
+    mod.addGate(GateKind::H, {1});
+    mod.addGate(GateKind::CNOT, {0, 1});
+    mod.addGate(GateKind::T, {1});
+    return mod;
+}
+
+TEST(DepDag, StructureOfDiamond)
+{
+    Module mod = diamondModule();
+    DepDag dag = DepDag::build(mod);
+    ASSERT_EQ(dag.numNodes(), 4u);
+    EXPECT_EQ(dag.roots().size(), 2u);
+    EXPECT_EQ(dag.succs(0), std::vector<uint32_t>{2});
+    EXPECT_EQ(dag.succs(1), std::vector<uint32_t>{2});
+    EXPECT_EQ(dag.succs(2), std::vector<uint32_t>{3});
+    EXPECT_TRUE(dag.succs(3).empty());
+    EXPECT_EQ(dag.preds(2).size(), 2u);
+}
+
+TEST(DepDag, NoDuplicateEdgeForSharedPair)
+{
+    // Two consecutive CNOTs on the same pair must yield a single edge.
+    Module mod("m");
+    mod.addLocal("a");
+    mod.addLocal("b");
+    mod.addGate(GateKind::CNOT, {0, 1});
+    mod.addGate(GateKind::CNOT, {0, 1});
+    DepDag dag = DepDag::build(mod);
+    EXPECT_EQ(dag.succs(0).size(), 1u);
+    EXPECT_EQ(dag.preds(1).size(), 1u);
+}
+
+TEST(DepDag, CriticalPath)
+{
+    Module mod = diamondModule();
+    DepDag dag = DepDag::build(mod);
+    EXPECT_EQ(dag.criticalPathLength(), 3u); // H -> CNOT -> T
+}
+
+TEST(DepDag, DepthAndHeight)
+{
+    Module mod = diamondModule();
+    DepDag dag = DepDag::build(mod);
+    auto depth = dag.depthFromTop();
+    auto height = dag.heightToBottom();
+    EXPECT_EQ(depth[0], 1u);
+    EXPECT_EQ(depth[2], 2u);
+    EXPECT_EQ(depth[3], 3u);
+    EXPECT_EQ(height[0], 3u);
+    EXPECT_EQ(height[3], 1u);
+}
+
+TEST(DepDag, SlackZeroOnCriticalPath)
+{
+    Module mod = diamondModule();
+    DepDag dag = DepDag::build(mod);
+    auto slack = dag.slack();
+    // All four nodes lie on some longest path in the diamond.
+    for (uint32_t i = 0; i < 4; ++i)
+        EXPECT_EQ(slack[i], 0u) << "node " << i;
+}
+
+TEST(DepDag, SlackPositiveOffCriticalPath)
+{
+    Module mod("m");
+    mod.addLocal("a");
+    mod.addLocal("b");
+    // Chain of 3 on a; single op on b.
+    mod.addGate(GateKind::T, {0});
+    mod.addGate(GateKind::T, {0});
+    mod.addGate(GateKind::T, {0});
+    mod.addGate(GateKind::H, {1});
+    DepDag dag = DepDag::build(mod);
+    auto slack = dag.slack();
+    EXPECT_EQ(slack[0], 0u);
+    EXPECT_EQ(slack[3], 2u);
+}
+
+TEST(DepDag, WeightFunctionRespected)
+{
+    Module mod("m");
+    mod.addLocal("a");
+    mod.addGate(GateKind::T, {0});
+    mod.addGate(GateKind::T, {0});
+    DepDag dag = DepDag::build(
+        mod, [](const Operation &) -> uint64_t { return 10; });
+    EXPECT_EQ(dag.criticalPathLength(), 20u);
+}
+
+TEST(DepDag, EmptyModule)
+{
+    Module mod("empty");
+    DepDag dag = DepDag::build(mod);
+    EXPECT_EQ(dag.numNodes(), 0u);
+    EXPECT_EQ(dag.criticalPathLength(), 0u);
+}
+
+// --- Printer ---
+
+TEST(Printer, ModuleDump)
+{
+    Program prog;
+    ModuleId id = prog.addModule("m");
+    Module &mod = prog.module(id);
+    mod.addParam("q");
+    mod.addLocal("anc");
+    mod.addGate(GateKind::H, {0});
+    mod.addGate(GateKind::CNOT, {0, 1});
+    mod.addGate(GateKind::Rz, {1}, 0.25);
+    prog.setEntry(id);
+
+    std::ostringstream os;
+    printModule(os, prog, mod);
+    std::string text = os.str();
+    EXPECT_NE(text.find("module m(qbit q)"), std::string::npos);
+    EXPECT_NE(text.find("qbit anc;"), std::string::npos);
+    EXPECT_NE(text.find("H(q);"), std::string::npos);
+    EXPECT_NE(text.find("CNOT(q, anc);"), std::string::npos);
+    EXPECT_NE(text.find("Rz(anc, 0.25);"), std::string::npos);
+}
+
+TEST(Printer, RepeatedCallDump)
+{
+    Program prog;
+    ModuleId leaf = prog.addModule("leaf");
+    prog.module(leaf).addParam("q");
+    prog.module(leaf).addGate(GateKind::T, {0});
+    ModuleId top = prog.addModule("top");
+    prog.module(top).addLocal("x");
+    prog.module(top).addCall(leaf, {0}, 5);
+    prog.setEntry(top);
+
+    std::ostringstream os;
+    printProgram(os, prog);
+    EXPECT_NE(os.str().find("repeat 5 leaf(x);"), std::string::npos);
+}
+
+} // namespace

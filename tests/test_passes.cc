@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Tests for the decomposition and flattening passes: the Fig. 4 Toffoli
+ * expansion, rotation sequences (determinism, length scaling, outlining),
+ * FTh-driven flattening, and pass-manager plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/resource_estimator.hh"
+#include "passes/decompose_toffoli.hh"
+#include "passes/flatten.hh"
+#include "passes/pass_manager.hh"
+#include "passes/rotation_decomposer.hh"
+#include "support/logging.hh"
+
+namespace {
+
+using namespace msq;
+
+// --- Toffoli decomposition ---
+
+TEST(DecomposeToffoli, Fig4Sequence)
+{
+    // The exact 16-op expansion shown in paper Fig. 4.
+    std::vector<Operation> out;
+    DecomposeToffoliPass::expandToffoli(0, 1, 2, out);
+    ASSERT_EQ(out.size(), 16u);
+    using GK = GateKind;
+    const GK expected_kinds[16] = {
+        GK::H,    GK::CNOT, GK::Tdag, GK::CNOT, GK::T,    GK::CNOT,
+        GK::Tdag, GK::CNOT, GK::Tdag, GK::T,    GK::CNOT, GK::H,
+        GK::Tdag, GK::CNOT, GK::T,    GK::S,
+    };
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(out[i].kind, expected_kinds[i]) << "op " << i;
+    // Spot-check operands: first CNOT is (b, c), last S is on b.
+    EXPECT_EQ(out[1].operands, (std::vector<QubitId>{1, 2}));
+    EXPECT_EQ(out[15].operands, (std::vector<QubitId>{1}));
+}
+
+TEST(DecomposeToffoli, RewritesModules)
+{
+    Program prog;
+    ModuleId id = prog.addModule("m");
+    Module &mod = prog.module(id);
+    auto reg = mod.addRegister("q", 3);
+    mod.addGate(GateKind::Toffoli, {reg[0], reg[1], reg[2]});
+    mod.addGate(GateKind::Swap, {reg[0], reg[1]});
+    mod.addGate(GateKind::H, {reg[2]});
+    prog.setEntry(id);
+
+    DecomposeToffoliPass pass;
+    pass.run(prog);
+    EXPECT_EQ(mod.numOps(), 16u + 3u + 1u);
+    for (const auto &op : mod.ops())
+        EXPECT_TRUE(isPrimitiveGate(op.kind))
+            << gateName(op.kind);
+}
+
+TEST(DecomposeToffoli, FredkinExpands)
+{
+    std::vector<Operation> out;
+    DecomposeToffoliPass::expandFredkin(0, 1, 2, out);
+    EXPECT_EQ(out.size(), 18u); // CNOT + 16 + CNOT
+    EXPECT_EQ(out.front().kind, GateKind::CNOT);
+    EXPECT_EQ(out.back().kind, GateKind::CNOT);
+}
+
+TEST(DecomposeToffoli, LeavesPrimitivesAlone)
+{
+    Program prog;
+    ModuleId id = prog.addModule("m");
+    Module &mod = prog.module(id);
+    auto reg = mod.addRegister("q", 2);
+    mod.addGate(GateKind::CNOT, {reg[0], reg[1]});
+    prog.setEntry(id);
+    DecomposeToffoliPass().run(prog);
+    EXPECT_EQ(mod.numOps(), 1u);
+}
+
+// --- Rotation decomposition ---
+
+TEST(RotationDecomposer, SequenceIsDeterministic)
+{
+    auto s1 = RotationDecomposerPass::sequenceForAngle(GateKind::Rz, 0.7,
+                                                       100);
+    auto s2 = RotationDecomposerPass::sequenceForAngle(GateKind::Rz, 0.7,
+                                                       100);
+    EXPECT_EQ(s1, s2);
+    auto s3 = RotationDecomposerPass::sequenceForAngle(GateKind::Rz, 0.8,
+                                                       100);
+    EXPECT_NE(s1, s3);
+    auto s4 = RotationDecomposerPass::sequenceForAngle(GateKind::Rx, 0.7,
+                                                       100);
+    EXPECT_NE(s1, s4);
+}
+
+TEST(RotationDecomposer, NoAdjacentCancellation)
+{
+    auto seq = RotationDecomposerPass::sequenceForAngle(GateKind::Ry,
+                                                        1.234, 2000);
+    ASSERT_EQ(seq.size(), 2000u);
+    for (size_t i = 1; i < seq.size(); ++i) {
+        GateKind prev = seq[i - 1];
+        GateKind cur = seq[i];
+        bool cancels =
+            (prev == cur && (cur == GateKind::H || cur == GateKind::X ||
+                             cur == GateKind::Z)) ||
+            (prev == GateKind::T && cur == GateKind::Tdag) ||
+            (prev == GateKind::Tdag && cur == GateKind::T) ||
+            (prev == GateKind::S && cur == GateKind::Sdag) ||
+            (prev == GateKind::Sdag && cur == GateKind::S);
+        EXPECT_FALSE(cancels) << "position " << i;
+    }
+}
+
+TEST(RotationDecomposer, LengthScalesWithPrecision)
+{
+    RotationDecomposerPass::Config loose;
+    loose.epsilon = 1e-4;
+    RotationDecomposerPass::Config tight;
+    tight.epsilon = 1e-14;
+    EXPECT_LT(RotationDecomposerPass(loose).derivedLength(),
+              RotationDecomposerPass(tight).derivedLength());
+    // "Several thousand operations" ballpark at high precision (§4.2).
+    EXPECT_GT(RotationDecomposerPass(tight).derivedLength(), 300u);
+}
+
+TEST(RotationDecomposer, ExplicitLengthOverrides)
+{
+    RotationDecomposerPass::Config config;
+    config.sequenceLength = 42;
+    EXPECT_EQ(RotationDecomposerPass(config).derivedLength(), 42u);
+}
+
+TEST(RotationDecomposer, BadEpsilonFatal)
+{
+    RotationDecomposerPass::Config config;
+    config.epsilon = 0.0;
+    EXPECT_THROW(
+        {
+            RotationDecomposerPass pass(config);
+            (void)pass;
+        },
+        FatalError);
+}
+
+Program
+rotationProgram()
+{
+    Program prog;
+    ModuleId id = prog.addModule("m");
+    Module &mod = prog.module(id);
+    auto reg = mod.addRegister("q", 2);
+    mod.addGate(GateKind::Rz, {reg[0]}, 0.5);
+    mod.addGate(GateKind::Rz, {reg[1]}, 0.5);
+    mod.addGate(GateKind::Rz, {reg[0]}, 0.25);
+    prog.setEntry(id);
+    return prog;
+}
+
+TEST(RotationDecomposer, InlineModeExpandsInPlace)
+{
+    Program prog = rotationProgram();
+    RotationDecomposerPass::Config config;
+    config.sequenceLength = 10;
+    RotationDecomposerPass(config).run(prog);
+    const Module &mod = prog.module(prog.entry());
+    EXPECT_EQ(mod.numOps(), 30u);
+    EXPECT_TRUE(mod.isLeaf());
+    EXPECT_EQ(prog.numModules(), 1u);
+}
+
+TEST(RotationDecomposer, OutlineModeSharesAngleModules)
+{
+    Program prog = rotationProgram();
+    RotationDecomposerPass::Config config;
+    config.sequenceLength = 10;
+    config.outline = true;
+    RotationDecomposerPass(config).run(prog);
+    // Two distinct angles -> two outlined modules.
+    EXPECT_EQ(prog.numModules(), 3u);
+    const Module &mod = prog.module(prog.entry());
+    EXPECT_EQ(mod.numOps(), 3u);
+    for (const auto &op : mod.ops()) {
+        ASSERT_TRUE(op.isCall());
+        const Module &callee = prog.module(op.callee);
+        EXPECT_EQ(callee.numOps(), 10u);
+        EXPECT_TRUE(callee.noInline());
+    }
+    prog.validate();
+}
+
+// --- Flattening ---
+
+Program
+threeLevelProgram()
+{
+    Program prog;
+    ModuleId leaf = prog.addModule("leaf");
+    {
+        Module &mod = prog.module(leaf);
+        QubitId q = mod.addParam("q");
+        QubitId anc = mod.addLocal("anc");
+        mod.addGate(GateKind::H, {q});
+        mod.addGate(GateKind::CNOT, {q, anc});
+    }
+    ModuleId mid = prog.addModule("mid");
+    {
+        Module &mod = prog.module(mid);
+        QubitId q = mod.addParam("q");
+        mod.addGate(GateKind::T, {q});
+        mod.addCall(leaf, {q}, 3);
+    }
+    ModuleId top = prog.addModule("top");
+    {
+        Module &mod = prog.module(top);
+        QubitId q = mod.addLocal("q");
+        mod.addCall(mid, {q}, 2);
+    }
+    prog.setEntry(top);
+    return prog;
+}
+
+TEST(Flatten, BelowThresholdBecomesLeaf)
+{
+    Program prog = threeLevelProgram();
+    FlattenPass(1000).run(prog);
+    // Everything is tiny: all modules flatten.
+    const Module &top = prog.module(prog.findModule("top"));
+    EXPECT_TRUE(top.isLeaf());
+    // top = 2 * (1 + 3*2) = 14 gates.
+    EXPECT_EQ(top.localGateCount(), 14u);
+    prog.validate();
+}
+
+TEST(Flatten, AboveThresholdStaysModular)
+{
+    Program prog = threeLevelProgram();
+    FlattenPass(4).run(prog);
+    // mid totals 7 gates > 4: stays modular; leaf (2 gates) already leaf.
+    const Module &mid = prog.module(prog.findModule("mid"));
+    EXPECT_FALSE(mid.isLeaf());
+    const Module &top = prog.module(prog.findModule("top"));
+    EXPECT_FALSE(top.isLeaf());
+}
+
+TEST(Flatten, ThresholdBetweenLevels)
+{
+    Program prog = threeLevelProgram();
+    FlattenPass(10).run(prog);
+    // mid totals 7 <= 10 -> flattens into a 7-gate leaf; top totals
+    // 14 > 10 -> keeps its calls to the (now-leaf) mid.
+    const Module &mid = prog.module(prog.findModule("mid"));
+    EXPECT_TRUE(mid.isLeaf());
+    EXPECT_EQ(mid.localGateCount(), 7u);
+    const Module &top = prog.module(prog.findModule("top"));
+    EXPECT_FALSE(top.isLeaf());
+    ResourceEstimator res(prog);
+    EXPECT_EQ(res.programGates(), 14u);
+}
+
+TEST(Flatten, GateCountPreserved)
+{
+    for (uint64_t threshold : {1u, 5u, 8u, 100u}) {
+        Program prog = threeLevelProgram();
+        uint64_t before = ResourceEstimator(prog).programGates();
+        FlattenPass(threshold).run(prog);
+        EXPECT_EQ(ResourceEstimator(prog).programGates(), before)
+            << "threshold " << threshold;
+    }
+}
+
+TEST(Flatten, NoInlineModulesKeptAsCalls)
+{
+    Program prog = threeLevelProgram();
+    prog.module(prog.findModule("leaf")).setNoInline(true);
+    FlattenPass(1000).run(prog);
+    const Module &mid = prog.module(prog.findModule("mid"));
+    EXPECT_FALSE(mid.isLeaf());
+    unsigned calls = 0;
+    for (const auto &op : mid.ops())
+        if (op.isCall())
+            ++calls;
+    EXPECT_EQ(calls, 1u); // repeat count preserved on the kept call
+    prog.validate();
+}
+
+TEST(Flatten, InlinedAncillaGetFreshNames)
+{
+    Program prog = threeLevelProgram();
+    FlattenPass(1000).run(prog);
+    const Module &top = prog.module(prog.findModule("top"));
+    // top had 1 local; inlining adds ancilla per call site.
+    EXPECT_GT(top.numQubits(), 1u);
+    prog.validate();
+}
+
+// --- Pass manager ---
+
+class CountingPass : public Pass
+{
+  public:
+    explicit CountingPass(int &counter) : counter(counter) {}
+    const char *name() const override { return "counting"; }
+    void run(Program &) override { ++counter; }
+
+  private:
+    int &counter;
+};
+
+TEST(PassManager, RunsPassesInOrder)
+{
+    Program prog = threeLevelProgram();
+    int count = 0;
+    PassManager pm;
+    pm.add(std::make_unique<CountingPass>(count));
+    pm.add(std::make_unique<CountingPass>(count));
+    pm.run(prog);
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(pm.numPasses(), 2u);
+}
+
+} // namespace

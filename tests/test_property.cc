@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Property-based tests: every (scheduler x architecture x random module)
+ * combination must produce a schedule that passes the full validator —
+ * coverage, dependences, SIMD homogeneity, qubit exclusivity, d budget,
+ * and movement consistency under every communication mode — and core
+ * metric invariants must hold (length >= critical path, length >= ops/k,
+ * local memory never increases cost).
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/logging.hh"
+
+#include "ir/dag.hh"
+#include "sched/comm.hh"
+#include "sched/lpfs.hh"
+#include "sched/rcp.hh"
+#include "sched/validator.hh"
+#include "support/rng.hh"
+
+namespace {
+
+using namespace msq;
+
+/** Random leaf module generator: mixed 1- and 2-qubit primitive gates. */
+Module
+randomModule(uint64_t seed, unsigned qubits, unsigned ops)
+{
+    SplitMix64 rng(seed);
+    Module mod("random");
+    auto reg = mod.addRegister("q", qubits);
+    const GateKind one_q[] = {GateKind::H,    GateKind::T, GateKind::Tdag,
+                              GateKind::S,    GateKind::X, GateKind::Z,
+                              GateKind::Sdag, GateKind::Y};
+    for (unsigned i = 0; i < ops; ++i) {
+        if (qubits >= 2 && rng.nextBelow(100) < 25) {
+            QubitId a = static_cast<QubitId>(rng.nextBelow(qubits));
+            QubitId b = static_cast<QubitId>(rng.nextBelow(qubits));
+            if (a == b)
+                b = (b + 1) % qubits;
+            mod.addGate(rng.nextBelow(2) ? GateKind::CNOT : GateKind::CZ,
+                        {a, b});
+        } else {
+            QubitId a = static_cast<QubitId>(rng.nextBelow(qubits));
+            mod.addGate(one_q[rng.nextBelow(8)], {a});
+        }
+    }
+    return mod;
+}
+
+struct PropertyCase
+{
+    uint64_t seed;
+    unsigned qubits;
+    unsigned ops;
+    unsigned k;
+    uint64_t d;
+    uint64_t local;
+};
+
+class SchedulerProperties : public ::testing::TestWithParam<PropertyCase>
+{};
+
+TEST_P(SchedulerProperties, AllInvariantsHold)
+{
+    const auto &param = GetParam();
+    Module mod = randomModule(param.seed, param.qubits, param.ops);
+    MultiSimdArch arch(param.k, param.d, param.local);
+    DepDag dag = DepDag::build(mod);
+    uint64_t critical_path = dag.criticalPathLength();
+
+    std::vector<std::unique_ptr<LeafScheduler>> schedulers;
+    schedulers.push_back(std::make_unique<SequentialScheduler>());
+    schedulers.push_back(std::make_unique<RcpScheduler>());
+    schedulers.push_back(std::make_unique<LpfsScheduler>());
+    LpfsScheduler::Options no_simd;
+    no_simd.simd = false;
+    schedulers.push_back(std::make_unique<LpfsScheduler>(no_simd));
+
+    for (const auto &scheduler : schedulers) {
+        LeafSchedule sched = scheduler->schedule(mod, arch);
+        SCOPED_TRACE(scheduler->name());
+
+        // Compute-only invariants.
+        validateLeafSchedule(sched, arch);
+        EXPECT_EQ(sched.scheduledOps(), mod.numOps());
+        EXPECT_GE(sched.computeTimesteps(), critical_path);
+        EXPECT_LE(sched.computeTimesteps(), mod.numOps());
+
+        // Movement consistency under every communication mode.
+        uint64_t global_cycles = 0;
+        uint64_t local_cycles = 0;
+        for (CommMode mode : {CommMode::Global,
+                              CommMode::GlobalWithLocalMem}) {
+            CommunicationAnalyzer comm(arch, mode);
+            CommStats stats = comm.annotate(sched);
+            validateLeafSchedule(sched, arch, true);
+            EXPECT_EQ(stats.totalCycles, sched.totalCycles());
+            EXPECT_GE(stats.totalCycles, sched.computeTimesteps());
+            if (mode == CommMode::Global) {
+                global_cycles = stats.totalCycles;
+                EXPECT_EQ(stats.localMoves, 0u);
+            } else {
+                local_cycles = stats.totalCycles;
+            }
+            EXPECT_GE(stats.teleportMoves, stats.blockingTeleports);
+        }
+        // Scratchpads can only remove blocking teleports.
+        EXPECT_LE(local_cycles, global_cycles);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SchedulerProperties,
+    ::testing::Values(
+        PropertyCase{1, 4, 60, 2, unbounded, 0},
+        PropertyCase{2, 4, 60, 2, unbounded, 4},
+        PropertyCase{3, 8, 200, 4, unbounded, 2},
+        PropertyCase{4, 8, 200, 4, 4, 8},
+        PropertyCase{5, 12, 400, 4, unbounded, unbounded},
+        PropertyCase{6, 3, 50, 1, unbounded, 1},
+        PropertyCase{7, 16, 500, 8, unbounded, 0},
+        PropertyCase{8, 16, 500, 8, 2, 16},
+        PropertyCase{9, 2, 30, 6, unbounded, 3},
+        PropertyCase{10, 24, 800, 3, 6, 2},
+        PropertyCase{11, 6, 120, 2, 2, unbounded},
+        PropertyCase{12, 10, 300, 5, unbounded, 5}),
+    [](const ::testing::TestParamInfo<PropertyCase> &info) {
+        const auto &param = info.param;
+        std::string d_text = param.d == unbounded
+                                 ? "inf"
+                                 : std::to_string(param.d);
+        std::string local_text = param.local == unbounded
+                                     ? "inf"
+                                     : std::to_string(param.local);
+        return "seed" + std::to_string(param.seed) + "_q" +
+               std::to_string(param.qubits) + "_ops" +
+               std::to_string(param.ops) + "_k" +
+               std::to_string(param.k) + "_d" + d_text + "_local" +
+               local_text;
+    });
+
+/** Single-qubit chains only: schedulers should approach zero blocking
+ * communication (the pinning property LPFS is designed for). */
+TEST(SchedulerProperties, PinnedChainsHaveLowBlockingTraffic)
+{
+    Module mod("chains");
+    SplitMix64 rng(42);
+    const GateKind types[] = {GateKind::H, GateKind::T, GateKind::S,
+                              GateKind::X, GateKind::Z, GateKind::Tdag};
+    auto reg = mod.addRegister("q", 4);
+    for (int i = 0; i < 100; ++i)
+        for (QubitId q : reg)
+            mod.addGate(types[rng.nextBelow(6)], {q});
+
+    MultiSimdArch arch(4);
+    LpfsScheduler lpfs;
+    LeafSchedule sched = lpfs.schedule(mod, arch);
+    CommunicationAnalyzer comm(arch, CommMode::Global);
+    CommStats stats = comm.annotate(sched);
+    // 4 chains on 4 regions: after warm-up, essentially no movement.
+    EXPECT_LT(stats.blockingTeleports, 20u);
+    EXPECT_LT(stats.totalCycles, 150u); // ~100 steps + small overhead
+}
+
+TEST(SchedulerProperties, DeterministicSchedules)
+{
+    Module mod = randomModule(99, 8, 300);
+    MultiSimdArch arch(4);
+    for (auto make : {+[]() -> std::unique_ptr<LeafScheduler> {
+                          return std::make_unique<RcpScheduler>();
+                      },
+                      +[]() -> std::unique_ptr<LeafScheduler> {
+                          return std::make_unique<LpfsScheduler>();
+                      }}) {
+        auto s1 = make()->schedule(mod, arch);
+        auto s2 = make()->schedule(mod, arch);
+        ASSERT_EQ(s1.computeTimesteps(), s2.computeTimesteps());
+        for (size_t ts = 0; ts < s1.steps().size(); ++ts) {
+            for (unsigned r = 0; r < arch.k; ++r) {
+                EXPECT_EQ(s1.steps()[ts].regions[r].ops,
+                          s2.steps()[ts].regions[r].ops);
+            }
+        }
+    }
+}
+
+} // namespace

@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Tests for the fine-grained schedulers (sequential, RCP, LPFS) and the
+ * schedule validator, including the paper's Fig. 4 example.
+ */
+
+#include <gtest/gtest.h>
+
+#include "passes/decompose_toffoli.hh"
+#include "sched/lpfs.hh"
+#include "sched/rcp.hh"
+#include "sched/validator.hh"
+#include "support/logging.hh"
+
+namespace {
+
+using namespace msq;
+
+Module
+parallelH(unsigned n)
+{
+    Module mod("h");
+    auto reg = mod.addRegister("q", n);
+    for (QubitId q : reg)
+        mod.addGate(GateKind::H, {q});
+    return mod;
+}
+
+/** Two dependent Toffolis sharing input a, decomposed — paper Fig. 4. */
+Module
+fig4Module()
+{
+    Module mod("fig4");
+    QubitId a = mod.addLocal("a");
+    QubitId b = mod.addLocal("b");
+    QubitId c = mod.addLocal("c");
+    QubitId d = mod.addLocal("d");
+    QubitId e = mod.addLocal("e");
+    std::vector<Operation> ops;
+    DecomposeToffoliPass::expandToffoli(a, b, c, ops);
+    DecomposeToffoliPass::expandToffoli(a, d, e, ops);
+    for (auto &op : ops)
+        mod.addOperation(std::move(op));
+    return mod;
+}
+
+TEST(Sequential, OneOpPerStep)
+{
+    Module mod = parallelH(5);
+    SequentialScheduler sched;
+    LeafSchedule out = sched.schedule(mod, MultiSimdArch(4));
+    EXPECT_EQ(out.computeTimesteps(), 5u);
+    EXPECT_EQ(out.width(), 1u);
+    validateLeafSchedule(out, MultiSimdArch(4));
+}
+
+TEST(Sequential, RejectsNonLeaf)
+{
+    Program prog;
+    ModuleId leaf = prog.addModule("leaf");
+    prog.module(leaf).addParam("q");
+    ModuleId top = prog.addModule("top");
+    prog.module(top).addLocal("q");
+    prog.module(top).addCall(leaf, {0});
+    SequentialScheduler sched;
+    EXPECT_THROW(sched.schedule(prog.module(top), MultiSimdArch(4)),
+                 PanicError);
+}
+
+TEST(Sequential, RejectsCompositeGates)
+{
+    Module mod("m");
+    auto reg = mod.addRegister("q", 3);
+    mod.addGate(GateKind::Toffoli, {reg[0], reg[1], reg[2]});
+    SequentialScheduler sched;
+    EXPECT_THROW(sched.schedule(mod, MultiSimdArch(4)), PanicError);
+}
+
+template <typename Scheduler>
+class FineSchedulerTest : public ::testing::Test
+{
+  public:
+    Scheduler scheduler;
+};
+
+using FineSchedulers = ::testing::Types<RcpScheduler, LpfsScheduler>;
+TYPED_TEST_SUITE(FineSchedulerTest, FineSchedulers);
+
+TYPED_TEST(FineSchedulerTest, DataParallelismInOneStep)
+{
+    // n independent H gates: with d = inf they fit one timestep.
+    Module mod = parallelH(10);
+    LeafSchedule out = this->scheduler.schedule(mod, MultiSimdArch(4));
+    EXPECT_EQ(out.computeTimesteps(), 1u);
+    validateLeafSchedule(out, MultiSimdArch(4));
+}
+
+TYPED_TEST(FineSchedulerTest, DLimitSplitsGroups)
+{
+    // 10 H gates, d = 3, k = 1: ceil(10/3) = 4 timesteps.
+    Module mod = parallelH(10);
+    MultiSimdArch arch(1, 3);
+    LeafSchedule out = this->scheduler.schedule(mod, arch);
+    EXPECT_EQ(out.computeTimesteps(), 4u);
+    validateLeafSchedule(out, arch);
+}
+
+TYPED_TEST(FineSchedulerTest, SerialChainTakesChainLength)
+{
+    Module mod("chain");
+    QubitId q = mod.addLocal("q");
+    for (int i = 0; i < 20; ++i)
+        mod.addGate(i % 2 ? GateKind::T : GateKind::H, {q});
+    LeafSchedule out = this->scheduler.schedule(mod, MultiSimdArch(4));
+    EXPECT_EQ(out.computeTimesteps(), 20u);
+    validateLeafSchedule(out, MultiSimdArch(4));
+}
+
+TYPED_TEST(FineSchedulerTest, MixedTypesNeedTwoRegionsOrSteps)
+{
+    // 5 H and 5 T on distinct qubits: k=2 -> 1 step; k=1 -> 2 steps.
+    Module mod("mixed");
+    auto reg = mod.addRegister("q", 10);
+    for (int i = 0; i < 5; ++i)
+        mod.addGate(GateKind::H, {reg[i]});
+    for (int i = 5; i < 10; ++i)
+        mod.addGate(GateKind::T, {reg[i]});
+    LeafSchedule two = this->scheduler.schedule(mod, MultiSimdArch(2));
+    EXPECT_EQ(two.computeTimesteps(), 1u);
+    LeafSchedule one = this->scheduler.schedule(mod, MultiSimdArch(1));
+    EXPECT_EQ(one.computeTimesteps(), 2u);
+    validateLeafSchedule(two, MultiSimdArch(2));
+    validateLeafSchedule(one, MultiSimdArch(1));
+}
+
+TYPED_TEST(FineSchedulerTest, EmptyModule)
+{
+    Module mod("empty");
+    LeafSchedule out = this->scheduler.schedule(mod, MultiSimdArch(2));
+    EXPECT_EQ(out.computeTimesteps(), 0u);
+}
+
+TYPED_TEST(FineSchedulerTest, RespectsDependences)
+{
+    // Diamond + tail across 3 qubits, k = 2.
+    Module mod("m");
+    auto reg = mod.addRegister("q", 3);
+    mod.addGate(GateKind::H, {reg[0]});
+    mod.addGate(GateKind::H, {reg[1]});
+    mod.addGate(GateKind::CNOT, {reg[0], reg[1]});
+    mod.addGate(GateKind::CNOT, {reg[1], reg[2]});
+    mod.addGate(GateKind::T, {reg[2]});
+    MultiSimdArch arch(2);
+    LeafSchedule out = this->scheduler.schedule(mod, arch);
+    validateLeafSchedule(out, arch);
+    EXPECT_GE(out.computeTimesteps(), 4u); // critical path
+}
+
+TYPED_TEST(FineSchedulerTest, Fig4FusedBeatsModular)
+{
+    // Paper Fig. 4: the fused (flattened) pair of dependent Toffolis
+    // schedules in ~21 cycles at k=2 versus 24 for the modular
+    // (blackboxed) version.
+    Module fused = fig4Module();
+    MultiSimdArch arch(2);
+    LeafSchedule out = this->scheduler.schedule(fused, arch);
+    validateLeafSchedule(out, arch);
+
+    // Single decomposed Toffoli at k=2: 12 cycles (Fig. 4 left).
+    Module single("single");
+    QubitId a = single.addLocal("a");
+    QubitId b = single.addLocal("b");
+    QubitId c = single.addLocal("c");
+    std::vector<Operation> ops;
+    DecomposeToffoliPass::expandToffoli(a, b, c, ops);
+    for (auto &op : ops)
+        single.addOperation(std::move(op));
+    LeafSchedule single_out = this->scheduler.schedule(single, arch);
+    validateLeafSchedule(single_out, arch);
+    EXPECT_EQ(single_out.computeTimesteps(), 12u);
+
+    uint64_t modular = 2 * single_out.computeTimesteps();
+    EXPECT_LT(out.computeTimesteps(), modular);
+    EXPECT_GE(out.computeTimesteps(), 21u); // DAG critical path bound
+}
+
+TEST(Lpfs, ZeroLFatal)
+{
+    Module mod = parallelH(2);
+    LpfsScheduler::Options options;
+    options.l = 0;
+    LpfsScheduler sched(options);
+    EXPECT_THROW(sched.schedule(mod, MultiSimdArch(2)), FatalError);
+}
+
+TEST(Lpfs, LClampedToK)
+{
+    // The width sweep schedules leaves on narrower sub-machines; l is
+    // clamped rather than rejected.
+    Module mod = parallelH(4);
+    LpfsScheduler::Options options;
+    options.l = 3;
+    LpfsScheduler sched(options);
+    MultiSimdArch arch(2);
+    LeafSchedule out = sched.schedule(mod, arch);
+    validateLeafSchedule(out, arch);
+    EXPECT_EQ(out.scheduledOps(), mod.numOps());
+}
+
+TEST(Lpfs, OptionsOffStillValid)
+{
+    Module mod = fig4Module();
+    LpfsScheduler::Options options;
+    options.simd = false;
+    options.refill = false;
+    LpfsScheduler sched(options);
+    MultiSimdArch arch(2);
+    LeafSchedule out = sched.schedule(mod, arch);
+    validateLeafSchedule(out, arch);
+    EXPECT_EQ(out.scheduledOps(), mod.numOps());
+}
+
+TEST(Lpfs, MultiplePathRegions)
+{
+    Module mod = fig4Module();
+    LpfsScheduler::Options options;
+    options.l = 2;
+    LpfsScheduler sched(options);
+    MultiSimdArch arch(3);
+    LeafSchedule out = sched.schedule(mod, arch);
+    validateLeafSchedule(out, arch);
+    EXPECT_EQ(out.scheduledOps(), mod.numOps());
+}
+
+TEST(Rcp, WeightsConfigurable)
+{
+    // Zero op-weight still yields a valid schedule.
+    RcpScheduler::Weights weights;
+    weights.op = 0.0;
+    weights.dist = 5.0;
+    RcpScheduler sched(weights);
+    Module mod = fig4Module();
+    MultiSimdArch arch(2);
+    LeafSchedule out = sched.schedule(mod, arch);
+    validateLeafSchedule(out, arch);
+    EXPECT_EQ(out.scheduledOps(), mod.numOps());
+}
+
+// --- Validator negative tests ---
+
+TEST(Validator, CatchesUnscheduledOp)
+{
+    Module mod = parallelH(2);
+    LeafSchedule sched(mod, 1);
+    Timestep &step = sched.appendStep();
+    step.regions[0].kind = GateKind::H;
+    step.regions[0].ops = {0}; // op 1 missing
+    EXPECT_THROW(validateLeafSchedule(sched, MultiSimdArch(1)),
+                 PanicError);
+}
+
+TEST(Validator, CatchesMixedTypes)
+{
+    Module mod("m");
+    auto reg = mod.addRegister("q", 2);
+    mod.addGate(GateKind::H, {reg[0]});
+    mod.addGate(GateKind::T, {reg[1]});
+    LeafSchedule sched(mod, 1);
+    Timestep &step = sched.appendStep();
+    step.regions[0].kind = GateKind::H;
+    step.regions[0].ops = {0, 1};
+    EXPECT_THROW(validateLeafSchedule(sched, MultiSimdArch(1)),
+                 PanicError);
+}
+
+TEST(Validator, CatchesDependenceViolation)
+{
+    Module mod("m");
+    QubitId q = mod.addLocal("q");
+    mod.addGate(GateKind::H, {q});
+    mod.addGate(GateKind::T, {q});
+    LeafSchedule sched(mod, 2);
+    Timestep &step = sched.appendStep();
+    step.regions[0].kind = GateKind::H;
+    step.regions[0].ops = {0};
+    step.regions[1].kind = GateKind::T;
+    step.regions[1].ops = {1}; // same step as its predecessor
+    EXPECT_THROW(validateLeafSchedule(sched, MultiSimdArch(2)),
+                 PanicError);
+}
+
+TEST(Validator, CatchesDoubleSchedule)
+{
+    Module mod = parallelH(1);
+    LeafSchedule sched(mod, 2);
+    Timestep &step = sched.appendStep();
+    step.regions[0].kind = GateKind::H;
+    step.regions[0].ops = {0};
+    step.regions[1].kind = GateKind::H;
+    step.regions[1].ops = {0};
+    EXPECT_THROW(validateLeafSchedule(sched, MultiSimdArch(2)),
+                 PanicError);
+}
+
+TEST(Validator, CatchesDBudgetViolation)
+{
+    Module mod = parallelH(3);
+    MultiSimdArch arch(1, 2);
+    LeafSchedule sched(mod, 1);
+    Timestep &step = sched.appendStep();
+    step.regions[0].kind = GateKind::H;
+    step.regions[0].ops = {0, 1, 2}; // 3 qubits > d=2
+    EXPECT_THROW(validateLeafSchedule(sched, arch), PanicError);
+}
+
+TEST(Validator, CatchesBadMoveSource)
+{
+    Module mod = parallelH(1);
+    LeafSchedule sched(mod, 1);
+    Timestep &step = sched.appendStep();
+    step.regions[0].kind = GateKind::H;
+    step.regions[0].ops = {0};
+    // Claims the qubit comes from region 0, but it starts in memory.
+    step.moves.push_back(
+        {0, Location::inRegion(0), Location::inRegion(0), true});
+    EXPECT_THROW(validateLeafSchedule(sched, MultiSimdArch(1), true),
+                 PanicError);
+}
+
+TEST(Validator, CatchesOperandNotResident)
+{
+    Module mod = parallelH(1);
+    LeafSchedule sched(mod, 1);
+    Timestep &step = sched.appendStep();
+    step.regions[0].kind = GateKind::H;
+    step.regions[0].ops = {0};
+    // No fetch move: operand still in global memory.
+    EXPECT_THROW(validateLeafSchedule(sched, MultiSimdArch(1), true),
+                 PanicError);
+}
+
+} // namespace

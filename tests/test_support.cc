@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Unit tests for the support library: logging, strings, rng, stats.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/logging.hh"
+#include "support/rng.hh"
+#include "support/stats.hh"
+#include "support/strings.hh"
+
+namespace {
+
+using namespace msq;
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("boom"), PanicError);
+}
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("bad input"), FatalError);
+}
+
+TEST(Logging, PanicMessagePreserved)
+{
+    try {
+        panic("invariant violated");
+        FAIL() << "panic returned";
+    } catch (const PanicError &err) {
+        EXPECT_NE(std::string(err.what()).find("invariant violated"),
+                  std::string::npos);
+    }
+}
+
+TEST(Logging, VerboseToggle)
+{
+    setVerbose(true);
+    EXPECT_TRUE(verbose());
+    setVerbose(false);
+    EXPECT_FALSE(verbose());
+}
+
+TEST(Strings, CsprintfFormats)
+{
+    EXPECT_EQ(csprintf("%d-%s", 42, "x"), "42-x");
+    EXPECT_EQ(csprintf("%05u", 7u), "00007");
+    EXPECT_EQ(csprintf("empty"), "empty");
+}
+
+TEST(Strings, JoinAndSplitRoundTrip)
+{
+    std::vector<std::string> parts = {"a", "bb", "ccc"};
+    EXPECT_EQ(join(parts, ","), "a,bb,ccc");
+    EXPECT_EQ(split("a,bb,ccc", ','), parts);
+}
+
+TEST(Strings, SplitDropsEmptyByDefault)
+{
+    EXPECT_EQ(split("a,,b", ',').size(), 2u);
+    EXPECT_EQ(split("a,,b", ',', true).size(), 3u);
+}
+
+TEST(Strings, Trim)
+{
+    EXPECT_EQ(trim("  x y  "), "x y");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim("z"), "z");
+}
+
+TEST(Strings, StartsWith)
+{
+    EXPECT_TRUE(startsWith("module foo", "module"));
+    EXPECT_FALSE(startsWith("mod", "module"));
+}
+
+TEST(Strings, WithCommas)
+{
+    EXPECT_EQ(withCommas(0), "0");
+    EXPECT_EQ(withCommas(999), "999");
+    EXPECT_EQ(withCommas(1000), "1,000");
+    EXPECT_EQ(withCommas(1234567890ULL), "1,234,567,890");
+}
+
+TEST(Rng, Deterministic)
+{
+    SplitMix64 a(123);
+    SplitMix64 b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiffer)
+{
+    SplitMix64 a(1);
+    SplitMix64 b(2);
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, NextBelowInRange)
+{
+    SplitMix64 rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.nextBelow(17), 17u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    SplitMix64 rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, HashStringIsStable)
+{
+    EXPECT_EQ(hashString("grover"), hashString("grover"));
+    EXPECT_NE(hashString("grover"), hashString("shor"));
+}
+
+TEST(Stats, AsciiTable)
+{
+    ResultTable table("demo");
+    table.setHeader({"name", "value"});
+    table.beginRow();
+    table.addCell(std::string("x"));
+    table.addCell(static_cast<long long>(12));
+    std::ostringstream os;
+    table.printAscii(os);
+    EXPECT_NE(os.str().find("demo"), std::string::npos);
+    EXPECT_NE(os.str().find("12"), std::string::npos);
+}
+
+TEST(Stats, CsvOutput)
+{
+    ResultTable table("demo");
+    table.setHeader({"a", "b"});
+    table.beginRow();
+    table.addCell(1.5, 2);
+    table.addCell(std::string("z"));
+    std::ostringstream os;
+    table.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1.50,z\n");
+}
+
+TEST(Stats, HeaderAfterRowsPanics)
+{
+    ResultTable table("demo");
+    table.setHeader({"a"});
+    table.beginRow();
+    table.addCell(std::string("x"));
+    EXPECT_THROW(table.setHeader({"b"}), PanicError);
+}
+
+TEST(Stats, CellBeforeRowPanics)
+{
+    ResultTable table("demo");
+    table.setHeader({"a"});
+    EXPECT_THROW(table.addCell(std::string("x")), PanicError);
+}
+
+} // namespace
