@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lpfs.dir/bench_ablation_lpfs.cc.o"
+  "CMakeFiles/bench_ablation_lpfs.dir/bench_ablation_lpfs.cc.o.d"
+  "bench_ablation_lpfs"
+  "bench_ablation_lpfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lpfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

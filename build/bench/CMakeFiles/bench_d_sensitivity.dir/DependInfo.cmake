@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_d_sensitivity.cc" "bench/CMakeFiles/bench_d_sensitivity.dir/bench_d_sensitivity.cc.o" "gcc" "bench/CMakeFiles/bench_d_sensitivity.dir/bench_d_sensitivity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/msq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/msq_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/msq_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/msq_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/msq_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/passes/CMakeFiles/msq_passes.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctqg/CMakeFiles/msq_ctqg.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/msq_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/msq_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/msq_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_flattening.dir/bench_fig4_flattening.cc.o"
+  "CMakeFiles/bench_fig4_flattening.dir/bench_fig4_flattening.cc.o.d"
+  "bench_fig4_flattening"
+  "bench_fig4_flattening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_flattening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_localmem.dir/bench_fig8_localmem.cc.o"
+  "CMakeFiles/bench_fig8_localmem.dir/bench_fig8_localmem.cc.o.d"
+  "bench_fig8_localmem"
+  "bench_fig8_localmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_localmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

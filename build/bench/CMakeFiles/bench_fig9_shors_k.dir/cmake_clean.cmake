@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_shors_k.dir/bench_fig9_shors_k.cc.o"
+  "CMakeFiles/bench_fig9_shors_k.dir/bench_fig9_shors_k.cc.o.d"
+  "bench_fig9_shors_k"
+  "bench_fig9_shors_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_shors_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_qubits.dir/bench_table1_qubits.cc.o"
+  "CMakeFiles/bench_table1_qubits.dir/bench_table1_qubits.cc.o.d"
+  "bench_table1_qubits"
+  "bench_table1_qubits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_qubits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

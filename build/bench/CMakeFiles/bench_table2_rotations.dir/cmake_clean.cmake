@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_rotations.dir/bench_table2_rotations.cc.o"
+  "CMakeFiles/bench_table2_rotations.dir/bench_table2_rotations.cc.o.d"
+  "bench_table2_rotations"
+  "bench_table2_rotations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_rotations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaffold_compile.dir/scaffold_compile.cc.o"
+  "CMakeFiles/scaffold_compile.dir/scaffold_compile.cc.o.d"
+  "scaffold_compile"
+  "scaffold_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaffold_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

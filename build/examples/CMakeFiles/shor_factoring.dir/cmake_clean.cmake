@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shor_factoring.dir/shor_factoring.cc.o"
+  "CMakeFiles/shor_factoring.dir/shor_factoring.cc.o.d"
+  "shor_factoring"
+  "shor_factoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shor_factoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

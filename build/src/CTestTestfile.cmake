@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("ir")
+subdirs("sim")
+subdirs("frontend")
+subdirs("ctqg")
+subdirs("passes")
+subdirs("analysis")
+subdirs("arch")
+subdirs("sched")
+subdirs("workloads")
+subdirs("core")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/critical_path.cc" "src/analysis/CMakeFiles/msq_analysis.dir/critical_path.cc.o" "gcc" "src/analysis/CMakeFiles/msq_analysis.dir/critical_path.cc.o.d"
+  "/root/repo/src/analysis/gate_mix.cc" "src/analysis/CMakeFiles/msq_analysis.dir/gate_mix.cc.o" "gcc" "src/analysis/CMakeFiles/msq_analysis.dir/gate_mix.cc.o.d"
+  "/root/repo/src/analysis/invocation_counts.cc" "src/analysis/CMakeFiles/msq_analysis.dir/invocation_counts.cc.o" "gcc" "src/analysis/CMakeFiles/msq_analysis.dir/invocation_counts.cc.o.d"
+  "/root/repo/src/analysis/qubit_estimator.cc" "src/analysis/CMakeFiles/msq_analysis.dir/qubit_estimator.cc.o" "gcc" "src/analysis/CMakeFiles/msq_analysis.dir/qubit_estimator.cc.o.d"
+  "/root/repo/src/analysis/resource_estimator.cc" "src/analysis/CMakeFiles/msq_analysis.dir/resource_estimator.cc.o" "gcc" "src/analysis/CMakeFiles/msq_analysis.dir/resource_estimator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/msq_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/msq_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msq_analysis.dir/critical_path.cc.o"
+  "CMakeFiles/msq_analysis.dir/critical_path.cc.o.d"
+  "CMakeFiles/msq_analysis.dir/gate_mix.cc.o"
+  "CMakeFiles/msq_analysis.dir/gate_mix.cc.o.d"
+  "CMakeFiles/msq_analysis.dir/invocation_counts.cc.o"
+  "CMakeFiles/msq_analysis.dir/invocation_counts.cc.o.d"
+  "CMakeFiles/msq_analysis.dir/qubit_estimator.cc.o"
+  "CMakeFiles/msq_analysis.dir/qubit_estimator.cc.o.d"
+  "CMakeFiles/msq_analysis.dir/resource_estimator.cc.o"
+  "CMakeFiles/msq_analysis.dir/resource_estimator.cc.o.d"
+  "libmsq_analysis.a"
+  "libmsq_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msq_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/multi_simd.cc" "src/arch/CMakeFiles/msq_arch.dir/multi_simd.cc.o" "gcc" "src/arch/CMakeFiles/msq_arch.dir/multi_simd.cc.o.d"
+  "/root/repo/src/arch/schedule.cc" "src/arch/CMakeFiles/msq_arch.dir/schedule.cc.o" "gcc" "src/arch/CMakeFiles/msq_arch.dir/schedule.cc.o.d"
+  "/root/repo/src/arch/teleport_circuit.cc" "src/arch/CMakeFiles/msq_arch.dir/teleport_circuit.cc.o" "gcc" "src/arch/CMakeFiles/msq_arch.dir/teleport_circuit.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/msq_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/msq_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msq_arch.dir/multi_simd.cc.o"
+  "CMakeFiles/msq_arch.dir/multi_simd.cc.o.d"
+  "CMakeFiles/msq_arch.dir/schedule.cc.o"
+  "CMakeFiles/msq_arch.dir/schedule.cc.o.d"
+  "CMakeFiles/msq_arch.dir/teleport_circuit.cc.o"
+  "CMakeFiles/msq_arch.dir/teleport_circuit.cc.o.d"
+  "libmsq_arch.a"
+  "libmsq_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msq_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msq_core.dir/toolflow.cc.o"
+  "CMakeFiles/msq_core.dir/toolflow.cc.o.d"
+  "libmsq_core.a"
+  "libmsq_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msq_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ctqg/arith.cc" "src/ctqg/CMakeFiles/msq_ctqg.dir/arith.cc.o" "gcc" "src/ctqg/CMakeFiles/msq_ctqg.dir/arith.cc.o.d"
+  "/root/repo/src/ctqg/logic.cc" "src/ctqg/CMakeFiles/msq_ctqg.dir/logic.cc.o" "gcc" "src/ctqg/CMakeFiles/msq_ctqg.dir/logic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/msq_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/msq_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

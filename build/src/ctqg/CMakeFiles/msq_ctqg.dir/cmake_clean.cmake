@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msq_ctqg.dir/arith.cc.o"
+  "CMakeFiles/msq_ctqg.dir/arith.cc.o.d"
+  "CMakeFiles/msq_ctqg.dir/logic.cc.o"
+  "CMakeFiles/msq_ctqg.dir/logic.cc.o.d"
+  "libmsq_ctqg.a"
+  "libmsq_ctqg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msq_ctqg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmsq_ctqg.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for msq_ctqg.
+# This may be replaced when dependencies are built.

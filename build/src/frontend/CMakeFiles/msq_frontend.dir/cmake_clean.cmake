@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msq_frontend.dir/lexer.cc.o"
+  "CMakeFiles/msq_frontend.dir/lexer.cc.o.d"
+  "CMakeFiles/msq_frontend.dir/parser.cc.o"
+  "CMakeFiles/msq_frontend.dir/parser.cc.o.d"
+  "CMakeFiles/msq_frontend.dir/qasm_emitter.cc.o"
+  "CMakeFiles/msq_frontend.dir/qasm_emitter.cc.o.d"
+  "CMakeFiles/msq_frontend.dir/qasm_reader.cc.o"
+  "CMakeFiles/msq_frontend.dir/qasm_reader.cc.o.d"
+  "libmsq_frontend.a"
+  "libmsq_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msq_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/dag.cc" "src/ir/CMakeFiles/msq_ir.dir/dag.cc.o" "gcc" "src/ir/CMakeFiles/msq_ir.dir/dag.cc.o.d"
+  "/root/repo/src/ir/gate.cc" "src/ir/CMakeFiles/msq_ir.dir/gate.cc.o" "gcc" "src/ir/CMakeFiles/msq_ir.dir/gate.cc.o.d"
+  "/root/repo/src/ir/module.cc" "src/ir/CMakeFiles/msq_ir.dir/module.cc.o" "gcc" "src/ir/CMakeFiles/msq_ir.dir/module.cc.o.d"
+  "/root/repo/src/ir/printer.cc" "src/ir/CMakeFiles/msq_ir.dir/printer.cc.o" "gcc" "src/ir/CMakeFiles/msq_ir.dir/printer.cc.o.d"
+  "/root/repo/src/ir/program.cc" "src/ir/CMakeFiles/msq_ir.dir/program.cc.o" "gcc" "src/ir/CMakeFiles/msq_ir.dir/program.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/msq_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

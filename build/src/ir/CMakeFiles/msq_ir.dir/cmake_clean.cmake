@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msq_ir.dir/dag.cc.o"
+  "CMakeFiles/msq_ir.dir/dag.cc.o.d"
+  "CMakeFiles/msq_ir.dir/gate.cc.o"
+  "CMakeFiles/msq_ir.dir/gate.cc.o.d"
+  "CMakeFiles/msq_ir.dir/module.cc.o"
+  "CMakeFiles/msq_ir.dir/module.cc.o.d"
+  "CMakeFiles/msq_ir.dir/printer.cc.o"
+  "CMakeFiles/msq_ir.dir/printer.cc.o.d"
+  "CMakeFiles/msq_ir.dir/program.cc.o"
+  "CMakeFiles/msq_ir.dir/program.cc.o.d"
+  "libmsq_ir.a"
+  "libmsq_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msq_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/passes/cancel_inverses.cc" "src/passes/CMakeFiles/msq_passes.dir/cancel_inverses.cc.o" "gcc" "src/passes/CMakeFiles/msq_passes.dir/cancel_inverses.cc.o.d"
+  "/root/repo/src/passes/decompose_toffoli.cc" "src/passes/CMakeFiles/msq_passes.dir/decompose_toffoli.cc.o" "gcc" "src/passes/CMakeFiles/msq_passes.dir/decompose_toffoli.cc.o.d"
+  "/root/repo/src/passes/flatten.cc" "src/passes/CMakeFiles/msq_passes.dir/flatten.cc.o" "gcc" "src/passes/CMakeFiles/msq_passes.dir/flatten.cc.o.d"
+  "/root/repo/src/passes/pass_manager.cc" "src/passes/CMakeFiles/msq_passes.dir/pass_manager.cc.o" "gcc" "src/passes/CMakeFiles/msq_passes.dir/pass_manager.cc.o.d"
+  "/root/repo/src/passes/rotation_decomposer.cc" "src/passes/CMakeFiles/msq_passes.dir/rotation_decomposer.cc.o" "gcc" "src/passes/CMakeFiles/msq_passes.dir/rotation_decomposer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/msq_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/msq_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/msq_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msq_passes.dir/cancel_inverses.cc.o"
+  "CMakeFiles/msq_passes.dir/cancel_inverses.cc.o.d"
+  "CMakeFiles/msq_passes.dir/decompose_toffoli.cc.o"
+  "CMakeFiles/msq_passes.dir/decompose_toffoli.cc.o.d"
+  "CMakeFiles/msq_passes.dir/flatten.cc.o"
+  "CMakeFiles/msq_passes.dir/flatten.cc.o.d"
+  "CMakeFiles/msq_passes.dir/pass_manager.cc.o"
+  "CMakeFiles/msq_passes.dir/pass_manager.cc.o.d"
+  "CMakeFiles/msq_passes.dir/rotation_decomposer.cc.o"
+  "CMakeFiles/msq_passes.dir/rotation_decomposer.cc.o.d"
+  "libmsq_passes.a"
+  "libmsq_passes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msq_passes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

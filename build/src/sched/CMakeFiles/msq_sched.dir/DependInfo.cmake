@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/coarse.cc" "src/sched/CMakeFiles/msq_sched.dir/coarse.cc.o" "gcc" "src/sched/CMakeFiles/msq_sched.dir/coarse.cc.o.d"
+  "/root/repo/src/sched/comm.cc" "src/sched/CMakeFiles/msq_sched.dir/comm.cc.o" "gcc" "src/sched/CMakeFiles/msq_sched.dir/comm.cc.o.d"
+  "/root/repo/src/sched/lpfs.cc" "src/sched/CMakeFiles/msq_sched.dir/lpfs.cc.o" "gcc" "src/sched/CMakeFiles/msq_sched.dir/lpfs.cc.o.d"
+  "/root/repo/src/sched/rcp.cc" "src/sched/CMakeFiles/msq_sched.dir/rcp.cc.o" "gcc" "src/sched/CMakeFiles/msq_sched.dir/rcp.cc.o.d"
+  "/root/repo/src/sched/schedule_printer.cc" "src/sched/CMakeFiles/msq_sched.dir/schedule_printer.cc.o" "gcc" "src/sched/CMakeFiles/msq_sched.dir/schedule_printer.cc.o.d"
+  "/root/repo/src/sched/sequential.cc" "src/sched/CMakeFiles/msq_sched.dir/sequential.cc.o" "gcc" "src/sched/CMakeFiles/msq_sched.dir/sequential.cc.o.d"
+  "/root/repo/src/sched/validator.cc" "src/sched/CMakeFiles/msq_sched.dir/validator.cc.o" "gcc" "src/sched/CMakeFiles/msq_sched.dir/validator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/msq_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/msq_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/msq_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/msq_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

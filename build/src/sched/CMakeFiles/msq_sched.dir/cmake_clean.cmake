@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msq_sched.dir/coarse.cc.o"
+  "CMakeFiles/msq_sched.dir/coarse.cc.o.d"
+  "CMakeFiles/msq_sched.dir/comm.cc.o"
+  "CMakeFiles/msq_sched.dir/comm.cc.o.d"
+  "CMakeFiles/msq_sched.dir/lpfs.cc.o"
+  "CMakeFiles/msq_sched.dir/lpfs.cc.o.d"
+  "CMakeFiles/msq_sched.dir/rcp.cc.o"
+  "CMakeFiles/msq_sched.dir/rcp.cc.o.d"
+  "CMakeFiles/msq_sched.dir/schedule_printer.cc.o"
+  "CMakeFiles/msq_sched.dir/schedule_printer.cc.o.d"
+  "CMakeFiles/msq_sched.dir/sequential.cc.o"
+  "CMakeFiles/msq_sched.dir/sequential.cc.o.d"
+  "CMakeFiles/msq_sched.dir/validator.cc.o"
+  "CMakeFiles/msq_sched.dir/validator.cc.o.d"
+  "libmsq_sched.a"
+  "libmsq_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msq_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msq_sim.dir/statevector.cc.o"
+  "CMakeFiles/msq_sim.dir/statevector.cc.o.d"
+  "libmsq_sim.a"
+  "libmsq_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msq_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msq_support.dir/logging.cc.o"
+  "CMakeFiles/msq_support.dir/logging.cc.o.d"
+  "CMakeFiles/msq_support.dir/stats.cc.o"
+  "CMakeFiles/msq_support.dir/stats.cc.o.d"
+  "CMakeFiles/msq_support.dir/strings.cc.o"
+  "CMakeFiles/msq_support.dir/strings.cc.o.d"
+  "libmsq_support.a"
+  "libmsq_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msq_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/boolean_formula.cc" "src/workloads/CMakeFiles/msq_workloads.dir/boolean_formula.cc.o" "gcc" "src/workloads/CMakeFiles/msq_workloads.dir/boolean_formula.cc.o.d"
+  "/root/repo/src/workloads/bwt.cc" "src/workloads/CMakeFiles/msq_workloads.dir/bwt.cc.o" "gcc" "src/workloads/CMakeFiles/msq_workloads.dir/bwt.cc.o.d"
+  "/root/repo/src/workloads/class_number.cc" "src/workloads/CMakeFiles/msq_workloads.dir/class_number.cc.o" "gcc" "src/workloads/CMakeFiles/msq_workloads.dir/class_number.cc.o.d"
+  "/root/repo/src/workloads/grovers.cc" "src/workloads/CMakeFiles/msq_workloads.dir/grovers.cc.o" "gcc" "src/workloads/CMakeFiles/msq_workloads.dir/grovers.cc.o.d"
+  "/root/repo/src/workloads/gse.cc" "src/workloads/CMakeFiles/msq_workloads.dir/gse.cc.o" "gcc" "src/workloads/CMakeFiles/msq_workloads.dir/gse.cc.o.d"
+  "/root/repo/src/workloads/sha1.cc" "src/workloads/CMakeFiles/msq_workloads.dir/sha1.cc.o" "gcc" "src/workloads/CMakeFiles/msq_workloads.dir/sha1.cc.o.d"
+  "/root/repo/src/workloads/shors.cc" "src/workloads/CMakeFiles/msq_workloads.dir/shors.cc.o" "gcc" "src/workloads/CMakeFiles/msq_workloads.dir/shors.cc.o.d"
+  "/root/repo/src/workloads/tfp.cc" "src/workloads/CMakeFiles/msq_workloads.dir/tfp.cc.o" "gcc" "src/workloads/CMakeFiles/msq_workloads.dir/tfp.cc.o.d"
+  "/root/repo/src/workloads/workloads.cc" "src/workloads/CMakeFiles/msq_workloads.dir/workloads.cc.o" "gcc" "src/workloads/CMakeFiles/msq_workloads.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ctqg/CMakeFiles/msq_ctqg.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/msq_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/msq_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msq_workloads.dir/boolean_formula.cc.o"
+  "CMakeFiles/msq_workloads.dir/boolean_formula.cc.o.d"
+  "CMakeFiles/msq_workloads.dir/bwt.cc.o"
+  "CMakeFiles/msq_workloads.dir/bwt.cc.o.d"
+  "CMakeFiles/msq_workloads.dir/class_number.cc.o"
+  "CMakeFiles/msq_workloads.dir/class_number.cc.o.d"
+  "CMakeFiles/msq_workloads.dir/grovers.cc.o"
+  "CMakeFiles/msq_workloads.dir/grovers.cc.o.d"
+  "CMakeFiles/msq_workloads.dir/gse.cc.o"
+  "CMakeFiles/msq_workloads.dir/gse.cc.o.d"
+  "CMakeFiles/msq_workloads.dir/sha1.cc.o"
+  "CMakeFiles/msq_workloads.dir/sha1.cc.o.d"
+  "CMakeFiles/msq_workloads.dir/shors.cc.o"
+  "CMakeFiles/msq_workloads.dir/shors.cc.o.d"
+  "CMakeFiles/msq_workloads.dir/tfp.cc.o"
+  "CMakeFiles/msq_workloads.dir/tfp.cc.o.d"
+  "CMakeFiles/msq_workloads.dir/workloads.cc.o"
+  "CMakeFiles/msq_workloads.dir/workloads.cc.o.d"
+  "libmsq_workloads.a"
+  "libmsq_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msq_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ctqg.dir/test_ctqg.cc.o"
+  "CMakeFiles/test_ctqg.dir/test_ctqg.cc.o.d"
+  "test_ctqg"
+  "test_ctqg.pdb"
+  "test_ctqg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ctqg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_toolflow.dir/test_toolflow.cc.o"
+  "CMakeFiles/test_toolflow.dir/test_toolflow.cc.o.d"
+  "test_toolflow"
+  "test_toolflow.pdb"
+  "test_toolflow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_toolflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
