@@ -7,6 +7,7 @@
 #include "frontend/lexer.hh"
 #include "support/logging.hh"
 #include "support/strings.hh"
+#include "verify/verifier.hh"
 
 namespace msq {
 
@@ -19,7 +20,7 @@ class Parser
     explicit Parser(std::vector<Token> tokens) : tokens(std::move(tokens)) {}
 
     Program
-    parse()
+    parse(DiagnosticEngine *diags)
     {
         preScanModuleNames();
         while (!at(TokenKind::EndOfFile))
@@ -32,7 +33,10 @@ class Parser
             entry = lastModule;
         }
         prog.setEntry(entry);
-        prog.validate();
+        if (diags != nullptr)
+            verifyProgram(prog, *diags);
+        else
+            verifyProgramFatal(prog);
         return std::move(prog);
     }
 
@@ -213,12 +217,14 @@ class Parser
                 fatal(csprintf("line %u: gate %s takes no angle", line,
                                name.c_str()));
             }
-            if (repeat != 1) {
-                for (uint64_t i = 0; i < repeat; ++i)
-                    mod.addGate(kind, qubits, angle);
-            } else {
-                mod.addGate(kind, std::move(qubits), angle);
-            }
+            // Raw insertion: arity / duplicate-operand violations are
+            // user errors, reported with line numbers by the IR
+            // verifier pass that runs when parsing finishes.
+            Operation op(kind, std::move(qubits), angle);
+            op.line = line;
+            for (uint64_t i = 1; i < repeat; ++i)
+                mod.addRawOperation(op);
+            mod.addRawOperation(std::move(op));
             return;
         }
 
@@ -230,7 +236,10 @@ class Parser
         if (have_angle)
             fatal(csprintf("line %u: module call with angle argument",
                            line));
-        mod.addCall(callee, std::move(qubits), repeat);
+        Operation call = Operation::makeCall(callee, std::move(qubits),
+                                             repeat);
+        call.line = line;
+        mod.addRawOperation(std::move(call));
     }
 
     void
@@ -279,21 +288,21 @@ class Parser
 } // anonymous namespace
 
 Program
-parseScaffold(const std::string &source)
+parseScaffold(const std::string &source, DiagnosticEngine *diags)
 {
     Parser parser(tokenize(source));
-    return parser.parse();
+    return parser.parse(diags);
 }
 
 Program
-parseScaffoldFile(const std::string &path)
+parseScaffoldFile(const std::string &path, DiagnosticEngine *diags)
 {
     std::ifstream in(path);
     if (!in)
         fatal("cannot open input file: " + path);
     std::ostringstream buffer;
     buffer << in.rdbuf();
-    return parseScaffold(buffer.str());
+    return parseScaffold(buffer.str(), diags);
 }
 
 } // namespace msq

@@ -30,17 +30,28 @@
 #include <string>
 
 #include "ir/program.hh"
+#include "support/diagnostic.hh"
 
 namespace msq {
 
 /**
- * Parse @p source into a validated Program.
- * Calls fatal() with line-numbered diagnostics on errors.
+ * Parse @p source into a verified Program. Every operation carries its
+ * 1-based source line (Operation::line) for diagnostics.
+ *
+ * Semantic errors (wrong gate arity, duplicate operands, call arity
+ * mismatches, recursion, ...) are found by the IR verifier after
+ * parsing. With @p diags null they raise one FatalError listing every
+ * violation; with @p diags supplied they are collected there instead
+ * and the (possibly malformed) program is still returned, so tools like
+ * msq-verify can report everything at once. Lexical and syntax errors
+ * always call fatal() with a line-numbered message.
  */
-Program parseScaffold(const std::string &source);
+Program parseScaffold(const std::string &source,
+                      DiagnosticEngine *diags = nullptr);
 
 /** Parse the file at @p path (fatal() when unreadable). */
-Program parseScaffoldFile(const std::string &path);
+Program parseScaffoldFile(const std::string &path,
+                          DiagnosticEngine *diags = nullptr);
 
 } // namespace msq
 

@@ -5,6 +5,7 @@
 
 #include "support/logging.hh"
 #include "support/strings.hh"
+#include "verify/verifier.hh"
 
 namespace msq {
 
@@ -31,7 +32,7 @@ bad(unsigned line_no, const std::string &what)
 } // anonymous namespace
 
 Program
-parseHierarchicalQasm(const std::string &text)
+parseHierarchicalQasm(const std::string &text, DiagnosticEngine *diags)
 {
     Program prog;
 
@@ -118,7 +119,10 @@ parseHierarchicalQasm(const std::string &text)
             std::vector<QubitId> args;
             for (size_t i = 2; i < toks.size(); ++i)
                 args.push_back(lookup(toks[i]));
-            mod.addCall(callee, std::move(args), repeat);
+            Operation call =
+                Operation::makeCall(callee, std::move(args), repeat);
+            call.line = line_no;
+            mod.addRawOperation(std::move(call));
             continue;
         }
 
@@ -139,7 +143,9 @@ parseHierarchicalQasm(const std::string &text)
         std::vector<QubitId> operands;
         for (size_t i = 1; i < toks.size(); ++i)
             operands.push_back(lookup(toks[i]));
-        mod.addGate(kind, std::move(operands), angle);
+        Operation op(kind, std::move(operands), angle);
+        op.line = line_no;
+        mod.addRawOperation(std::move(op));
     }
 
     if (current != invalidModule)
@@ -147,7 +153,10 @@ parseHierarchicalQasm(const std::string &text)
     if (last == invalidModule)
         fatal("qasm input contains no completed module");
     prog.setEntry(last);
-    prog.validate();
+    if (diags != nullptr)
+        verifyProgram(prog, *diags);
+    else
+        verifyProgramFatal(prog);
     return prog;
 }
 

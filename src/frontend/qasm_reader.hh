@@ -13,15 +13,20 @@
 #include <string>
 
 #include "ir/program.hh"
+#include "support/diagnostic.hh"
 
 namespace msq {
 
 /**
- * Parse hierarchical QASM text into a validated Program. The entry is
+ * Parse hierarchical QASM text into a verified Program. The entry is
  * the last module in the stream (the emitter writes callees first).
- * Calls fatal() with line-numbered diagnostics on malformed input.
+ * Calls fatal() with line-numbered diagnostics on malformed input;
+ * semantic errors (gate arity, duplicate operands, ...) are found by
+ * the IR verifier and either raise one FatalError listing all of them
+ * (@p diags null) or are collected into @p diags.
  */
-Program parseHierarchicalQasm(const std::string &text);
+Program parseHierarchicalQasm(const std::string &text,
+                              DiagnosticEngine *diags = nullptr);
 
 } // namespace msq
 

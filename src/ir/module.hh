@@ -52,6 +52,13 @@ class Module
     /** Append a pre-built operation (used by pass machinery). */
     void addOperation(Operation op);
 
+    /**
+     * Append an operation with no well-formedness checks. For frontends
+     * that run the IR verifier (verify/verifier.hh) afterwards, so that
+     * malformed input yields collected diagnostics instead of a panic.
+     */
+    void addRawOperation(Operation op) { ops_.push_back(std::move(op)); }
+
     size_t numParams() const { return numParams_; }
     size_t numQubits() const { return qubitNames.size(); }
     size_t numOps() const { return ops_.size(); }

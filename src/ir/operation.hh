@@ -44,6 +44,14 @@ struct Operation
     ModuleId callee = invalidModule;
     uint64_t repeat = 1;
 
+    /**
+     * 1-based source line this operation came from; 0 when unknown
+     * (operations built programmatically or synthesized by passes).
+     * Carried into diagnostics; excluded from operator== so rewritten
+     * operations still compare equal to hand-built expectations.
+     */
+    unsigned line = 0;
+
     Operation() = default;
 
     /** Construct a plain gate. */

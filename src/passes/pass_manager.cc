@@ -1,8 +1,19 @@
 #include "passes/pass_manager.hh"
 
+#include <cstdlib>
+
 #include "support/logging.hh"
+#include "support/strings.hh"
+#include "verify/verifier.hh"
 
 namespace msq {
+
+PassManager::PassManager()
+{
+    const char *env = std::getenv("MSQ_VERIFY_AFTER_PASSES");
+    verifyAfterPasses =
+        env != nullptr && *env != '\0' && std::string(env) != "0";
+}
 
 void
 PassManager::add(std::unique_ptr<Pass> pass)
@@ -16,6 +27,15 @@ PassManager::run(Program &prog) const
     for (const auto &pass : passes) {
         inform(std::string("running pass: ") + pass->name());
         pass->run(prog);
+        if (!verifyAfterPasses)
+            continue;
+        DiagnosticEngine diags;
+        if (!verifyProgram(prog, diags)) {
+            panic(csprintf("pass '%s' left the program malformed "
+                           "(%zu error(s)):\n",
+                           pass->name(), diags.numErrors()) +
+                  diags.formatAll());
+        }
     }
     prog.validate();
 }

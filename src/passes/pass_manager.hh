@@ -33,6 +33,8 @@ class Pass
 class PassManager
 {
   public:
+    PassManager();
+
     /** Append @p pass to the pipeline. */
     void add(std::unique_ptr<Pass> pass);
 
@@ -41,8 +43,19 @@ class PassManager
 
     size_t numPasses() const { return passes.size(); }
 
+    /**
+     * Debug mode: run the IR verifier after every pass and panic —
+     * naming the offending pass and listing every diagnostic — when a
+     * pass leaves the program malformed. Defaults to the value of the
+     * MSQ_VERIFY_AFTER_PASSES environment variable (any non-empty value
+     * other than "0" enables it).
+     */
+    void setVerifyAfterPasses(bool enabled) { verifyAfterPasses = enabled; }
+    bool verifiesAfterPasses() const { return verifyAfterPasses; }
+
   private:
     std::vector<std::unique_ptr<Pass>> passes;
+    bool verifyAfterPasses = false;
 };
 
 } // namespace msq

@@ -1,5 +1,6 @@
 #include "sched/validator.hh"
 
+#include <algorithm>
 #include <vector>
 
 #include "ir/dag.hh"
@@ -8,90 +9,164 @@
 
 namespace msq {
 
-void
-validateLeafSchedule(const LeafSchedule &sched, const MultiSimdArch &arch,
-                     bool moves_annotated)
+namespace {
+
+/** Per-qubit touch bookkeeping for invariant 4 (one timestep). */
+struct TouchRecord
 {
+    QubitId qubit;
+    unsigned region;
+    uint32_t opIndex;
+};
+
+} // anonymous namespace
+
+bool
+validateLeafSchedule(const LeafSchedule &sched, const MultiSimdArch &arch,
+                     bool moves_annotated, DiagnosticEngine *diags)
+{
+    // Compatibility mode: with no engine supplied, violations are
+    // scheduler bugs and panic on first report.
+    DiagnosticEngine panic_engine(DiagnosticEngine::FailMode::Panic);
+    DiagnosticEngine &out = diags != nullptr ? *diags : panic_engine;
+    size_t errors_before = out.numErrors();
+
     const Module &mod = sched.module();
     const auto &steps = sched.steps();
+    DiagContext mod_ctx{mod.name()};
 
-    if (sched.k() != arch.k)
-        panic("validate: schedule k differs from architecture k");
+    if (sched.k() != arch.k) {
+        out.error(DiagCode::SchedKMismatch,
+                  csprintf("schedule built for k=%u but architecture has "
+                           "k=%u",
+                           sched.k(), arch.k),
+                  mod_ctx);
+        // Region-indexed checks below would all be misaligned; stop.
+        return false;
+    }
 
     // Invariant 1: coverage; also record each op's timestep.
     constexpr uint64_t unscheduled = ~uint64_t{0};
     std::vector<uint64_t> op_step(mod.numOps(), unscheduled);
     for (uint64_t ts = 0; ts < steps.size(); ++ts) {
         const Timestep &step = steps[ts];
-        if (step.regions.size() != arch.k)
-            panic(csprintf("validate: step %llu has %zu regions, want %u",
-                           static_cast<unsigned long long>(ts),
-                           step.regions.size(), arch.k));
+        if (step.regions.size() != arch.k) {
+            out.error(DiagCode::SchedRegionCount,
+                      csprintf("step %llu has %zu regions, want %u",
+                               static_cast<unsigned long long>(ts),
+                               step.regions.size(), arch.k),
+                      mod_ctx);
+            continue;
+        }
+        std::vector<TouchRecord> touched;
         for (unsigned r = 0; r < arch.k; ++r) {
             const RegionSlot &slot = step.regions[r];
             uint64_t qubits_touched = 0;
             for (uint32_t op_index : slot.ops) {
-                if (op_index >= mod.numOps())
-                    panic("validate: op index out of range");
-                if (op_step[op_index] != unscheduled)
-                    panic(csprintf("validate: op %u scheduled twice",
-                                   op_index));
+                if (op_index >= mod.numOps()) {
+                    out.error(
+                        DiagCode::SchedOpOutOfRange,
+                        csprintf("step %llu region %u schedules op %u, "
+                                 "but the module has %zu ops",
+                                 static_cast<unsigned long long>(ts), r,
+                                 op_index, mod.numOps()),
+                        mod_ctx);
+                    continue;
+                }
+                if (op_step[op_index] != unscheduled) {
+                    out.error(
+                        DiagCode::SchedOpTwice,
+                        csprintf("op %u scheduled twice (steps %llu and "
+                                 "%llu)",
+                                 op_index,
+                                 static_cast<unsigned long long>(
+                                     op_step[op_index]),
+                                 static_cast<unsigned long long>(ts)),
+                        {mod.name(), op_index, mod.op(op_index).line});
+                }
                 op_step[op_index] = ts;
                 const Operation &op = mod.op(op_index);
                 // Invariant 3: homogeneity.
                 if (op.kind != slot.kind) {
-                    panic(csprintf(
-                        "validate: step %llu region %u mixes %s and %s",
-                        static_cast<unsigned long long>(ts), r,
-                        gateName(slot.kind), gateName(op.kind)));
+                    out.error(
+                        DiagCode::SchedMixedKinds,
+                        csprintf("step %llu region %u mixes %s and %s",
+                                 static_cast<unsigned long long>(ts), r,
+                                 gateName(slot.kind), gateName(op.kind)),
+                        {mod.name(), op_index, op.line});
                 }
                 qubits_touched += op.operands.size();
+                for (QubitId q : op.operands)
+                    touched.push_back({q, r, op_index});
             }
             // Invariant 5: d budget.
             if (qubits_touched > arch.d) {
-                panic(csprintf(
-                    "validate: step %llu region %u touches %llu qubits, "
-                    "budget d=%llu",
-                    static_cast<unsigned long long>(ts), r,
-                    static_cast<unsigned long long>(qubits_touched),
-                    static_cast<unsigned long long>(arch.d)));
+                out.error(
+                    DiagCode::SchedWidthBudget,
+                    csprintf("step %llu region %u touches %llu qubits, "
+                             "budget d=%llu",
+                             static_cast<unsigned long long>(ts), r,
+                             static_cast<unsigned long long>(
+                                 qubits_touched),
+                             static_cast<unsigned long long>(arch.d)),
+                    mod_ctx);
             }
         }
-        // Invariant 4: qubit exclusivity across the whole timestep.
-        std::vector<QubitId> touched;
-        for (const auto &slot : step.regions)
-            for (uint32_t op_index : slot.ops)
-                for (QubitId q : mod.op(op_index).operands)
-                    touched.push_back(q);
-        std::sort(touched.begin(), touched.end());
+        // Invariant 4: qubit exclusivity across the whole timestep —
+        // covers duplicates both within one region slot and across
+        // different regions of the same step.
+        std::sort(touched.begin(), touched.end(),
+                  [](const TouchRecord &a, const TouchRecord &b) {
+                      return a.qubit < b.qubit;
+                  });
         for (size_t i = 1; i < touched.size(); ++i) {
-            if (touched[i] == touched[i - 1]) {
-                panic(csprintf(
-                    "validate: step %llu touches qubit %u twice",
-                    static_cast<unsigned long long>(ts), touched[i]));
-            }
+            if (touched[i].qubit != touched[i - 1].qubit)
+                continue;
+            out.error(
+                DiagCode::SchedQubitConflict,
+                csprintf("step %llu touches qubit %u twice (op %u in "
+                         "region %u and op %u in region %u)",
+                         static_cast<unsigned long long>(ts),
+                         touched[i].qubit, touched[i - 1].opIndex,
+                         touched[i - 1].region, touched[i].opIndex,
+                         touched[i].region),
+                {mod.name(), touched[i].opIndex,
+                 mod.op(touched[i].opIndex).line});
         }
     }
-    for (uint32_t i = 0; i < mod.numOps(); ++i)
-        if (op_step[i] == unscheduled)
-            panic(csprintf("validate: op %u never scheduled", i));
+    for (uint32_t i = 0; i < mod.numOps(); ++i) {
+        if (op_step[i] == unscheduled) {
+            out.error(DiagCode::SchedOpMissing,
+                      csprintf("op %u never scheduled", i),
+                      {mod.name(), i, mod.op(i).line});
+        }
+    }
 
-    // Invariant 2: dependences strictly ordered.
+    // Invariant 2: dependences strictly ordered. Unscheduled ops were
+    // already reported; skip their edges.
     DepDag dag = DepDag::build(mod);
     for (uint32_t i = 0; i < dag.numNodes(); ++i) {
+        if (op_step[i] == unscheduled)
+            continue;
         for (uint32_t s : dag.succs(i)) {
+            if (op_step[s] == unscheduled)
+                continue;
             if (op_step[s] <= op_step[i]) {
-                panic(csprintf(
-                    "validate: op %u (step %llu) depends on op %u "
-                    "(step %llu)",
-                    s, static_cast<unsigned long long>(op_step[s]), i,
-                    static_cast<unsigned long long>(op_step[i])));
+                out.error(
+                    DiagCode::SchedDependence,
+                    csprintf("op %u (step %llu) depends on op %u "
+                             "(step %llu)",
+                             s,
+                             static_cast<unsigned long long>(op_step[s]),
+                             i,
+                             static_cast<unsigned long long>(op_step[i])),
+                    {mod.name(), s, mod.op(s).line});
             }
         }
     }
 
     if (!moves_annotated)
-        return;
+        return out.numErrors() == errors_before;
 
     // Invariant 6: movement consistency.
     std::vector<Location> loc(mod.numQubits(), Location::global());
@@ -99,45 +174,180 @@ validateLeafSchedule(const LeafSchedule &sched, const MultiSimdArch &arch,
     for (uint64_t ts = 0; ts < steps.size(); ++ts) {
         const Timestep &step = steps[ts];
         for (const auto &move : step.moves) {
-            if (move.qubit >= mod.numQubits())
-                panic("validate: move of unknown qubit");
-            if (loc[move.qubit] != move.from) {
-                panic(csprintf(
-                    "validate: step %llu moves qubit %u from %s but it "
-                    "is at %s",
-                    static_cast<unsigned long long>(ts), move.qubit,
-                    move.from.describe().c_str(),
-                    loc[move.qubit].describe().c_str()));
+            if (move.qubit >= mod.numQubits()) {
+                out.error(DiagCode::SchedMoveUnknownQubit,
+                          csprintf("step %llu moves unknown qubit %u",
+                                   static_cast<unsigned long long>(ts),
+                                   move.qubit),
+                          mod_ctx);
+                continue;
             }
-            if (move.to == move.from)
-                panic("validate: degenerate move");
-            if (move.from.isLocalMem())
+            if (loc[move.qubit] != move.from) {
+                out.error(
+                    DiagCode::SchedMoveSource,
+                    csprintf("step %llu moves qubit %u from %s but it "
+                             "is at %s",
+                             static_cast<unsigned long long>(ts),
+                             move.qubit, move.from.describe().c_str(),
+                             loc[move.qubit].describe().c_str()),
+                    mod_ctx);
+            }
+            if (move.to == move.from) {
+                out.error(DiagCode::SchedMoveDegenerate,
+                          csprintf("step %llu: degenerate move of qubit "
+                                   "%u (%s to itself)",
+                                   static_cast<unsigned long long>(ts),
+                                   move.qubit,
+                                   move.from.describe().c_str()),
+                          mod_ctx);
+            }
+            if (move.from.isLocalMem() &&
+                local_count[move.from.region] > 0) {
                 --local_count[move.from.region];
+            }
             if (move.to.isLocalMem()) {
                 unsigned r = move.to.region;
                 if (++local_count[r] > arch.localMemCapacity) {
-                    panic(csprintf(
-                        "validate: step %llu overflows local memory of "
-                        "region %u",
-                        static_cast<unsigned long long>(ts), r));
+                    out.error(
+                        DiagCode::SchedLocalMemOverflow,
+                        csprintf("step %llu overflows local memory of "
+                                 "region %u (capacity %llu)",
+                                 static_cast<unsigned long long>(ts), r,
+                                 static_cast<unsigned long long>(
+                                     arch.localMemCapacity)),
+                        mod_ctx);
                 }
             }
             loc[move.qubit] = move.to;
         }
+        if (step.regions.size() != arch.k)
+            continue; // already reported above
         for (unsigned r = 0; r < arch.k; ++r) {
             for (uint32_t op_index : step.regions[r].ops) {
+                if (op_index >= mod.numOps())
+                    continue; // already reported above
                 for (QubitId q : mod.op(op_index).operands) {
+                    if (q >= mod.numQubits())
+                        continue; // malformed op; verifier territory
                     if (!(loc[q] == Location::inRegion(r))) {
-                        panic(csprintf(
-                            "validate: step %llu op %u operand %u not in "
-                            "region %u (at %s)",
-                            static_cast<unsigned long long>(ts), op_index,
-                            q, r, loc[q].describe().c_str()));
+                        out.error(
+                            DiagCode::SchedOperandNotResident,
+                            csprintf("step %llu op %u operand %u not in "
+                                     "region %u (at %s)",
+                                     static_cast<unsigned long long>(ts),
+                                     op_index, q, r,
+                                     loc[q].describe().c_str()),
+                            {mod.name(), op_index, mod.op(op_index).line});
                     }
                 }
             }
         }
     }
+    return out.numErrors() == errors_before;
+}
+
+bool
+validateProgramSchedule(const Program &prog, const ProgramSchedule &psched,
+                        const MultiSimdArch &arch, DiagnosticEngine *diags)
+{
+    DiagnosticEngine panic_engine(DiagnosticEngine::FailMode::Panic);
+    DiagnosticEngine &out = diags != nullptr ? *diags : panic_engine;
+    size_t errors_before = out.numErrors();
+
+    if (psched.modules.size() != prog.numModules()) {
+        out.error(DiagCode::CoarseNotAnalyzed,
+                  csprintf("schedule covers %zu modules, program has %zu",
+                           psched.modules.size(), prog.numModules()));
+        return false;
+    }
+
+    // Reachability over valid callees (self-contained: the program may
+    // not have been validated).
+    std::vector<bool> reachable(prog.numModules(), false);
+    if (prog.entry() != invalidModule) {
+        std::vector<ModuleId> work{prog.entry()};
+        reachable[prog.entry()] = true;
+        while (!work.empty()) {
+            ModuleId id = work.back();
+            work.pop_back();
+            for (const Operation &op : prog.module(id).ops()) {
+                if (op.isCall() && op.callee < prog.numModules() &&
+                    !reachable[op.callee]) {
+                    reachable[op.callee] = true;
+                    work.push_back(op.callee);
+                }
+            }
+        }
+    }
+
+    for (ModuleId id = 0; id < prog.numModules(); ++id) {
+        if (!reachable[id])
+            continue;
+        const Module &mod = prog.module(id);
+        const ModuleScheduleInfo &info = psched.modules[id];
+        DiagContext ctx{mod.name()};
+        if (!info.analyzed) {
+            out.error(DiagCode::CoarseNotAnalyzed,
+                      "reachable module was never scheduled", ctx);
+            continue;
+        }
+        if (info.leaf != mod.isLeaf()) {
+            out.error(DiagCode::CoarseLeafMismatch,
+                      csprintf("schedule marks module as %s but it is %s",
+                               info.leaf ? "leaf" : "non-leaf",
+                               mod.isLeaf() ? "leaf" : "non-leaf"),
+                      ctx);
+        }
+        if (info.dims.empty()) {
+            out.error(DiagCode::CoarseNoDims,
+                      "analyzed module offers no blackbox dimensions",
+                      ctx);
+            continue;
+        }
+        for (size_t i = 0; i < info.dims.size(); ++i) {
+            const Blackbox &bb = info.dims[i];
+            if (bb.width < 1 || bb.width > arch.k) {
+                out.error(DiagCode::CoarseWidthExceedsK,
+                          csprintf("dimension %zu has width %u outside "
+                                   "[1, k=%u]",
+                                   i, bb.width, arch.k),
+                          ctx);
+            }
+            if (i == 0)
+                continue;
+            if (bb.width <= info.dims[i - 1].width ||
+                bb.length > info.dims[i - 1].length) {
+                out.error(
+                    DiagCode::CoarseDimsNotMonotone,
+                    csprintf("dimensions not monotone at index %zu: "
+                             "(w=%u, len=%llu) after (w=%u, len=%llu)",
+                             i, bb.width,
+                             static_cast<unsigned long long>(bb.length),
+                             info.dims[i - 1].width,
+                             static_cast<unsigned long long>(
+                                 info.dims[i - 1].length)),
+                    ctx);
+            }
+        }
+    }
+
+    if (prog.entry() != invalidModule) {
+        const ModuleScheduleInfo &entry_info =
+            psched.modules[prog.entry()];
+        if (entry_info.analyzed && !entry_info.dims.empty() &&
+            psched.totalCycles != entry_info.bestLength()) {
+            out.error(
+                DiagCode::CoarseTotalMismatch,
+                csprintf("totalCycles=%llu but entry module's best "
+                         "length is %llu",
+                         static_cast<unsigned long long>(
+                             psched.totalCycles),
+                         static_cast<unsigned long long>(
+                             entry_info.bestLength())),
+                {prog.module(prog.entry()).name()});
+        }
+    }
+    return out.numErrors() == errors_before;
 }
 
 } // namespace msq

@@ -1,19 +1,28 @@
 /**
  * @file
- * Structural validation of leaf schedules. Used by tests and available to
+ * Structural validation of schedules. Used by tests and available to
  * library users as a debugging aid; every scheduler's output must pass.
  *
- * Checked invariants:
+ * Leaf-schedule invariants (codes S001-S014):
  *  1. every module operation is scheduled exactly once;
  *  2. dependences: each op runs in a strictly later timestep than every
  *     op it depends on;
  *  3. SIMD homogeneity: a region executes a single gate type per step;
- *  4. qubit exclusivity: no qubit is touched by two ops in one timestep;
+ *  4. qubit exclusivity: no qubit is touched by two ops in one timestep
+ *     (within one region or across different regions);
  *  5. width: a region touches at most d qubits per timestep;
  *  6. when movement is annotated: every move's source matches the
  *     qubit's tracked location, every operand is resident in its
  *     region when its op executes, and local-memory occupancy never
  *     exceeds capacity.
+ *
+ * Coarse-schedule invariants (codes C001-C006): every reachable module
+ * analyzed, leaf flags consistent, and each module's width/length
+ * trade-off curve non-empty, monotone, and within the machine width.
+ *
+ * Both validators report through a DiagnosticEngine. By default they
+ * run in panic-on-first-error mode (violations are scheduler bugs);
+ * pass a collecting engine to gather every violation with its code.
  */
 
 #ifndef MSQ_SCHED_VALIDATOR_HH
@@ -21,6 +30,8 @@
 
 #include "arch/multi_simd.hh"
 #include "arch/schedule.hh"
+#include "sched/coarse.hh"
+#include "support/diagnostic.hh"
 
 namespace msq {
 
@@ -28,11 +39,25 @@ namespace msq {
  * Validate @p sched against @p arch.
  * @param moves_annotated when true, also verify movement consistency
  *        (invariant 6); leave false for compute-only schedules.
- * Panics with a diagnostic on the first violation.
+ * @param diags when null, violations panic immediately (PanicError on
+ *        the first one, as schedulers are library code); when supplied,
+ *        all violations are reported into it per its FailMode.
+ * @return true when no violations were reported.
  */
-void validateLeafSchedule(const LeafSchedule &sched,
+bool validateLeafSchedule(const LeafSchedule &sched,
                           const MultiSimdArch &arch,
-                          bool moves_annotated = false);
+                          bool moves_annotated = false,
+                          DiagnosticEngine *diags = nullptr);
+
+/**
+ * Validate a whole-program coarse schedule against @p prog and @p arch.
+ * Same diagnostics contract as validateLeafSchedule().
+ * @return true when no violations were reported.
+ */
+bool validateProgramSchedule(const Program &prog,
+                             const ProgramSchedule &psched,
+                             const MultiSimdArch &arch,
+                             DiagnosticEngine *diags = nullptr);
 
 } // namespace msq
 

@@ -1,0 +1,211 @@
+#include "support/diagnostic.hh"
+
+#include <ostream>
+#include <set>
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace msq {
+
+namespace {
+
+struct CodeInfo
+{
+    const char *name;
+    Severity severity;
+};
+
+constexpr CodeInfo codeTable[] = {
+    // Verifier.
+    {"V001", Severity::Error},   // GateArity
+    {"V002", Severity::Error},   // OperandOutOfRange
+    {"V003", Severity::Error},   // DuplicateOperand
+    {"V004", Severity::Error},   // NoEntryModule
+    {"V005", Severity::Error},   // BadCallee
+    {"V006", Severity::Error},   // CallArity
+    {"V007", Severity::Error},   // RecursiveCall
+    {"V008", Severity::Error},   // BadRepeat
+    {"V009", Severity::Error},   // UseAfterMeasure
+    {"V010", Severity::Error},   // MalformedOperation
+    {"V011", Severity::Warning}, // AngleOnNonRotation
+    {"V012", Severity::Error},   // DuplicateCallArg
+    // Linter.
+    {"L001", Severity::Warning}, // UnusedQubit
+    {"L002", Severity::Warning}, // DeadGate
+    {"L003", Severity::Warning}, // UncancelledInverses
+    {"L004", Severity::Warning}, // RotationBelowPrecision
+    {"L005", Severity::Warning}, // NonCoalescableGate
+    {"L006", Severity::Warning}, // UnreachableModule
+    // Leaf-schedule validator.
+    {"S001", Severity::Error},   // SchedKMismatch
+    {"S002", Severity::Error},   // SchedRegionCount
+    {"S003", Severity::Error},   // SchedOpOutOfRange
+    {"S004", Severity::Error},   // SchedOpTwice
+    {"S005", Severity::Error},   // SchedMixedKinds
+    {"S006", Severity::Error},   // SchedWidthBudget
+    {"S007", Severity::Error},   // SchedQubitConflict
+    {"S008", Severity::Error},   // SchedOpMissing
+    {"S009", Severity::Error},   // SchedDependence
+    {"S010", Severity::Error},   // SchedMoveUnknownQubit
+    {"S011", Severity::Error},   // SchedMoveSource
+    {"S012", Severity::Error},   // SchedMoveDegenerate
+    {"S013", Severity::Error},   // SchedLocalMemOverflow
+    {"S014", Severity::Error},   // SchedOperandNotResident
+    // Coarse-schedule validator.
+    {"C001", Severity::Error},   // CoarseNotAnalyzed
+    {"C002", Severity::Error},   // CoarseLeafMismatch
+    {"C003", Severity::Error},   // CoarseNoDims
+    {"C004", Severity::Error},   // CoarseDimsNotMonotone
+    {"C005", Severity::Error},   // CoarseWidthExceedsK
+    {"C006", Severity::Error},   // CoarseTotalMismatch
+};
+
+static_assert(sizeof(codeTable) / sizeof(codeTable[0]) ==
+                  static_cast<size_t>(DiagCode::NumCodes),
+              "codeTable must cover every DiagCode");
+
+const CodeInfo &
+info(DiagCode code)
+{
+    auto index = static_cast<size_t>(code);
+    if (index >= static_cast<size_t>(DiagCode::NumCodes))
+        panic("diagCodeName: invalid DiagCode");
+    return codeTable[index];
+}
+
+} // anonymous namespace
+
+const char *
+diagCodeName(DiagCode code)
+{
+    return info(code).name;
+}
+
+Severity
+diagDefaultSeverity(DiagCode code)
+{
+    return info(code).severity;
+}
+
+const char *
+severityName(Severity severity)
+{
+    switch (severity) {
+      case Severity::Note:
+        return "note";
+      case Severity::Warning:
+        return "warning";
+      case Severity::Error:
+        return "error";
+    }
+    return "unknown";
+}
+
+std::string
+Diagnostic::format() const
+{
+    std::string loc;
+    if (!where.module.empty())
+        loc += "module " + where.module;
+    if (where.opIndex != diagNoOp) {
+        if (!loc.empty())
+            loc += ", ";
+        loc += csprintf("op %u", where.opIndex);
+    }
+    if (where.line != 0) {
+        if (!loc.empty())
+            loc += ", ";
+        loc += csprintf("line %u", where.line);
+    }
+    std::string out = severityName(severity);
+    out += " ";
+    out += diagCodeName(code);
+    if (!loc.empty())
+        out += " [" + loc + "]";
+    out += ": " + message;
+    return out;
+}
+
+void
+DiagnosticEngine::report(Severity severity, DiagCode code,
+                         const std::string &msg, DiagContext where)
+{
+    Diagnostic diag{code, severity, std::move(where), msg};
+    if (severity == Severity::Error)
+        ++numErrors_;
+    else if (severity == Severity::Warning)
+        ++numWarnings_;
+    std::string formatted = diag.format();
+    diags_.push_back(std::move(diag));
+    if (severity == Severity::Error) {
+        if (mode_ == FailMode::Panic)
+            panic(formatted);
+        if (mode_ == FailMode::Fatal)
+            fatal(formatted);
+    }
+}
+
+void
+DiagnosticEngine::report(DiagCode code, const std::string &msg,
+                         DiagContext where)
+{
+    report(diagDefaultSeverity(code), code, msg, std::move(where));
+}
+
+void
+DiagnosticEngine::error(DiagCode code, const std::string &msg,
+                        DiagContext where)
+{
+    report(Severity::Error, code, msg, std::move(where));
+}
+
+void
+DiagnosticEngine::warning(DiagCode code, const std::string &msg,
+                          DiagContext where)
+{
+    report(Severity::Warning, code, msg, std::move(where));
+}
+
+bool
+DiagnosticEngine::has(DiagCode code) const
+{
+    for (const auto &diag : diags_)
+        if (diag.code == code)
+            return true;
+    return false;
+}
+
+size_t
+DiagnosticEngine::numDistinctCodes() const
+{
+    std::set<DiagCode> codes;
+    for (const auto &diag : diags_)
+        codes.insert(diag.code);
+    return codes.size();
+}
+
+void
+DiagnosticEngine::clear()
+{
+    diags_.clear();
+    numErrors_ = 0;
+    numWarnings_ = 0;
+}
+
+std::string
+DiagnosticEngine::formatAll() const
+{
+    std::string out;
+    for (const auto &diag : diags_)
+        out += diag.format() + "\n";
+    return out;
+}
+
+void
+DiagnosticEngine::printAll(std::ostream &out) const
+{
+    out << formatAll();
+}
+
+} // namespace msq

@@ -1,0 +1,227 @@
+#include "verify/linter.hh"
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "support/strings.hh"
+
+namespace msq {
+
+namespace {
+
+DiagContext
+at(const Module &mod, uint32_t op_index, const Operation &op)
+{
+    return {mod.name(), op_index, op.line};
+}
+
+/** L001: qubits never referenced by any operation. */
+void
+lintUnusedQubits(const Module &mod, DiagnosticEngine &diags)
+{
+    std::vector<bool> used(mod.numQubits(), false);
+    for (const Operation &op : mod.ops())
+        for (QubitId q : op.operands)
+            if (q < used.size())
+                used[q] = true;
+    for (QubitId q = 0; q < mod.numQubits(); ++q) {
+        if (used[q])
+            continue;
+        const char *role = q < mod.numParams() ? "parameter" : "local";
+        diags.warning(DiagCode::UnusedQubit,
+                      csprintf("%s qubit %u ('%s') is never used", role, q,
+                               mod.qubitName(q).c_str()),
+                      {mod.name()});
+    }
+}
+
+/**
+ * L002: dead gates after terminal measurement. A qubit "escapes" when
+ * it is measured or passed to a callee; a non-call, non-measure gate
+ * all of whose operands are past their final escape — and at least one
+ * of which was actually measured — cannot influence any outcome.
+ */
+void
+lintDeadGates(const Module &mod, DiagnosticEngine &diags)
+{
+    constexpr uint32_t never = ~uint32_t{0};
+    std::vector<uint32_t> last_escape(mod.numQubits(), never);
+    std::vector<bool> ever_measured(mod.numQubits(), false);
+    for (uint32_t i = 0; i < mod.numOps(); ++i) {
+        const Operation &op = mod.op(i);
+        bool escapes = op.isCall() || isMeasureGate(op.kind);
+        for (QubitId q : op.operands) {
+            if (q >= mod.numQubits())
+                continue;
+            if (escapes)
+                last_escape[q] = i;
+            if (isMeasureGate(op.kind))
+                ever_measured[q] = true;
+        }
+    }
+    for (uint32_t i = 0; i < mod.numOps(); ++i) {
+        const Operation &op = mod.op(i);
+        if (op.isCall() || isMeasureGate(op.kind) || op.operands.empty())
+            continue;
+        bool all_past = true;
+        bool any_measured = false;
+        for (QubitId q : op.operands) {
+            if (q >= mod.numQubits()) {
+                // Malformed operand; the verifier reports it.
+                all_past = false;
+                break;
+            }
+            all_past = all_past &&
+                       (last_escape[q] != never && i > last_escape[q]);
+            any_measured = any_measured || ever_measured[q];
+        }
+        if (all_past && any_measured) {
+            diags.warning(DiagCode::DeadGate,
+                          csprintf("gate %s follows the final measurement "
+                                   "of all its operands (dead code)",
+                                   gateName(op.kind)),
+                          at(mod, i, op));
+        }
+    }
+}
+
+/** Would @p b undo @p a when run immediately after it? */
+bool
+isInversePair(const Operation &a, const Operation &b)
+{
+    if (a.isCall() || b.isCall() || a.operands != b.operands)
+        return false;
+    switch (a.kind) {
+      case GateKind::PrepZ:
+      case GateKind::PrepX:
+      case GateKind::MeasZ:
+      case GateKind::MeasX:
+        return false; // no inverse
+      case GateKind::Rx:
+      case GateKind::Ry:
+      case GateKind::Rz:
+        return b.kind == a.kind && b.angle == -a.angle;
+      default:
+        return daggerOf(a.kind) == b.kind;
+    }
+}
+
+/** L003: adjacent gate/inverse pairs the peephole would remove. */
+void
+lintUncancelledInverses(const Module &mod, DiagnosticEngine &diags)
+{
+    for (uint32_t i = 0; i + 1 < mod.numOps(); ++i) {
+        const Operation &a = mod.op(i);
+        const Operation &b = mod.op(i + 1);
+        if (!isInversePair(a, b))
+            continue;
+        diags.warning(DiagCode::UncancelledInverses,
+                      csprintf("ops %u/%u: adjacent %s/%s pair cancels to "
+                               "identity (run cancel-inverses)",
+                               i, i + 1, gateName(a.kind),
+                               gateName(b.kind)),
+                      at(mod, i, a));
+        ++i; // don't re-flag b against its successor
+    }
+}
+
+/** L004: rotations finer than the decomposer can resolve. */
+void
+lintRotationPrecision(const Module &mod, DiagnosticEngine &diags,
+                      const LintOptions &options)
+{
+    for (uint32_t i = 0; i < mod.numOps(); ++i) {
+        const Operation &op = mod.op(i);
+        if (!isRotationGate(op.kind))
+            continue;
+        if (std::fabs(op.angle) >= options.rotationPrecisionFloor)
+            continue;
+        diags.warning(DiagCode::RotationBelowPrecision,
+                      csprintf("%s angle %g is below the decomposition "
+                               "precision floor %g; gate is effectively "
+                               "identity",
+                               gateName(op.kind), op.angle,
+                               options.rotationPrecisionFloor),
+                      at(mod, i, op));
+    }
+}
+
+/** L005: gate kinds that can never coalesce into a SIMD batch. */
+void
+lintNonCoalescable(const Module &mod, DiagnosticEngine &diags,
+                   const LintOptions &options)
+{
+    if (!mod.isLeaf() || mod.numOps() < options.coalesceMinOps)
+        return;
+    std::array<uint64_t, numGateKinds> counts{};
+    for (const Operation &op : mod.ops())
+        ++counts[static_cast<size_t>(op.kind)];
+    for (size_t k = 0; k < numGateKinds; ++k) {
+        if (counts[k] != 1)
+            continue;
+        auto kind = static_cast<GateKind>(k);
+        diags.warning(DiagCode::NonCoalescableGate,
+                      csprintf("gate kind %s occurs once in this leaf "
+                               "module and can never share a SIMD region",
+                               gateName(kind)),
+                      {mod.name()});
+    }
+}
+
+} // anonymous namespace
+
+void
+lintModule(const Program &prog, ModuleId id, DiagnosticEngine &diags,
+           const LintOptions &options)
+{
+    const Module &mod = prog.module(id);
+    lintUnusedQubits(mod, diags);
+    lintDeadGates(mod, diags);
+    lintUncancelledInverses(mod, diags);
+    lintRotationPrecision(mod, diags, options);
+    lintNonCoalescable(mod, diags, options);
+}
+
+size_t
+lintProgram(const Program &prog, DiagnosticEngine &diags,
+            const LintOptions &options)
+{
+    size_t warnings_before = diags.numWarnings();
+
+    // Reachability over valid callees only; cycles and bad callee ids
+    // are the verifier's concern and must not trip the linter.
+    std::vector<bool> reachable(prog.numModules(), false);
+    if (prog.entry() != invalidModule &&
+        prog.entry() < prog.numModules()) {
+        std::vector<ModuleId> work{prog.entry()};
+        reachable[prog.entry()] = true;
+        while (!work.empty()) {
+            ModuleId id = work.back();
+            work.pop_back();
+            for (const Operation &op : prog.module(id).ops()) {
+                if (!op.isCall() || op.callee >= prog.numModules())
+                    continue;
+                if (!reachable[op.callee]) {
+                    reachable[op.callee] = true;
+                    work.push_back(op.callee);
+                }
+            }
+        }
+    }
+
+    for (ModuleId id = 0; id < prog.numModules(); ++id) {
+        if (!reachable[id]) {
+            diags.warning(DiagCode::UnreachableModule,
+                          csprintf("module %s is unreachable from the "
+                                   "entry module",
+                                   prog.module(id).name().c_str()),
+                          {prog.module(id).name()});
+            continue;
+        }
+        lintModule(prog, id, diags, options);
+    }
+    return diags.numWarnings() - warnings_before;
+}
+
+} // namespace msq

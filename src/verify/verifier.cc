@@ -1,0 +1,246 @@
+#include "verify/verifier.hh"
+
+#include <vector>
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace msq {
+
+namespace {
+
+/** Context for one op's diagnostics. */
+DiagContext
+at(const Module &mod, uint32_t op_index, const Operation &op)
+{
+    return {mod.name(), op_index, op.line};
+}
+
+/** Verify one non-call operation. */
+void
+verifyGate(const Module &mod, uint32_t i, const Operation &op,
+           DiagnosticEngine &diags)
+{
+    if (op.callee != invalidModule) {
+        diags.error(DiagCode::MalformedOperation,
+                    csprintf("gate %s carries a callee id (%u)",
+                             gateName(op.kind), op.callee),
+                    at(mod, i, op));
+    }
+    if (op.repeat != 1) {
+        diags.error(DiagCode::BadRepeat,
+                    csprintf("gate %s has repeat count %llu; only calls "
+                             "may repeat",
+                             gateName(op.kind),
+                             static_cast<unsigned long long>(op.repeat)),
+                    at(mod, i, op));
+    }
+    int arity = gateArity(op.kind);
+    if (arity >= 0 && op.operands.size() != static_cast<size_t>(arity)) {
+        diags.error(DiagCode::GateArity,
+                    csprintf("gate %s expects %d operand(s), got %zu",
+                             gateName(op.kind), arity, op.operands.size()),
+                    at(mod, i, op));
+    }
+    if (op.angle != 0.0 && !isRotationGate(op.kind)) {
+        diags.warning(DiagCode::AngleOnNonRotation,
+                      csprintf("non-rotation gate %s carries angle %g",
+                               gateName(op.kind), op.angle),
+                      at(mod, i, op));
+    }
+}
+
+/** Verify one call operation. */
+void
+verifyCall(const Program &prog, const Module &mod, uint32_t i,
+           const Operation &op, DiagnosticEngine &diags)
+{
+    if (op.repeat == 0) {
+        diags.error(DiagCode::BadRepeat, "call repeat count must be >= 1",
+                    at(mod, i, op));
+    }
+    if (op.callee >= prog.numModules()) {
+        diags.error(DiagCode::BadCallee,
+                    csprintf("call targets invalid module id %u "
+                             "(%zu modules)",
+                             op.callee, prog.numModules()),
+                    at(mod, i, op));
+        return; // no callee to check arity against
+    }
+    const Module &callee = prog.module(op.callee);
+    if (op.operands.size() != callee.numParams()) {
+        diags.error(DiagCode::CallArity,
+                    csprintf("call to %s passes %zu argument(s), callee "
+                             "takes %zu",
+                             callee.name().c_str(), op.operands.size(),
+                             callee.numParams()),
+                    at(mod, i, op));
+    }
+}
+
+/** Shared for gates and calls: operand ranges and duplicates. Binding
+ * one qubit to two operands of a single op violates no-cloning (e.g.
+ * CNOT(q, q)), and aliased call arguments do the same inside the
+ * callee. */
+void
+verifyOperands(const Module &mod, uint32_t i, const Operation &op,
+               DiagnosticEngine &diags)
+{
+    for (QubitId q : op.operands) {
+        if (q >= mod.numQubits()) {
+            diags.error(DiagCode::OperandOutOfRange,
+                        csprintf("operand %u out of range (%zu qubits)", q,
+                                 mod.numQubits()),
+                        at(mod, i, op));
+        }
+    }
+    for (size_t a = 0; a < op.operands.size(); ++a) {
+        for (size_t b = a + 1; b < op.operands.size(); ++b) {
+            if (op.operands[a] != op.operands[b])
+                continue;
+            DiagCode code = op.isCall() ? DiagCode::DuplicateCallArg
+                                        : DiagCode::DuplicateOperand;
+            const char *what =
+                op.isCall() ? "call binds qubit %u to two parameters"
+                            : "gate %s touches qubit %u twice";
+            std::string msg =
+                op.isCall()
+                    ? csprintf(what, op.operands[a])
+                    : csprintf(what, gateName(op.kind), op.operands[a]);
+            diags.error(code, msg + " (no-cloning violation)",
+                        at(mod, i, op));
+            break; // one report per duplicated qubit pair set
+        }
+    }
+}
+
+/**
+ * Use-after-measure: a gate acting on a measured qubit that was never
+ * re-prepared reads a collapsed state — almost always a lowering bug.
+ * PrepZ/PrepX reset the qubit; passing it to a callee conservatively
+ * clears the flag (the callee may prepare it). Re-measuring is allowed.
+ */
+void
+verifyMeasurementDiscipline(const Module &mod, DiagnosticEngine &diags)
+{
+    std::vector<bool> measured(mod.numQubits(), false);
+    for (uint32_t i = 0; i < mod.numOps(); ++i) {
+        const Operation &op = mod.op(i);
+        if (op.isCall()) {
+            for (QubitId q : op.operands)
+                if (q < measured.size())
+                    measured[q] = false;
+            continue;
+        }
+        bool is_prep = op.kind == GateKind::PrepZ ||
+                       op.kind == GateKind::PrepX;
+        for (QubitId q : op.operands) {
+            if (q >= measured.size())
+                continue; // reported as OperandOutOfRange already
+            if (measured[q] && !is_prep && !isMeasureGate(op.kind)) {
+                diags.error(
+                    DiagCode::UseAfterMeasure,
+                    csprintf("gate %s uses qubit %u ('%s') after "
+                             "measurement without re-preparation",
+                             gateName(op.kind), q,
+                             mod.qubitName(q).c_str()),
+                    at(mod, i, op));
+            }
+            if (is_prep)
+                measured[q] = false;
+            else if (isMeasureGate(op.kind))
+                measured[q] = true;
+        }
+    }
+}
+
+/** Detect cycles in the call graph with an explicit DFS (the Program's
+ * own bottomUpOrder() fatals on the first cycle; here every cycle entry
+ * point is reported). */
+void
+verifyAcyclic(const Program &prog, DiagnosticEngine &diags)
+{
+    enum class Mark : uint8_t { White, Grey, Black };
+    std::vector<Mark> marks(prog.numModules(), Mark::White);
+
+    // Iterative DFS; (module, next-op-cursor) frames.
+    for (ModuleId root = 0; root < prog.numModules(); ++root) {
+        if (marks[root] != Mark::White)
+            continue;
+        std::vector<std::pair<ModuleId, size_t>> stack{{root, 0}};
+        marks[root] = Mark::Grey;
+        while (!stack.empty()) {
+            auto &[id, cursor] = stack.back();
+            const Module &mod = prog.module(id);
+            bool descended = false;
+            while (cursor < mod.numOps()) {
+                const Operation &op = mod.op(cursor++);
+                if (!op.isCall() || op.callee >= prog.numModules())
+                    continue;
+                if (marks[op.callee] == Mark::Grey) {
+                    diags.error(
+                        DiagCode::RecursiveCall,
+                        csprintf("recursive call cycle: %s calls %s",
+                                 mod.name().c_str(),
+                                 prog.module(op.callee).name().c_str()),
+                        at(mod, static_cast<uint32_t>(cursor - 1), op));
+                    continue;
+                }
+                if (marks[op.callee] == Mark::White) {
+                    marks[op.callee] = Mark::Grey;
+                    stack.emplace_back(op.callee, 0);
+                    descended = true;
+                    break;
+                }
+            }
+            if (!descended && cursor >= mod.numOps()) {
+                marks[id] = Mark::Black;
+                stack.pop_back();
+            }
+        }
+    }
+}
+
+} // anonymous namespace
+
+bool
+verifyModule(const Program &prog, ModuleId id, DiagnosticEngine &diags)
+{
+    size_t errors_before = diags.numErrors();
+    const Module &mod = prog.module(id);
+    for (uint32_t i = 0; i < mod.numOps(); ++i) {
+        const Operation &op = mod.op(i);
+        if (op.isCall())
+            verifyCall(prog, mod, i, op, diags);
+        else
+            verifyGate(mod, i, op, diags);
+        verifyOperands(mod, i, op, diags);
+    }
+    verifyMeasurementDiscipline(mod, diags);
+    return diags.numErrors() == errors_before;
+}
+
+bool
+verifyProgram(const Program &prog, DiagnosticEngine &diags)
+{
+    size_t errors_before = diags.numErrors();
+    if (prog.entry() == invalidModule)
+        diags.error(DiagCode::NoEntryModule, "program has no entry module");
+    for (ModuleId id = 0; id < prog.numModules(); ++id)
+        verifyModule(prog, id, diags);
+    verifyAcyclic(prog, diags);
+    return diags.numErrors() == errors_before;
+}
+
+void
+verifyProgramFatal(const Program &prog)
+{
+    DiagnosticEngine diags(DiagnosticEngine::FailMode::Collect);
+    if (!verifyProgram(prog, diags)) {
+        fatal(csprintf("program fails IR verification (%zu error(s)):\n",
+                       diags.numErrors()) +
+              diags.formatAll());
+    }
+}
+
+} // namespace msq

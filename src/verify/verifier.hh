@@ -1,0 +1,48 @@
+/**
+ * @file
+ * IR verifier: whole-program well-formedness checking over Program /
+ * Module, reporting every violation through a DiagnosticEngine instead of
+ * panicking on the first (codes V001-V012, see support/diagnostic.hh).
+ *
+ * The checked-build path (Module::addGate / Program::validate) rejects
+ * most of these at construction time, but frontends use the raw insertion
+ * path so user input yields collected line-numbered diagnostics, and
+ * rewriting passes use Module::setOps which bypasses all checks — the
+ * verifier is what catches a pass that emits garbage (run it between
+ * passes via PassManager::setVerifyAfterPasses).
+ */
+
+#ifndef MSQ_VERIFY_VERIFIER_HH
+#define MSQ_VERIFY_VERIFIER_HH
+
+#include "ir/program.hh"
+#include "support/diagnostic.hh"
+
+namespace msq {
+
+/**
+ * Verify @p prog: per-module operation well-formedness (arity, operand
+ * ranges, no-cloning duplicates, callee/repeat fields, use-after-measure)
+ * plus program-level structure (entry module, call arity, acyclic call
+ * graph). Reports into @p diags; never throws in Collect mode.
+ * @return true when no errors were reported.
+ */
+bool verifyProgram(const Program &prog, DiagnosticEngine &diags);
+
+/**
+ * Verify the operations of one module. Program-level context is needed
+ * for call checks; pass the owning program.
+ * @return true when no errors were reported for this module.
+ */
+bool verifyModule(const Program &prog, ModuleId id,
+                  DiagnosticEngine &diags);
+
+/**
+ * Frontend convenience: verify with a collecting engine and fatal() with
+ * every error in one message when the program is malformed.
+ */
+void verifyProgramFatal(const Program &prog);
+
+} // namespace msq
+
+#endif // MSQ_VERIFY_VERIFIER_HH

@@ -339,4 +339,74 @@ TEST(Validator, CatchesOperandNotResident)
                  PanicError);
 }
 
+// Invariant 4 must reject a qubit touched twice in one timestep even
+// when the two touching ops sit in *different* SIMD regions, not just
+// within one region slot.
+TEST(Validator, CatchesQubitTouchedTwiceAcrossRegions)
+{
+    Module mod("m");
+    auto reg = mod.addRegister("q", 3);
+    mod.addGate(GateKind::H, {reg[0]});
+    mod.addGate(GateKind::CNOT, {reg[1], reg[2]});
+    mod.addGate(GateKind::CNOT, {reg[0], reg[1]}); // shares q0 with op 0
+    LeafSchedule sched(mod, 2);
+    Timestep &step = sched.appendStep();
+    step.regions[0].kind = GateKind::H;
+    step.regions[0].ops = {0};
+    step.regions[1].kind = GateKind::CNOT;
+    step.regions[1].ops = {2}; // q0 again, in the other region
+    Timestep &step2 = sched.appendStep();
+    step2.regions[0].kind = GateKind::CNOT;
+    step2.regions[0].ops = {1};
+
+    EXPECT_THROW(validateLeafSchedule(sched, MultiSimdArch(2)),
+                 PanicError);
+
+    DiagnosticEngine diags;
+    EXPECT_FALSE(validateLeafSchedule(sched, MultiSimdArch(2), false,
+                                      &diags));
+    EXPECT_TRUE(diags.has(DiagCode::SchedQubitConflict));
+}
+
+// The collect mode reports *every* violation of a doubly-broken
+// schedule with distinct codes; the default mode still fails fast.
+TEST(Validator, CollectModeReportsAllViolations)
+{
+    Module mod("m");
+    auto reg = mod.addRegister("q", 3);
+    mod.addGate(GateKind::H, {reg[0]});
+    mod.addGate(GateKind::T, {reg[1]});
+    mod.addGate(GateKind::H, {reg[2]});
+
+    LeafSchedule sched(mod, 2);
+    Timestep &step = sched.appendStep();
+    step.regions[0].kind = GateKind::H;
+    step.regions[0].ops = {0, 1}; // breakage 1: T in an H slot
+    step.regions[1].kind = GateKind::H;
+    step.regions[1].ops = {};
+    // breakage 2: op 2 never scheduled.
+
+    DiagnosticEngine diags;
+    EXPECT_FALSE(validateLeafSchedule(sched, MultiSimdArch(2), false,
+                                      &diags));
+    EXPECT_EQ(diags.numErrors(), 2u);
+    EXPECT_TRUE(diags.has(DiagCode::SchedMixedKinds));
+    EXPECT_TRUE(diags.has(DiagCode::SchedOpMissing));
+
+    // Existing callers (no engine) still fail fast on the first one.
+    EXPECT_THROW(validateLeafSchedule(sched, MultiSimdArch(2)),
+                 PanicError);
+}
+
+TEST(Validator, CollectModeAcceptsValidSchedule)
+{
+    Module mod = parallelH(4);
+    LpfsScheduler lpfs;
+    MultiSimdArch arch(2);
+    LeafSchedule out = lpfs.schedule(mod, arch);
+    DiagnosticEngine diags;
+    EXPECT_TRUE(validateLeafSchedule(out, arch, false, &diags));
+    EXPECT_EQ(diags.numErrors(), 0u);
+}
+
 } // namespace

@@ -1,0 +1,663 @@
+/**
+ * @file
+ * Tests for the static-analysis subsystem: the DiagnosticEngine, the IR
+ * verifier, the circuit linter, the coarse-schedule validator, and the
+ * frontend / PassManager integration points.
+ */
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "core/toolflow.hh"
+#include "frontend/parser.hh"
+#include "frontend/qasm_reader.hh"
+#include "passes/pass_manager.hh"
+#include "sched/lpfs.hh"
+#include "sched/validator.hh"
+#include "support/logging.hh"
+#include "verify/linter.hh"
+#include "verify/verifier.hh"
+#include "workloads/workloads.hh"
+
+namespace {
+
+using namespace msq;
+
+// --- DiagnosticEngine ---
+
+TEST(DiagnosticEngine, CollectModeRecordsEverything)
+{
+    DiagnosticEngine diags;
+    diags.error(DiagCode::GateArity, "first");
+    diags.error(DiagCode::DuplicateOperand, "second");
+    diags.warning(DiagCode::UnusedQubit, "third");
+    EXPECT_EQ(diags.numErrors(), 2u);
+    EXPECT_EQ(diags.numWarnings(), 1u);
+    EXPECT_EQ(diags.numDistinctCodes(), 3u);
+    EXPECT_TRUE(diags.has(DiagCode::GateArity));
+    EXPECT_FALSE(diags.has(DiagCode::RecursiveCall));
+}
+
+TEST(DiagnosticEngine, PanicModeThrowsOnFirstError)
+{
+    DiagnosticEngine diags(DiagnosticEngine::FailMode::Panic);
+    diags.warning(DiagCode::UnusedQubit, "warnings never throw");
+    EXPECT_THROW(diags.error(DiagCode::GateArity, "boom"), PanicError);
+}
+
+TEST(DiagnosticEngine, FatalModeThrowsOnFirstError)
+{
+    DiagnosticEngine diags(DiagnosticEngine::FailMode::Fatal);
+    EXPECT_THROW(diags.error(DiagCode::GateArity, "boom"), FatalError);
+}
+
+TEST(DiagnosticEngine, FormatIncludesCodeAndLocation)
+{
+    Diagnostic diag{DiagCode::DuplicateOperand, Severity::Error,
+                    {"main", 2, 7}, "CNOT touches qubit 0 twice"};
+    std::string text = diag.format();
+    EXPECT_NE(text.find("V003"), std::string::npos);
+    EXPECT_NE(text.find("module main"), std::string::npos);
+    EXPECT_NE(text.find("op 2"), std::string::npos);
+    EXPECT_NE(text.find("line 7"), std::string::npos);
+    EXPECT_NE(text.find("error"), std::string::npos);
+}
+
+// --- IR verifier: one bad-input test per diagnostic code ---
+
+TEST(Verifier, FlagsWrongGateArity)
+{
+    Program prog;
+    ModuleId id = prog.addModule("main");
+    Module &mod = prog.module(id);
+    auto reg = mod.addRegister("q", 2);
+    mod.addRawOperation(Operation(GateKind::H, {reg[0], reg[1]}));
+    prog.setEntry(id);
+
+    DiagnosticEngine diags;
+    EXPECT_FALSE(verifyProgram(prog, diags));
+    EXPECT_TRUE(diags.has(DiagCode::GateArity));
+}
+
+TEST(Verifier, FlagsOperandOutOfRange)
+{
+    Program prog;
+    ModuleId id = prog.addModule("main");
+    Module &mod = prog.module(id);
+    mod.addLocal("q");
+    mod.addRawOperation(Operation(GateKind::X, {42}));
+    prog.setEntry(id);
+
+    DiagnosticEngine diags;
+    EXPECT_FALSE(verifyProgram(prog, diags));
+    EXPECT_TRUE(diags.has(DiagCode::OperandOutOfRange));
+}
+
+TEST(Verifier, FlagsDuplicateOperand)
+{
+    Program prog;
+    ModuleId id = prog.addModule("main");
+    Module &mod = prog.module(id);
+    QubitId q = mod.addLocal("q");
+    mod.addRawOperation(Operation(GateKind::CNOT, {q, q}));
+    prog.setEntry(id);
+
+    DiagnosticEngine diags;
+    EXPECT_FALSE(verifyProgram(prog, diags));
+    EXPECT_TRUE(diags.has(DiagCode::DuplicateOperand));
+}
+
+TEST(Verifier, FlagsMissingEntry)
+{
+    Program prog;
+    prog.addModule("not_main");
+
+    DiagnosticEngine diags;
+    EXPECT_FALSE(verifyProgram(prog, diags));
+    EXPECT_TRUE(diags.has(DiagCode::NoEntryModule));
+}
+
+TEST(Verifier, FlagsBadCallee)
+{
+    Program prog;
+    ModuleId id = prog.addModule("main");
+    prog.module(id).addRawOperation(Operation::makeCall(57, {}));
+    prog.setEntry(id);
+
+    DiagnosticEngine diags;
+    EXPECT_FALSE(verifyProgram(prog, diags));
+    EXPECT_TRUE(diags.has(DiagCode::BadCallee));
+}
+
+TEST(Verifier, FlagsCallArityMismatch)
+{
+    Program prog;
+    ModuleId callee = prog.addModule("kernel");
+    prog.module(callee).addParam("a");
+    prog.module(callee).addParam("b");
+    ModuleId entry = prog.addModule("main");
+    Module &mod = prog.module(entry);
+    QubitId q = mod.addLocal("q");
+    mod.addRawOperation(Operation::makeCall(callee, {q}));
+    prog.setEntry(entry);
+
+    DiagnosticEngine diags;
+    EXPECT_FALSE(verifyProgram(prog, diags));
+    EXPECT_TRUE(diags.has(DiagCode::CallArity));
+}
+
+TEST(Verifier, FlagsRecursiveCallCycle)
+{
+    Program prog;
+    ModuleId a = prog.addModule("a");
+    ModuleId b = prog.addModule("b");
+    prog.module(a).addRawOperation(Operation::makeCall(b, {}));
+    prog.module(b).addRawOperation(Operation::makeCall(a, {}));
+    prog.setEntry(a);
+
+    DiagnosticEngine diags;
+    EXPECT_FALSE(verifyProgram(prog, diags));
+    EXPECT_TRUE(diags.has(DiagCode::RecursiveCall));
+}
+
+TEST(Verifier, FlagsSelfRecursion)
+{
+    Program prog;
+    ModuleId a = prog.addModule("a");
+    prog.module(a).addRawOperation(Operation::makeCall(a, {}));
+    prog.setEntry(a);
+
+    DiagnosticEngine diags;
+    EXPECT_FALSE(verifyProgram(prog, diags));
+    EXPECT_TRUE(diags.has(DiagCode::RecursiveCall));
+}
+
+TEST(Verifier, FlagsZeroRepeatCall)
+{
+    Program prog;
+    ModuleId callee = prog.addModule("kernel");
+    ModuleId entry = prog.addModule("main");
+    Operation call = Operation::makeCall(callee, {});
+    call.repeat = 0;
+    prog.module(entry).addRawOperation(std::move(call));
+    prog.setEntry(entry);
+
+    DiagnosticEngine diags;
+    EXPECT_FALSE(verifyProgram(prog, diags));
+    EXPECT_TRUE(diags.has(DiagCode::BadRepeat));
+}
+
+TEST(Verifier, FlagsUseAfterMeasure)
+{
+    Program prog;
+    ModuleId id = prog.addModule("main");
+    Module &mod = prog.module(id);
+    QubitId q = mod.addLocal("q");
+    mod.addGate(GateKind::MeasZ, {q});
+    mod.addGate(GateKind::H, {q});
+    prog.setEntry(id);
+
+    DiagnosticEngine diags;
+    EXPECT_FALSE(verifyProgram(prog, diags));
+    EXPECT_TRUE(diags.has(DiagCode::UseAfterMeasure));
+}
+
+TEST(Verifier, PrepClearsMeasuredState)
+{
+    Program prog;
+    ModuleId id = prog.addModule("main");
+    Module &mod = prog.module(id);
+    QubitId q = mod.addLocal("q");
+    mod.addGate(GateKind::MeasZ, {q});
+    mod.addGate(GateKind::PrepZ, {q});
+    mod.addGate(GateKind::H, {q});
+    mod.addGate(GateKind::MeasZ, {q});
+    prog.setEntry(id);
+
+    DiagnosticEngine diags;
+    EXPECT_TRUE(verifyProgram(prog, diags));
+    EXPECT_FALSE(diags.hasErrors());
+}
+
+TEST(Verifier, FlagsMalformedGateWithCallee)
+{
+    Program prog;
+    ModuleId id = prog.addModule("main");
+    Module &mod = prog.module(id);
+    QubitId q = mod.addLocal("q");
+    Operation op(GateKind::X, {q});
+    op.callee = 0;
+    mod.addRawOperation(std::move(op));
+    prog.setEntry(id);
+
+    DiagnosticEngine diags;
+    EXPECT_FALSE(verifyProgram(prog, diags));
+    EXPECT_TRUE(diags.has(DiagCode::MalformedOperation));
+}
+
+TEST(Verifier, WarnsOnAngleOnNonRotation)
+{
+    Program prog;
+    ModuleId id = prog.addModule("main");
+    Module &mod = prog.module(id);
+    QubitId q = mod.addLocal("q");
+    Operation op(GateKind::H, {q}, 0.5);
+    mod.addRawOperation(std::move(op));
+    prog.setEntry(id);
+
+    DiagnosticEngine diags;
+    EXPECT_TRUE(verifyProgram(prog, diags)); // warning, not error
+    EXPECT_TRUE(diags.has(DiagCode::AngleOnNonRotation));
+    EXPECT_EQ(diags.numWarnings(), 1u);
+}
+
+TEST(Verifier, FlagsDuplicateCallArg)
+{
+    Program prog;
+    ModuleId callee = prog.addModule("kernel");
+    prog.module(callee).addParam("a");
+    prog.module(callee).addParam("b");
+    ModuleId entry = prog.addModule("main");
+    Module &mod = prog.module(entry);
+    QubitId q = mod.addLocal("q");
+    mod.addRawOperation(Operation::makeCall(callee, {q, q}));
+    prog.setEntry(entry);
+
+    DiagnosticEngine diags;
+    EXPECT_FALSE(verifyProgram(prog, diags));
+    EXPECT_TRUE(diags.has(DiagCode::DuplicateCallArg));
+}
+
+TEST(Verifier, ReportsAllViolationsNotJustTheFirst)
+{
+    Program prog;
+    ModuleId id = prog.addModule("main");
+    Module &mod = prog.module(id);
+    auto reg = mod.addRegister("q", 2);
+    mod.addRawOperation(Operation(GateKind::H, {reg[0], reg[1]}));
+    mod.addRawOperation(Operation(GateKind::CNOT, {reg[0], reg[0]}));
+    mod.addRawOperation(Operation(GateKind::X, {99}));
+    prog.setEntry(id);
+
+    DiagnosticEngine diags;
+    EXPECT_FALSE(verifyProgram(prog, diags));
+    EXPECT_GE(diags.numErrors(), 3u);
+    EXPECT_TRUE(diags.has(DiagCode::GateArity));
+    EXPECT_TRUE(diags.has(DiagCode::DuplicateOperand));
+    EXPECT_TRUE(diags.has(DiagCode::OperandOutOfRange));
+}
+
+TEST(Verifier, FatalHelperListsEveryError)
+{
+    Program prog;
+    ModuleId id = prog.addModule("main");
+    Module &mod = prog.module(id);
+    auto reg = mod.addRegister("q", 2);
+    mod.addRawOperation(Operation(GateKind::H, {reg[0], reg[1]}));
+    mod.addRawOperation(Operation(GateKind::CNOT, {reg[0], reg[0]}));
+    prog.setEntry(id);
+
+    try {
+        verifyProgramFatal(prog);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &err) {
+        std::string what = err.what();
+        EXPECT_NE(what.find("V001"), std::string::npos);
+        EXPECT_NE(what.find("V003"), std::string::npos);
+    }
+}
+
+// --- Every seed workload must verify (and lint) cleanly ---
+
+TEST(Verifier, AllScaledWorkloadsVerifyCleanly)
+{
+    for (const auto &spec : workloads::scaledParams()) {
+        Program prog = spec.build();
+        DiagnosticEngine diags;
+        bool ok = verifyProgram(prog, diags);
+        EXPECT_TRUE(ok) << spec.name << " failed verification:\n"
+                        << diags.formatAll();
+        lintProgram(prog, diags); // must not crash; warnings allowed
+    }
+}
+
+TEST(Verifier, AllPaperWorkloadsVerifyCleanly)
+{
+    for (const auto &spec : workloads::paperParams()) {
+        Program prog = spec.build();
+        DiagnosticEngine diags;
+        bool ok = verifyProgram(prog, diags);
+        EXPECT_TRUE(ok) << spec.name << " failed verification:\n"
+                        << diags.formatAll();
+    }
+}
+
+// --- Circuit linter ---
+
+TEST(Linter, FlagsUnusedQubit)
+{
+    Program prog;
+    ModuleId id = prog.addModule("main");
+    Module &mod = prog.module(id);
+    QubitId q = mod.addLocal("q");
+    mod.addLocal("scratch"); // never used
+    mod.addGate(GateKind::H, {q});
+    prog.setEntry(id);
+
+    DiagnosticEngine diags;
+    EXPECT_EQ(lintProgram(prog, diags), 1u);
+    EXPECT_TRUE(diags.has(DiagCode::UnusedQubit));
+}
+
+TEST(Linter, FlagsDeadGateAfterTerminalMeasurement)
+{
+    Program prog;
+    ModuleId id = prog.addModule("main");
+    Module &mod = prog.module(id);
+    QubitId q = mod.addLocal("q");
+    mod.addGate(GateKind::MeasZ, {q});
+    mod.addGate(GateKind::PrepZ, {q}); // reused (no V009) ...
+    mod.addGate(GateKind::H, {q});     // ... but never measured again
+    prog.setEntry(id);
+
+    DiagnosticEngine verify_diags;
+    EXPECT_TRUE(verifyProgram(prog, verify_diags));
+
+    DiagnosticEngine diags;
+    lintProgram(prog, diags);
+    EXPECT_TRUE(diags.has(DiagCode::DeadGate));
+}
+
+TEST(Linter, FlagsAdjacentInversePairs)
+{
+    Program prog;
+    ModuleId id = prog.addModule("main");
+    Module &mod = prog.module(id);
+    auto reg = mod.addRegister("q", 2);
+    mod.addGate(GateKind::T, {reg[0]});
+    mod.addGate(GateKind::Tdag, {reg[0]});
+    mod.addGate(GateKind::CNOT, {reg[0], reg[1]});
+    mod.addGate(GateKind::CNOT, {reg[0], reg[1]});
+    mod.addGate(GateKind::Rz, {reg[1]}, 0.5);
+    mod.addGate(GateKind::Rz, {reg[1]}, -0.5);
+    mod.addGate(GateKind::MeasZ, {reg[0]});
+    prog.setEntry(id);
+
+    DiagnosticEngine diags;
+    lintProgram(prog, diags);
+    size_t inverse_pairs = 0;
+    for (const auto &diag : diags.diagnostics())
+        if (diag.code == DiagCode::UncancelledInverses)
+            ++inverse_pairs;
+    EXPECT_EQ(inverse_pairs, 3u);
+}
+
+TEST(Linter, DoesNotFlagNonAdjacentOrDifferentOperands)
+{
+    Program prog;
+    ModuleId id = prog.addModule("main");
+    Module &mod = prog.module(id);
+    auto reg = mod.addRegister("q", 2);
+    mod.addGate(GateKind::H, {reg[0]});
+    mod.addGate(GateKind::H, {reg[1]}); // different operand
+    mod.addGate(GateKind::T, {reg[0]});
+    mod.addGate(GateKind::H, {reg[0]}); // H..H not adjacent
+    prog.setEntry(id);
+
+    DiagnosticEngine diags;
+    lintProgram(prog, diags);
+    EXPECT_FALSE(diags.has(DiagCode::UncancelledInverses));
+}
+
+TEST(Linter, FlagsRotationBelowPrecisionFloor)
+{
+    Program prog;
+    ModuleId id = prog.addModule("main");
+    Module &mod = prog.module(id);
+    QubitId q = mod.addLocal("q");
+    mod.addGate(GateKind::Rz, {q}, 1e-14);
+    mod.addGate(GateKind::Rz, {q}, 0.7); // fine
+    prog.setEntry(id);
+
+    DiagnosticEngine diags;
+    lintProgram(prog, diags);
+    size_t below = 0;
+    for (const auto &diag : diags.diagnostics())
+        if (diag.code == DiagCode::RotationBelowPrecision)
+            ++below;
+    EXPECT_EQ(below, 1u);
+}
+
+TEST(Linter, FlagsNonCoalescableGateKinds)
+{
+    Program prog;
+    ModuleId id = prog.addModule("main");
+    Module &mod = prog.module(id);
+    auto reg = mod.addRegister("q", 8);
+    for (QubitId q : reg)
+        mod.addGate(GateKind::H, {q});
+    mod.addGate(GateKind::T, {reg[0]}); // the only T: can't coalesce
+    prog.setEntry(id);
+
+    DiagnosticEngine diags;
+    lintProgram(prog, diags);
+    EXPECT_TRUE(diags.has(DiagCode::NonCoalescableGate));
+}
+
+TEST(Linter, FlagsUnreachableModule)
+{
+    Program prog;
+    ModuleId orphan = prog.addModule("orphan");
+    prog.module(orphan).addLocal("q");
+    ModuleId entry = prog.addModule("main");
+    prog.module(entry).addGate(GateKind::H,
+                               {prog.module(entry).addLocal("q")});
+    prog.setEntry(entry);
+
+    DiagnosticEngine diags;
+    lintProgram(prog, diags);
+    EXPECT_TRUE(diags.has(DiagCode::UnreachableModule));
+}
+
+// --- Frontend integration ---
+
+TEST(FrontendDiagnostics, CollectsMultipleSemanticErrorsWithLines)
+{
+    const char *source = R"(
+module main() {
+    qbit q[2];
+    H(q[0], q[1]);
+    CNOT(q[0], q[0]);
+    MeasZ(q[0]);
+}
+)";
+    DiagnosticEngine diags;
+    Program prog = parseScaffold(source, &diags);
+    EXPECT_TRUE(diags.has(DiagCode::GateArity));
+    EXPECT_TRUE(diags.has(DiagCode::DuplicateOperand));
+    EXPECT_GE(diags.numDistinctCodes(), 2u);
+
+    // Line numbers carried from the source into the diagnostics.
+    for (const auto &diag : diags.diagnostics()) {
+        if (diag.code == DiagCode::GateArity) {
+            EXPECT_EQ(diag.where.line, 4u);
+        } else if (diag.code == DiagCode::DuplicateOperand) {
+            EXPECT_EQ(diag.where.line, 5u);
+        }
+    }
+
+    // The malformed program is still returned for inspection.
+    EXPECT_EQ(prog.module(prog.entry()).numOps(), 3u);
+}
+
+TEST(FrontendDiagnostics, DefaultPathStillThrowsFatalError)
+{
+    const char *source = "module main() { qbit q; CNOT(q, q); }";
+    EXPECT_THROW(parseScaffold(source), FatalError);
+}
+
+TEST(FrontendDiagnostics, OperationsCarrySourceLines)
+{
+    const char *source = R"(
+module main() {
+    qbit q[2];
+    H(q[0]);
+    CNOT(q[0], q[1]);
+}
+)";
+    Program prog = parseScaffold(source);
+    const Module &mod = prog.module(prog.entry());
+    EXPECT_EQ(mod.op(0).line, 4u);
+    EXPECT_EQ(mod.op(1).line, 5u);
+}
+
+TEST(FrontendDiagnostics, QasmReaderCollectsSemanticErrors)
+{
+    const char *text =
+        ".module main\n"
+        "qbit a\n"
+        "qbit b\n"
+        "CNOT a a\n"
+        "H a b\n"
+        ".end\n";
+    DiagnosticEngine diags;
+    parseHierarchicalQasm(text, &diags);
+    EXPECT_TRUE(diags.has(DiagCode::DuplicateOperand));
+    EXPECT_TRUE(diags.has(DiagCode::GateArity));
+}
+
+// --- Coarse-schedule validator ---
+
+TEST(CoarseValidator, AcceptsCoarseSchedulerOutput)
+{
+    Program prog = workloads::scaledParams()[0].build();
+    ToolflowConfig config;
+    config.arch = MultiSimdArch(4);
+    config.rotations.sequenceLength = 20;
+    ToolflowResult result = Toolflow(config).run(prog);
+
+    DiagnosticEngine diags;
+    EXPECT_TRUE(validateProgramSchedule(prog, result.schedule,
+                                        config.arch, &diags))
+        << diags.formatAll();
+}
+
+TEST(CoarseValidator, CatchesTamperedSchedules)
+{
+    const char *source = R"(
+module kernel(qbit a) {
+    H(a);
+    T(a);
+}
+module main() {
+    qbit q;
+    kernel(q);
+    MeasZ(q);
+}
+)";
+    Program prog = parseScaffold(source);
+    MultiSimdArch arch(2);
+    LpfsScheduler leaf;
+    CoarseScheduler coarse(arch, leaf, CommMode::None);
+    ProgramSchedule psched = coarse.schedule(prog);
+    ASSERT_TRUE(validateProgramSchedule(prog, psched, arch));
+
+    // Tamper 1: non-monotone width/length curve.
+    ProgramSchedule broken = psched;
+    ModuleId kernel = prog.findModule("kernel");
+    ASSERT_GE(broken.modules[kernel].dims.size(), 2u);
+    broken.modules[kernel].dims.back().length =
+        broken.modules[kernel].dims.front().length + 10;
+    DiagnosticEngine diags;
+    EXPECT_FALSE(validateProgramSchedule(prog, broken, arch, &diags));
+    EXPECT_TRUE(diags.has(DiagCode::CoarseDimsNotMonotone));
+
+    // Tamper 2: reachable module marked unanalyzed.
+    broken = psched;
+    broken.modules[kernel] = ModuleScheduleInfo{};
+    diags.clear();
+    EXPECT_FALSE(validateProgramSchedule(prog, broken, arch, &diags));
+    EXPECT_TRUE(diags.has(DiagCode::CoarseNotAnalyzed));
+
+    // Tamper 3: blackbox wider than the machine.
+    broken = psched;
+    broken.modules[kernel].dims.back().width = arch.k + 1;
+    diags.clear();
+    EXPECT_FALSE(validateProgramSchedule(prog, broken, arch, &diags));
+    EXPECT_TRUE(diags.has(DiagCode::CoarseWidthExceedsK));
+
+    // Default mode panics like the leaf validator.
+    EXPECT_THROW(validateProgramSchedule(prog, broken, arch), PanicError);
+}
+
+// --- PassManager integration ---
+
+/** A deliberately buggy pass: rewrites the entry module's first gate to
+ * a CNOT with a duplicated operand, bypassing the checked builders. */
+class CorruptingPass : public Pass
+{
+  public:
+    const char *name() const override { return "corrupt-ir"; }
+
+    void
+    run(Program &prog) override
+    {
+        Module &mod = prog.module(prog.entry());
+        std::vector<Operation> ops = mod.ops();
+        ops.front() = Operation(GateKind::CNOT, {0, 0});
+        mod.setOps(std::move(ops));
+    }
+};
+
+TEST(PassManagerVerify, CatchesPassThatCorruptsIr)
+{
+    Program prog;
+    ModuleId id = prog.addModule("main");
+    Module &mod = prog.module(id);
+    auto reg = mod.addRegister("q", 2);
+    mod.addGate(GateKind::H, {reg[0]});
+    prog.setEntry(id);
+
+    PassManager pm;
+    pm.setVerifyAfterPasses(true);
+    pm.add(std::make_unique<CorruptingPass>());
+    try {
+        pm.run(prog);
+        FAIL() << "expected PanicError";
+    } catch (const PanicError &err) {
+        std::string what = err.what();
+        EXPECT_NE(what.find("corrupt-ir"), std::string::npos);
+        EXPECT_NE(what.find("V003"), std::string::npos);
+    }
+}
+
+TEST(PassManagerVerify, CleanPassesRunUnderVerification)
+{
+    Program prog;
+    ModuleId id = prog.addModule("main");
+    Module &mod = prog.module(id);
+    auto reg = mod.addRegister("q", 2);
+    mod.addGate(GateKind::H, {reg[0]});
+    mod.addGate(GateKind::CNOT, {reg[0], reg[1]});
+    prog.setEntry(id);
+
+    PassManager clean;
+    clean.setVerifyAfterPasses(true);
+    EXPECT_NO_THROW(clean.run(prog));
+}
+
+TEST(PassManagerVerify, EnvironmentVariableEnablesIt)
+{
+    ASSERT_EQ(setenv("MSQ_VERIFY_AFTER_PASSES", "1", 1), 0);
+    PassManager on;
+    EXPECT_TRUE(on.verifiesAfterPasses());
+    ASSERT_EQ(setenv("MSQ_VERIFY_AFTER_PASSES", "0", 1), 0);
+    PassManager off;
+    EXPECT_FALSE(off.verifiesAfterPasses());
+    ASSERT_EQ(unsetenv("MSQ_VERIFY_AFTER_PASSES"), 0);
+    PassManager unset;
+    EXPECT_FALSE(unset.verifiesAfterPasses());
+}
+
+} // namespace

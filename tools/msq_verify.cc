@@ -1,0 +1,142 @@
+/**
+ * @file
+ * msq-verify: standalone static-analysis driver. Parses Scaffold-subset
+ * or hierarchical-QASM input, runs the IR verifier and the circuit
+ * linter, prints every diagnostic with its stable code, and exits
+ * nonzero when the input is malformed.
+ *
+ * Usage: msq-verify [options] <file.scaffold|file.qasm>...
+ *   --scaffold      force Scaffold parsing regardless of extension
+ *   --qasm          force hierarchical-QASM parsing
+ *   --no-lint       run the verifier only (skip L*** warnings)
+ *   --werror        exit nonzero on warnings too
+ *   --quiet         print only the per-file summary lines
+ *
+ * Exit codes: 0 all inputs clean, 1 diagnostics found, 2 usage error.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "frontend/parser.hh"
+#include "frontend/qasm_reader.hh"
+#include "support/diagnostic.hh"
+#include "support/logging.hh"
+#include "verify/linter.hh"
+#include "verify/verifier.hh"
+
+using namespace msq;
+
+namespace {
+
+enum class Format { Auto, Scaffold, Qasm };
+
+struct Options
+{
+    Format format = Format::Auto;
+    bool lint = true;
+    bool werror = false;
+    bool quiet = false;
+    std::vector<std::string> files;
+};
+
+void
+usage(std::ostream &out)
+{
+    out << "usage: msq-verify [--scaffold|--qasm] [--no-lint] [--werror]"
+           " [--quiet] <file>...\n";
+}
+
+bool
+endsWith(const std::string &text, const std::string &suffix)
+{
+    return text.size() >= suffix.size() &&
+           text.compare(text.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+}
+
+/** @return true when the file verified cleanly (no errors; warnings
+ * count only under --werror). */
+bool
+checkFile(const std::string &path, const Options &options)
+{
+    Format format = options.format;
+    if (format == Format::Auto)
+        format = endsWith(path, ".qasm") ? Format::Qasm : Format::Scaffold;
+
+    DiagnosticEngine diags;
+    Program prog;
+    try {
+        std::ifstream in(path);
+        if (!in) {
+            std::cerr << path << ": error: cannot open file\n";
+            return false;
+        }
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        prog = format == Format::Qasm
+                   ? parseHierarchicalQasm(buffer.str(), &diags)
+                   : parseScaffold(buffer.str(), &diags);
+    } catch (const FatalError &err) {
+        // Lexical / syntax error: the frontend stops at the first one,
+        // so the engine has nothing — report and skip the summary.
+        std::cerr << path << ": error: " << err.what() << "\n";
+        return false;
+    }
+
+    if (options.lint)
+        lintProgram(prog, diags);
+
+    if (!options.quiet) {
+        for (const auto &diag : diags.diagnostics())
+            std::cout << path << ": " << diag.format() << "\n";
+    }
+    std::cout << path << ": " << diags.numErrors() << " error(s), "
+              << diags.numWarnings() << " warning(s)\n";
+
+    return !diags.hasErrors() &&
+           !(options.werror && diags.numWarnings() > 0);
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    Options options;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--scaffold") {
+            options.format = Format::Scaffold;
+        } else if (arg == "--qasm") {
+            options.format = Format::Qasm;
+        } else if (arg == "--no-lint") {
+            options.lint = false;
+        } else if (arg == "--werror") {
+            options.werror = true;
+        } else if (arg == "--quiet") {
+            options.quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "msq-verify: unknown option '" << arg << "'\n";
+            usage(std::cerr);
+            return 2;
+        } else {
+            options.files.push_back(arg);
+        }
+    }
+    if (options.files.empty()) {
+        usage(std::cerr);
+        return 2;
+    }
+
+    bool all_clean = true;
+    for (const auto &path : options.files)
+        all_clean = checkFile(path, options) && all_clean;
+    return all_clean ? 0 : 1;
+}
