@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "analysis/qubit_analyses.hh"
 #include "support/logging.hh"
 #include "support/strings.hh"
 #include "verify/verifier.hh"
@@ -35,6 +36,25 @@ PassManager::run(Program &prog) const
                            "(%zu error(s)):\n",
                            pass->name(), diags.numErrors()) +
                   diags.formatAll());
+        }
+        // The verifier's V009 is intra-module only; recheck measurement
+        // dominance across call boundaries so a pass that reorders or
+        // inlines code cannot silently introduce a use of a measured
+        // qubit (flatten rewrites exactly those boundaries).
+        MeasurementDominance dominance = MeasurementDominance::analyze(prog);
+        if (dominance.valid() && !dominance.clean()) {
+            std::string detail;
+            for (const MeasurementViolation &v : dominance.violations()) {
+                const Module &mod = prog.module(v.module);
+                detail += csprintf("  module %s, op %u: qubit %u ('%s') "
+                                   "may be measured at this use\n",
+                                   mod.name().c_str(), v.opIndex, v.qubit,
+                                   mod.qubitName(v.qubit).c_str());
+            }
+            panic(csprintf("pass '%s' broke measurement dominance "
+                           "(%zu violation(s)):\n",
+                           pass->name(), dominance.violations().size()) +
+                  detail);
         }
     }
     prog.validate();

@@ -44,7 +44,8 @@ class PassManager
     size_t numPasses() const { return passes.size(); }
 
     /**
-     * Debug mode: run the IR verifier after every pass and panic —
+     * Debug mode: run the IR verifier plus the interprocedural
+     * measurement-dominance analysis after every pass and panic —
      * naming the offending pass and listing every diagnostic — when a
      * pass leaves the program malformed. Defaults to the value of the
      * MSQ_VERIFY_AFTER_PASSES environment variable (any non-empty value

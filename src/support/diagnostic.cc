@@ -37,6 +37,8 @@ constexpr CodeInfo codeTable[] = {
     {"L004", Severity::Warning}, // RotationBelowPrecision
     {"L005", Severity::Warning}, // NonCoalescableGate
     {"L006", Severity::Warning}, // UnreachableModule
+    {"L007", Severity::Warning}, // InterprocUnusedQubit
+    {"L008", Severity::Warning}, // InterprocUseAfterMeasure
     // Leaf-schedule validator.
     {"S001", Severity::Error},   // SchedKMismatch
     {"S002", Severity::Error},   // SchedRegionCount
@@ -59,6 +61,15 @@ constexpr CodeInfo codeTable[] = {
     {"C004", Severity::Error},   // CoarseDimsNotMonotone
     {"C005", Severity::Error},   // CoarseWidthExceedsK
     {"C006", Severity::Error},   // CoarseTotalMismatch
+    // Communication-schedule race detector.
+    {"M001", Severity::Error},   // CommMoveDuringGate
+    {"M002", Severity::Error},   // CommConflictingMoves
+    {"M003", Severity::Error},   // CommRegionOvercap
+    {"M004", Severity::Error},   // CommLocalOvercap
+    {"M005", Severity::Warning}, // CommDeadTeleport
+    {"M006", Severity::Error},   // CommMoveSourceMismatch
+    {"M007", Severity::Error},   // CommOperandNotResident
+    {"M008", Severity::Warning}, // CommRedundantMove
 };
 
 static_assert(sizeof(codeTable) / sizeof(codeTable[0]) ==

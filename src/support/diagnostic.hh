@@ -47,10 +47,15 @@ enum class DiagCode : uint16_t {
     // L***: circuit linter (suspicious-but-legal circuits; warnings).
     UnusedQubit,            ///< L001 declared qubit never referenced
     DeadGate,               ///< L002 gate after a qubit's last measurement
-    UncancelledInverses,    ///< L003 adjacent gate/inverse pair
+    UncancelledInverses,    ///< L003 uncancelled inverse pair (possibly
+                            ///<      separated by commuting gates)
     RotationBelowPrecision, ///< L004 |angle| below the decomposer floor
     NonCoalescableGate,     ///< L005 gate kind occurs once; never SIMDable
     UnreachableModule,      ///< L006 module unreachable from the entry
+    InterprocUnusedQubit,   ///< L007 qubit only passed to calls that
+                            ///<      never use it (interproc liveness)
+    InterprocUseAfterMeasure, ///< L008 use of a measured qubit across a
+                              ///<      call boundary (interproc dominance)
 
     // S***: leaf-schedule validator (scheduler invariants 1-6; errors).
     SchedKMismatch,          ///< S001 schedule k != architecture k
@@ -75,6 +80,16 @@ enum class DiagCode : uint16_t {
     CoarseDimsNotMonotone, ///< C004 width/length curve not monotone
     CoarseWidthExceedsK, ///< C005 blackbox wider than the machine
     CoarseTotalMismatch, ///< C006 totalCycles != entry best length
+
+    // M***: communication-schedule race detector (verify/comm_checker).
+    CommMoveDuringGate,     ///< M001 qubit moved away while a gate uses it
+    CommConflictingMoves,   ///< M002 two moves of one qubit in one step
+    CommRegionOvercap,      ///< M003 region occupancy exceeds d
+    CommLocalOvercap,       ///< M004 scratchpad occupancy exceeds capacity
+    CommDeadTeleport,       ///< M005 wasted move of a dead qubit (warning)
+    CommMoveSourceMismatch, ///< M006 move source != replayed location
+    CommOperandNotResident, ///< M007 operand absent from its gate's region
+    CommRedundantMove,      ///< M008 move to the current location (warning)
 
     NumCodes,
 };

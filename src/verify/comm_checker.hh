@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Communication-schedule race detector (diagnostic codes M001-M008).
+ *
+ * The CommunicationAnalyzer (sched/comm.cc) decorates a leaf schedule
+ * with a movement plan: which qubit teleports or shuttles where, at
+ * every timestep. Nothing downstream re-derives that plan, so a bug in
+ * the analyzer silently corrupts every cost number built on top of it.
+ * This checker replays the movement plan from scratch — tracking every
+ * qubit's location cycle by cycle, exactly like the leaf-schedule
+ * validator's S010-S014 residency checks but against the *communication*
+ * invariants of the Multi-SIMD model (paper §2.4, §4.4):
+ *
+ *  - M001 a qubit is moved somewhere other than its gate's region in a
+ *         timestep where it participates in that gate (races the gate);
+ *  - M002 two moves target the same qubit in one timestep (no-cloning:
+ *         a qubit has one location, so simultaneous moves conflict);
+ *  - M003 a region holds more than d qubits at some timestep;
+ *  - M004 a scratchpad holds more than its capacity;
+ *  - M005 (warning) wasted communication: a qubit that liveness proves
+ *         dead is fetched into a region, parked into a scratchpad, or
+ *         moved with a blocking teleport. Dead *evictions* to global
+ *         memory that ride the masked-teleport window are mandatory in
+ *         the SIMD model (a parked qubit would receive the region's
+ *         gate) and are exempt;
+ *  - M006 a move's declared source disagrees with the replayed location;
+ *  - M007 an operand is not resident in its gate's region after the
+ *         movement phase;
+ *  - M008 (warning) a move whose destination equals its current
+ *         location (pure overhead).
+ */
+
+#ifndef MSQ_VERIFY_COMM_CHECKER_HH
+#define MSQ_VERIFY_COMM_CHECKER_HH
+
+#include <cstdint>
+
+#include "arch/multi_simd.hh"
+#include "arch/schedule.hh"
+#include "support/diagnostic.hh"
+
+namespace msq {
+
+/** Aggregate numbers from one checker run (for reporting/tests). */
+struct CommCheckStats
+{
+    uint64_t steps = 0;           ///< timesteps replayed
+    uint64_t movesChecked = 0;    ///< moves replayed
+    uint64_t teleports = 0;       ///< global (non-local) moves
+    uint64_t localMoves = 0;      ///< region<->scratchpad moves
+    uint64_t maskedTeleports = 0; ///< non-blocking global moves
+    uint64_t deadMoves = 0;       ///< moves of dead qubits (any kind)
+};
+
+/**
+ * Replay @p sched's movement plan against @p arch and report every
+ * violated communication invariant to @p diags (codes M001-M008).
+ *
+ * @return true when the replay added no Error-severity diagnostics
+ * (M005/M008 warnings alone keep the schedule passing).
+ */
+bool checkCommSchedule(const LeafSchedule &sched, const MultiSimdArch &arch,
+                       DiagnosticEngine &diags,
+                       CommCheckStats *stats = nullptr);
+
+} // namespace msq
+
+#endif // MSQ_VERIFY_COMM_CHECKER_HH

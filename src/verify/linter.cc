@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "analysis/qubit_analyses.hh"
 #include "support/strings.hh"
 
 namespace msq {
@@ -107,22 +108,108 @@ isInversePair(const Operation &a, const Operation &b)
     }
 }
 
-/** L003: adjacent gate/inverse pairs the peephole would remove. */
+/** The diagonal basis in which @p op acts on its operand @p q, for the
+ * commutation check: two gates sharing a qubit commute when both are
+ * diagonal in the same basis on it. */
+enum class DiagonalBasis : uint8_t { None, Z, X };
+
+DiagonalBasis
+operandBasis(const Operation &op, QubitId q)
+{
+    switch (op.kind) {
+      case GateKind::Z:
+      case GateKind::S:
+      case GateKind::Sdag:
+      case GateKind::T:
+      case GateKind::Tdag:
+      case GateKind::Rz:
+      case GateKind::CZ:
+        return DiagonalBasis::Z;
+      case GateKind::X:
+      case GateKind::Rx:
+        return DiagonalBasis::X;
+      case GateKind::CNOT:
+        // Diagonal in Z on the control, in X on the target.
+        return op.operands[0] == q ? DiagonalBasis::Z : DiagonalBasis::X;
+      default:
+        // H, Y, Ry, prep, measure, Swap, Toffoli, Fredkin, calls:
+        // assume nothing.
+        return DiagonalBasis::None;
+    }
+}
+
+/** Conservative: true only when @p a and @p b provably commute —
+ * disjoint operand sets, or a matching diagonal basis on every shared
+ * qubit. */
+bool
+commutes(const Operation &a, const Operation &b)
+{
+    for (QubitId q : a.operands) {
+        bool shared = false;
+        for (QubitId r : b.operands)
+            shared = shared || q == r;
+        if (!shared)
+            continue;
+        if (a.isCall() || b.isCall())
+            return false;
+        DiagonalBasis ba = operandBasis(a, q);
+        DiagonalBasis bb = operandBasis(b, q);
+        if (ba == DiagonalBasis::None || ba != bb)
+            return false;
+    }
+    return true;
+}
+
+/**
+ * L003: gate/inverse pairs the peephole would remove — adjacent, or
+ * separated only by gates that provably commute with the first of the
+ * pair (so the pair can be slid together and cancelled).
+ */
 void
 lintUncancelledInverses(const Module &mod, DiagnosticEngine &diags)
 {
-    for (uint32_t i = 0; i + 1 < mod.numOps(); ++i) {
-        const Operation &a = mod.op(i);
-        const Operation &b = mod.op(i + 1);
-        if (!isInversePair(a, b))
+    // How far past op i to search for its inverse. Bounds the quadratic
+    // worst case; real cancellation bugs sit close together.
+    constexpr uint32_t lookahead = 32;
+
+    std::vector<bool> consumed(mod.numOps(), false);
+    for (uint32_t i = 0; i < mod.numOps(); ++i) {
+        if (consumed[i])
             continue;
-        diags.warning(DiagCode::UncancelledInverses,
-                      csprintf("ops %u/%u: adjacent %s/%s pair cancels to "
-                               "identity (run cancel-inverses)",
-                               i, i + 1, gateName(a.kind),
-                               gateName(b.kind)),
-                      at(mod, i, a));
-        ++i; // don't re-flag b against its successor
+        const Operation &a = mod.op(i);
+        if (a.isCall())
+            continue;
+        uint32_t limit = mod.numOps();
+        if (limit - i > lookahead + 1)
+            limit = i + 1 + lookahead;
+        for (uint32_t j = i + 1; j < limit; ++j) {
+            if (consumed[j])
+                continue; // a cancelled pair commutes with everything
+            const Operation &b = mod.op(j);
+            if (isInversePair(a, b)) {
+                if (j == i + 1) {
+                    diags.warning(
+                        DiagCode::UncancelledInverses,
+                        csprintf("ops %u/%u: adjacent %s/%s pair cancels "
+                                 "to identity (run cancel-inverses)",
+                                 i, j, gateName(a.kind), gateName(b.kind)),
+                        at(mod, i, a));
+                } else {
+                    diags.warning(
+                        DiagCode::UncancelledInverses,
+                        csprintf("ops %u/%u: %s/%s pair separated only by "
+                                 "commuting gates cancels to identity "
+                                 "(run cancel-inverses)",
+                                 i, j, gateName(a.kind), gateName(b.kind)),
+                        at(mod, i, a));
+                }
+                consumed[i] = true;
+                consumed[j] = true;
+                break;
+            }
+            if (!commutes(a, b))
+                break;
+        }
     }
 }
 
@@ -166,6 +253,58 @@ lintNonCoalescable(const Module &mod, DiagnosticEngine &diags,
                                "module and can never share a SIMD region",
                                gateName(kind)),
                       {mod.name()});
+    }
+}
+
+/**
+ * L007/L008: the interprocedural refinements of L001 and V009. Only
+ * runs when the call graph is acyclic with a valid entry — on programs
+ * the verifier rejects, the local rules already reported what they
+ * could.
+ */
+void
+lintInterprocedural(const Program &prog, DiagnosticEngine &diags,
+                    const std::vector<bool> &reachable)
+{
+    LivenessAnalysis liveness = LivenessAnalysis::analyze(prog);
+    if (liveness.valid()) {
+        for (ModuleId id = 0; id < prog.numModules(); ++id) {
+            if (!reachable[id])
+                continue;
+            const Module &mod = prog.module(id);
+            const ModuleLiveness &ml = liveness.module(id);
+            for (QubitId q = 0; q < mod.numQubits(); ++q) {
+                if (!ml.locallyReferenced[q] || ml.ranges[q].used)
+                    continue;
+                const char *role =
+                    q < mod.numParams() ? "parameter" : "local";
+                diags.warning(
+                    DiagCode::InterprocUnusedQubit,
+                    csprintf("%s qubit %u ('%s') is only passed to calls "
+                             "that never use it",
+                             role, q, mod.qubitName(q).c_str()),
+                    {mod.name()});
+            }
+        }
+    }
+
+    MeasurementDominance dominance = MeasurementDominance::analyze(prog);
+    if (dominance.valid()) {
+        for (const MeasurementViolation &v : dominance.violations()) {
+            // Local violations are verifier errors (V009); only the
+            // cross-call cases V009 cannot see are lint territory.
+            if (!v.interprocedural || v.module >= prog.numModules() ||
+                !reachable[v.module])
+                continue;
+            const Module &mod = prog.module(v.module);
+            const Operation &op = mod.op(v.opIndex);
+            diags.warning(
+                DiagCode::InterprocUseAfterMeasure,
+                csprintf("qubit %u ('%s') may still be measured across a "
+                         "call boundary when this operation uses it",
+                         v.qubit, mod.qubitName(v.qubit).c_str()),
+                at(mod, v.opIndex, op));
+        }
     }
 }
 
@@ -221,6 +360,9 @@ lintProgram(const Program &prog, DiagnosticEngine &diags,
         }
         lintModule(prog, id, diags, options);
     }
+
+    lintInterprocedural(prog, diags, reachable);
+
     return diags.numWarnings() - warnings_before;
 }
 

@@ -1,21 +1,27 @@
 /**
  * @file
  * Circuit linter: pass-style checks for legal-but-suspicious circuits
- * (codes L001-L006). Unlike the IR verifier, nothing here is a
+ * (codes L001-L008). Unlike the IR verifier, nothing here is a
  * correctness error — each lint flags structure that wastes qubits,
  * gates, or SIMD regions on the Multi-SIMD target:
  *
  *  - L001 unused qubits inflate the Q requirement (Table 1 metric);
  *  - L002 gates past a qubit's last measurement can never influence an
  *    outcome — dead code from a buggy uncompute sequence;
- *  - L003 adjacent uncancelled inverse pairs are exactly what the
- *    cancel-inverses peephole removes; flagging them catches pipelines
- *    that forgot to run it;
+ *  - L003 uncancelled inverse pairs — adjacent or separated only by
+ *    commuting gates — are exactly what the cancel-inverses peephole
+ *    removes; flagging them catches pipelines that forgot to run it;
  *  - L004 rotations below the decomposer's precision floor decompose to
  *    identity-length sequences and should be dropped at the source;
  *  - L005 a gate kind occurring once in a leaf module can never share a
  *    SIMD region with a sibling (paper §4.2's utilization concern);
- *  - L006 unreachable modules are compiled but never executed.
+ *  - L006 unreachable modules are compiled but never executed;
+ *  - L007 a qubit threaded through calls whose callees never touch it —
+ *    the interprocedural refinement of L001, from the liveness analysis
+ *    (analysis/qubit_analyses.hh);
+ *  - L008 a use that a measurement may reach across a call boundary —
+ *    the interprocedural refinement of verifier V009, which must assume
+ *    calls re-prepare their arguments.
  */
 
 #ifndef MSQ_VERIFY_LINTER_HH

@@ -410,6 +410,125 @@ TEST(Linter, DoesNotFlagNonAdjacentOrDifferentOperands)
     EXPECT_FALSE(diags.has(DiagCode::UncancelledInverses));
 }
 
+TEST(Linter, FlagsInversePairSeparatedByCommutingGates)
+{
+    Program prog;
+    ModuleId id = prog.addModule("main");
+    Module &mod = prog.module(id);
+    auto reg = mod.addRegister("q", 2);
+    // T/Tdag separated by a gate on an unrelated qubit.
+    mod.addGate(GateKind::T, {reg[0]});
+    mod.addGate(GateKind::X, {reg[1]});
+    mod.addGate(GateKind::Tdag, {reg[0]});
+    // CNOT pair separated by a Z-basis gate on the shared control.
+    mod.addGate(GateKind::CNOT, {reg[0], reg[1]});
+    mod.addGate(GateKind::S, {reg[0]});
+    mod.addGate(GateKind::CNOT, {reg[0], reg[1]});
+    mod.addGate(GateKind::MeasZ, {reg[0]});
+    mod.addGate(GateKind::MeasZ, {reg[1]});
+    prog.setEntry(id);
+
+    DiagnosticEngine diags;
+    lintProgram(prog, diags);
+    size_t inverse_pairs = 0;
+    for (const auto &diag : diags.diagnostics())
+        if (diag.code == DiagCode::UncancelledInverses)
+            ++inverse_pairs;
+    EXPECT_EQ(inverse_pairs, 2u);
+}
+
+TEST(Linter, DoesNotFlagWhenInterveningGateBlocksCommutation)
+{
+    Program prog;
+    ModuleId id = prog.addModule("main");
+    Module &mod = prog.module(id);
+    auto reg = mod.addRegister("q", 2);
+    // H on the shared qubit does not commute with T: no cancellation.
+    mod.addGate(GateKind::T, {reg[0]});
+    mod.addGate(GateKind::H, {reg[0]});
+    mod.addGate(GateKind::Tdag, {reg[0]});
+    // X on the control anticommutes with the CNOT's Z-basis control.
+    mod.addGate(GateKind::CNOT, {reg[0], reg[1]});
+    mod.addGate(GateKind::X, {reg[0]});
+    mod.addGate(GateKind::CNOT, {reg[0], reg[1]});
+    mod.addGate(GateKind::MeasZ, {reg[0]});
+    mod.addGate(GateKind::MeasZ, {reg[1]});
+    prog.setEntry(id);
+
+    DiagnosticEngine diags;
+    lintProgram(prog, diags);
+    EXPECT_FALSE(diags.has(DiagCode::UncancelledInverses));
+}
+
+TEST(Linter, FlagsTransitivelyUnusedQubitAcrossCalls)
+{
+    // L007: main's second qubit only reaches a callee that ignores it.
+    Program prog;
+    ModuleId callee = prog.addModule("callee");
+    Module &cal = prog.module(callee);
+    cal.addParam("used");
+    cal.addParam("ignored");
+    cal.addGate(GateKind::H, {0});
+    ModuleId main = prog.addModule("main");
+    Module &m = prog.module(main);
+    m.addLocal("x");
+    m.addLocal("y");
+    m.addCall(callee, {0, 1});
+    prog.setEntry(main);
+
+    DiagnosticEngine diags;
+    lintProgram(prog, diags);
+    EXPECT_TRUE(diags.has(DiagCode::InterprocUnusedQubit));
+}
+
+TEST(Linter, FlagsInterproceduralUseAfterMeasure)
+{
+    // L008: the callee leaves its parameter measured, the caller gates
+    // it afterwards. V009 cannot see this, the dominance analysis can.
+    Program prog;
+    ModuleId callee = prog.addModule("measure_it");
+    Module &cal = prog.module(callee);
+    cal.addParam("p");
+    cal.addGate(GateKind::H, {0});
+    cal.addGate(GateKind::MeasZ, {0});
+    ModuleId main = prog.addModule("main");
+    Module &m = prog.module(main);
+    QubitId q = m.addLocal("q");
+    m.addCall(callee, {q});
+    m.addGate(GateKind::H, {q});
+    m.addGate(GateKind::MeasZ, {q});
+    prog.setEntry(main);
+
+    // The intraprocedural verifier is happy with this program...
+    DiagnosticEngine verify_diags;
+    EXPECT_TRUE(verifyProgram(prog, verify_diags));
+
+    // ...but the interprocedural lint is not.
+    DiagnosticEngine diags;
+    lintProgram(prog, diags);
+    EXPECT_TRUE(diags.has(DiagCode::InterprocUseAfterMeasure));
+}
+
+TEST(Linter, CleanInterproceduralProgramHasNoInterprocLints)
+{
+    Program prog;
+    ModuleId callee = prog.addModule("kernel");
+    Module &cal = prog.module(callee);
+    cal.addParam("p");
+    cal.addGate(GateKind::H, {0});
+    ModuleId main = prog.addModule("main");
+    Module &m = prog.module(main);
+    QubitId q = m.addLocal("q");
+    m.addCall(callee, {q});
+    m.addGate(GateKind::MeasZ, {q});
+    prog.setEntry(main);
+
+    DiagnosticEngine diags;
+    lintProgram(prog, diags);
+    EXPECT_FALSE(diags.has(DiagCode::InterprocUnusedQubit));
+    EXPECT_FALSE(diags.has(DiagCode::InterprocUseAfterMeasure));
+}
+
 TEST(Linter, FlagsRotationBelowPrecisionFloor)
 {
     Program prog;
@@ -589,6 +708,44 @@ module main() {
 
     // Default mode panics like the leaf validator.
     EXPECT_THROW(validateProgramSchedule(prog, broken, arch), PanicError);
+
+    // Tamper 4: leaf flag flipped on a leaf module (C002).
+    broken = psched;
+    broken.modules[kernel].leaf = !broken.modules[kernel].leaf;
+    diags.clear();
+    EXPECT_FALSE(validateProgramSchedule(prog, broken, arch, &diags));
+    EXPECT_TRUE(diags.has(DiagCode::CoarseLeafMismatch));
+
+    // Tamper 5: analyzed module stripped of its dimensions (C003).
+    broken = psched;
+    broken.modules[kernel].dims.clear();
+    diags.clear();
+    EXPECT_FALSE(validateProgramSchedule(prog, broken, arch, &diags));
+    EXPECT_TRUE(diags.has(DiagCode::CoarseNoDims));
+
+    // Tamper 6: program total disagrees with the entry module (C006).
+    broken = psched;
+    broken.totalCycles += 7;
+    diags.clear();
+    EXPECT_FALSE(validateProgramSchedule(prog, broken, arch, &diags));
+    EXPECT_TRUE(diags.has(DiagCode::CoarseTotalMismatch));
+}
+
+TEST(CoarseValidator, LargeKnownGoodScheduleStaysClean)
+{
+    // The biggest scaled workload, end-to-end through the toolflow,
+    // must replay through every C-code check without a single finding.
+    Program prog = workloads::scaledParams().back().build();
+    ToolflowConfig config;
+    config.arch = MultiSimdArch(4);
+    config.rotations.sequenceLength = 20;
+    ToolflowResult result = Toolflow(config).run(prog);
+
+    DiagnosticEngine diags;
+    EXPECT_TRUE(validateProgramSchedule(prog, result.schedule,
+                                        config.arch, &diags))
+        << diags.formatAll();
+    EXPECT_EQ(diags.numErrors(), 0u);
 }
 
 // --- PassManager integration ---

@@ -2,29 +2,60 @@
  * @file
  * msq-verify: standalone static-analysis driver. Parses Scaffold-subset
  * or hierarchical-QASM input, runs the IR verifier and the circuit
- * linter, prints every diagnostic with its stable code, and exits
- * nonzero when the input is malformed.
+ * linter, optionally the interprocedural dataflow analyses and the
+ * communication-schedule race detector, prints every diagnostic with
+ * its stable code, and exits nonzero when the input is malformed.
  *
  * Usage: msq-verify [options] <file.scaffold|file.qasm>...
  *   --scaffold      force Scaffold parsing regardless of extension
  *   --qasm          force hierarchical-QASM parsing
  *   --no-lint       run the verifier only (skip L*** warnings)
- *   --werror        exit nonzero on warnings too
+ *   --Werror        promote warnings to errors (--werror also accepted)
  *   --quiet         print only the per-file summary lines
+ *   --dataflow      print interprocedural liveness / entanglement facts
+ *   --check-comm    decompose + flatten, schedule every leaf under RCP
+ *                   and LPFS, and replay the movement plans through the
+ *                   comm-schedule race detector (codes M001-M008); also
+ *                   validates a coarse schedule of the whole program
+ *   --k=N           regions for --check-comm (default 4)
+ *   --d=N           SIMD width per region for --check-comm (default inf)
+ *   --local-mem=N   scratchpad capacity for --check-comm (default 0);
+ *                   nonzero also exercises CommMode::GlobalWithLocalMem
+ *   --inject-comm-fault=KIND
+ *                   checker self-test: corrupt the first eligible
+ *                   movement plan before replaying it. KIND is
+ *                   move-during-gate (expect M001), oversubscribe
+ *                   (expect M003 under a finite --d), or dead-teleport
+ *                   (expect M005)
  *
- * Exit codes: 0 all inputs clean, 1 diagnostics found, 2 usage error.
+ * Exit codes: 0 all inputs clean, 1 verification/lint failures,
+ * 2 parse or usage errors (parse errors win over verification ones).
  */
 
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "analysis/qubit_analyses.hh"
+#include "arch/multi_simd.hh"
 #include "frontend/parser.hh"
 #include "frontend/qasm_reader.hh"
+#include "passes/decompose_toffoli.hh"
+#include "passes/flatten.hh"
+#include "passes/pass_manager.hh"
+#include "passes/rotation_decomposer.hh"
+#include "sched/comm.hh"
+#include "sched/coarse.hh"
+#include "sched/lpfs.hh"
+#include "sched/rcp.hh"
+#include "sched/validator.hh"
 #include "support/diagnostic.hh"
 #include "support/logging.hh"
+#include "support/strings.hh"
+#include "verify/comm_checker.hh"
 #include "verify/linter.hh"
 #include "verify/verifier.hh"
 
@@ -34,20 +65,33 @@ namespace {
 
 enum class Format { Auto, Scaffold, Qasm };
 
+enum class Outcome { Clean, Dirty, ParseError };
+
 struct Options
 {
     Format format = Format::Auto;
     bool lint = true;
     bool werror = false;
     bool quiet = false;
+    bool dataflow = false;
+    bool checkComm = false;
+    unsigned k = 4;
+    uint64_t d = unbounded;
+    uint64_t localMem = 0;
+    std::string injectFault;
     std::vector<std::string> files;
 };
 
 void
 usage(std::ostream &out)
 {
-    out << "usage: msq-verify [--scaffold|--qasm] [--no-lint] [--werror]"
-           " [--quiet] <file>...\n";
+    out << "usage: msq-verify [--scaffold|--qasm] [--no-lint] [--Werror]"
+           " [--quiet]\n"
+           "                  [--dataflow] [--check-comm] [--k=N] [--d=N]"
+           " [--local-mem=N]\n"
+           "                  [--inject-comm-fault="
+           "move-during-gate|oversubscribe|dead-teleport]\n"
+           "                  <file>...\n";
 }
 
 bool
@@ -58,9 +102,268 @@ endsWith(const std::string &text, const std::string &suffix)
                         suffix) == 0;
 }
 
-/** @return true when the file verified cleanly (no errors; warnings
- * count only under --werror). */
 bool
+parseCount(const std::string &value, uint64_t &out)
+{
+    if (value.empty())
+        return false;
+    if (value == "inf" || value == "unbounded") {
+        out = unbounded;
+        return true;
+    }
+    uint64_t result = 0;
+    for (char c : value) {
+        if (c < '0' || c > '9')
+            return false;
+        result = result * 10 + (c - '0');
+    }
+    out = result;
+    return true;
+}
+
+/** Print (and, under --Werror, promote) every collected diagnostic. */
+void
+emitDiagnostics(const std::string &path, const DiagnosticEngine &diags,
+                const Options &options)
+{
+    if (!options.quiet) {
+        for (const Diagnostic &diag : diags.diagnostics()) {
+            Diagnostic shown = diag;
+            if (options.werror && shown.severity == Severity::Warning)
+                shown.severity = Severity::Error;
+            std::cout << path << ": " << shown.format() << "\n";
+        }
+    }
+    size_t errors = diags.numErrors();
+    size_t warnings = diags.numWarnings();
+    if (options.werror) {
+        errors += warnings;
+        warnings = 0;
+    }
+    std::cout << path << ": " << errors << " error(s), " << warnings
+              << " warning(s)\n";
+}
+
+/** --dataflow: human-readable interprocedural facts per module. */
+void
+printDataflow(const std::string &path, const Program &prog)
+{
+    LivenessAnalysis liveness = LivenessAnalysis::analyze(prog);
+    EntanglementGroups groups = EntanglementGroups::analyze(prog);
+    if (!liveness.valid()) {
+        std::cout << path << ": dataflow: skipped (no entry module or "
+                             "recursive call graph)\n";
+        return;
+    }
+    for (ModuleId id : prog.reachableModules()) {
+        const Module &mod = prog.module(id);
+        const ModuleLiveness &ml = liveness.module(id);
+        std::cout << path << ": dataflow: module " << mod.name() << ": "
+                  << mod.numQubits() << " qubit(s) ("
+                  << mod.numParams() << " param(s)), " << mod.numOps()
+                  << " op(s), " << groups.numEntangledGroups(id)
+                  << " entangled group(s)\n";
+        for (QubitId q = 0; q < mod.numQubits(); ++q) {
+            std::cout << path << ": dataflow:   " << mod.qubitName(q)
+                      << ": ";
+            if (ml.ranges[q].used) {
+                std::cout << "live ops [" << ml.ranges[q].firstUse << ".."
+                          << ml.ranges[q].lastUse << "]";
+            } else if (ml.locallyReferenced[q]) {
+                std::cout << "transitively unused (only passed to calls "
+                             "that ignore it)";
+            } else {
+                std::cout << "never used";
+            }
+            std::cout << "\n";
+        }
+    }
+}
+
+/**
+ * Corrupt @p sched's movement plan for the checker self-test.
+ * @return true when a fault was injected (some kinds need a schedule
+ * with particular structure and skip ineligible ones).
+ */
+bool
+injectCommFault(LeafSchedule &sched, const std::string &kind)
+{
+    auto &steps = sched.steps();
+    const Module &mod = sched.module();
+
+    if (kind == "move-during-gate") {
+        for (auto &step : steps) {
+            for (unsigned r = 0; r < step.regions.size(); ++r) {
+                const RegionSlot &slot = step.regions[r];
+                if (!slot.active() || slot.ops[0] >= mod.numOps())
+                    continue;
+                const Operation &op = mod.op(slot.ops[0]);
+                if (op.operands.empty())
+                    continue;
+                Move fault;
+                fault.qubit = op.operands[0];
+                fault.from = Location::inRegion(r);
+                fault.to = Location::global();
+                fault.blocking = true;
+                step.moves.push_back(fault);
+                return true;
+            }
+        }
+        return false;
+    }
+
+    if (kind == "oversubscribe") {
+        if (steps.empty())
+            return false;
+        Timestep &step = steps.front();
+        std::vector<bool> touched(mod.numQubits(), false);
+        for (const RegionSlot &slot : step.regions)
+            for (uint32_t op_index : slot.ops)
+                if (op_index < mod.numOps())
+                    for (QubitId q : mod.op(op_index).operands)
+                        if (q < touched.size())
+                            touched[q] = true;
+        for (const Move &move : step.moves)
+            if (move.qubit < touched.size())
+                touched[move.qubit] = true;
+        bool injected = false;
+        // Cram every untouched qubit into region 0; with a finite d
+        // this oversubscribes it.
+        for (QubitId q = 0; q < mod.numQubits(); ++q) {
+            if (touched[q])
+                continue;
+            Move fault;
+            fault.qubit = q;
+            fault.from = Location::global();
+            fault.to = Location::inRegion(0);
+            fault.blocking = false;
+            step.moves.push_back(fault);
+            injected = true;
+        }
+        return injected;
+    }
+
+    if (kind == "dead-teleport") {
+        if (steps.empty())
+            return false;
+        // Replay the plan to learn final locations and last uses.
+        constexpr uint64_t neverUsed =
+            std::numeric_limits<uint64_t>::max();
+        std::vector<Location> loc(mod.numQubits(), Location::global());
+        std::vector<uint64_t> last_use(mod.numQubits(), neverUsed);
+        for (size_t ts = 0; ts < steps.size(); ++ts) {
+            for (const Move &move : steps[ts].moves)
+                if (move.qubit < loc.size())
+                    loc[move.qubit] = move.to;
+            for (const RegionSlot &slot : steps[ts].regions)
+                for (uint32_t op_index : slot.ops)
+                    if (op_index < mod.numOps())
+                        for (QubitId q : mod.op(op_index).operands)
+                            if (q < last_use.size())
+                                last_use[q] = ts;
+        }
+        size_t final_step = steps.size() - 1;
+        for (QubitId q = 0; q < mod.numQubits(); ++q) {
+            bool dead = last_use[q] == neverUsed ||
+                        last_use[q] < final_step;
+            if (!dead)
+                continue;
+            Move fault;
+            fault.qubit = q;
+            fault.from = loc[q];
+            fault.to = loc[q].isRegion()
+                           ? Location::inLocalMem(loc[q].region)
+                           : Location::inRegion(0);
+            fault.blocking = true;
+            steps[final_step].moves.push_back(fault);
+            return true;
+        }
+        return false;
+    }
+
+    return false;
+}
+
+/**
+ * --check-comm: lower the program to primitive leaves, schedule each
+ * reachable leaf under RCP and LPFS, derive the movement plan, and
+ * replay it through the race detector. Also coarse-schedules the whole
+ * program and validates it (codes C001-C006).
+ */
+void
+checkCommunication(const std::string &path, Program &prog,
+                   const Options &options, DiagnosticEngine &diags)
+{
+    PassManager pm;
+    pm.add(std::make_unique<DecomposeToffoliPass>());
+    RotationDecomposerPass::Config rot;
+    rot.sequenceLength = 32;
+    pm.add(std::make_unique<RotationDecomposerPass>(rot));
+    pm.add(std::make_unique<FlattenPass>(30'000));
+    pm.run(prog);
+
+    MultiSimdArch arch(options.k, options.d, options.localMem);
+
+    std::vector<CommMode> modes{CommMode::Global};
+    if (options.localMem > 0)
+        modes.push_back(CommMode::GlobalWithLocalMem);
+
+    RcpScheduler rcp;
+    LpfsScheduler lpfs;
+    const LeafScheduler *schedulers[] = {&rcp, &lpfs};
+
+    bool fault_pending = !options.injectFault.empty();
+    for (const LeafScheduler *scheduler : schedulers) {
+        for (CommMode mode : modes) {
+            CommunicationAnalyzer analyzer(arch, mode);
+            for (ModuleId id : prog.reachableModules()) {
+                const Module &mod = prog.module(id);
+                if (!mod.isLeaf() || mod.numOps() == 0)
+                    continue;
+                LeafSchedule sched = scheduler->schedule(mod, arch);
+                analyzer.annotate(sched);
+                bool faulted = false;
+                if (fault_pending &&
+                    injectCommFault(sched, options.injectFault)) {
+                    fault_pending = false;
+                    faulted = true;
+                }
+                CommCheckStats stats;
+                bool ok = checkCommSchedule(sched, arch, diags, &stats);
+                // A deliberately corrupted plan no longer satisfies the
+                // S010-S014 invariants either; only cross-check clean
+                // replays against the leaf validator.
+                if (!faulted)
+                    validateLeafSchedule(sched, arch, true, &diags);
+                if (!options.quiet) {
+                    std::cout << path << ": check-comm ["
+                              << scheduler->name() << "/"
+                              << commModeName(mode) << "] module "
+                              << mod.name() << ": " << stats.steps
+                              << " step(s), " << stats.teleports
+                              << " teleport(s) (" << stats.maskedTeleports
+                              << " masked), " << stats.localMoves
+                              << " local move(s)"
+                              << (faulted ? ", fault injected" : "")
+                              << (ok ? "" : " -- VIOLATIONS") << "\n";
+                }
+            }
+        }
+    }
+    if (fault_pending) {
+        diags.error(DiagCode::CommMoveSourceMismatch,
+                    csprintf("--inject-comm-fault=%s: no eligible "
+                             "schedule to corrupt",
+                             options.injectFault.c_str()));
+    }
+
+    CoarseScheduler coarse(arch, lpfs, CommMode::Global);
+    ProgramSchedule psched = coarse.schedule(prog);
+    validateProgramSchedule(prog, psched, arch, &diags);
+}
+
+/** @return the outcome for one input file. */
+Outcome
 checkFile(const std::string &path, const Options &options)
 {
     Format format = options.format;
@@ -73,7 +376,7 @@ checkFile(const std::string &path, const Options &options)
         std::ifstream in(path);
         if (!in) {
             std::cerr << path << ": error: cannot open file\n";
-            return false;
+            return Outcome::ParseError;
         }
         std::ostringstream buffer;
         buffer << in.rdbuf();
@@ -84,21 +387,31 @@ checkFile(const std::string &path, const Options &options)
         // Lexical / syntax error: the frontend stops at the first one,
         // so the engine has nothing — report and skip the summary.
         std::cerr << path << ": error: " << err.what() << "\n";
-        return false;
+        return Outcome::ParseError;
     }
 
     if (options.lint)
         lintProgram(prog, diags);
 
-    if (!options.quiet) {
-        for (const auto &diag : diags.diagnostics())
-            std::cout << path << ": " << diag.format() << "\n";
-    }
-    std::cout << path << ": " << diags.numErrors() << " error(s), "
-              << diags.numWarnings() << " warning(s)\n";
+    if (options.dataflow && !diags.hasErrors())
+        printDataflow(path, prog);
 
-    return !diags.hasErrors() &&
-           !(options.werror && diags.numWarnings() > 0);
+    if (options.checkComm && !diags.hasErrors()) {
+        try {
+            checkCommunication(path, prog, options, diags);
+        } catch (const PanicError &err) {
+            std::cerr << path << ": error: check-comm: " << err.what()
+                      << "\n";
+            emitDiagnostics(path, diags, options);
+            return Outcome::Dirty;
+        }
+    }
+
+    emitDiagnostics(path, diags, options);
+
+    bool clean = !diags.hasErrors() &&
+                 !(options.werror && diags.numWarnings() > 0);
+    return clean ? Outcome::Clean : Outcome::Dirty;
 }
 
 } // anonymous namespace
@@ -115,10 +428,41 @@ main(int argc, char **argv)
             options.format = Format::Qasm;
         } else if (arg == "--no-lint") {
             options.lint = false;
-        } else if (arg == "--werror") {
+        } else if (arg == "--werror" || arg == "--Werror") {
             options.werror = true;
         } else if (arg == "--quiet") {
             options.quiet = true;
+        } else if (arg == "--dataflow") {
+            options.dataflow = true;
+        } else if (arg == "--check-comm") {
+            options.checkComm = true;
+        } else if (startsWith(arg, "--k=")) {
+            uint64_t value = 0;
+            if (!parseCount(arg.substr(4), value) || value == 0 ||
+                value == unbounded) {
+                std::cerr << "msq-verify: bad value in '" << arg << "'\n";
+                return 2;
+            }
+            options.k = static_cast<unsigned>(value);
+        } else if (startsWith(arg, "--d=")) {
+            if (!parseCount(arg.substr(4), options.d) || options.d == 0) {
+                std::cerr << "msq-verify: bad value in '" << arg << "'\n";
+                return 2;
+            }
+        } else if (startsWith(arg, "--local-mem=")) {
+            if (!parseCount(arg.substr(12), options.localMem)) {
+                std::cerr << "msq-verify: bad value in '" << arg << "'\n";
+                return 2;
+            }
+        } else if (startsWith(arg, "--inject-comm-fault=")) {
+            options.injectFault = arg.substr(20);
+            if (options.injectFault != "move-during-gate" &&
+                options.injectFault != "oversubscribe" &&
+                options.injectFault != "dead-teleport") {
+                std::cerr << "msq-verify: unknown fault kind '"
+                          << options.injectFault << "'\n";
+                return 2;
+            }
         } else if (arg == "--help" || arg == "-h") {
             usage(std::cout);
             return 0;
@@ -134,9 +478,27 @@ main(int argc, char **argv)
         usage(std::cerr);
         return 2;
     }
+    if (!options.injectFault.empty() && !options.checkComm) {
+        std::cerr << "msq-verify: --inject-comm-fault requires "
+                     "--check-comm\n";
+        return 2;
+    }
 
-    bool all_clean = true;
-    for (const auto &path : options.files)
-        all_clean = checkFile(path, options) && all_clean;
-    return all_clean ? 0 : 1;
+    bool any_dirty = false;
+    bool any_parse_error = false;
+    for (const auto &path : options.files) {
+        switch (checkFile(path, options)) {
+          case Outcome::Clean:
+            break;
+          case Outcome::Dirty:
+            any_dirty = true;
+            break;
+          case Outcome::ParseError:
+            any_parse_error = true;
+            break;
+        }
+    }
+    if (any_parse_error)
+        return 2;
+    return any_dirty ? 1 : 0;
 }
