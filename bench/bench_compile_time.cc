@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Compile-time (scheduler wall-clock) baseline: times the hierarchical
+ * scheduling pipeline — the dominant cost on large programs (paper
+ * §3.1's motivation for scheduling hierarchically at all) — in three
+ * configurations per workload and scheduler:
+ *
+ *   sequential       numThreads = 1, no memoization (the legacy path)
+ *   parallel         numThreads = T, no memoization
+ *   parallel+cold    numThreads = T, fresh leaf-schedule cache
+ *   parallel+warm    numThreads = T, cache pre-populated by one
+ *                    untimed pass — the repeated-scheduling case
+ *                    (sweeps, recompiles) the shared cache exists for
+ *
+ * and writes a machine-readable BENCH_compile_time.json so later PRs
+ * can be measured against this trajectory. The schedules themselves
+ * are bit-identical across configurations (DESIGN.md §9); this bench
+ * cross-checks that by comparing total cycles and aborts on mismatch.
+ *
+ * Environment knobs:
+ *   MSQ_BENCH_THREADS  parallel fan-out T (default 8)
+ *   MSQ_BENCH_REPS     timing repetitions, fastest kept (default 1)
+ *
+ * Usage: bench_compile_time [output.json]   (default
+ * BENCH_compile_time.json in the working directory)
+ */
+
+#include "common.hh"
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <vector>
+
+#include "passes/decompose_toffoli.hh"
+#include "passes/pass_manager.hh"
+#include "sched/leaf_cache.hh"
+#include "support/stats.hh"
+#include "support/thread_pool.hh"
+
+using namespace msq;
+
+namespace {
+
+struct Row
+{
+    std::string workload;
+    std::string scheduler;
+    std::string config; ///< sequential | parallel | cold-cache | warm-cache
+    unsigned threads;
+    bool cache;
+    double cacheHitRate;
+    double wallMs;
+    double speedup; ///< vs the sequential config, same workload+scheduler
+    uint64_t totalCycles;
+    uint64_t leafModules;
+};
+
+unsigned
+envUnsigned(const char *name, unsigned fallback)
+{
+    const char *value = std::getenv(name);
+    if (!value || !*value)
+        return fallback;
+    char *end = nullptr;
+    unsigned long parsed = std::strtoul(value, &end, 10);
+    if (end == value || *end || parsed == 0)
+        return fallback;
+    return static_cast<unsigned>(parsed);
+}
+
+/** Lower @p spec to the flattened, scheduler-ready IR. */
+Program
+prepare(const workloads::WorkloadSpec &spec)
+{
+    Program prog = spec.build();
+    PassManager passes;
+    passes.add(std::make_unique<DecomposeToffoliPass>());
+    passes.add(std::make_unique<RotationDecomposerPass>(
+        Toolflow::rotationPresetFor(spec.shortName)));
+    passes.add(std::make_unique<FlattenPass>(30'000));
+    passes.run(prog);
+    return prog;
+}
+
+/** Wall-clock one schedule() call; fastest of @p reps. */
+double
+timeSchedule(const CoarseScheduler &coarse, const Program &prog,
+             unsigned reps, uint64_t &total_cycles)
+{
+    double best_ms = 0.0;
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        auto start = std::chrono::steady_clock::now();
+        ProgramSchedule sched = coarse.schedule(prog);
+        auto stop = std::chrono::steady_clock::now();
+        total_cycles = sched.totalCycles;
+        double ms = std::chrono::duration<double, std::milli>(
+                        stop - start)
+                        .count();
+        if (rep == 0 || ms < best_ms)
+            best_ms = ms;
+    }
+    return best_ms;
+}
+
+void
+writeJson(std::ostream &os, const std::vector<Row> &rows,
+          unsigned parallel_threads, unsigned reps)
+{
+    os << "{\n"
+       << "  \"bench\": \"bench_compile_time\",\n"
+       << "  \"parallel_threads\": " << parallel_threads << ",\n"
+       << "  \"hardware_threads\": " << ThreadPool::hardwareThreads()
+       << ",\n"
+       << "  \"reps\": " << reps << ",\n"
+       << "  \"rows\": [\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const Row &row = rows[i];
+        os << "    {\"workload\": \"" << row.workload
+           << "\", \"scheduler\": \"" << row.scheduler
+           << "\", \"config\": \"" << row.config
+           << "\", \"threads\": " << row.threads << ", \"cache\": "
+           << (row.cache ? "true" : "false")
+           << ", \"cache_hit_rate\": " << row.cacheHitRate
+           << ", \"wall_ms\": " << row.wallMs
+           << ", \"speedup_vs_sequential\": " << row.speedup
+           << ", \"total_cycles\": " << row.totalCycles
+           << ", \"leaf_modules\": " << row.leafModules << "}"
+           << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::banner("bench_compile_time",
+                  "compiler wall-clock baseline - sequential vs "
+                  "parallel vs parallel+memoized scheduling");
+
+    const unsigned threads = envUnsigned("MSQ_BENCH_THREADS", 8);
+    const unsigned reps = envUnsigned("MSQ_BENCH_REPS", 1);
+    const std::string out_path =
+        argc > 1 ? argv[1] : "BENCH_compile_time.json";
+
+    ResultTable table("scheduling wall-clock (ms, fastest of reps)");
+    table.setHeader({"benchmark", "scheduler", "sequential", "parallel",
+                     "cold cache", "warm cache", "par speedup",
+                     "warm speedup", "warm hit rate"});
+
+    std::vector<Row> rows;
+    bool mismatch = false;
+
+    for (const auto &spec : workloads::scaledParams()) {
+        Program prog = prepare(spec);
+        uint64_t leaf_modules = 0;
+        for (ModuleId id : prog.reachableModules())
+            if (prog.module(id).isLeaf())
+                ++leaf_modules;
+
+        for (SchedulerKind kind :
+             {SchedulerKind::Rcp, SchedulerKind::Lpfs}) {
+            auto scheduler = Toolflow::makeScheduler(kind);
+            MultiSimdArch arch(4);
+
+            auto make_coarse = [&](unsigned n_threads,
+                                   std::shared_ptr<LeafScheduleCache>
+                                       cache) {
+                CoarseScheduler::Options options;
+                options.numThreads = n_threads;
+                options.leafCache = std::move(cache);
+                return CoarseScheduler(arch, *scheduler,
+                                       CommMode::Global, options);
+            };
+
+            uint64_t seq_cycles = 0, par_cycles = 0, cold_cycles = 0,
+                     warm_cycles = 0;
+            double seq_ms = timeSchedule(make_coarse(1, nullptr), prog,
+                                         reps, seq_cycles);
+            double par_ms = timeSchedule(make_coarse(threads, nullptr),
+                                         prog, reps, par_cycles);
+            // Cold: fresh cache per timed run so the hit rate reflects
+            // one first-compile schedule() pass, not the repetitions.
+            double cold_ms = 0.0;
+            double cold_hit_rate = 0.0;
+            for (unsigned rep = 0; rep < reps; ++rep) {
+                auto cache = std::make_shared<LeafScheduleCache>();
+                uint64_t cycles = 0;
+                double ms = timeSchedule(make_coarse(threads, cache),
+                                         prog, 1, cycles);
+                cold_cycles = cycles;
+                cold_hit_rate = cache->hitRate();
+                if (rep == 0 || ms < cold_ms)
+                    cold_ms = ms;
+            }
+            // Warm: one untimed pass populates the cache, then the
+            // timed passes reuse it — the repeated-scheduling pattern
+            // (parameter sweeps, recompiles) sharedLeafCache serves.
+            auto warm_cache = std::make_shared<LeafScheduleCache>();
+            {
+                uint64_t ignored = 0;
+                timeSchedule(make_coarse(threads, warm_cache), prog, 1,
+                             ignored);
+            }
+            const uint64_t warm_hits_before = warm_cache->hits();
+            const uint64_t warm_misses_before = warm_cache->misses();
+            double warm_ms = timeSchedule(make_coarse(threads,
+                                                      warm_cache),
+                                          prog, reps, warm_cycles);
+            const double warm_lookups =
+                static_cast<double>(warm_cache->hits() -
+                                    warm_hits_before) +
+                static_cast<double>(warm_cache->misses() -
+                                    warm_misses_before);
+            const double warm_hit_rate =
+                warm_lookups > 0.0
+                    ? static_cast<double>(warm_cache->hits() -
+                                          warm_hits_before) /
+                          warm_lookups
+                    : 0.0;
+
+            if (seq_cycles != par_cycles || seq_cycles != cold_cycles ||
+                seq_cycles != warm_cycles) {
+                std::cerr << "DETERMINISM VIOLATION: " << spec.shortName
+                          << "/" << schedulerKindName(kind)
+                          << " schedules differ across configs\n";
+                mismatch = true;
+            }
+
+            auto speedup = [](double base, double ms) {
+                return ms > 0.0 ? base / ms : 0.0;
+            };
+            rows.push_back({spec.shortName, schedulerKindName(kind),
+                            "sequential", 1, false, 0.0, seq_ms, 1.0,
+                            seq_cycles, leaf_modules});
+            rows.push_back({spec.shortName, schedulerKindName(kind),
+                            "parallel", threads, false, 0.0, par_ms,
+                            speedup(seq_ms, par_ms), par_cycles,
+                            leaf_modules});
+            rows.push_back({spec.shortName, schedulerKindName(kind),
+                            "cold-cache", threads, true, cold_hit_rate,
+                            cold_ms, speedup(seq_ms, cold_ms),
+                            cold_cycles, leaf_modules});
+            rows.push_back({spec.shortName, schedulerKindName(kind),
+                            "warm-cache", threads, true, warm_hit_rate,
+                            warm_ms, speedup(seq_ms, warm_ms),
+                            warm_cycles, leaf_modules});
+
+            table.beginRow();
+            table.addCell(spec.name);
+            table.addCell(std::string(schedulerKindName(kind)));
+            table.addCell(seq_ms, 2);
+            table.addCell(par_ms, 2);
+            table.addCell(cold_ms, 2);
+            table.addCell(warm_ms, 2);
+            table.addCell(speedup(seq_ms, par_ms), 2);
+            table.addCell(speedup(seq_ms, warm_ms), 2);
+            table.addCell(warm_hit_rate, 3);
+        }
+    }
+
+    table.printAscii(std::cout);
+    std::cout << "\nparallel fan-out: " << threads << " thread(s) on "
+              << ThreadPool::hardwareThreads()
+              << " hardware thread(s); schedules verified identical "
+                 "across all configurations.\n";
+
+    std::ofstream out(out_path);
+    if (!out) {
+        std::cerr << "cannot write " << out_path << "\n";
+        return 1;
+    }
+    writeJson(out, rows, threads, reps);
+    std::cout << "wrote " << out_path << "\n";
+    return mismatch ? 1 : 0;
+}

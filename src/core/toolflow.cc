@@ -98,11 +98,24 @@ Toolflow::run(Program &prog) const
     auto leaf_scheduler = makeConfiguredScheduler();
     CoarseScheduler::Options coarse_options;
     coarse_options.widths = config_.coarseWidths;
+    coarse_options.numThreads = config_.numThreads;
+    std::shared_ptr<LeafScheduleCache> cache = config_.sharedLeafCache;
+    if (!cache && config_.leafCache)
+        cache = std::make_shared<LeafScheduleCache>();
+    coarse_options.leafCache = cache;
+    const uint64_t hits_before = cache ? cache->hits() : 0;
+    const uint64_t misses_before = cache ? cache->misses() : 0;
     CoarseScheduler coarse(config_.arch, *leaf_scheduler, config_.commMode,
                            coarse_options);
     result.schedule = coarse.schedule(prog);
     result.scheduledCycles = result.schedule.totalCycles;
+    if (cache) {
+        result.leafCacheHits = cache->hits() - hits_before;
+        result.leafCacheMisses = cache->misses() - misses_before;
+    }
 
+    // Empty program after flattening: no cycles, no meaningful
+    // speedups; leave them 0.0 rather than dividing by zero.
     if (result.scheduledCycles > 0) {
         result.speedupVsSequential =
             static_cast<double>(result.totalGates) /

@@ -69,6 +69,28 @@ struct ToolflowConfig
 
     /** Optional explicit width sweep for the coarse scheduler. */
     std::vector<unsigned> coarseWidths;
+
+    /**
+     * Scheduling fan-out: leaf (module x width) tasks and non-leaf
+     * width sweeps run on this many threads. 0 (the default) selects
+     * the hardware concurrency; 1 is the exact sequential legacy path.
+     * Schedules are bit-identical for every value (DESIGN.md §9).
+     */
+    unsigned numThreads = 0;
+
+    /**
+     * Memoize leaf-schedule results keyed on (module structural hash,
+     * scheduler fingerprint, arch, width) so structurally identical
+     * flattened leaves are scheduled once (sched/leaf_cache.hh).
+     */
+    bool leafCache = true;
+
+    /**
+     * Optional externally owned cache to use instead of a run-local
+     * one (e.g. shared across the runs of a sweep). Overrides
+     * @ref leafCache when set.
+     */
+    std::shared_ptr<LeafScheduleCache> sharedLeafCache;
 };
 
 /** Everything a toolflow run reports. */
@@ -97,6 +119,10 @@ struct ToolflowResult
 
     /** Per-module schedule details. */
     ProgramSchedule schedule;
+
+    /** Leaf-schedule cache traffic of this run (0/0 when disabled). */
+    uint64_t leafCacheHits = 0;
+    uint64_t leafCacheMisses = 0;
 };
 
 /** Orchestrates passes and schedulers per a ToolflowConfig. */

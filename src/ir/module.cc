@@ -102,6 +102,32 @@ Module::isLeaf() const
 }
 
 uint64_t
+Module::structuralHash() const
+{
+    // FNV-1a over the structural fields (see the header for what is
+    // deliberately excluded).
+    uint64_t h = 14695981039346656037ull;
+    auto mix = [&h](uint64_t value) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (value >> (8 * i)) & 0xff;
+            h *= 1099511628211ull;
+        }
+    };
+    mix(numParams_);
+    mix(qubitNames.size());
+    mix(ops_.size());
+    for (const auto &op : ops_) {
+        mix(static_cast<uint64_t>(op.kind));
+        mix(op.callee);
+        mix(op.repeat);
+        mix(op.operands.size());
+        for (QubitId q : op.operands)
+            mix(q);
+    }
+    return h;
+}
+
+uint64_t
 Module::localGateCount() const
 {
     uint64_t count = 0;

@@ -86,6 +86,18 @@ class Module
     /** Count of non-call gate operations (no recursion into callees). */
     uint64_t localGateCount() const;
 
+    /**
+     * 64-bit structural fingerprint of this module's schedulable shape:
+     * the qubit table dimensions plus every operation's kind, operands,
+     * callee and repeat count. Deliberately excludes the module name,
+     * qubit names and rotation angles — none of them influence
+     * dependence analysis, fine-grained scheduling or communication
+     * annotation, so structurally identical modules (e.g. outlined
+     * rotation sequences differing only in angle) hash equal and can
+     * share cached schedules (sched/leaf_cache.hh).
+     */
+    uint64_t structuralHash() const;
+
   private:
     std::string name_;
     bool noInline_ = false;

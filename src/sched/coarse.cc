@@ -6,6 +6,8 @@
 #include "ir/dag.hh"
 #include "support/logging.hh"
 #include "support/saturate.hh"
+#include "support/strings.hh"
+#include "support/thread_pool.hh"
 
 namespace msq {
 
@@ -57,7 +59,8 @@ CoarseScheduler::CoarseScheduler(const MultiSimdArch &arch,
                                  const LeafScheduler &leaf_scheduler,
                                  CommMode mode, Options options)
     : arch(arch), leafScheduler(&leaf_scheduler), mode(mode),
-      widths(std::move(options.widths))
+      widths(std::move(options.widths)), numThreads(options.numThreads),
+      cache(std::move(options.leafCache))
 {
     arch.validate();
     if (widths.empty()) {
@@ -69,32 +72,42 @@ CoarseScheduler::CoarseScheduler(const MultiSimdArch &arch,
     widths.erase(std::unique(widths.begin(), widths.end()), widths.end());
     if (widths.front() < 1 || widths.back() > arch.k)
         fatal("CoarseScheduler: width sweep outside [1, k]");
+    if (numThreads == 0)
+        numThreads = ThreadPool::hardwareThreads();
+    if (cache) {
+        cacheKeySuffix = csprintf(
+            "%s|d=%llu|lm=%llu|epr=%llu|%s",
+            leafScheduler->fingerprint().c_str(),
+            static_cast<unsigned long long>(arch.d),
+            static_cast<unsigned long long>(arch.localMemCapacity),
+            static_cast<unsigned long long>(arch.eprBandwidth),
+            commModeName(mode));
+    }
 }
 
-ModuleScheduleInfo
-CoarseScheduler::scheduleLeaf(const Module &mod) const
+std::shared_ptr<const LeafScheduleResult>
+CoarseScheduler::leafWidthResult(const Module &mod, unsigned w) const
 {
-    ModuleScheduleInfo info;
-    info.analyzed = true;
-    info.leaf = true;
-
-    CommunicationAnalyzer comm(arch, mode);
-    uint64_t best_so_far = ~uint64_t{0};
-    for (unsigned w : widths) {
-        MultiSimdArch sub = arch;
-        sub.k = w;
-        LeafSchedule sched = leafScheduler->schedule(mod, sub);
-        CommStats stats = comm.annotate(sched);
-        // Schedulers are heuristic; clamp so the width/length trade-off
-        // curve is monotone (a wider machine can always emulate a
-        // narrower schedule).
-        uint64_t length = std::min(stats.totalCycles, best_so_far);
-        best_so_far = length;
-        info.dims.push_back({w, length});
-        if (w == widths.back())
-            info.comm = stats;
+    std::string key;
+    if (cache) {
+        key = csprintf("%016llx|%llu|%llu|w=%u|%s",
+                       static_cast<unsigned long long>(
+                           mod.structuralHash()),
+                       static_cast<unsigned long long>(mod.numOps()),
+                       static_cast<unsigned long long>(mod.numQubits()),
+                       w, cacheKeySuffix.c_str());
+        if (auto hit = cache->lookup(key))
+            return hit;
     }
-    return info;
+    MultiSimdArch sub = arch;
+    sub.k = w;
+    LeafSchedule sched = leafScheduler->schedule(mod, sub);
+    CommunicationAnalyzer comm(arch, mode);
+    auto result = std::make_shared<LeafScheduleResult>();
+    result->stats = comm.annotate(sched);
+    if (cache)
+        return cache->insert(key, std::move(result));
+    return result;
 }
 
 namespace {
@@ -353,21 +366,82 @@ CoarseScheduler::schedule(const Program &prog) const
     ProgramSchedule result;
     result.modules.resize(prog.numModules());
 
-    for (ModuleId id : prog.bottomUpOrder()) {
-        const Module &mod = prog.module(id);
-        if (mod.isLeaf()) {
-            result.modules[id] = scheduleLeaf(mod);
-            continue;
+    const std::vector<ModuleId> order = prog.bottomUpOrder();
+    std::vector<ModuleId> leaves;
+    for (ModuleId id : order)
+        if (prog.module(id).isLeaf())
+            leaves.push_back(id);
+
+    std::unique_ptr<ThreadPool> pool;
+    if (numThreads > 1)
+        pool = std::make_unique<ThreadPool>(numThreads);
+    auto run_tasks = [&](uint64_t count,
+                         const std::function<void(uint64_t)> &body) {
+        if (pool && count > 1) {
+            pool->parallelFor(count, body);
+        } else {
+            for (uint64_t i = 0; i < count; ++i)
+                body(i);
         }
+    };
+
+    // Phase 1 — leaves. Every leaf is independent of every other
+    // module, and each sweep width is independent too, so fine-grained
+    // scheduling fans out across (module x width) tasks. Each task
+    // writes only its own slot; which thread computes a slot is
+    // irrelevant to the value stored in it.
+    const size_t nw = widths.size();
+    std::vector<std::shared_ptr<const LeafScheduleResult>> slots(
+        leaves.size() * nw);
+    run_tasks(slots.size(), [&](uint64_t t) {
+        const Module &mod = prog.module(leaves[t / nw]);
+        slots[t] = leafWidthResult(mod, widths[t % nw]);
+    });
+
+    // Merge in bottom-up (module-id stream) order — single-threaded, so
+    // the monotone clamp below sees widths in exactly the sequence the
+    // sequential path did and the result is bit-identical to it.
+    for (size_t m = 0; m < leaves.size(); ++m) {
+        ModuleScheduleInfo info;
+        info.analyzed = true;
+        info.leaf = true;
+        uint64_t best_so_far = ~uint64_t{0};
+        for (size_t wi = 0; wi < nw; ++wi) {
+            const CommStats &stats = slots[m * nw + wi]->stats;
+            // Schedulers are heuristic; clamp so the width/length
+            // trade-off curve is monotone (a wider machine can always
+            // emulate a narrower schedule).
+            uint64_t length = std::min(stats.totalCycles, best_so_far);
+            best_so_far = length;
+            info.dims.push_back({widths[wi], length});
+            if (wi + 1 == nw)
+                info.comm = stats;
+        }
+        result.modules[leaves[m]] = std::move(info);
+    }
+    slots.clear();
+
+    // Phase 2 — non-leaves, bottom-up so callee dimensions are always
+    // available. The width sweep of one module fans out (each width
+    // only reads the callees' completed entries in `result`); the
+    // clamp-merge again runs in width order on one thread.
+    for (ModuleId id : order) {
+        const Module &mod = prog.module(id);
+        if (mod.isLeaf())
+            continue;
+        std::vector<uint64_t> lengths(nw);
+        run_tasks(nw, [&](uint64_t wi) {
+            lengths[wi] = scheduleNonLeaf(prog, mod, result,
+                                          widths[wi]);
+        });
         ModuleScheduleInfo info;
         info.analyzed = true;
         info.leaf = false;
         uint64_t best_so_far = ~uint64_t{0};
-        for (unsigned w : widths) {
-            uint64_t length = scheduleNonLeaf(prog, mod, result, w);
-            length = std::min(length, best_so_far);
+        for (size_t wi = 0; wi < nw; ++wi) {
+            uint64_t length = std::min(lengths[wi], best_so_far);
             best_so_far = length;
-            info.dims.push_back({w, length});
+            info.dims.push_back({widths[wi], length});
         }
         result.modules[id] = std::move(info);
     }

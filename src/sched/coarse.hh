@@ -22,11 +22,14 @@
 #ifndef MSQ_SCHED_COARSE_HH
 #define MSQ_SCHED_COARSE_HH
 
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "arch/multi_simd.hh"
 #include "ir/program.hh"
 #include "sched/comm.hh"
+#include "sched/leaf_cache.hh"
 #include "sched/leaf_scheduler.hh"
 
 namespace msq {
@@ -83,6 +86,21 @@ class CoarseScheduler
          * trade-off curve shape at large k, e.g. Fig. 9's k = 128).
          */
         std::vector<unsigned> widths;
+
+        /**
+         * Scheduling fan-out: (module x width) leaf tasks and the
+         * per-module width sweeps run on this many threads (including
+         * the caller). 1 is the exact sequential legacy path; 0 selects
+         * the hardware concurrency. Results are bit-identical for every
+         * value (DESIGN.md §9 determinism contract).
+         */
+        unsigned numThreads = 1;
+
+        /**
+         * Optional leaf-schedule memoization cache. May be shared
+         * across schedulers and runs; null disables memoization.
+         */
+        std::shared_ptr<LeafScheduleCache> leafCache;
     };
 
     /**
@@ -110,9 +128,18 @@ class CoarseScheduler
     const LeafScheduler *leafScheduler;
     CommMode mode;
     std::vector<unsigned> widths;
+    unsigned numThreads;
+    std::shared_ptr<LeafScheduleCache> cache;
+    /** Scheduler/arch/mode part of memoization keys (width excluded). */
+    std::string cacheKeySuffix;
 
-    /** Fine-grain schedule @p mod at every sweep width. */
-    ModuleScheduleInfo scheduleLeaf(const Module &mod) const;
+    /**
+     * Fine-grain schedule @p mod at width @p w (through the memoization
+     * cache when one is attached). Pure function of its arguments:
+     * safe to fan out across threads.
+     */
+    std::shared_ptr<const LeafScheduleResult>
+    leafWidthResult(const Module &mod, unsigned w) const;
 
     /** Coarse list-schedule @p mod under width budget @p max_width. */
     uint64_t scheduleNonLeaf(const Program &prog, const Module &mod,

@@ -30,23 +30,30 @@ struct UseLists
         }
     }
 
-    /** Advance cursors past timestep @p ts for the given qubit. */
-    void
-    consume(QubitId q, uint64_t ts)
-    {
-        while (cursor[q] < uses[q].size() && uses[q][cursor[q]].first <= ts)
-            ++cursor[q];
-    }
-
-    /** Next use strictly after @p ts, or nullptr. */
+    /**
+     * Next use strictly after @p ts, or nullptr. Advances the qubit's
+     * cursor past every entry at or before @p ts: the analyzer walks
+     * timesteps monotonically, so those entries can never satisfy a
+     * later query. Sharing one cursor between queries and consumption
+     * keeps each use list's total scan work linear (a query-local
+     * cursor would re-scan already-consumed entries on every eviction
+     * check — quadratic on hot qubits).
+     */
     const std::pair<uint64_t, unsigned> *
-    nextUseAfter(QubitId q, uint64_t ts) const
+    nextUseAfter(QubitId q, uint64_t ts)
     {
-        size_t i = cursor[q];
+        size_t &i = cursor[q];
         const auto &list = uses[q];
         while (i < list.size() && list[i].first <= ts)
             ++i;
         return i < list.size() ? &list[i] : nullptr;
+    }
+
+    /** Advance cursors past timestep @p ts for the given qubit. */
+    void
+    consume(QubitId q, uint64_t ts)
+    {
+        nextUseAfter(q, ts);
     }
 };
 

@@ -1,0 +1,53 @@
+#include "sched/leaf_cache.hh"
+
+namespace msq {
+
+std::shared_ptr<const LeafScheduleResult>
+LeafScheduleCache::lookup(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = entries.find(key);
+    if (it == entries.end()) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return nullptr;
+    }
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+}
+
+std::shared_ptr<const LeafScheduleResult>
+LeafScheduleCache::insert(const std::string &key,
+                          std::shared_ptr<const LeafScheduleResult> result)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    auto [it, inserted] = entries.emplace(key, std::move(result));
+    return it->second;
+}
+
+double
+LeafScheduleCache::hitRate() const
+{
+    uint64_t h = hits_.load();
+    uint64_t m = misses_.load();
+    if (h + m == 0)
+        return 0.0;
+    return static_cast<double>(h) / static_cast<double>(h + m);
+}
+
+size_t
+LeafScheduleCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return entries.size();
+}
+
+void
+LeafScheduleCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    entries.clear();
+    hits_.store(0);
+    misses_.store(0);
+}
+
+} // namespace msq

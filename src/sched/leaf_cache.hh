@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Memoization cache for leaf-module scheduling results (DESIGN.md §9).
+ *
+ * The hierarchical scheduler (sched/coarse.hh) fine-grain schedules
+ * every leaf module at several sweep widths, and flattening routinely
+ * produces *structurally identical* leaves (e.g. the outlined rotation
+ * modules of Shor's differ only in their angles, which no scheduler
+ * looks at). Re-running RCP/LPFS plus communication annotation for each
+ * copy is pure waste, so results are shared through this cache.
+ *
+ * The key captures everything the result depends on:
+ *   - the module's structural hash (Module::structuralHash(), which
+ *     excludes names and angles) plus its op/qubit counts as cheap
+ *     collision guards;
+ *   - the leaf scheduler's identity and options (LeafScheduler::
+ *     fingerprint());
+ *   - the architecture (k is the sweep width; d, local-memory capacity
+ *     and EPR bandwidth from the machine model) and the communication
+ *     mode.
+ *
+ * Values are shared via shared_ptr<const LeafScheduleResult>, so a hit
+ * costs one refcount bump regardless of schedule size. The cache is
+ * thread-safe and may be shared across CoarseScheduler / Toolflow runs
+ * (keys are self-contained; nothing run-specific leaks in).
+ *
+ * Determinism contract: a lookup can only ever return what a miss would
+ * have computed — schedulers are deterministic pure functions of
+ * (module structure, arch, options) — so cache-on and cache-off runs
+ * produce bit-identical ProgramSchedules (tests/test_determinism.cc).
+ */
+
+#ifndef MSQ_SCHED_LEAF_CACHE_HH
+#define MSQ_SCHED_LEAF_CACHE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "sched/comm.hh"
+
+namespace msq {
+
+/** The cached outcome of scheduling one leaf module at one width. */
+struct LeafScheduleResult
+{
+    /** Movement statistics (totalCycles is the blackbox length). */
+    CommStats stats;
+};
+
+/** Thread-safe (structural hash, scheduler, arch, width) -> result map. */
+class LeafScheduleCache
+{
+  public:
+    /**
+     * @return the cached result for @p key, or nullptr on a miss.
+     * Counts toward hits()/misses().
+     */
+    std::shared_ptr<const LeafScheduleResult>
+    lookup(const std::string &key);
+
+    /**
+     * Publish @p result under @p key. On a concurrent double-compute
+     * the first insertion wins and is returned; both computations are
+     * identical by the determinism contract, so either is correct.
+     */
+    std::shared_ptr<const LeafScheduleResult>
+    insert(const std::string &key,
+           std::shared_ptr<const LeafScheduleResult> result);
+
+    uint64_t hits() const { return hits_.load(); }
+    uint64_t misses() const { return misses_.load(); }
+
+    /** hits / (hits + misses), or 0 when never queried. */
+    double hitRate() const;
+
+    /** Number of distinct entries. */
+    size_t size() const;
+
+    /** Drop all entries and reset the counters. */
+    void clear();
+
+  private:
+    mutable std::mutex mutex;
+    std::unordered_map<std::string,
+                       std::shared_ptr<const LeafScheduleResult>>
+        entries;
+    std::atomic<uint64_t> hits_{0};
+    std::atomic<uint64_t> misses_{0};
+};
+
+} // namespace msq
+
+#endif // MSQ_SCHED_LEAF_CACHE_HH

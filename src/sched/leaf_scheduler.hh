@@ -18,6 +18,8 @@
 #ifndef MSQ_SCHED_LEAF_SCHEDULER_HH
 #define MSQ_SCHED_LEAF_SCHEDULER_HH
 
+#include <string>
+
 #include "arch/multi_simd.hh"
 #include "arch/schedule.hh"
 #include "ir/module.hh"
@@ -32,6 +34,15 @@ class LeafScheduler
 
     /** Short identifier, e.g. "rcp", "lpfs", "sequential". */
     virtual const char *name() const = 0;
+
+    /**
+     * Identity string covering the scheduler kind *and* every option
+     * that can change its output, e.g. "lpfs(l=1,simd=1,refill=1)".
+     * Used as part of leaf-schedule memoization keys
+     * (sched/leaf_cache.hh): two schedulers with equal fingerprints
+     * must produce identical schedules for identical inputs.
+     */
+    virtual std::string fingerprint() const = 0;
 
     /**
      * Schedule leaf module @p mod onto @p arch.
@@ -63,6 +74,7 @@ class SequentialScheduler : public LeafScheduler
 {
   public:
     const char *name() const override { return "sequential"; }
+    std::string fingerprint() const override { return "sequential"; }
     LeafSchedule schedule(const Module &mod,
                           const MultiSimdArch &arch) const override;
 };

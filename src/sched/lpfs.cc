@@ -5,6 +5,7 @@
 
 #include "ir/dag.hh"
 #include "support/logging.hh"
+#include "support/strings.hh"
 
 namespace msq {
 
@@ -211,8 +212,11 @@ struct LpfsState
                 !placeable(op, region))
                 continue;
             uint64_t need = opQubitCount(mod.op(op));
+            // Skip, don't stop: under a finite d one wide op at the
+            // front of the ready list must not starve smaller same-kind
+            // ops queued behind it.
             if (need > budget)
-                break;
+                continue;
             budget -= need;
             slot.ops.push_back(op);
             commit(op);
@@ -267,6 +271,13 @@ struct LpfsState
 };
 
 } // anonymous namespace
+
+std::string
+LpfsScheduler::fingerprint() const
+{
+    return csprintf("lpfs(l=%u,simd=%d,refill=%d)", options.l,
+                    options.simd ? 1 : 0, options.refill ? 1 : 0);
+}
 
 LeafSchedule
 LpfsScheduler::schedule(const Module &mod, const MultiSimdArch &arch) const

@@ -40,6 +40,7 @@ class LpfsScheduler : public LeafScheduler
     explicit LpfsScheduler(Options options) : options(options) {}
 
     const char *name() const override { return "lpfs"; }
+    std::string fingerprint() const override;
     LeafSchedule schedule(const Module &mod,
                           const MultiSimdArch &arch) const override;
 

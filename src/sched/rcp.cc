@@ -6,6 +6,7 @@
 
 #include "ir/dag.hh"
 #include "support/logging.hh"
+#include "support/strings.hh"
 
 namespace msq {
 
@@ -57,6 +58,13 @@ struct RcpState
 };
 
 } // anonymous namespace
+
+std::string
+RcpScheduler::fingerprint() const
+{
+    return csprintf("rcp(op=%g,dist=%g,slack=%g)", weights.op,
+                    weights.dist, weights.slack);
+}
 
 LeafSchedule
 RcpScheduler::schedule(const Module &mod, const MultiSimdArch &arch) const

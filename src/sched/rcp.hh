@@ -40,6 +40,7 @@ class RcpScheduler : public LeafScheduler
     explicit RcpScheduler(Weights weights) : weights(weights) {}
 
     const char *name() const override { return "rcp"; }
+    std::string fingerprint() const override;
     LeafSchedule schedule(const Module &mod,
                           const MultiSimdArch &arch) const override;
 

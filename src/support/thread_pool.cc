@@ -1,0 +1,114 @@
+#include "support/thread_pool.hh"
+
+#include "support/logging.hh"
+
+namespace msq {
+
+unsigned
+ThreadPool::hardwareThreads()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : n;
+}
+
+ThreadPool::ThreadPool(unsigned num_threads)
+    : numThreads_(num_threads == 0 ? hardwareThreads() : num_threads)
+{
+    workers.reserve(numThreads_ - 1);
+    for (unsigned i = 1; i < numThreads_; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        stopping = true;
+    }
+    wake.notify_all();
+    for (auto &worker : workers)
+        worker.join();
+}
+
+void
+ThreadPool::runIndices()
+{
+    for (;;) {
+        uint64_t i = nextIndex.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count_)
+            return;
+        try {
+            (*body_)(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(errorMutex);
+            if (!firstError || i < firstErrorIndex) {
+                firstError = std::current_exception();
+                firstErrorIndex = i;
+            }
+        }
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    uint64_t seen = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            wake.wait(lock,
+                      [&] { return stopping || generation != seen; });
+            if (stopping)
+                return;
+            seen = generation;
+        }
+        runIndices();
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            if (--activeWorkers == 0)
+                done.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::parallelFor(uint64_t count,
+                        const std::function<void(uint64_t)> &body)
+{
+    if (count == 0)
+        return;
+    if (workers.empty() || count == 1) {
+        // Exact sequential path: exceptions propagate directly.
+        for (uint64_t i = 0; i < count; ++i)
+            body(i);
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (body_)
+            panic("ThreadPool::parallelFor is not reentrant");
+        body_ = &body;
+        count_ = count;
+        nextIndex.store(0, std::memory_order_relaxed);
+        firstError = nullptr;
+        activeWorkers = workers.size();
+        ++generation;
+    }
+    wake.notify_all();
+
+    runIndices(); // the caller participates
+
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        done.wait(lock, [&] { return activeWorkers == 0; });
+        body_ = nullptr;
+        count_ = 0;
+        error = firstError;
+    }
+    if (error)
+        std::rethrow_exception(error);
+}
+
+} // namespace msq

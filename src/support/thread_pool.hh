@@ -1,0 +1,92 @@
+/**
+ * @file
+ * A small fixed-size thread pool for deterministic fan-out parallelism.
+ *
+ * Design constraints (DESIGN.md §9):
+ *  - *Fixed worker count*, chosen at construction; no work stealing and
+ *    no dynamic resizing, so scheduling work is reproducible.
+ *  - *Deterministic task ordering*: parallelFor() hands out indices
+ *    [0, count) from a single atomic counter. Which thread runs which
+ *    index is nondeterministic, but tasks communicate only through
+ *    index-addressed output slots, so results are bit-identical to a
+ *    sequential run as long as each task is a pure function of its
+ *    index.
+ *  - numThreads() == 1 runs every task inline on the calling thread —
+ *    the exact legacy sequential path, with no pool threads started.
+ *
+ * Exceptions thrown by tasks are captured; after the batch completes
+ * the exception of the *lowest-indexed* failing task is rethrown on the
+ * calling thread (again: deterministic, matching what a sequential loop
+ * would have thrown first).
+ */
+
+#ifndef MSQ_SUPPORT_THREAD_POOL_HH
+#define MSQ_SUPPORT_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace msq {
+
+/** Work-stealing-free fixed-size thread pool. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param num_threads total parallelism including the calling thread
+     *        (so num_threads - 1 workers are spawned); 0 selects
+     *        hardwareThreads(), 1 spawns nothing and runs inline.
+     */
+    explicit ThreadPool(unsigned num_threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total parallelism (workers + the participating caller). */
+    unsigned numThreads() const { return numThreads_; }
+
+    /**
+     * Run @p body(i) for every i in [0, count), blocking until all
+     * tasks finish. The calling thread participates. Not reentrant:
+     * @p body must not call parallelFor() on the same pool.
+     */
+    void parallelFor(uint64_t count,
+                     const std::function<void(uint64_t)> &body);
+
+    /** max(1, std::thread::hardware_concurrency()). */
+    static unsigned hardwareThreads();
+
+  private:
+    void workerLoop();
+    void runIndices();
+
+    unsigned numThreads_;
+    std::vector<std::thread> workers;
+
+    std::mutex mutex;
+    std::condition_variable wake; ///< workers wait for a new batch
+    std::condition_variable done; ///< caller waits for batch completion
+    bool stopping = false;
+    uint64_t generation = 0;  ///< batch sequence number
+    uint64_t activeWorkers = 0;
+
+    // Current batch (valid while a parallelFor is in flight).
+    const std::function<void(uint64_t)> *body_ = nullptr;
+    uint64_t count_ = 0;
+    std::atomic<uint64_t> nextIndex{0};
+
+    std::mutex errorMutex;
+    std::exception_ptr firstError;
+    uint64_t firstErrorIndex = 0;
+};
+
+} // namespace msq
+
+#endif // MSQ_SUPPORT_THREAD_POOL_HH

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Determinism suite for the parallel scheduling pipeline (DESIGN.md §9):
+ * ProgramSchedule metrics and per-module timestep streams must be
+ * bit-identical for every thread count and for memoization on vs off,
+ * across RCP and LPFS, on several workloads. This is the contract that
+ * makes ToolflowConfig::numThreads safe to default to the hardware
+ * concurrency.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "core/toolflow.hh"
+#include "passes/decompose_toffoli.hh"
+#include "passes/pass_manager.hh"
+#include "sched/leaf_cache.hh"
+#include "sched/schedule_printer.hh"
+#include "support/thread_pool.hh"
+#include "workloads/workloads.hh"
+
+namespace {
+
+using namespace msq;
+
+const char *const kWorkloads[] = {"grovers", "tfp", "gse"};
+
+/** Full structural equality of two program schedules. */
+void
+expectSameSchedule(const ProgramSchedule &a, const ProgramSchedule &b,
+                   const std::string &context)
+{
+    ASSERT_EQ(a.modules.size(), b.modules.size()) << context;
+    EXPECT_EQ(a.totalCycles, b.totalCycles) << context;
+    for (size_t i = 0; i < a.modules.size(); ++i) {
+        const ModuleScheduleInfo &ma = a.modules[i];
+        const ModuleScheduleInfo &mb = b.modules[i];
+        SCOPED_TRACE(context + ", module " + std::to_string(i));
+        ASSERT_EQ(ma.analyzed, mb.analyzed);
+        if (!ma.analyzed)
+            continue;
+        EXPECT_EQ(ma.leaf, mb.leaf);
+        ASSERT_EQ(ma.dims.size(), mb.dims.size());
+        for (size_t d = 0; d < ma.dims.size(); ++d) {
+            EXPECT_EQ(ma.dims[d].width, mb.dims[d].width);
+            EXPECT_EQ(ma.dims[d].length, mb.dims[d].length);
+        }
+        EXPECT_EQ(ma.comm.teleportMoves, mb.comm.teleportMoves);
+        EXPECT_EQ(ma.comm.blockingTeleports, mb.comm.blockingTeleports);
+        EXPECT_EQ(ma.comm.localMoves, mb.comm.localMoves);
+        EXPECT_EQ(ma.comm.stepsWithBlockingMove,
+                  mb.comm.stepsWithBlockingMove);
+        EXPECT_EQ(ma.comm.stepsWithOnlyLocalMoves,
+                  mb.comm.stepsWithOnlyLocalMoves);
+        EXPECT_EQ(ma.comm.peakBlockingMovesPerStep,
+                  mb.comm.peakBlockingMovesPerStep);
+        EXPECT_EQ(ma.comm.totalCycles, mb.comm.totalCycles);
+    }
+}
+
+ToolflowResult
+runWith(const std::string &short_name, SchedulerKind kind,
+        unsigned num_threads, bool cache)
+{
+    auto spec =
+        workloads::findWorkload(workloads::scaledParams(), short_name);
+    Program prog = spec.build();
+    ToolflowConfig config;
+    config.scheduler = kind;
+    config.arch = MultiSimdArch(4);
+    config.commMode = CommMode::Global;
+    config.rotations = Toolflow::rotationPresetFor(short_name);
+    config.numThreads = num_threads;
+    config.leafCache = cache;
+    return Toolflow(config).run(prog);
+}
+
+TEST(Determinism, ThreadCountAndCacheInvariance)
+{
+    for (const char *workload : kWorkloads) {
+        for (SchedulerKind kind :
+             {SchedulerKind::Rcp, SchedulerKind::Lpfs}) {
+            ToolflowResult baseline = runWith(workload, kind, 1, false);
+            EXPECT_EQ(baseline.leafCacheHits, 0u);
+            EXPECT_EQ(baseline.leafCacheMisses, 0u);
+            struct Config
+            {
+                unsigned threads;
+                bool cache;
+            };
+            for (Config config : {Config{2, false}, Config{8, false},
+                                  Config{1, true}, Config{8, true}}) {
+                ToolflowResult other = runWith(
+                    workload, kind, config.threads, config.cache);
+                std::string context =
+                    std::string(workload) + "/" +
+                    schedulerKindName(kind) + " threads=" +
+                    std::to_string(config.threads) +
+                    (config.cache ? " cache" : "");
+                EXPECT_EQ(baseline.scheduledCycles,
+                          other.scheduledCycles)
+                    << context;
+                EXPECT_EQ(baseline.totalGates, other.totalGates)
+                    << context;
+                EXPECT_EQ(baseline.qubits, other.qubits) << context;
+                expectSameSchedule(baseline.schedule, other.schedule,
+                                   context);
+                if (config.cache) {
+                    EXPECT_GT(other.leafCacheMisses, 0u) << context;
+                } else {
+                    EXPECT_EQ(other.leafCacheMisses, 0u) << context;
+                }
+            }
+        }
+    }
+}
+
+/**
+ * The per-module timestep streams, not just the summary metrics: leaf
+ * schedules computed under concurrent fan-out (one shared const
+ * scheduler, many threads) must print identically to sequentially
+ * computed ones, width by width.
+ */
+TEST(Determinism, LeafTimestepStreamsMatchUnderFanOut)
+{
+    auto spec =
+        workloads::findWorkload(workloads::scaledParams(), "grovers");
+    Program prog = spec.build();
+    PassManager passes;
+    passes.add(std::make_unique<DecomposeToffoliPass>());
+    passes.add(std::make_unique<RotationDecomposerPass>(
+        Toolflow::rotationPresetFor("grovers")));
+    passes.add(std::make_unique<FlattenPass>(30'000));
+    passes.run(prog);
+
+    std::vector<ModuleId> leaves;
+    for (ModuleId id : prog.reachableModules())
+        if (prog.module(id).isLeaf() && prog.module(id).numOps() > 0)
+            leaves.push_back(id);
+    ASSERT_FALSE(leaves.empty());
+
+    const std::vector<unsigned> widths{1, 2, 4};
+    LpfsScheduler scheduler;
+
+    auto stream = [&](ModuleId id, unsigned w) {
+        LeafSchedule sched =
+            scheduler.schedule(prog.module(id), MultiSimdArch(w));
+        std::ostringstream os;
+        printTimeline(os, sched);
+        return os.str();
+    };
+
+    std::vector<std::string> sequential(leaves.size() * widths.size());
+    for (size_t i = 0; i < sequential.size(); ++i)
+        sequential[i] = stream(leaves[i / widths.size()],
+                               widths[i % widths.size()]);
+
+    std::vector<std::string> parallel(sequential.size());
+    ThreadPool pool(4);
+    pool.parallelFor(parallel.size(), [&](uint64_t i) {
+        parallel[i] = stream(leaves[i / widths.size()],
+                             widths[i % widths.size()]);
+    });
+
+    for (size_t i = 0; i < sequential.size(); ++i) {
+        EXPECT_EQ(sequential[i], parallel[i])
+            << "leaf " << leaves[i / widths.size()] << " width "
+            << widths[i % widths.size()];
+    }
+}
+
+/**
+ * A shared cache reused across runs must keep returning the first
+ * run's results (and actually hit).
+ */
+TEST(Determinism, SharedCacheAcrossRuns)
+{
+    auto cache = std::make_shared<LeafScheduleCache>();
+    auto run = [&](unsigned threads) {
+        auto spec =
+            workloads::findWorkload(workloads::scaledParams(), "tfp");
+        Program prog = spec.build();
+        ToolflowConfig config;
+        config.scheduler = SchedulerKind::Lpfs;
+        config.arch = MultiSimdArch(4);
+        config.commMode = CommMode::Global;
+        config.numThreads = threads;
+        config.sharedLeafCache = cache;
+        return Toolflow(config).run(prog);
+    };
+    ToolflowResult first = run(1);
+    ToolflowResult second = run(8);
+    EXPECT_EQ(first.scheduledCycles, second.scheduledCycles);
+    expectSameSchedule(first.schedule, second.schedule, "shared cache");
+    // The second run re-schedules an identical program: every leaf
+    // lookup must hit.
+    EXPECT_GT(second.leafCacheHits, 0u);
+    EXPECT_EQ(second.leafCacheMisses, 0u);
+}
+
+} // anonymous namespace

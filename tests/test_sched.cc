@@ -232,6 +232,34 @@ TEST(Lpfs, MultiplePathRegions)
     EXPECT_EQ(out.scheduledOps(), mod.numOps());
 }
 
+TEST(Lpfs, FiniteDWideOpDoesNotStarveSmallerOps)
+{
+    // Regression: fillWithType used to stop at the first ready op whose
+    // qubit count exceeded the remaining d-budget, so one wide op at
+    // the front of the ready list starved smaller same-kind ops queued
+    // behind it. Same-kind ops of different widths only arise through
+    // raw (pass-synthesized) operations, so build the module that way:
+    //   op0: X q0        (taken as the path op; budget 3 -> 2)
+    //   op1: X q1 q2 q3  (needs 3 > 2: must be skipped, not a stop)
+    //   op2: X q4        (fits; must ride along in the same slot)
+    Module mod("wide");
+    mod.addRegister("q", 5);
+    mod.addRawOperation(Operation(GateKind::X, {0}));
+    mod.addRawOperation(Operation(GateKind::X, {1, 2, 3}));
+    mod.addRawOperation(Operation(GateKind::X, {4}));
+
+    LpfsScheduler sched;
+    MultiSimdArch arch(1, 3);
+    LeafSchedule out = sched.schedule(mod, arch);
+    EXPECT_EQ(out.scheduledOps(), mod.numOps());
+
+    // The first timestep's slot must be filled with both 1-qubit ops.
+    ASSERT_GE(out.steps().size(), 1u);
+    const RegionSlot &slot = out.steps()[0].regions[0];
+    EXPECT_EQ(slot.ops, (std::vector<uint32_t>{0, 2}));
+    EXPECT_EQ(out.computeTimesteps(), 2u);
+}
+
 TEST(Rcp, WeightsConfigurable)
 {
     // Zero op-weight still yields a valid schedule.

@@ -5,12 +5,16 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <sstream>
+#include <stdexcept>
+#include <vector>
 
 #include "support/logging.hh"
 #include "support/rng.hh"
 #include "support/stats.hh"
 #include "support/strings.hh"
+#include "support/thread_pool.hh"
 
 namespace {
 
@@ -164,6 +168,70 @@ TEST(Stats, CellBeforeRowPanics)
     ResultTable table("demo");
     table.setHeader({"a"});
     EXPECT_THROW(table.addCell(std::string("x")), PanicError);
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce)
+{
+    for (unsigned threads : {1u, 2u, 4u, 8u}) {
+        ThreadPool pool(threads);
+        EXPECT_EQ(pool.numThreads(), threads);
+        std::vector<std::atomic<int>> hits(1000);
+        for (auto &h : hits)
+            h = 0;
+        pool.parallelFor(hits.size(),
+                         [&](uint64_t i) { hits[i].fetch_add(1); });
+        for (size_t i = 0; i < hits.size(); ++i)
+            EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(ThreadPool, ZeroSelectsHardwareThreads)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.numThreads(), ThreadPool::hardwareThreads());
+    EXPECT_GE(ThreadPool::hardwareThreads(), 1u);
+}
+
+TEST(ThreadPool, EmptyAndSingleBatches)
+{
+    ThreadPool pool(4);
+    int calls = 0;
+    pool.parallelFor(0, [&](uint64_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    pool.parallelFor(1, [&](uint64_t i) {
+        EXPECT_EQ(i, 0u);
+        ++calls;
+    });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches)
+{
+    ThreadPool pool(3);
+    for (int batch = 0; batch < 10; ++batch) {
+        std::atomic<uint64_t> sum{0};
+        pool.parallelFor(100, [&](uint64_t i) { sum += i; });
+        EXPECT_EQ(sum.load(), 4950u);
+    }
+}
+
+TEST(ThreadPool, LowestIndexExceptionWins)
+{
+    // Several tasks throw; the batch must rethrow the one a sequential
+    // loop would have hit first.
+    for (unsigned threads : {1u, 4u}) {
+        ThreadPool pool(threads);
+        try {
+            pool.parallelFor(64, [&](uint64_t i) {
+                if (i % 7 == 3) // first failing index is 3
+                    throw std::runtime_error(
+                        "task " + std::to_string(i));
+            });
+            FAIL() << "expected an exception";
+        } catch (const std::runtime_error &e) {
+            EXPECT_STREQ(e.what(), "task 3");
+        }
+    }
 }
 
 } // namespace

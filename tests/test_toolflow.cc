@@ -117,6 +117,25 @@ TEST(Toolflow, SchedulerNames)
     EXPECT_STREQ(schedulerKindName(SchedulerKind::Lpfs), "lpfs");
 }
 
+TEST(Toolflow, EmptyProgramYieldsZeroSpeedups)
+{
+    // A program whose entry schedules zero cycles must not divide by
+    // zero when computing the speedup metrics: both stay 0.0.
+    for (SchedulerKind kind : {SchedulerKind::Sequential,
+                               SchedulerKind::Rcp, SchedulerKind::Lpfs}) {
+        Program prog = parseScaffold(R"(
+            module main() {
+                qbit q[2];
+            }
+        )");
+        ToolflowResult result =
+            Toolflow(baseConfig(kind, CommMode::Global)).run(prog);
+        EXPECT_EQ(result.scheduledCycles, 0u);
+        EXPECT_EQ(result.speedupVsSequential, 0.0);
+        EXPECT_EQ(result.speedupVsNaive, 0.0);
+    }
+}
+
 TEST(Toolflow, RotationPresets)
 {
     EXPECT_TRUE(Toolflow::rotationPresetFor("shors").outline);

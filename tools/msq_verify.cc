@@ -21,6 +21,9 @@
  *   --d=N           SIMD width per region for --check-comm (default inf)
  *   --local-mem=N   scratchpad capacity for --check-comm (default 0);
  *                   nonzero also exercises CommMode::GlobalWithLocalMem
+ *   --threads=N     scheduling fan-out for --check-comm (default 1;
+ *                   0 = hardware concurrency). Results are identical
+ *                   for every value; this only changes wall-clock time
  *   --inject-comm-fault=KIND
  *                   checker self-test: corrupt the first eligible
  *                   movement plan before replaying it. KIND is
@@ -78,6 +81,7 @@ struct Options
     unsigned k = 4;
     uint64_t d = unbounded;
     uint64_t localMem = 0;
+    unsigned threads = 1;
     std::string injectFault;
     std::vector<std::string> files;
 };
@@ -89,6 +93,7 @@ usage(std::ostream &out)
            " [--quiet]\n"
            "                  [--dataflow] [--check-comm] [--k=N] [--d=N]"
            " [--local-mem=N]\n"
+           "                  [--threads=N]\n"
            "                  [--inject-comm-fault="
            "move-during-gate|oversubscribe|dead-teleport]\n"
            "                  <file>...\n";
@@ -357,7 +362,10 @@ checkCommunication(const std::string &path, Program &prog,
                              options.injectFault.c_str()));
     }
 
-    CoarseScheduler coarse(arch, lpfs, CommMode::Global);
+    CoarseScheduler::Options coarse_options;
+    coarse_options.numThreads = options.threads;
+    coarse_options.leafCache = std::make_shared<LeafScheduleCache>();
+    CoarseScheduler coarse(arch, lpfs, CommMode::Global, coarse_options);
     ProgramSchedule psched = coarse.schedule(prog);
     validateProgramSchedule(prog, psched, arch, &diags);
 }
@@ -454,6 +462,13 @@ main(int argc, char **argv)
                 std::cerr << "msq-verify: bad value in '" << arg << "'\n";
                 return 2;
             }
+        } else if (startsWith(arg, "--threads=")) {
+            uint64_t value = 0;
+            if (!parseCount(arg.substr(10), value) || value == unbounded) {
+                std::cerr << "msq-verify: bad value in '" << arg << "'\n";
+                return 2;
+            }
+            options.threads = static_cast<unsigned>(value);
         } else if (startsWith(arg, "--inject-comm-fault=")) {
             options.injectFault = arg.substr(20);
             if (options.injectFault != "move-during-gate" &&
