@@ -84,20 +84,27 @@ prepare(const workloads::WorkloadSpec &spec)
     return prog;
 }
 
-/** Wall-clock one schedule() call; fastest of @p reps. */
+/**
+ * Wall-clock one schedule() call; fastest of @p reps. Every repetition
+ * also lands in the global telemetry registry as "<label>_ms" (and, when
+ * tracing is on, a "bench:<label>" span), so MSQ_METRICS / MSQ_TRACE
+ * capture the full phase breakdown alongside the JSON report.
+ */
 double
 timeSchedule(const CoarseScheduler &coarse, const Program &prog,
-             unsigned reps, uint64_t &total_cycles)
+             unsigned reps, uint64_t &total_cycles,
+             const std::string &label)
 {
+    Distribution &dist =
+        Telemetry::metrics().distribution(label + "_ms");
     double best_ms = 0.0;
     for (unsigned rep = 0; rep < reps; ++rep) {
-        auto start = std::chrono::steady_clock::now();
+        TraceSpan span(Telemetry::trace(), "bench:" + label);
+        WallTimer timer;
         ProgramSchedule sched = coarse.schedule(prog);
-        auto stop = std::chrono::steady_clock::now();
+        double ms = timer.elapsedMs();
         total_cycles = sched.totalCycles;
-        double ms = std::chrono::duration<double, std::milli>(
-                        stop - start)
-                        .count();
+        dist.record(ms);
         if (rep == 0 || ms < best_ms)
             best_ms = ms;
     }
@@ -176,12 +183,18 @@ main(int argc, char **argv)
                                        CommMode::Global, options);
             };
 
+            const std::string label_prefix =
+                "bench.compile." + spec.shortName + "." +
+                schedulerKindName(kind);
+
             uint64_t seq_cycles = 0, par_cycles = 0, cold_cycles = 0,
                      warm_cycles = 0;
             double seq_ms = timeSchedule(make_coarse(1, nullptr), prog,
-                                         reps, seq_cycles);
+                                         reps, seq_cycles,
+                                         label_prefix + ".sequential");
             double par_ms = timeSchedule(make_coarse(threads, nullptr),
-                                         prog, reps, par_cycles);
+                                         prog, reps, par_cycles,
+                                         label_prefix + ".parallel");
             // Cold: fresh cache per timed run so the hit rate reflects
             // one first-compile schedule() pass, not the repetitions.
             double cold_ms = 0.0;
@@ -190,7 +203,8 @@ main(int argc, char **argv)
                 auto cache = std::make_shared<LeafScheduleCache>();
                 uint64_t cycles = 0;
                 double ms = timeSchedule(make_coarse(threads, cache),
-                                         prog, 1, cycles);
+                                         prog, 1, cycles,
+                                         label_prefix + ".cold_cache");
                 cold_cycles = cycles;
                 cold_hit_rate = cache->hitRate();
                 if (rep == 0 || ms < cold_ms)
@@ -203,13 +217,14 @@ main(int argc, char **argv)
             {
                 uint64_t ignored = 0;
                 timeSchedule(make_coarse(threads, warm_cache), prog, 1,
-                             ignored);
+                             ignored, label_prefix + ".warm_prefill");
             }
             const uint64_t warm_hits_before = warm_cache->hits();
             const uint64_t warm_misses_before = warm_cache->misses();
             double warm_ms = timeSchedule(make_coarse(threads,
                                                       warm_cache),
-                                          prog, reps, warm_cycles);
+                                          prog, reps, warm_cycles,
+                                          label_prefix + ".warm_cache");
             const double warm_lookups =
                 static_cast<double>(warm_cache->hits() -
                                     warm_hits_before) +

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "core/toolflow.hh"
+#include "support/telemetry.hh"
 #include "workloads/workloads.hh"
 
 namespace msq {
@@ -36,10 +37,15 @@ runWorkload(const workloads::WorkloadSpec &spec, SchedulerKind scheduler,
     return Toolflow(config).run(prog);
 }
 
-/** Print the standard bench header. */
+/**
+ * Print the standard bench header. Also honors the MSQ_METRICS /
+ * MSQ_TRACE environment fallback, so any bench binary can emit its
+ * telemetry without new flags.
+ */
 inline void
 banner(const std::string &title, const std::string &paper_ref)
 {
+    Telemetry::initFromEnv();
     std::cout << "==========================================================\n"
               << title << "\n"
               << "reproduces: " << paper_ref << "\n"

@@ -1,5 +1,7 @@
 #include "core/toolflow.hh"
 
+#include <limits>
+
 #include "analysis/critical_path.hh"
 #include "analysis/qubit_estimator.hh"
 #include "analysis/resource_estimator.hh"
@@ -12,6 +14,19 @@
 #include "support/saturate.hh"
 
 namespace msq {
+
+namespace {
+
+/** Clamp a uint64 metric onto the int64 gauge domain. */
+int64_t
+gaugeValue(uint64_t v)
+{
+    const uint64_t max =
+        static_cast<uint64_t>(std::numeric_limits<int64_t>::max());
+    return static_cast<int64_t>(v > max ? max : v);
+}
+
+} // anonymous namespace
 
 const char *
 schedulerKindName(SchedulerKind kind)
@@ -76,8 +91,20 @@ Toolflow::run(Program &prog) const
 {
     prog.validate();
 
+    // Metrics land in the caller's registry when one is configured, in
+    // a run-local one otherwise; either way the result carries a
+    // snapshot, and the run folds into the global MSQ_METRICS sink when
+    // the environment asked for it.
+    MetricsRegistry local;
+    MetricsRegistry *reg = config_.metrics ? config_.metrics : &local;
+    TraceSpan run_span(Telemetry::trace(), "toolflow-run");
+    reg->counter("toolflow.runs").add(1);
+
     if (config_.decompose) {
+        TraceSpan span(Telemetry::trace(), "toolflow-passes");
+        ScopedTimerMs timer(reg->distribution("toolflow.passes_ms"));
         PassManager passes;
+        passes.setMetrics(reg);
         passes.add(std::make_unique<DecomposeToffoliPass>());
         passes.add(std::make_unique<RotationDecomposerPass>(
             config_.rotations));
@@ -88,17 +115,28 @@ Toolflow::run(Program &prog) const
     }
 
     ToolflowResult result;
-    ResourceEstimator resources(prog);
-    result.totalGates = resources.programGates();
-    CriticalPathAnalysis critical(prog);
-    result.criticalPath = critical.programCriticalPath();
-    QubitEstimator qubits(prog);
-    result.qubits = qubits.programQubits();
+    {
+        TraceSpan span(Telemetry::trace(), "toolflow-analysis");
+        ScopedTimerMs timer(reg->distribution("toolflow.analysis_ms"));
+        ResourceEstimator resources(prog);
+        result.totalGates = resources.programGates();
+        CriticalPathAnalysis critical(prog);
+        result.criticalPath = critical.programCriticalPath();
+        QubitEstimator qubits(prog);
+        result.qubits = qubits.programQubits();
+    }
+    reg->gauge("toolflow.total_gates").set(gaugeValue(result.totalGates));
+    reg->gauge("toolflow.critical_path")
+        .set(gaugeValue(result.criticalPath));
+    reg->gauge("toolflow.qubits").set(gaugeValue(result.qubits));
+    reg->gauge("toolflow.modules")
+        .set(gaugeValue(prog.numModules()));
 
     auto leaf_scheduler = makeConfiguredScheduler();
     CoarseScheduler::Options coarse_options;
     coarse_options.widths = config_.coarseWidths;
     coarse_options.numThreads = config_.numThreads;
+    coarse_options.metrics = reg;
     std::shared_ptr<LeafScheduleCache> cache = config_.sharedLeafCache;
     if (!cache && config_.leafCache)
         cache = std::make_shared<LeafScheduleCache>();
@@ -107,8 +145,14 @@ Toolflow::run(Program &prog) const
     const uint64_t misses_before = cache ? cache->misses() : 0;
     CoarseScheduler coarse(config_.arch, *leaf_scheduler, config_.commMode,
                            coarse_options);
-    result.schedule = coarse.schedule(prog);
+    {
+        TraceSpan span(Telemetry::trace(), "toolflow-scheduling");
+        ScopedTimerMs timer(reg->distribution("toolflow.scheduling_ms"));
+        result.schedule = coarse.schedule(prog);
+    }
     result.scheduledCycles = result.schedule.totalCycles;
+    reg->gauge("toolflow.scheduled_cycles")
+        .set(gaugeValue(result.scheduledCycles));
     if (cache) {
         result.leafCacheHits = cache->hits() - hits_before;
         result.leafCacheMisses = cache->misses() - misses_before;
@@ -126,6 +170,10 @@ Toolflow::run(Program &prog) const
                        result.totalGates)) /
             static_cast<double>(result.scheduledCycles);
     }
+
+    result.telemetry = reg->snapshot();
+    if (Telemetry::metricsEnabled() && reg == &local)
+        local.mergeInto(Telemetry::metrics());
     return result;
 }
 

@@ -20,6 +20,7 @@
 #include "sched/leaf_scheduler.hh"
 #include "sched/lpfs.hh"
 #include "sched/rcp.hh"
+#include "support/telemetry.hh"
 
 namespace msq {
 
@@ -91,6 +92,16 @@ struct ToolflowConfig
      * @ref leafCache when set.
      */
     std::shared_ptr<LeafScheduleCache> sharedLeafCache;
+
+    /**
+     * Optional externally owned metrics registry. When null (the
+     * default) run() records into a run-local registry and returns
+     * its snapshot in ToolflowResult::telemetry; when set, metrics
+     * accumulate into the given registry instead (and the snapshot
+     * reflects its state after the run). Every non-wall-clock value
+     * is thread-count-invariant (DESIGN.md §10).
+     */
+    MetricsRegistry *metrics = nullptr;
 };
 
 /** Everything a toolflow run reports. */
@@ -123,6 +134,15 @@ struct ToolflowResult
     /** Leaf-schedule cache traffic of this run (0/0 when disabled). */
     uint64_t leafCacheHits = 0;
     uint64_t leafCacheMisses = 0;
+
+    /**
+     * Structured metrics recorded during the run: per-pass timings,
+     * per-leaf gate/cycle distributions, communication totals, cache
+     * traffic, and the headline gauges (toolflow.*). Serializable via
+     * MetricsSnapshot::toJson(); deterministic modulo "*_ms" wall-clock
+     * distributions (DESIGN.md §10).
+     */
+    MetricsSnapshot telemetry;
 };
 
 /** Orchestrates passes and schedulers per a ToolflowConfig. */

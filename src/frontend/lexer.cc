@@ -98,27 +98,52 @@ tokenize(const std::string &source)
             tokens.push_back(tok);
             continue;
         }
-        // Numbers (integer or float; exponents supported).
+        // Numbers (integer or float; exponents supported). Scanned as
+        // the explicit grammar
+        //     digits ['.' [digits]] [('e'|'E') ['+'|'-'] digits]
+        // so malformed shapes — a second '.' ("1.2.3"), a dangling
+        // exponent ("1e", "1e+"), or letters glued onto the literal —
+        // are fatal diagnostics instead of being silently split into
+        // several tokens or crashing the conversion below.
         if (std::isdigit(static_cast<unsigned char>(c)) ||
             (c == '.' && i + 1 < n &&
              std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
             size_t begin = i;
             bool is_float = false;
-            while (i < n) {
-                char d = source[i];
-                if (std::isdigit(static_cast<unsigned char>(d))) {
+            while (i < n &&
+                   std::isdigit(static_cast<unsigned char>(source[i])))
+                ++i;
+            if (i < n && source[i] == '.') {
+                is_float = true;
+                ++i;
+                while (i < n &&
+                       std::isdigit(static_cast<unsigned char>(source[i])))
                     ++i;
-                } else if (d == '.') {
-                    is_float = true;
+            }
+            if (i < n && (source[i] == 'e' || source[i] == 'E')) {
+                is_float = true;
+                ++i;
+                if (i < n && (source[i] == '+' || source[i] == '-'))
                     ++i;
-                } else if (d == 'e' || d == 'E') {
-                    is_float = true;
-                    ++i;
-                    if (i < n && (source[i] == '+' || source[i] == '-'))
-                        ++i;
-                } else {
-                    break;
+                if (i >= n ||
+                    !std::isdigit(static_cast<unsigned char>(source[i]))) {
+                    fatal(csprintf(
+                        "line %u: malformed numeric literal '%s': "
+                        "exponent has no digits",
+                        line, source.substr(begin, i - begin).c_str()));
                 }
+                while (i < n &&
+                       std::isdigit(static_cast<unsigned char>(source[i])))
+                    ++i;
+            }
+            if (i < n &&
+                (source[i] == '.' ||
+                 std::isalnum(static_cast<unsigned char>(source[i])))) {
+                fatal(csprintf(
+                    "line %u: malformed numeric literal: stray '%c' "
+                    "after '%s'",
+                    line, source[i],
+                    source.substr(begin, i - begin).c_str()));
             }
             std::string text = source.substr(begin, i - begin);
             Token tok;

@@ -1,5 +1,9 @@
 #include "frontend/qasm_reader.hh"
 
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
 #include <sstream>
 #include <unordered_map>
 
@@ -27,6 +31,53 @@ tokens(const std::string &line)
 bad(unsigned line_no, const std::string &what)
 {
     fatal(csprintf("qasm line %u: %s", line_no, what.c_str()));
+}
+
+/**
+ * Parse the N of a call[xN] repeat. Hand-rolled instead of std::stoull
+ * so malformed input ("call[xFOO]", "call[x]", a 30-digit count) is a
+ * diagnosed FatalError with a line number, never a raw std::exception.
+ */
+uint64_t
+parseRepeat(unsigned line_no, const std::string &text)
+{
+    if (text.empty())
+        bad(line_no, "call repeat count is empty");
+    uint64_t value = 0;
+    for (char c : text) {
+        if (c < '0' || c > '9') {
+            bad(line_no,
+                "call repeat count '" + text + "' is not a number");
+        }
+        const uint64_t digit = static_cast<uint64_t>(c - '0');
+        if (value > (std::numeric_limits<uint64_t>::max() - digit) / 10) {
+            bad(line_no,
+                "call repeat count '" + text + "' is out of range");
+        }
+        value = value * 10 + digit;
+    }
+    return value;
+}
+
+/**
+ * Parse a gate angle. Rejects empty ("Rz()"), non-numeric ("Rz(abc)"),
+ * trailing-garbage ("Rz(1.5x)") and out-of-range forms with a
+ * line-numbered diagnostic instead of letting std::stod throw.
+ */
+double
+parseAngle(unsigned line_no, const std::string &text)
+{
+    if (text.empty())
+        bad(line_no, "gate angle is empty");
+    errno = 0;
+    const char *begin = text.c_str();
+    char *end = nullptr;
+    double value = std::strtod(begin, &end);
+    if (end == begin || *end != '\0')
+        bad(line_no, "malformed gate angle '" + text + "'");
+    if (errno == ERANGE && (value == HUGE_VAL || value == -HUGE_VAL))
+        bad(line_no, "gate angle '" + text + "' is out of range");
+    return value;
 }
 
 } // anonymous namespace
@@ -108,8 +159,8 @@ parseHierarchicalQasm(const std::string &text, DiagnosticEngine *diags)
                 if (toks[0].size() < 8 || toks[0].substr(4, 2) != "[x" ||
                     toks[0].back() != ']')
                     bad(line_no, "malformed call repeat");
-                repeat = std::stoull(
-                    toks[0].substr(6, toks[0].size() - 7));
+                repeat = parseRepeat(
+                    line_no, toks[0].substr(6, toks[0].size() - 7));
             }
             if (toks.size() < 2)
                 bad(line_no, "call needs a target module");
@@ -133,8 +184,8 @@ parseHierarchicalQasm(const std::string &text, DiagnosticEngine *diags)
         if (paren != std::string::npos) {
             if (head.back() != ')')
                 bad(line_no, "malformed angle");
-            angle = std::stod(
-                head.substr(paren + 1, head.size() - paren - 2));
+            angle = parseAngle(
+                line_no, head.substr(paren + 1, head.size() - paren - 2));
             head = head.substr(0, paren);
         }
         GateKind kind;

@@ -1,6 +1,7 @@
 #include "passes/pass_manager.hh"
 
 #include <cstdlib>
+#include <optional>
 
 #include "analysis/qubit_analyses.hh"
 #include "support/logging.hh"
@@ -8,6 +9,20 @@
 #include "verify/verifier.hh"
 
 namespace msq {
+
+namespace {
+
+/** Total operation count across every module of @p prog. */
+uint64_t
+totalProgramOps(const Program &prog)
+{
+    uint64_t total = 0;
+    for (ModuleId id = 0; id < prog.numModules(); ++id)
+        total += prog.module(id).numOps();
+    return total;
+}
+
+} // anonymous namespace
 
 PassManager::PassManager()
 {
@@ -27,7 +42,22 @@ PassManager::run(Program &prog) const
 {
     for (const auto &pass : passes) {
         inform(std::string("running pass: ") + pass->name());
-        pass->run(prog);
+        {
+            TraceSpan span(Telemetry::trace(),
+                           std::string("pass:") + pass->name());
+            std::optional<ScopedTimerMs> timer;
+            if (metrics != nullptr) {
+                timer.emplace(metrics->distribution(
+                    csprintf("passes.%s.wall_ms", pass->name())));
+            }
+            pass->run(prog);
+        }
+        if (metrics != nullptr) {
+            metrics->counter(csprintf("passes.%s.runs", pass->name()))
+                .add(1);
+            metrics->gauge(csprintf("passes.%s.ops_after", pass->name()))
+                .set(static_cast<int64_t>(totalProgramOps(prog)));
+        }
         if (!verifyAfterPasses)
             continue;
         DiagnosticEngine diags;

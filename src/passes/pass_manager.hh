@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "ir/program.hh"
+#include "support/telemetry.hh"
 
 namespace msq {
 
@@ -54,9 +55,21 @@ class PassManager
     void setVerifyAfterPasses(bool enabled) { verifyAfterPasses = enabled; }
     bool verifiesAfterPasses() const { return verifyAfterPasses; }
 
+    /**
+     * Optional telemetry sink: run() then records, per pass, a
+     * "passes.<name>.runs" counter, a "passes.<name>.wall_ms"
+     * wall-clock distribution, and a "passes.<name>.ops_after" gauge
+     * (total
+     * program operations once the pass finishes), plus a trace span
+     * per pass on the global recorder. Null (the default) records
+     * nothing.
+     */
+    void setMetrics(MetricsRegistry *registry) { metrics = registry; }
+
   private:
     std::vector<std::unique_ptr<Pass>> passes;
     bool verifyAfterPasses = false;
+    MetricsRegistry *metrics = nullptr;
 };
 
 } // namespace msq

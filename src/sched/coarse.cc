@@ -1,6 +1,7 @@
 #include "sched/coarse.hh"
 
 #include <algorithm>
+#include <optional>
 #include <queue>
 
 #include "ir/dag.hh"
@@ -60,7 +61,7 @@ CoarseScheduler::CoarseScheduler(const MultiSimdArch &arch,
                                  CommMode mode, Options options)
     : arch(arch), leafScheduler(&leaf_scheduler), mode(mode),
       widths(std::move(options.widths)), numThreads(options.numThreads),
-      cache(std::move(options.leafCache))
+      cache(std::move(options.leafCache)), metrics(options.metrics)
 {
     arch.validate();
     if (widths.empty()) {
@@ -88,6 +89,15 @@ CoarseScheduler::CoarseScheduler(const MultiSimdArch &arch,
 std::shared_ptr<const LeafScheduleResult>
 CoarseScheduler::leafWidthResult(const Module &mod, unsigned w) const
 {
+    // Guard the span on enabled() so name/args composition costs
+    // nothing on untraced runs; the record path itself is per-thread
+    // and safe under ThreadPool fan-out.
+    const bool tracing = Telemetry::trace().enabled();
+    std::optional<TraceSpan> span;
+    if (tracing)
+        span.emplace(Telemetry::trace(),
+                     csprintf("leaf:%s", mod.name().c_str()));
+
     std::string key;
     if (cache) {
         key = csprintf("%016llx|%llu|%llu|w=%u|%s",
@@ -96,8 +106,16 @@ CoarseScheduler::leafWidthResult(const Module &mod, unsigned w) const
                        static_cast<unsigned long long>(mod.numOps()),
                        static_cast<unsigned long long>(mod.numQubits()),
                        w, cacheKeySuffix.c_str());
-        if (auto hit = cache->lookup(key))
+        if (auto hit = cache->lookup(key)) {
+            if (tracing) {
+                span->setArgs(csprintf(
+                    "\"module\": \"%s\", \"width\": %u, \"gates\": %llu, "
+                    "\"cache\": \"hit\"",
+                    mod.name().c_str(), w,
+                    static_cast<unsigned long long>(mod.numOps())));
+            }
             return hit;
+        }
     }
     MultiSimdArch sub = arch;
     sub.k = w;
@@ -105,6 +123,14 @@ CoarseScheduler::leafWidthResult(const Module &mod, unsigned w) const
     CommunicationAnalyzer comm(arch, mode);
     auto result = std::make_shared<LeafScheduleResult>();
     result->stats = comm.annotate(sched);
+    if (tracing) {
+        span->setArgs(csprintf(
+            "\"module\": \"%s\", \"width\": %u, \"gates\": %llu, "
+            "\"cache\": \"%s\"",
+            mod.name().c_str(), w,
+            static_cast<unsigned long long>(mod.numOps()),
+            cache ? "miss" : "off"));
+    }
     if (cache)
         return cache->insert(key, std::move(result));
     return result;
@@ -363,6 +389,13 @@ CoarseScheduler::scheduleNonLeaf(const Program &prog, const Module &mod,
 ProgramSchedule
 CoarseScheduler::schedule(const Program &prog) const
 {
+    TraceSpan total_span(Telemetry::trace(), "coarse-schedule");
+    std::optional<ScopedTimerMs> total_timer;
+    if (metrics != nullptr)
+        total_timer.emplace(metrics->distribution("sched.total_ms"));
+    const uint64_t cache_hits_before = cache ? cache->hits() : 0;
+    const uint64_t cache_misses_before = cache ? cache->misses() : 0;
+
     ProgramSchedule result;
     result.modules.resize(prog.numModules());
 
@@ -400,8 +433,13 @@ CoarseScheduler::schedule(const Program &prog) const
 
     // Merge in bottom-up (module-id stream) order — single-threaded, so
     // the monotone clamp below sees widths in exactly the sequence the
-    // sequential path did and the result is bit-identical to it.
+    // sequential path did and the result is bit-identical to it. All
+    // telemetry is recorded here rather than inside the fan-out: the
+    // merged slot values are pure functions of the inputs, so the
+    // recorded counters are identical for every thread count even when
+    // a cache race double-computes a slot.
     for (size_t m = 0; m < leaves.size(); ++m) {
+        const Module &mod = prog.module(leaves[m]);
         ModuleScheduleInfo info;
         info.analyzed = true;
         info.leaf = true;
@@ -417,6 +455,33 @@ CoarseScheduler::schedule(const Program &prog) const
             if (wi + 1 == nw)
                 info.comm = stats;
         }
+        if (metrics != nullptr) {
+            metrics->counter("sched.leaf.instances").add(1);
+            metrics->distribution("sched.leaf.gates")
+                .record(static_cast<double>(mod.numOps()));
+            metrics->distribution("sched.leaf.cycles")
+                .record(static_cast<double>(info.comm.totalCycles));
+            const CommStats &comm = info.comm;
+            metrics->counter("comm.teleport_moves")
+                .add(comm.teleportMoves);
+            metrics->counter("comm.blocking_teleports")
+                .add(comm.blockingTeleports);
+            // Teleporting one qubit consumes one pre-distributed EPR
+            // pair (paper §2.3), so EPR consumption == teleport count.
+            metrics->counter("comm.epr_pairs_consumed")
+                .add(comm.teleportMoves);
+            metrics->counter("comm.local_moves").add(comm.localMoves);
+            metrics->counter("comm.steps_with_blocking_move")
+                .add(comm.stepsWithBlockingMove);
+            metrics->counter("comm.steps_with_only_local_moves")
+                .add(comm.stepsWithOnlyLocalMoves);
+            metrics->counter("comm.active_region_steps")
+                .add(comm.activeRegionSteps);
+            metrics->counter("comm.operand_slots")
+                .add(comm.operandSlots);
+            metrics->gauge("comm.region_occupancy_peak")
+                .setMax(static_cast<int64_t>(comm.peakRegionOccupancy));
+        }
         result.modules[leaves[m]] = std::move(info);
     }
     slots.clear();
@@ -429,6 +494,16 @@ CoarseScheduler::schedule(const Program &prog) const
         const Module &mod = prog.module(id);
         if (mod.isLeaf())
             continue;
+        const bool tracing = Telemetry::trace().enabled();
+        std::optional<TraceSpan> sweep_span;
+        if (tracing) {
+            sweep_span.emplace(Telemetry::trace(),
+                               csprintf("sweep:%s", mod.name().c_str()));
+            sweep_span->setArgs(csprintf(
+                "\"module\": \"%s\", \"widths\": %zu, \"ops\": %llu",
+                mod.name().c_str(), nw,
+                static_cast<unsigned long long>(mod.numOps())));
+        }
         std::vector<uint64_t> lengths(nw);
         run_tasks(nw, [&](uint64_t wi) {
             lengths[wi] = scheduleNonLeaf(prog, mod, result,
@@ -443,7 +518,22 @@ CoarseScheduler::schedule(const Program &prog) const
             best_so_far = length;
             info.dims.push_back({widths[wi], length});
         }
+        if (metrics != nullptr) {
+            metrics->counter("sched.nonleaf.instances").add(1);
+            metrics->distribution("sched.nonleaf.cycles")
+                .record(static_cast<double>(info.bestLength()));
+        }
         result.modules[id] = std::move(info);
+    }
+
+    if (metrics != nullptr) {
+        metrics->counter("sched.width_sweep_points").add(nw);
+        if (cache) {
+            metrics->counter("sched.leaf_cache.hits")
+                .add(cache->hits() - cache_hits_before);
+            metrics->counter("sched.leaf_cache.misses")
+                .add(cache->misses() - cache_misses_before);
+        }
     }
 
     result.totalCycles =

@@ -31,6 +31,7 @@
 #include "sched/comm.hh"
 #include "sched/leaf_cache.hh"
 #include "sched/leaf_scheduler.hh"
+#include "support/telemetry.hh"
 
 namespace msq {
 
@@ -101,6 +102,16 @@ class CoarseScheduler
          * across schedulers and runs; null disables memoization.
          */
         std::shared_ptr<LeafScheduleCache> leafCache;
+
+        /**
+         * Optional telemetry sink (support/telemetry.hh). When set,
+         * schedule() records per-leaf and per-sweep counters and
+         * distributions (gate counts, cycle lengths, communication
+         * totals, cache traffic) into it — always from the
+         * single-threaded merge phases, so every recorded value is
+         * thread-count-invariant. Null records nothing.
+         */
+        MetricsRegistry *metrics = nullptr;
     };
 
     /**
@@ -130,6 +141,7 @@ class CoarseScheduler
     std::vector<unsigned> widths;
     unsigned numThreads;
     std::shared_ptr<LeafScheduleCache> cache;
+    MetricsRegistry *metrics;
     /** Scheduler/arch/mode part of memoization keys (width excluded). */
     std::string cacheKeySuffix;
 

@@ -111,6 +111,13 @@ CommunicationAnalyzer::annotate(LeafSchedule &sched) const
                     all_operands.push_back(q);
                 }
             }
+            if (!operands[r].empty()) {
+                ++stats.activeRegionSteps;
+                stats.operandSlots += operands[r].size();
+                stats.peakRegionOccupancy =
+                    std::max<uint64_t>(stats.peakRegionOccupancy,
+                                       operands[r].size());
+            }
         }
 
         // Phase 1 - evictions: a region active this timestep must shed

@@ -62,6 +62,17 @@ struct CommStats
     /** Schedule length in cycles including movement phases (under the
      * architecture's EPR bandwidth). */
     uint64_t totalCycles = 0;
+
+    // Region-occupancy profile (telemetry; computed whenever movement
+    // is modelled, i.e. every mode except CommMode::None). Average
+    // operands per active region = operandSlots / activeRegionSteps.
+    /** (region, timestep) pairs in which the region executes ops. */
+    uint64_t activeRegionSteps = 0;
+    /** Total operand qubits across all active (region, timestep)
+     * pairs. */
+    uint64_t operandSlots = 0;
+    /** Most operand qubits any one region touches in one timestep. */
+    uint64_t peakRegionOccupancy = 0;
 };
 
 /** Derives and schedules qubit movement for leaf schedules. */

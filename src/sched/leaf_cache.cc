@@ -21,6 +21,15 @@ LeafScheduleCache::insert(const std::string &key,
 {
     std::lock_guard<std::mutex> lock(mutex);
     auto [it, inserted] = entries.emplace(key, std::move(result));
+    if (!inserted) {
+        // Lost a compute race: another thread published this key after
+        // our lookup missed. Reclassify our miss as a hit so the final
+        // tallies are thread-count-invariant — every key ends up with
+        // exactly one miss (the winning insert) and one hit per other
+        // access, exactly like a sequential run (DESIGN.md §9).
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        misses_.fetch_sub(1, std::memory_order_relaxed);
+    }
     return it->second;
 }
 

@@ -65,7 +65,12 @@ class LeafScheduleCache
     /**
      * Publish @p result under @p key. On a concurrent double-compute
      * the first insertion wins and is returned; both computations are
-     * identical by the determinism contract, so either is correct.
+     * identical by the determinism contract, so either is correct. The
+     * losing thread's earlier miss is reclassified as a hit, so
+     * hits()/misses() totals match the sequential run for any thread
+     * count (one miss per distinct key, hits for every other access) —
+     * which is what makes the telemetry cache counters part of the
+     * determinism contract.
      */
     std::shared_ptr<const LeafScheduleResult>
     insert(const std::string &key,

@@ -1,0 +1,535 @@
+#include "support/telemetry.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <ostream>
+#include <sstream>
+#include <thread>
+
+#ifdef __linux__
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace msq {
+
+// --- JSON helpers -------------------------------------------------------
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double value)
+{
+    // JSON has no NaN/Inf literals; metrics should never produce them,
+    // but keep the document well-formed if one slips through.
+    if (!std::isfinite(value))
+        return "0";
+    // Shortest decimal form that round-trips (stable across runs for
+    // identical values, unlike a fixed high precision with its noise
+    // digits).
+    char buf[64];
+    for (int precision = 1; precision <= 17; ++precision) {
+        std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+        if (std::strtod(buf, nullptr) == value)
+            break;
+    }
+    return buf;
+}
+
+// --- Distribution -------------------------------------------------------
+
+void
+Distribution::record(double value)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    samples_.push_back(value);
+}
+
+std::vector<double>
+Distribution::samples() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return samples_;
+}
+
+DistributionStats
+Distribution::stats() const
+{
+    std::vector<double> sorted = samples();
+    DistributionStats stats;
+    if (sorted.empty())
+        return stats;
+    std::sort(sorted.begin(), sorted.end());
+    stats.count = sorted.size();
+    for (double v : sorted)
+        stats.sum += v;
+    stats.min = sorted.front();
+    stats.max = sorted.back();
+    // Nearest-rank percentiles: the smallest sample such that at least
+    // p% of the set is <= it.
+    auto rank = [&](unsigned pct) {
+        size_t r = (sorted.size() * pct + 99) / 100;
+        return sorted[r > 0 ? r - 1 : 0];
+    };
+    stats.p50 = rank(50);
+    stats.p99 = rank(99);
+    return stats;
+}
+
+// --- MetricsSnapshot ----------------------------------------------------
+
+const MetricEntry *
+MetricsSnapshot::find(const std::string &name) const
+{
+    for (const MetricEntry &entry : entries)
+        if (entry.name == name)
+            return &entry;
+    return nullptr;
+}
+
+uint64_t
+MetricsSnapshot::counter(const std::string &name) const
+{
+    const MetricEntry *entry = find(name);
+    return entry != nullptr ? entry->counterValue : 0;
+}
+
+int64_t
+MetricsSnapshot::gauge(const std::string &name) const
+{
+    const MetricEntry *entry = find(name);
+    return entry != nullptr ? entry->gaugeValue : 0;
+}
+
+void
+MetricsSnapshot::writeJson(std::ostream &os) const
+{
+    os << "{\n  \"version\": 1,\n  \"metrics\": [\n";
+    for (size_t i = 0; i < entries.size(); ++i) {
+        const MetricEntry &entry = entries[i];
+        os << "    {\"name\": \"" << jsonEscape(entry.name) << "\", ";
+        switch (entry.kind) {
+          case MetricEntry::Kind::Counter:
+            os << "\"type\": \"counter\", \"value\": "
+               << entry.counterValue;
+            break;
+          case MetricEntry::Kind::Gauge:
+            os << "\"type\": \"gauge\", \"value\": " << entry.gaugeValue;
+            break;
+          case MetricEntry::Kind::Distribution:
+            os << "\"type\": \"distribution\", \"count\": "
+               << entry.dist.count << ", \"sum\": "
+               << jsonNumber(entry.dist.sum) << ", \"min\": "
+               << jsonNumber(entry.dist.min) << ", \"max\": "
+               << jsonNumber(entry.dist.max) << ", \"p50\": "
+               << jsonNumber(entry.dist.p50) << ", \"p99\": "
+               << jsonNumber(entry.dist.p99);
+            break;
+        }
+        os << "}" << (i + 1 < entries.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+}
+
+std::string
+MetricsSnapshot::toJson() const
+{
+    std::ostringstream os;
+    writeJson(os);
+    return os.str();
+}
+
+// --- MetricsRegistry ----------------------------------------------------
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Distribution &
+MetricsRegistry::distribution(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = distributions_[name];
+    if (!slot)
+        slot = std::make_unique<Distribution>();
+    return *slot;
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    MetricsSnapshot snap;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &[name, counter] : counters_) {
+        MetricEntry entry;
+        entry.name = name;
+        entry.kind = MetricEntry::Kind::Counter;
+        entry.counterValue = counter->value();
+        snap.entries.push_back(std::move(entry));
+    }
+    for (const auto &[name, gauge] : gauges_) {
+        MetricEntry entry;
+        entry.name = name;
+        entry.kind = MetricEntry::Kind::Gauge;
+        entry.gaugeValue = gauge->value();
+        snap.entries.push_back(std::move(entry));
+    }
+    for (const auto &[name, dist] : distributions_) {
+        MetricEntry entry;
+        entry.name = name;
+        entry.kind = MetricEntry::Kind::Distribution;
+        entry.dist = dist->stats();
+        snap.entries.push_back(std::move(entry));
+    }
+    std::sort(snap.entries.begin(), snap.entries.end(),
+              [](const MetricEntry &a, const MetricEntry &b) {
+                  return a.name < b.name;
+              });
+    return snap;
+}
+
+void
+MetricsRegistry::mergeInto(MetricsRegistry &dst) const
+{
+    // Copy under our lock, then apply through dst's public interface
+    // (which takes dst's own lock) — the locks are never held together,
+    // so merge direction cannot deadlock.
+    std::vector<std::pair<std::string, uint64_t>> counters;
+    std::vector<std::pair<std::string, int64_t>> gauges;
+    std::vector<std::pair<std::string, std::vector<double>>> dists;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto &[name, counter] : counters_)
+            counters.emplace_back(name, counter->value());
+        for (const auto &[name, gauge] : gauges_)
+            gauges.emplace_back(name, gauge->value());
+        for (const auto &[name, dist] : distributions_)
+            dists.emplace_back(name, dist->samples());
+    }
+    for (const auto &[name, value] : counters)
+        dst.counter(name).add(value);
+    for (const auto &[name, value] : gauges) {
+        const bool peak = name.size() >= 5 &&
+                          name.compare(name.size() - 5, 5, "_peak") == 0;
+        if (peak)
+            dst.gauge(name).setMax(value);
+        else
+            dst.gauge(name).set(value);
+    }
+    for (const auto &[name, samples] : dists) {
+        Distribution &dist = dst.distribution(name);
+        for (double sample : samples)
+            dist.record(sample);
+    }
+}
+
+void
+MetricsRegistry::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_.clear();
+    gauges_.clear();
+    distributions_.clear();
+}
+
+// --- clocks and thread ids ---------------------------------------------
+
+uint64_t
+telemetryNowUs()
+{
+    static const auto process_start = std::chrono::steady_clock::now();
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - process_start)
+            .count());
+}
+
+uint32_t
+TraceRecorder::currentThreadId()
+{
+#ifdef __linux__
+    thread_local const uint32_t tid =
+        static_cast<uint32_t>(::syscall(SYS_gettid));
+#else
+    thread_local const uint32_t tid = static_cast<uint32_t>(
+        std::hash<std::thread::id>{}(std::this_thread::get_id()));
+#endif
+    return tid;
+}
+
+// --- TraceRecorder ------------------------------------------------------
+
+struct TraceRecorder::Buffer
+{
+    /**
+     * Guards events against the flushing thread only: record() is
+     * called exclusively by the buffer's owning thread, so this mutex
+     * is uncontended (a single CAS) except while a flush is draining.
+     */
+    std::mutex mutex;
+    std::vector<TraceEvent> events;
+};
+
+namespace {
+
+std::atomic<uint64_t> next_recorder_id{1};
+
+} // anonymous namespace
+
+TraceRecorder::TraceRecorder()
+    : id_(next_recorder_id.fetch_add(1, std::memory_order_relaxed))
+{
+}
+
+void
+TraceRecorder::setEnabled(bool enabled)
+{
+    enabled_.store(enabled, std::memory_order_relaxed);
+}
+
+TraceRecorder::Buffer &
+TraceRecorder::threadBuffer()
+{
+    // Per-thread cache of (recorder id -> buffer). shared_ptr keeps a
+    // cached buffer alive even if the recorder dies first, so a stale
+    // entry can only ever drop events, never touch freed memory.
+    struct Ref
+    {
+        uint64_t recorderId;
+        std::shared_ptr<Buffer> buffer;
+    };
+    thread_local std::vector<Ref> refs;
+    for (const Ref &ref : refs)
+        if (ref.recorderId == id_)
+            return *ref.buffer;
+    auto buffer = std::make_shared<Buffer>();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        buffers_.push_back(buffer);
+    }
+    refs.push_back({id_, buffer});
+    return *buffer;
+}
+
+void
+TraceRecorder::record(TraceEvent event)
+{
+    Buffer &buffer = threadBuffer();
+    std::lock_guard<std::mutex> lock(buffer.mutex);
+    buffer.events.push_back(std::move(event));
+}
+
+std::vector<TraceEvent>
+TraceRecorder::flush()
+{
+    std::vector<std::shared_ptr<Buffer>> buffers;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        buffers = buffers_;
+    }
+    std::vector<TraceEvent> events;
+    for (const auto &buffer : buffers) {
+        std::lock_guard<std::mutex> lock(buffer->mutex);
+        events.insert(events.end(),
+                      std::make_move_iterator(buffer->events.begin()),
+                      std::make_move_iterator(buffer->events.end()));
+        buffer->events.clear();
+    }
+    std::sort(events.begin(), events.end(),
+              [](const TraceEvent &a, const TraceEvent &b) {
+                  if (a.tsUs != b.tsUs)
+                      return a.tsUs < b.tsUs;
+                  if (a.tid != b.tid)
+                      return a.tid < b.tid;
+                  return a.name < b.name;
+              });
+    return events;
+}
+
+void
+TraceRecorder::writeChromeTrace(std::ostream &os)
+{
+#ifdef __linux__
+    const uint32_t pid = static_cast<uint32_t>(::getpid());
+#else
+    const uint32_t pid = 1;
+#endif
+    std::vector<TraceEvent> events = flush();
+    os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+    for (size_t i = 0; i < events.size(); ++i) {
+        const TraceEvent &event = events[i];
+        os << "  {\"name\": \"" << jsonEscape(event.name)
+           << "\", \"cat\": \"msq\", \"ph\": \"X\", \"ts\": "
+           << event.tsUs << ", \"dur\": " << event.durUs
+           << ", \"pid\": " << pid << ", \"tid\": " << event.tid;
+        if (!event.args.empty())
+            os << ", \"args\": {" << event.args << "}";
+        os << "}" << (i + 1 < events.size() ? "," : "") << "\n";
+    }
+    os << "]}\n";
+}
+
+// --- TraceSpan ----------------------------------------------------------
+
+TraceSpan::TraceSpan(TraceRecorder &recorder, std::string name)
+{
+    if (!recorder.enabled())
+        return;
+    recorder_ = &recorder;
+    name_ = std::move(name);
+    startUs_ = telemetryNowUs();
+}
+
+void
+TraceSpan::setArgs(std::string args_json)
+{
+    if (recorder_ != nullptr)
+        args_ = std::move(args_json);
+}
+
+TraceSpan::~TraceSpan()
+{
+    if (recorder_ == nullptr)
+        return;
+    TraceEvent event;
+    event.name = std::move(name_);
+    event.args = std::move(args_);
+    event.tsUs = startUs_;
+    event.durUs = telemetryNowUs() - startUs_;
+    event.tid = TraceRecorder::currentThreadId();
+    recorder_->record(std::move(event));
+}
+
+// --- Telemetry (process-wide wiring) ------------------------------------
+
+namespace {
+
+std::atomic<bool> g_metrics_enabled{false};
+
+std::string &
+envMetricsPath()
+{
+    static std::string path;
+    return path;
+}
+
+std::string &
+envTracePath()
+{
+    static std::string path;
+    return path;
+}
+
+} // anonymous namespace
+
+MetricsRegistry &
+Telemetry::metrics()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+TraceRecorder &
+Telemetry::trace()
+{
+    static TraceRecorder recorder;
+    return recorder;
+}
+
+bool
+Telemetry::metricsEnabled()
+{
+    return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void
+Telemetry::setMetricsEnabled(bool enabled)
+{
+    g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void
+Telemetry::initFromEnv()
+{
+    static std::once_flag once;
+    std::call_once(once, [] {
+        // Force the globals to outlive the atexit hook (constructed
+        // before the hook registers, hence destroyed after it runs).
+        (void)metrics();
+        (void)trace();
+        const char *metrics_path = std::getenv("MSQ_METRICS");
+        if (metrics_path != nullptr && *metrics_path != '\0') {
+            envMetricsPath() = metrics_path;
+            setMetricsEnabled(true);
+        }
+        const char *trace_path = std::getenv("MSQ_TRACE");
+        if (trace_path != nullptr && *trace_path != '\0') {
+            envTracePath() = trace_path;
+            trace().setEnabled(true);
+        }
+        if (!envMetricsPath().empty() || !envTracePath().empty())
+            std::atexit([] { flushEnvOutputs(); });
+    });
+}
+
+void
+Telemetry::flushEnvOutputs()
+{
+    if (!envMetricsPath().empty()) {
+        std::ofstream out(envMetricsPath());
+        if (out)
+            metrics().snapshot().writeJson(out);
+    }
+    if (!envTracePath().empty()) {
+        std::ofstream out(envTracePath());
+        if (out)
+            trace().writeChromeTrace(out);
+    }
+}
+
+} // namespace msq

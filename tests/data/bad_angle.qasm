@@ -1,0 +1,4 @@
+.module main
+    qbit q
+    Rz(abc) q
+.end

@@ -1,0 +1,7 @@
+.module sub q
+    T q
+.end
+.module main
+    qbit x
+    call[xFOO] sub x
+.end

@@ -19,6 +19,7 @@
 #include "passes/pass_manager.hh"
 #include "sched/leaf_cache.hh"
 #include "sched/schedule_printer.hh"
+#include "support/telemetry.hh"
 #include "support/thread_pool.hh"
 #include "workloads/workloads.hh"
 
@@ -57,6 +58,10 @@ expectSameSchedule(const ProgramSchedule &a, const ProgramSchedule &b,
                   mb.comm.stepsWithOnlyLocalMoves);
         EXPECT_EQ(ma.comm.peakBlockingMovesPerStep,
                   mb.comm.peakBlockingMovesPerStep);
+        EXPECT_EQ(ma.comm.activeRegionSteps, mb.comm.activeRegionSteps);
+        EXPECT_EQ(ma.comm.operandSlots, mb.comm.operandSlots);
+        EXPECT_EQ(ma.comm.peakRegionOccupancy,
+                  mb.comm.peakRegionOccupancy);
         EXPECT_EQ(ma.comm.totalCycles, mb.comm.totalCycles);
     }
 }
@@ -170,6 +175,85 @@ TEST(Determinism, LeafTimestepStreamsMatchUnderFanOut)
             << "leaf " << leaves[i / widths.size()] << " width "
             << widths[i % widths.size()];
     }
+}
+
+/** True for wall-clock distributions, which legitimately vary. */
+bool
+isTimingMetric(const std::string &name)
+{
+    return name.size() >= 3 &&
+           name.compare(name.size() - 3, 3, "_ms") == 0;
+}
+
+/**
+ * Two telemetry snapshots must carry the same metric set, and every
+ * non-wall-clock value must match exactly.
+ */
+void
+expectSameTelemetry(const MetricsSnapshot &a, const MetricsSnapshot &b,
+                    const std::string &context)
+{
+    ASSERT_EQ(a.entries.size(), b.entries.size()) << context;
+    for (size_t i = 0; i < a.entries.size(); ++i) {
+        const MetricEntry &ea = a.entries[i];
+        const MetricEntry &eb = b.entries[i];
+        SCOPED_TRACE(context + ", metric " + ea.name);
+        ASSERT_EQ(ea.name, eb.name);
+        ASSERT_EQ(ea.kind, eb.kind);
+        if (isTimingMetric(ea.name))
+            continue;
+        switch (ea.kind) {
+          case MetricEntry::Kind::Counter:
+            EXPECT_EQ(ea.counterValue, eb.counterValue);
+            break;
+          case MetricEntry::Kind::Gauge:
+            EXPECT_EQ(ea.gaugeValue, eb.gaugeValue);
+            break;
+          case MetricEntry::Kind::Distribution:
+            EXPECT_EQ(ea.dist.count, eb.dist.count);
+            EXPECT_EQ(ea.dist.sum, eb.dist.sum);
+            EXPECT_EQ(ea.dist.min, eb.dist.min);
+            EXPECT_EQ(ea.dist.max, eb.dist.max);
+            EXPECT_EQ(ea.dist.p50, eb.dist.p50);
+            EXPECT_EQ(ea.dist.p99, eb.dist.p99);
+            break;
+        }
+    }
+}
+
+/**
+ * The DESIGN.md §9 contract extends to telemetry (§10): with tracing on
+ * and metrics recording, every counter, gauge and non-"_ms"
+ * distribution — gate counts, cache traffic, teleport totals — is
+ * bit-identical across thread counts; only wall-clock fields differ.
+ */
+TEST(Determinism, TelemetryThreadCountInvariance)
+{
+    Telemetry::trace().setEnabled(true);
+    for (const char *workload : kWorkloads) {
+        ToolflowResult baseline =
+            runWith(workload, SchedulerKind::Lpfs, 1, true);
+        EXPECT_GT(baseline.telemetry.counter("sched.leaf.instances"), 0u)
+            << workload;
+        EXPECT_EQ(baseline.telemetry.counter("sched.leaf_cache.misses"),
+                  baseline.leafCacheMisses)
+            << workload;
+        EXPECT_EQ(baseline.telemetry.counter("sched.leaf_cache.hits"),
+                  baseline.leafCacheHits)
+            << workload;
+        for (unsigned threads : {2u, 8u}) {
+            ToolflowResult other =
+                runWith(workload, SchedulerKind::Lpfs, threads, true);
+            std::string context = std::string(workload) + " threads=" +
+                                  std::to_string(threads);
+            expectSameSchedule(baseline.schedule, other.schedule,
+                               context);
+            expectSameTelemetry(baseline.telemetry, other.telemetry,
+                                context);
+        }
+    }
+    Telemetry::trace().setEnabled(false);
+    Telemetry::trace().flush();
 }
 
 /**

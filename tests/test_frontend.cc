@@ -58,6 +58,48 @@ TEST(Lexer, RejectsGarbage)
     EXPECT_THROW(tokenize("/* unterminated"), FatalError);
 }
 
+TEST(Lexer, RejectsSecondDotInNumber)
+{
+    EXPECT_THROW(tokenize("1.2.3"), FatalError);
+    EXPECT_THROW(tokenize("Rz(q, 1.2.3);"), FatalError);
+    EXPECT_THROW(tokenize(".5.2"), FatalError);
+}
+
+TEST(Lexer, RejectsDanglingExponent)
+{
+    EXPECT_THROW(tokenize("1e"), FatalError);
+    EXPECT_THROW(tokenize("1e+"), FatalError);
+    EXPECT_THROW(tokenize("1e-"), FatalError);
+    EXPECT_THROW(tokenize("3.25E"), FatalError);
+    EXPECT_THROW(tokenize("1e+;"), FatalError);
+}
+
+TEST(Lexer, RejectsLettersGluedToNumber)
+{
+    EXPECT_THROW(tokenize("123abc"), FatalError);
+    EXPECT_THROW(tokenize("1.5x"), FatalError);
+}
+
+TEST(Lexer, AcceptsWellFormedNumberShapes)
+{
+    auto tokens = tokenize("1. .5 2e5 2E+5 1.25e-3");
+    ASSERT_EQ(tokens.size(), 6u);
+    EXPECT_EQ(tokens[0].kind, TokenKind::Float);
+    EXPECT_DOUBLE_EQ(tokens[0].floatValue, 1.0);
+    EXPECT_DOUBLE_EQ(tokens[1].floatValue, 0.5);
+    EXPECT_DOUBLE_EQ(tokens[2].floatValue, 2e5);
+    EXPECT_DOUBLE_EQ(tokens[3].floatValue, 2e5);
+    EXPECT_DOUBLE_EQ(tokens[4].floatValue, 1.25e-3);
+}
+
+TEST(Lexer, RejectsOutOfRangeNumbers)
+{
+    // Shape-valid but unrepresentable literals still die through the
+    // diagnosed path, not a raw std::out_of_range.
+    EXPECT_THROW(tokenize("123456789012345678901234567890"), FatalError);
+    EXPECT_THROW(tokenize("1e999"), FatalError);
+}
+
 TEST(Parser, SimpleModule)
 {
     Program prog = parseScaffold(R"(
@@ -299,6 +341,81 @@ TEST(QasmReader, ParsesRepeatAndAngle)
     EXPECT_DOUBLE_EQ(mod.op(0).angle, 0.5);
     EXPECT_TRUE(mod.op(1).isCall());
     EXPECT_EQ(mod.op(1).repeat, 7u);
+}
+
+/** The FatalError message carries the offending line number. */
+template <typename Fn>
+std::string
+fatalMessage(Fn &&fn)
+{
+    try {
+        fn();
+    } catch (const FatalError &err) {
+        return err.what();
+    }
+    ADD_FAILURE() << "expected a FatalError";
+    return "";
+}
+
+TEST(QasmReader, RejectsMalformedCallRepeat)
+{
+    // Non-numeric, empty, and overflowing repeat counts must all be
+    // line-numbered diagnostics, never raw std::stoull exceptions.
+    EXPECT_THROW(parseHierarchicalQasm(
+                     ".module m q\n    call[xFOO] m q\n.end\n"),
+                 FatalError);
+    EXPECT_THROW(parseHierarchicalQasm(
+                     ".module m q\n    call[x] m q\n.end\n"),
+                 FatalError);
+    EXPECT_THROW(parseHierarchicalQasm(
+                     ".module m q\n"
+                     "    call[x123456789012345678901234567890] m q\n"
+                     ".end\n"),
+                 FatalError);
+    EXPECT_THROW(parseHierarchicalQasm(
+                     ".module m q\n    call[x-3] m q\n.end\n"),
+                 FatalError);
+    std::string msg = fatalMessage([] {
+        parseHierarchicalQasm(".module m q\n    call[xFOO] m q\n.end\n");
+    });
+    EXPECT_NE(msg.find("qasm line 2"), std::string::npos) << msg;
+}
+
+TEST(QasmReader, AcceptsLargeButRepresentableRepeat)
+{
+    Program prog = parseHierarchicalQasm(R"(.module sub q
+    T q
+.end
+.module main
+    qbit x
+    call[x18446744073709551615] sub x
+.end
+)");
+    const Module &mod = prog.module(prog.entry());
+    ASSERT_EQ(mod.numOps(), 1u);
+    EXPECT_EQ(mod.op(0).repeat, UINT64_MAX);
+}
+
+TEST(QasmReader, RejectsMalformedAngle)
+{
+    // Empty, non-numeric, trailing-garbage, and overflowing angles.
+    EXPECT_THROW(parseHierarchicalQasm(
+                     ".module m\n    qbit q\n    Rz() q\n.end\n"),
+                 FatalError);
+    EXPECT_THROW(parseHierarchicalQasm(
+                     ".module m\n    qbit q\n    Rz(abc) q\n.end\n"),
+                 FatalError);
+    EXPECT_THROW(parseHierarchicalQasm(
+                     ".module m\n    qbit q\n    Rz(1.5x) q\n.end\n"),
+                 FatalError);
+    EXPECT_THROW(parseHierarchicalQasm(
+                     ".module m\n    qbit q\n    Rz(1e999) q\n.end\n"),
+                 FatalError);
+    std::string msg = fatalMessage([] {
+        parseHierarchicalQasm(
+            ".module m\n    qbit q\n    Rz(abc) q\n.end\n");
+    });
+    EXPECT_NE(msg.find("qasm line 3"), std::string::npos) << msg;
 }
 
 TEST(QasmReader, Diagnostics)

@@ -1,0 +1,440 @@
+/**
+ * @file
+ * Tests for the telemetry layer (support/telemetry.hh): metric
+ * primitives, snapshot/JSON rendering, registry merging, the trace
+ * recorder under multi-threaded fan-out, and the end-to-end
+ * ToolflowResult::telemetry surface across every scaled workload.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/toolflow.hh"
+#include "support/telemetry.hh"
+#include "support/thread_pool.hh"
+#include "workloads/workloads.hh"
+
+namespace {
+
+using namespace msq;
+
+/**
+ * Minimal recursive-descent JSON validator — enough to prove the
+ * emitted documents are well-formed without a JSON dependency.
+ */
+class JsonValidator
+{
+  public:
+    explicit JsonValidator(const std::string &text) : text_(text) {}
+
+    bool
+    valid()
+    {
+        pos_ = 0;
+        if (!value())
+            return false;
+        skipSpace();
+        return pos_ == text_.size();
+    }
+
+  private:
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        size_t len = std::string(word).size();
+        if (text_.compare(pos_, len, word) != 0)
+            return false;
+        pos_ += len;
+        return true;
+    }
+
+    bool
+    string()
+    {
+        if (pos_ >= text_.size() || text_[pos_] != '"')
+            return false;
+        ++pos_;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            if (text_[pos_] == '\\') {
+                ++pos_;
+                if (pos_ >= text_.size())
+                    return false;
+            }
+            ++pos_;
+        }
+        if (pos_ >= text_.size())
+            return false;
+        ++pos_; // closing quote
+        return true;
+    }
+
+    bool
+    number()
+    {
+        size_t begin = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        return pos_ > begin;
+    }
+
+    bool
+    value()
+    {
+        skipSpace();
+        if (pos_ >= text_.size())
+            return false;
+        char c = text_[pos_];
+        if (c == '{')
+            return object();
+        if (c == '[')
+            return array();
+        if (c == '"')
+            return string();
+        if (c == 't')
+            return literal("true");
+        if (c == 'f')
+            return literal("false");
+        if (c == 'n')
+            return literal("null");
+        return number();
+    }
+
+    bool
+    object()
+    {
+        ++pos_; // '{'
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipSpace();
+            if (!string())
+                return false;
+            skipSpace();
+            if (pos_ >= text_.size() || text_[pos_] != ':')
+                return false;
+            ++pos_;
+            if (!value())
+                return false;
+            skipSpace();
+            if (pos_ >= text_.size())
+                return false;
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    array()
+    {
+        ++pos_; // '['
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            if (!value())
+                return false;
+            skipSpace();
+            if (pos_ >= text_.size())
+                return false;
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    const std::string &text_;
+    size_t pos_ = 0;
+};
+
+TEST(Telemetry, CounterAndGauge)
+{
+    Counter counter;
+    EXPECT_EQ(counter.value(), 0u);
+    counter.add();
+    counter.add(41);
+    EXPECT_EQ(counter.value(), 42u);
+
+    Gauge gauge;
+    gauge.set(-7);
+    EXPECT_EQ(gauge.value(), -7);
+    gauge.setMax(3);
+    EXPECT_EQ(gauge.value(), 3);
+    gauge.setMax(-100);
+    EXPECT_EQ(gauge.value(), 3);
+}
+
+TEST(Telemetry, DistributionPercentiles)
+{
+    Distribution dist;
+    // Record 100..1 (reverse order): percentiles sort internally.
+    for (int v = 100; v >= 1; --v)
+        dist.record(v);
+    DistributionStats stats = dist.stats();
+    EXPECT_EQ(stats.count, 100u);
+    EXPECT_DOUBLE_EQ(stats.sum, 5050.0);
+    EXPECT_DOUBLE_EQ(stats.min, 1.0);
+    EXPECT_DOUBLE_EQ(stats.max, 100.0);
+    EXPECT_DOUBLE_EQ(stats.p50, 50.0);
+    EXPECT_DOUBLE_EQ(stats.p99, 99.0);
+}
+
+TEST(Telemetry, DistributionSingleSample)
+{
+    Distribution dist;
+    dist.record(3.5);
+    DistributionStats stats = dist.stats();
+    EXPECT_EQ(stats.count, 1u);
+    EXPECT_DOUBLE_EQ(stats.min, 3.5);
+    EXPECT_DOUBLE_EQ(stats.max, 3.5);
+    EXPECT_DOUBLE_EQ(stats.p50, 3.5);
+    EXPECT_DOUBLE_EQ(stats.p99, 3.5);
+}
+
+TEST(Telemetry, JsonHelpers)
+{
+    EXPECT_EQ(jsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    EXPECT_EQ(jsonNumber(0.0), "0");
+    EXPECT_EQ(jsonNumber(42.0), "42");
+    EXPECT_EQ(jsonNumber(0.5), "0.5");
+    // Shortest round-trippable form: parsing it back is exact.
+    std::string third = jsonNumber(1.0 / 3.0);
+    EXPECT_DOUBLE_EQ(std::stod(third), 1.0 / 3.0);
+}
+
+TEST(Telemetry, RegistrySnapshotSortedAndStable)
+{
+    MetricsRegistry registry;
+    registry.counter("zzz.last").add(1);
+    registry.gauge("aaa.first").set(5);
+    registry.distribution("mmm.middle_ms").record(1.0);
+    Counter &again = registry.counter("zzz.last");
+    again.add(1);
+
+    MetricsSnapshot snap = registry.snapshot();
+    ASSERT_EQ(snap.entries.size(), 3u);
+    EXPECT_EQ(snap.entries[0].name, "aaa.first");
+    EXPECT_EQ(snap.entries[1].name, "mmm.middle_ms");
+    EXPECT_EQ(snap.entries[2].name, "zzz.last");
+    EXPECT_EQ(snap.counter("zzz.last"), 2u);
+    EXPECT_EQ(snap.gauge("aaa.first"), 5);
+    EXPECT_EQ(snap.find("nope"), nullptr);
+
+    std::string json = snap.toJson();
+    EXPECT_TRUE(JsonValidator(json).valid()) << json;
+}
+
+TEST(Telemetry, RegistryMerge)
+{
+    MetricsRegistry src;
+    MetricsRegistry dst;
+    src.counter("c").add(5);
+    dst.counter("c").add(2);
+    src.gauge("g").set(10);
+    dst.gauge("g").set(99);
+    src.gauge("occupancy_peak").set(4);
+    dst.gauge("occupancy_peak").set(7);
+    src.distribution("d").record(1.0);
+    dst.distribution("d").record(2.0);
+
+    src.mergeInto(dst);
+    MetricsSnapshot snap = dst.snapshot();
+    EXPECT_EQ(snap.counter("c"), 7u);
+    // Plain gauges take the source's last value; "_peak" gauges merge
+    // via max so a lower later run cannot erase a higher peak.
+    EXPECT_EQ(snap.gauge("g"), 10);
+    EXPECT_EQ(snap.gauge("occupancy_peak"), 7);
+    EXPECT_EQ(snap.find("d")->dist.count, 2u);
+}
+
+TEST(Telemetry, CountersAreThreadSafe)
+{
+    MetricsRegistry registry;
+    Counter &counter = registry.counter("n");
+    ThreadPool pool(4);
+    pool.parallelFor(1000, [&](uint64_t) { counter.add(1); });
+    EXPECT_EQ(counter.value(), 1000u);
+}
+
+TEST(Telemetry, TraceRecorderDisabledSpanIsInactive)
+{
+    TraceRecorder recorder;
+    EXPECT_FALSE(recorder.enabled());
+    {
+        TraceSpan span(recorder, "ignored");
+        EXPECT_FALSE(span.active());
+    }
+    EXPECT_TRUE(recorder.flush().empty());
+}
+
+TEST(Telemetry, TraceRecorderMultiThreaded)
+{
+    TraceRecorder recorder;
+    recorder.setEnabled(true);
+    ThreadPool pool(4);
+    pool.parallelFor(64, [&](uint64_t i) {
+        TraceSpan span(recorder, "task" + std::to_string(i));
+        span.setArgs("\"index\": " + std::to_string(i));
+    });
+    {
+        TraceSpan outer(recorder, "outer");
+        EXPECT_TRUE(outer.active());
+    }
+    recorder.setEnabled(false);
+
+    std::vector<TraceEvent> events = recorder.flush();
+    ASSERT_EQ(events.size(), 65u);
+    std::set<std::string> names;
+    std::set<uint32_t> tids;
+    for (size_t i = 0; i < events.size(); ++i) {
+        names.insert(events[i].name);
+        tids.insert(events[i].tid);
+        if (i > 0) {
+            EXPECT_GE(events[i].tsUs, events[i - 1].tsUs);
+        }
+    }
+    EXPECT_EQ(names.size(), 65u);
+    EXPECT_GE(tids.size(), 1u);
+    // Flushed means drained.
+    EXPECT_TRUE(recorder.flush().empty());
+}
+
+TEST(Telemetry, ChromeTraceJsonShape)
+{
+    TraceRecorder recorder;
+    recorder.setEnabled(true);
+    {
+        TraceSpan span(recorder, "phase \"one\"");
+        span.setArgs("\"gates\": 12");
+    }
+    { TraceSpan span(recorder, "phase-two"); }
+    recorder.setEnabled(false);
+
+    std::ostringstream os;
+    recorder.writeChromeTrace(os);
+    std::string json = os.str();
+    EXPECT_TRUE(JsonValidator(json).valid()) << json;
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"ts\": "), std::string::npos);
+    EXPECT_NE(json.find("\"tid\": "), std::string::npos);
+    EXPECT_NE(json.find("\"gates\": 12"), std::string::npos);
+    EXPECT_NE(json.find("phase \\\"one\\\""), std::string::npos);
+}
+
+/** The keys any toolflow run must surface. */
+const char *const kRequiredMetrics[] = {
+    "toolflow.total_gates",      "toolflow.critical_path",
+    "toolflow.qubits",           "toolflow.scheduled_cycles",
+    "toolflow.runs",             "sched.leaf.instances",
+    "sched.leaf.gates",          "sched.leaf.cycles",
+    "sched.width_sweep_points",  "comm.teleport_moves",
+    "comm.epr_pairs_consumed",   "comm.active_region_steps",
+    "comm.region_occupancy_peak", "passes.decompose-toffoli.runs",
+    "passes.flatten.runs",       "sched.total_ms",
+};
+
+TEST(Telemetry, ToolflowTelemetryAcrossAllWorkloads)
+{
+    for (const auto &spec : workloads::scaledParams()) {
+        SCOPED_TRACE(spec.shortName);
+        Program prog = spec.build();
+        ToolflowConfig config;
+        config.arch = MultiSimdArch(4);
+        config.rotations = Toolflow::rotationPresetFor(spec.shortName);
+        ToolflowResult result = Toolflow(config).run(prog);
+
+        const MetricsSnapshot &snap = result.telemetry;
+        ASSERT_FALSE(snap.entries.empty());
+        for (const char *name : kRequiredMetrics)
+            EXPECT_NE(snap.find(name), nullptr) << name;
+        EXPECT_EQ(
+            static_cast<uint64_t>(snap.gauge("toolflow.total_gates")),
+            result.totalGates);
+        EXPECT_EQ(static_cast<uint64_t>(
+                      snap.gauge("toolflow.scheduled_cycles")),
+                  result.scheduledCycles);
+
+        std::string json = snap.toJson();
+        EXPECT_TRUE(JsonValidator(json).valid())
+            << spec.shortName << ": " << json.substr(0, 200);
+    }
+}
+
+TEST(Telemetry, ToolflowSnapshotKeyOrderIsStable)
+{
+    auto run = [] {
+        auto spec = workloads::findWorkload(workloads::scaledParams(),
+                                            "grovers");
+        Program prog = spec.build();
+        ToolflowConfig config;
+        config.arch = MultiSimdArch(4);
+        return Toolflow(config).run(prog);
+    };
+    ToolflowResult first = run();
+    ToolflowResult second = run();
+    ASSERT_EQ(first.telemetry.entries.size(),
+              second.telemetry.entries.size());
+    for (size_t i = 0; i < first.telemetry.entries.size(); ++i) {
+        EXPECT_EQ(first.telemetry.entries[i].name,
+                  second.telemetry.entries[i].name);
+    }
+}
+
+TEST(Telemetry, ExternalRegistryAccumulatesAcrossRuns)
+{
+    MetricsRegistry shared;
+    auto run = [&] {
+        auto spec =
+            workloads::findWorkload(workloads::scaledParams(), "tfp");
+        Program prog = spec.build();
+        ToolflowConfig config;
+        config.arch = MultiSimdArch(4);
+        config.metrics = &shared;
+        return Toolflow(config).run(prog);
+    };
+    ToolflowResult first = run();
+    ToolflowResult second = run();
+    EXPECT_EQ(first.telemetry.counter("toolflow.runs"), 1u);
+    EXPECT_EQ(second.telemetry.counter("toolflow.runs"), 2u);
+    EXPECT_EQ(second.telemetry.counter("sched.leaf.instances"),
+              2 * first.telemetry.counter("sched.leaf.instances"));
+}
+
+} // anonymous namespace

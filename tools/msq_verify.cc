@@ -30,6 +30,14 @@
  *                   move-during-gate (expect M001), oversubscribe
  *                   (expect M003 under a finite --d), or dead-teleport
  *                   (expect M005)
+ *   --metrics-json=PATH
+ *                   write the run's metrics registry (verify.* counters
+ *                   plus, under --check-comm, the full passes.* /
+ *                   sched.* / comm.* set) as JSON to PATH
+ *   --trace-json=PATH
+ *                   enable the trace recorder and write a Chrome
+ *                   trace-event file (chrome://tracing, ui.perfetto.dev)
+ *                   to PATH
  *
  * Exit codes: 0 all inputs clean, 1 verification/lint failures,
  * 2 parse or usage errors (parse errors win over verification ones).
@@ -58,6 +66,7 @@
 #include "support/diagnostic.hh"
 #include "support/logging.hh"
 #include "support/strings.hh"
+#include "support/telemetry.hh"
 #include "verify/comm_checker.hh"
 #include "verify/linter.hh"
 #include "verify/verifier.hh"
@@ -83,6 +92,8 @@ struct Options
     uint64_t localMem = 0;
     unsigned threads = 1;
     std::string injectFault;
+    std::string metricsJson;
+    std::string traceJson;
     std::vector<std::string> files;
 };
 
@@ -96,6 +107,7 @@ usage(std::ostream &out)
            "                  [--threads=N]\n"
            "                  [--inject-comm-fault="
            "move-during-gate|oversubscribe|dead-teleport]\n"
+           "                  [--metrics-json=PATH] [--trace-json=PATH]\n"
            "                  <file>...\n";
 }
 
@@ -297,9 +309,11 @@ injectCommFault(LeafSchedule &sched, const std::string &kind)
  */
 void
 checkCommunication(const std::string &path, Program &prog,
-                   const Options &options, DiagnosticEngine &diags)
+                   const Options &options, DiagnosticEngine &diags,
+                   MetricsRegistry &metrics)
 {
     PassManager pm;
+    pm.setMetrics(&metrics);
     pm.add(std::make_unique<DecomposeToffoliPass>());
     RotationDecomposerPass::Config rot;
     rot.sequenceLength = 32;
@@ -365,6 +379,7 @@ checkCommunication(const std::string &path, Program &prog,
     CoarseScheduler::Options coarse_options;
     coarse_options.numThreads = options.threads;
     coarse_options.leafCache = std::make_shared<LeafScheduleCache>();
+    coarse_options.metrics = &metrics;
     CoarseScheduler coarse(arch, lpfs, CommMode::Global, coarse_options);
     ProgramSchedule psched = coarse.schedule(prog);
     validateProgramSchedule(prog, psched, arch, &diags);
@@ -372,12 +387,15 @@ checkCommunication(const std::string &path, Program &prog,
 
 /** @return the outcome for one input file. */
 Outcome
-checkFile(const std::string &path, const Options &options)
+checkFile(const std::string &path, const Options &options,
+          MetricsRegistry &metrics)
 {
     Format format = options.format;
     if (format == Format::Auto)
         format = endsWith(path, ".qasm") ? Format::Qasm : Format::Scaffold;
 
+    TraceSpan file_span(Telemetry::trace(), "verify:" + path);
+    metrics.counter("verify.files").add(1);
     DiagnosticEngine diags;
     Program prog;
     try {
@@ -395,6 +413,7 @@ checkFile(const std::string &path, const Options &options)
         // Lexical / syntax error: the frontend stops at the first one,
         // so the engine has nothing — report and skip the summary.
         std::cerr << path << ": error: " << err.what() << "\n";
+        metrics.counter("verify.parse_errors").add(1);
         return Outcome::ParseError;
     }
 
@@ -406,7 +425,7 @@ checkFile(const std::string &path, const Options &options)
 
     if (options.checkComm && !diags.hasErrors()) {
         try {
-            checkCommunication(path, prog, options, diags);
+            checkCommunication(path, prog, options, diags, metrics);
         } catch (const PanicError &err) {
             std::cerr << path << ": error: check-comm: " << err.what()
                       << "\n";
@@ -417,9 +436,43 @@ checkFile(const std::string &path, const Options &options)
 
     emitDiagnostics(path, diags, options);
 
+    metrics.counter("verify.diagnostics.errors").add(diags.numErrors());
+    metrics.counter("verify.diagnostics.warnings")
+        .add(diags.numWarnings());
     bool clean = !diags.hasErrors() &&
                  !(options.werror && diags.numWarnings() > 0);
+    metrics.counter(clean ? "verify.files_clean" : "verify.files_dirty")
+        .add(1);
     return clean ? Outcome::Clean : Outcome::Dirty;
+}
+
+/**
+ * Write --metrics-json / --trace-json outputs.
+ * @return false (after a message on stderr) when a file cannot be
+ * written.
+ */
+bool
+writeTelemetryOutputs(const Options &options, MetricsRegistry &metrics)
+{
+    if (!options.metricsJson.empty()) {
+        std::ofstream out(options.metricsJson);
+        if (!out) {
+            std::cerr << "msq-verify: cannot write metrics to '"
+                      << options.metricsJson << "'\n";
+            return false;
+        }
+        metrics.snapshot().writeJson(out);
+    }
+    if (!options.traceJson.empty()) {
+        std::ofstream out(options.traceJson);
+        if (!out) {
+            std::cerr << "msq-verify: cannot write trace to '"
+                      << options.traceJson << "'\n";
+            return false;
+        }
+        Telemetry::trace().writeChromeTrace(out);
+    }
+    return true;
 }
 
 } // anonymous namespace
@@ -469,6 +522,18 @@ main(int argc, char **argv)
                 return 2;
             }
             options.threads = static_cast<unsigned>(value);
+        } else if (startsWith(arg, "--metrics-json=")) {
+            options.metricsJson = arg.substr(15);
+            if (options.metricsJson.empty()) {
+                std::cerr << "msq-verify: bad value in '" << arg << "'\n";
+                return 2;
+            }
+        } else if (startsWith(arg, "--trace-json=")) {
+            options.traceJson = arg.substr(13);
+            if (options.traceJson.empty()) {
+                std::cerr << "msq-verify: bad value in '" << arg << "'\n";
+                return 2;
+            }
         } else if (startsWith(arg, "--inject-comm-fault=")) {
             options.injectFault = arg.substr(20);
             if (options.injectFault != "move-during-gate" &&
@@ -499,10 +564,14 @@ main(int argc, char **argv)
         return 2;
     }
 
+    if (!options.traceJson.empty())
+        Telemetry::trace().setEnabled(true);
+    MetricsRegistry metrics;
+
     bool any_dirty = false;
     bool any_parse_error = false;
     for (const auto &path : options.files) {
-        switch (checkFile(path, options)) {
+        switch (checkFile(path, options, metrics)) {
           case Outcome::Clean:
             break;
           case Outcome::Dirty:
@@ -513,6 +582,8 @@ main(int argc, char **argv)
             break;
         }
     }
+    if (!writeTelemetryOutputs(options, metrics))
+        any_parse_error = true;
     if (any_parse_error)
         return 2;
     return any_dirty ? 1 : 0;
