@@ -26,6 +26,10 @@ MultiSimdArch::validate() const
         fatal("Multi-SIMD architecture needs at least one region (k >= 1)");
     if (d == 0)
         fatal("Multi-SIMD region width d must be >= 1");
+    if (eprBandwidth == 0)
+        fatal("Multi-SIMD EPR channel bandwidth must be >= 1 (0 cannot "
+              "service any teleport; use ::unbounded for the paper's "
+              "model)");
 }
 
 std::string

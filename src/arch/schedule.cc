@@ -2,51 +2,154 @@
 
 #include <algorithm>
 
+#include "support/logging.hh"
+
 namespace msq {
 
-Timestep &
-LeafSchedule::appendStep()
+uint64_t
+blockingMoveCount(const Move *begin, const Move *end)
 {
-    steps_.emplace_back();
-    steps_.back().regions.resize(k_);
-    return steps_.back();
+    uint64_t count = 0;
+    for (const Move *m = begin; m != end; ++m)
+        if (!m->isLocal() && m->blocking)
+            ++count;
+    return count;
+}
+
+bool
+hasLocalMove(const Move *begin, const Move *end)
+{
+    for (const Move *m = begin; m != end; ++m)
+        if (m->isLocal())
+            return true;
+    return false;
+}
+
+bool
+hasBlockingGlobalMove(const Move *begin, const Move *end)
+{
+    for (const Move *m = begin; m != end; ++m)
+        if (!m->isLocal() && m->blocking)
+            return true;
+    return false;
+}
+
+uint64_t
+movePhaseCycles(const Move *begin, const Move *end, uint64_t epr_bandwidth)
+{
+    if (epr_bandwidth == 0)
+        panic("movePhaseCycles: EPR bandwidth of 0 cannot move anything; "
+              "MultiSimdArch::validate() should have rejected this "
+              "configuration");
+    uint64_t blocking = blockingMoveCount(begin, end);
+    if (blocking > 0) {
+        uint64_t phases = 1;
+        if (epr_bandwidth != unbounded)
+            phases = (blocking + epr_bandwidth - 1) / epr_bandwidth;
+        return phases * MultiSimdArch::teleportCycles;
+    }
+    if (hasLocalMove(begin, end))
+        return MultiSimdArch::localMoveCycles;
+    return 0;
+}
+
+uint64_t
+ScheduleBuffer::byteSize() const
+{
+    return sizeof(ScheduleBuffer) +
+           slots.capacity() * sizeof(Slot) +
+           slotEnd.capacity() * sizeof(uint32_t) +
+           ops.capacity() * sizeof(uint32_t) +
+           moves.capacity() * sizeof(Move) +
+           moveEnd.capacity() * sizeof(uint64_t) +
+           activeWords.capacity() * sizeof(uint64_t);
+}
+
+LeafSchedule::LeafSchedule(const Module &mod, unsigned k) : mod(&mod)
+{
+    auto buf = std::make_shared<ScheduleBuffer>();
+    buf->k = k;
+    buf_ = std::move(buf);
+}
+
+LeafSchedule::LeafSchedule(const Module &mod,
+                           std::shared_ptr<const ScheduleBuffer> buffer)
+    : mod(&mod), buf_(std::move(buffer))
+{
+    if (!buf_)
+        panic("LeafSchedule: null schedule buffer");
+}
+
+ScheduleBuffer &
+LeafSchedule::mutableBuffer()
+{
+    // Copy-on-write: a buffer may be aliased by the leaf cache or by
+    // other schedule handles; never mutate through a shared reference.
+    if (buf_.use_count() != 1)
+        buf_ = std::make_shared<ScheduleBuffer>(*buf_);
+    return *std::const_pointer_cast<ScheduleBuffer>(buf_);
+}
+
+void
+LeafSchedule::appendEmptyStep()
+{
+    ScheduleBuffer &buf = mutableBuffer();
+    buf.slotEnd.push_back(static_cast<uint32_t>(buf.slots.size()));
+    buf.moveEnd.push_back(buf.moves.size());
+    buf.activeWords.resize(buf.activeWords.size() + buf.wordsPerStep(),
+                           0);
+}
+
+void
+LeafSchedule::appendMove(uint64_t ts, const Move &move)
+{
+    ScheduleBuffer &buf = mutableBuffer();
+    if (ts >= buf.numSteps())
+        panic("LeafSchedule::appendMove: timestep out of range");
+    buf.moves.insert(buf.moves.begin() +
+                         static_cast<ptrdiff_t>(buf.moveEnd[ts]),
+                     move);
+    for (uint64_t s = ts; s < buf.numSteps(); ++s)
+        ++buf.moveEnd[s];
 }
 
 unsigned
 LeafSchedule::width() const
 {
     unsigned best = 0;
-    for (const auto &step : steps_)
-        best = std::max(best, step.activeRegions());
+    uint32_t prev = 0;
+    for (uint32_t end : buf_->slotEnd) {
+        best = std::max(best, end - prev);
+        prev = end;
+    }
     return best;
-}
-
-uint64_t
-LeafSchedule::scheduledOps() const
-{
-    uint64_t count = 0;
-    for (const auto &step : steps_)
-        for (const auto &slot : step.regions)
-            count += slot.ops.size();
-    return count;
 }
 
 uint64_t
 LeafSchedule::totalCycles(uint64_t epr_bandwidth) const
 {
-    uint64_t cycles = 0;
-    for (const auto &step : steps_)
-        cycles += MultiSimdArch::gateCycles +
-                  step.movePhaseCycles(epr_bandwidth);
+    const ScheduleBuffer &buf = *buf_;
+    uint64_t cycles = buf.numSteps() * MultiSimdArch::gateCycles;
+    const Move *base = buf.moves.data();
+    uint64_t prev = 0;
+    for (uint64_t end : buf.moveEnd) {
+        cycles += movePhaseCycles(base + prev, base + end, epr_bandwidth);
+        prev = end;
+    }
     return cycles;
 }
 
 uint64_t
 LeafSchedule::peakBlockingMoves() const
 {
+    const ScheduleBuffer &buf = *buf_;
+    const Move *base = buf.moves.data();
     uint64_t peak = 0;
-    for (const auto &step : steps_)
-        peak = std::max(peak, step.blockingMoveCount());
+    uint64_t prev = 0;
+    for (uint64_t end : buf.moveEnd) {
+        peak = std::max(peak, blockingMoveCount(base + prev, base + end));
+        prev = end;
+    }
     return peak;
 }
 
@@ -54,10 +157,9 @@ uint64_t
 LeafSchedule::teleportMoves() const
 {
     uint64_t count = 0;
-    for (const auto &step : steps_)
-        for (const auto &move : step.moves)
-            if (!move.isLocal())
-                ++count;
+    for (const Move &move : buf_->moves)
+        if (!move.isLocal())
+            ++count;
     return count;
 }
 
@@ -65,11 +167,105 @@ uint64_t
 LeafSchedule::localMoves() const
 {
     uint64_t count = 0;
-    for (const auto &step : steps_)
-        for (const auto &move : step.moves)
-            if (move.isLocal())
-                ++count;
+    for (const Move &move : buf_->moves)
+        if (move.isLocal())
+            ++count;
     return count;
+}
+
+void
+LeafSchedule::stream(ScheduleSink &sink, uint64_t max_steps) const
+{
+    const ScheduleBuffer &buf = *buf_;
+    uint64_t limit = max_steps == 0
+                         ? buf.numSteps()
+                         : std::min<uint64_t>(max_steps, buf.numSteps());
+    sink.beginSchedule(*this);
+    for (uint64_t ts = 0; ts < limit; ++ts) {
+        TimestepView step(buf, ts);
+        sink.beginStep(step);
+        for (RegionSlotView slot : step)
+            sink.slot(slot);
+        for (const Move &move : step.moves())
+            sink.move(move);
+        sink.endStep(step);
+    }
+    sink.endSchedule();
+}
+
+ScheduleBuilder::ScheduleBuilder(const Module &mod, unsigned k)
+    : mod(&mod), buf(std::make_shared<ScheduleBuffer>()), draft(k)
+{
+    if (k == 0)
+        panic("ScheduleBuilder: k must be >= 1");
+    buf->k = k;
+}
+
+void
+ScheduleBuilder::beginStep()
+{
+    if (stepOpen)
+        panic("ScheduleBuilder: beginStep with a step already open");
+    stepOpen = true;
+    // clear() keeps each draft slot's capacity, so steady-state steps
+    // allocate nothing here.
+    for (DraftSlot &slot : draft)
+        slot.ops.clear();
+}
+
+void
+ScheduleBuilder::endStep()
+{
+    if (!stepOpen)
+        panic("ScheduleBuilder: endStep without beginStep");
+    stepOpen = false;
+    const size_t words = buf->wordsPerStep();
+    const size_t word_base = buf->activeWords.size();
+    buf->activeWords.resize(word_base + words, 0);
+    for (unsigned r = 0; r < draft.size(); ++r) {
+        const DraftSlot &slot = draft[r];
+        if (!slot.active())
+            continue;
+        buf->ops.insert(buf->ops.end(), slot.ops.begin(),
+                        slot.ops.end());
+        buf->slots.push_back({static_cast<uint32_t>(buf->ops.size()), r,
+                              slot.kind});
+        buf->activeWords[word_base + r / 64] |= uint64_t{1} << (r % 64);
+    }
+    buf->slotEnd.push_back(static_cast<uint32_t>(buf->slots.size()));
+    buf->moveEnd.push_back(buf->moves.size());
+}
+
+LeafSchedule
+ScheduleBuilder::finish()
+{
+    if (stepOpen)
+        panic("ScheduleBuilder: finish with a step still open");
+    if (!buf)
+        panic("ScheduleBuilder: finish called twice");
+    // Schedules are built once and read many times (and possibly cached
+    // process-wide); return the excess growth capacity to the allocator.
+    buf->slots.shrink_to_fit();
+    buf->slotEnd.shrink_to_fit();
+    buf->ops.shrink_to_fit();
+    buf->moveEnd.shrink_to_fit();
+    buf->activeWords.shrink_to_fit();
+    return LeafSchedule(*mod, std::move(buf));
+}
+
+MoveAnnotator::MoveAnnotator(LeafSchedule &sched)
+    : buf(&sched.mutableBuffer())
+{
+    buf->moves.clear();
+    buf->moveEnd.clear();
+}
+
+void
+MoveAnnotator::finish()
+{
+    if (buf->moveEnd.size() != buf->slotEnd.size())
+        panic("MoveAnnotator: sealed step count does not match the "
+              "schedule");
 }
 
 } // namespace msq

@@ -1,17 +1,48 @@
 /**
  * @file
- * Schedule representation for leaf modules, exactly as described in paper
- * §4: "Schedules are stored as a list of sequential timesteps. Each
- * timestep consists of an array of k+1 SIMD regions. The 0th region
- * contains a list of the qubits that will be moved and their sources and
- * destinations. The remaining SIMD regions contain an unsorted list of
- * operations to be performed in that region."
+ * Schedule representation for leaf modules, following paper §4: "Schedules
+ * are stored as a list of sequential timesteps. Each timestep consists of
+ * an array of k+1 SIMD regions. The 0th region contains a list of the
+ * qubits that will be moved and their sources and destinations. The
+ * remaining SIMD regions contain an unsorted list of operations to be
+ * performed in that region."
+ *
+ * The storage is NOT the literal nested-vector translation of that
+ * sentence (one Timestep struct per step owning k RegionSlot vectors,
+ * k+1 heap allocations per step even when almost every slot is empty).
+ * The paper evaluates machines up to k = 128 on circuits of 10^7..10^12
+ * gates; at that scale the nested representation's allocator traffic and
+ * per-step overhead dominate. Schedules are therefore stored as a compact
+ * structure-of-arrays ScheduleBuffer:
+ *
+ *   ops        one flat op-index stream for the whole schedule
+ *   slots      one record per *active* (step, region) pair: the region,
+ *              the SIMD gate kind, and the exclusive end of its op range
+ *              (the begin is the previous slot's end — op ranges tile the
+ *              stream); slots are sorted by region within each step
+ *   slotEnd    per step, the exclusive end of its slot range
+ *   moves      one flat movement stream (the "0th region")
+ *   moveEnd    per step, the exclusive end of its move range
+ *   activeWords dense per-step bitmap of active regions, (k+63)/64
+ *              words per step, for O(1) "is region r active?" queries
+ *
+ * Empty regions cost zero bytes and zero allocations. Consumers read
+ * through the cheap TimestepView / RegionSlotView value types, stream
+ * through ScheduleSink / ScheduleWalker, and produce through
+ * ScheduleBuilder (schedulers) or MoveAnnotator (communication
+ * analysis). See DESIGN.md §11 for the layout math and migration notes.
+ *
+ * LeafSchedule holds the buffer behind a shared_ptr with copy-on-write
+ * mutation: the leaf-schedule cache shares buffers across threads and
+ * Toolflow runs, and a cached schedule can never be corrupted through an
+ * aliasing handle (the old public mutable steps() accessor is gone).
  */
 
 #ifndef MSQ_ARCH_SCHEDULE_HH
 #define MSQ_ARCH_SCHEDULE_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "arch/location.hh"
@@ -20,127 +51,414 @@
 
 namespace msq {
 
-/**
- * What one SIMD region does in one timestep: a single gate type applied to
- * the operands of one or more operations (SIMD semantics: one control
- * signal, many qubits).
- */
-struct RegionSlot
-{
-    GateKind kind = GateKind::X;
-    std::vector<uint32_t> ops; ///< indices into the module's op list
+class LeafSchedule;
 
-    bool active() const { return !ops.empty(); }
+/// @name Movement-phase cost helpers (free functions over move ranges)
+/// @{
+
+/** Number of blocking (tight) teleports in [@p begin, @p end). */
+uint64_t blockingMoveCount(const Move *begin, const Move *end);
+
+/** Any ballistic region<->scratchpad move in [@p begin, @p end)? */
+bool hasLocalMove(const Move *begin, const Move *end);
+
+/** Any teleport that blocks the schedule in [@p begin, @p end)? */
+bool hasBlockingGlobalMove(const Move *begin, const Move *end);
+
+/**
+ * Cycles spent on one timestep's movement phase: the full 4-cycle
+ * teleport time if any blocking global move occurs (paper §4.4), 1 cycle
+ * if only local (ballistic) moves occur, 0 otherwise — masked teleports
+ * overlap computation (paper §2.3). A finite EPR channel bandwidth
+ * serializes excess blocking moves into additional teleport phases.
+ * Zero bandwidth is a configuration error (MultiSimdArch::validate()
+ * rejects it at construction time) and panics here.
+ */
+uint64_t movePhaseCycles(const Move *begin, const Move *end,
+                         uint64_t epr_bandwidth = unbounded);
+
+/// @}
+
+/**
+ * Structure-of-arrays storage for one leaf schedule. Pure data, no
+ * reference to the scheduled Module — which is what lets the leaf cache
+ * share one buffer across structurally identical modules (their op
+ * indices are interchangeable by definition of the structural hash).
+ *
+ * Invariants (checked by consumers, produced by ScheduleBuilder):
+ *  - slotEnd and moveEnd have one entry per step, non-decreasing;
+ *  - slots of one step are sorted by strictly increasing region < k;
+ *  - every slot has a non-empty op range (inactive regions have none);
+ *  - activeWords has wordsPerStep() words per step mirroring the slots.
+ */
+struct ScheduleBuffer
+{
+    /** One active (step, region) pair. The op range begin is implicit:
+     * the previous slot's opEnd (0 for the very first slot). */
+    struct Slot
+    {
+        uint32_t opEnd;  ///< exclusive end into ops
+        uint32_t region; ///< region index in [0, k)
+        GateKind kind;   ///< the region's SIMD gate type this step
+    };
+
+    unsigned k = 0;                  ///< regions per timestep
+    std::vector<Slot> slots;         ///< region-sorted within each step
+    std::vector<uint32_t> slotEnd;   ///< per step: exclusive end into slots
+    std::vector<uint32_t> ops;       ///< flat op-index stream
+    std::vector<Move> moves;         ///< flat movement stream
+    std::vector<uint64_t> moveEnd;   ///< per step: exclusive end into moves
+    std::vector<uint64_t> activeWords; ///< per-step active-region bitmap
+
+    uint64_t numSteps() const { return slotEnd.size(); }
+
+    /** Bitmap words per timestep. */
+    size_t wordsPerStep() const { return (size_t(k) + 63) / 64; }
+
+    uint32_t
+    slotBegin(uint64_t step) const
+    {
+        return step == 0 ? 0 : slotEnd[step - 1];
+    }
+
+    uint32_t
+    opBegin(uint32_t slot_index) const
+    {
+        return slot_index == 0 ? 0 : slots[slot_index - 1].opEnd;
+    }
+
+    uint64_t
+    moveBegin(uint64_t step) const
+    {
+        return step == 0 ? 0 : moveEnd[step - 1];
+    }
+
+    /** O(1): does region @p r execute ops in @p step? */
+    bool
+    regionActive(uint64_t step, unsigned r) const
+    {
+        return (activeWords[step * wordsPerStep() + r / 64] >>
+                (r % 64)) &
+               1;
+    }
+
+    /** Heap bytes held by this buffer (capacity-based, plus the struct
+     * itself) — the quantity bench_schedule_memory reports. */
+    uint64_t byteSize() const;
 };
 
-/** One logical timestep: the movement slot plus k region slots. */
-struct Timestep
+/** Contiguous read-only range of scheduled op indices. */
+struct OpSpan
 {
-    std::vector<Move> moves;         ///< the "0th region"
-    std::vector<RegionSlot> regions; ///< exactly k entries
+    const uint32_t *first = nullptr;
+    const uint32_t *last = nullptr;
+
+    const uint32_t *begin() const { return first; }
+    const uint32_t *end() const { return last; }
+    size_t size() const { return static_cast<size_t>(last - first); }
+    bool empty() const { return first == last; }
+    uint32_t operator[](size_t i) const { return first[i]; }
+};
+
+/** Contiguous read-only range of moves (one timestep's "0th region"). */
+struct MoveSpan
+{
+    const Move *first = nullptr;
+    const Move *last = nullptr;
+
+    const Move *begin() const { return first; }
+    const Move *end() const { return last; }
+    size_t size() const { return static_cast<size_t>(last - first); }
+    bool empty() const { return first == last; }
+    const Move &operator[](size_t i) const { return first[i]; }
+};
+
+/**
+ * What one SIMD region does in one timestep: a single gate type applied
+ * to the operands of one or more operations (SIMD semantics: one control
+ * signal, many qubits). A cheap value type over ScheduleBuffer — only
+ * *active* regions have a slot, so a view is never empty.
+ */
+class RegionSlotView
+{
+  public:
+    RegionSlotView(const ScheduleBuffer &buf, uint32_t index)
+        : buf(&buf), index_(index)
+    {}
+
+    unsigned region() const { return buf->slots[index_].region; }
+    GateKind kind() const { return buf->slots[index_].kind; }
+
+    OpSpan
+    ops() const
+    {
+        const uint32_t *base = buf->ops.data();
+        return {base + buf->opBegin(index_),
+                base + buf->slots[index_].opEnd};
+    }
+
+    size_t numOps() const { return ops().size(); }
+
+  private:
+    const ScheduleBuffer *buf;
+    uint32_t index_;
+};
+
+/**
+ * One logical timestep: the movement slot plus the step's active region
+ * slots. A cheap value type; iterating its slots visits active regions
+ * in ascending region order.
+ */
+class TimestepView
+{
+  public:
+    TimestepView(const ScheduleBuffer &buf, uint64_t step)
+        : buf(&buf), step_(step)
+    {}
+
+    uint64_t index() const { return step_; }
+    unsigned k() const { return buf->k; }
 
     /** Number of regions executing an operation this step. */
     unsigned
     activeRegions() const
     {
-        unsigned n = 0;
-        for (const auto &slot : regions)
-            if (slot.active())
-                ++n;
-        return n;
+        return buf->slotEnd[step_] - buf->slotBegin(step_);
     }
 
-    /** Any teleport that blocks the schedule (tight reuse window). */
+    unsigned numSlots() const { return activeRegions(); }
+
+    /** The @p i-th active slot (region-ascending order). */
+    RegionSlotView
+    slot(unsigned i) const
+    {
+        return RegionSlotView(*buf, buf->slotBegin(step_) + i);
+    }
+
+    /** O(1) bitmap lookup: does region @p r execute ops this step? */
+    bool regionActive(unsigned r) const
+    {
+        return buf->regionActive(step_, r);
+    }
+
+    MoveSpan
+    moves() const
+    {
+        const Move *base = buf->moves.data();
+        return {base + buf->moveBegin(step_),
+                base + buf->moveEnd[step_]};
+    }
+
     bool
     hasBlockingGlobalMove() const
     {
-        for (const auto &move : moves)
-            if (!move.isLocal() && move.blocking)
-                return true;
-        return false;
+        MoveSpan m = moves();
+        return msq::hasBlockingGlobalMove(m.begin(), m.end());
     }
 
     bool
     hasLocalMove() const
     {
-        for (const auto &move : moves)
-            if (move.isLocal())
-                return true;
-        return false;
+        MoveSpan m = moves();
+        return msq::hasLocalMove(m.begin(), m.end());
     }
 
-    /** Number of blocking (tight) teleports in this step's move slot. */
     uint64_t
     blockingMoveCount() const
     {
-        uint64_t count = 0;
-        for (const auto &move : moves)
-            if (!move.isLocal() && move.blocking)
-                ++count;
-        return count;
+        MoveSpan m = moves();
+        return msq::blockingMoveCount(m.begin(), m.end());
     }
 
-    /**
-     * Cycles spent on this timestep's movement phase: the full 4-cycle
-     * teleport time if any blocking global move occurs (paper §4.4),
-     * 1 cycle if only local (ballistic) moves block, 0 otherwise —
-     * masked teleports overlap computation (paper §2.3). A finite EPR
-     * channel bandwidth serializes excess blocking moves into
-     * additional teleport phases.
-     */
     uint64_t
     movePhaseCycles(uint64_t epr_bandwidth = unbounded) const
     {
-        uint64_t blocking = blockingMoveCount();
-        if (blocking > 0) {
-            uint64_t phases = 1;
-            if (epr_bandwidth != unbounded && epr_bandwidth > 0)
-                phases = (blocking + epr_bandwidth - 1) / epr_bandwidth;
-            return phases * MultiSimdArch::teleportCycles;
-        }
-        if (hasLocalMove())
-            return MultiSimdArch::localMoveCycles;
-        return 0;
+        MoveSpan m = moves();
+        return msq::movePhaseCycles(m.begin(), m.end(), epr_bandwidth);
     }
+
+    /// @name Slot iteration (range-for yields RegionSlotView)
+    /// @{
+    class SlotIterator
+    {
+      public:
+        SlotIterator(const ScheduleBuffer &buf, uint32_t index)
+            : buf(&buf), index_(index)
+        {}
+        RegionSlotView operator*() const
+        {
+            return RegionSlotView(*buf, index_);
+        }
+        SlotIterator &operator++()
+        {
+            ++index_;
+            return *this;
+        }
+        bool operator!=(const SlotIterator &o) const
+        {
+            return index_ != o.index_;
+        }
+
+      private:
+        const ScheduleBuffer *buf;
+        uint32_t index_;
+    };
+
+    SlotIterator begin() const
+    {
+        return SlotIterator(*buf, buf->slotBegin(step_));
+    }
+    SlotIterator end() const
+    {
+        return SlotIterator(*buf, buf->slotEnd[step_]);
+    }
+    /// @}
+
+  private:
+    const ScheduleBuffer *buf;
+    uint64_t step_;
+};
+
+/**
+ * Push-style streaming consumer interface. LeafSchedule::stream() drives
+ * one schedule through a sink in timestep order:
+ *
+ *   beginSchedule, then per step: beginStep, slot()* (region-ascending),
+ *   move()*, endStep; finally endSchedule.
+ *
+ * Sinks that need random access within the current step (e.g. the
+ * timeline printer's inactive-region markers) use the TimestepView
+ * passed to beginStep/endStep.
+ */
+class ScheduleSink
+{
+  public:
+    virtual ~ScheduleSink() = default;
+    virtual void beginSchedule(const LeafSchedule & /*sched*/) {}
+    virtual void beginStep(const TimestepView & /*step*/) {}
+    virtual void slot(const RegionSlotView & /*slot*/) {}
+    virtual void move(const Move & /*move*/) {}
+    virtual void endStep(const TimestepView & /*step*/) {}
+    virtual void endSchedule() {}
 };
 
 /**
  * A complete fine-grained schedule of one leaf module on a Multi-SIMD
- * machine. Produced by the leaf schedulers (compute placement only) and
- * then annotated with movement by the CommunicationAnalyzer.
+ * machine. Produced by the leaf schedulers through ScheduleBuilder
+ * (compute placement only) and then annotated with movement by the
+ * CommunicationAnalyzer through MoveAnnotator.
+ *
+ * The underlying ScheduleBuffer is shared (leaf cache, fan-out threads)
+ * and copy-on-write: the few mutation entry points (appendMove,
+ * appendEmptyStep, MoveAnnotator) detach a private copy when the buffer
+ * is aliased, so no handle can corrupt another's schedule.
  */
 class LeafSchedule
 {
   public:
     /**
+     * An empty schedule.
      * @param mod the scheduled leaf module (must outlive the schedule).
      * @param k number of SIMD regions the schedule may use.
      */
-    LeafSchedule(const Module &mod, unsigned k) : mod(&mod), k_(k) {}
+    LeafSchedule(const Module &mod, unsigned k);
+
+    /**
+     * Rebind an existing (typically cached) buffer to @p mod. The module
+     * must be structurally identical to the one the buffer was built
+     * from — the leaf cache guarantees this via Module::structuralHash().
+     */
+    LeafSchedule(const Module &mod,
+                 std::shared_ptr<const ScheduleBuffer> buffer);
 
     const Module &module() const { return *mod; }
-    unsigned k() const { return k_; }
+    unsigned k() const { return buf_->k; }
 
-    /** Append an empty timestep (regions pre-sized to k) and return it. */
-    Timestep &appendStep();
+    const ScheduleBuffer &buffer() const { return *buf_; }
 
-    const std::vector<Timestep> &steps() const { return steps_; }
-    std::vector<Timestep> &steps() { return steps_; }
+    /** Share the underlying storage (what the leaf cache stores). */
+    std::shared_ptr<const ScheduleBuffer> sharedBuffer() const
+    {
+        return buf_;
+    }
 
     /** Number of compute timesteps. */
-    uint64_t computeTimesteps() const { return steps_.size(); }
+    uint64_t computeTimesteps() const { return buf_->numSteps(); }
+
+    TimestepView step(uint64_t ts) const
+    {
+        return TimestepView(*buf_, ts);
+    }
+
+    /// @name Timestep iteration (range-for yields TimestepView)
+    /// @{
+    class StepIterator
+    {
+      public:
+        StepIterator(const ScheduleBuffer &buf, uint64_t step)
+            : buf(&buf), step_(step)
+        {}
+        TimestepView operator*() const
+        {
+            return TimestepView(*buf, step_);
+        }
+        StepIterator &operator++()
+        {
+            ++step_;
+            return *this;
+        }
+        bool operator!=(const StepIterator &o) const
+        {
+            return step_ != o.step_;
+        }
+
+      private:
+        const ScheduleBuffer *buf;
+        uint64_t step_;
+    };
+
+    struct StepRange
+    {
+        const ScheduleBuffer *buf;
+        StepIterator begin() const { return StepIterator(*buf, 0); }
+        StepIterator end() const
+        {
+            return StepIterator(*buf, buf->numSteps());
+        }
+        uint64_t size() const { return buf->numSteps(); }
+    };
+
+    /** Read-only view range over all timesteps. */
+    StepRange steps() const { return StepRange{buf_.get()}; }
+    /// @}
+
+    /**
+     * Stream the schedule through @p sink in timestep order.
+     * @param max_steps stop after this many steps (0 = all).
+     */
+    void stream(ScheduleSink &sink, uint64_t max_steps = 0) const;
+
+    /** Append a timestep with no active regions and no moves (COW). */
+    void appendEmptyStep();
+
+    /**
+     * Append @p move to timestep @p ts's movement slot (COW). O(moves)
+     * when @p ts is not the last step — meant for fault injection and
+     * tests, not bulk annotation (use MoveAnnotator for that).
+     */
+    void appendMove(uint64_t ts, const Move &move);
 
     /** Maximum number of simultaneously active regions over all steps. */
     unsigned width() const;
 
     /** Total operations placed (for completeness checks). */
-    uint64_t scheduledOps() const;
+    uint64_t scheduledOps() const { return buf_->ops.size(); }
 
     /**
      * Total cycles including per-step movement phases. Before movement
      * annotation this equals computeTimesteps().
      * @param epr_bandwidth optional EPR channel constraint (see
-     *        Timestep::movePhaseCycles).
+     *        msq::movePhaseCycles).
      */
     uint64_t totalCycles(uint64_t epr_bandwidth = unbounded) const;
 
@@ -155,9 +473,122 @@ class LeafSchedule
     uint64_t localMoves() const;
 
   private:
+    friend class MoveAnnotator;
+
+    /** Detach a private copy when the buffer is shared. */
+    ScheduleBuffer &mutableBuffer();
+
     const Module *mod;
-    unsigned k_;
-    std::vector<Timestep> steps_;
+    std::shared_ptr<const ScheduleBuffer> buf_;
+};
+
+/**
+ * Incremental producer interface for the leaf schedulers. The builder
+ * keeps one dense draft of k slots that is reused across timesteps —
+ * after the first few steps warm their capacity up, emitting a step
+ * performs no heap allocation beyond the amortized growth of the flat
+ * output arrays:
+ *
+ *   ScheduleBuilder b(mod, arch.k);
+ *   while (work) {
+ *       b.beginStep();
+ *       b.slot(r).kind = ...; b.slot(r).ops.push_back(op);  // any order
+ *       ... (drafted placements may be read back within the step) ...
+ *       b.endStep();   // compacts the draft into the SoA buffer
+ *   }
+ *   LeafSchedule sched = b.finish();
+ */
+class ScheduleBuilder
+{
+  public:
+    /** Mutable draft of one region's slot for the current timestep. */
+    struct DraftSlot
+    {
+        GateKind kind = GateKind::X;
+        std::vector<uint32_t> ops;
+
+        bool active() const { return !ops.empty(); }
+    };
+
+    ScheduleBuilder(const Module &mod, unsigned k);
+
+    unsigned k() const { return buf->k; }
+
+    /** Open the next timestep; all draft slots become empty. */
+    void beginStep();
+
+    /** The draft slot of region @p r in the open timestep. */
+    DraftSlot &slot(unsigned r) { return draft[r]; }
+    const DraftSlot &slot(unsigned r) const { return draft[r]; }
+
+    /** Seal the open timestep into the buffer. */
+    void endStep();
+
+    /** @return the finished schedule; the builder is then exhausted. */
+    LeafSchedule finish();
+
+  private:
+    const Module *mod;
+    std::shared_ptr<ScheduleBuffer> buf;
+    std::vector<DraftSlot> draft;
+    bool stepOpen = false;
+};
+
+/**
+ * Single-pass movement-stream rebuilder for the CommunicationAnalyzer:
+ * clears the schedule's existing movement annotation on construction
+ * (detaching a private buffer copy if shared), then refills it step by
+ * step. The slot/op arrays are untouched throughout, so reading the
+ * schedule's compute placement through views stays valid during
+ * annotation; move spans of unsealed steps must not be read until
+ * finish().
+ *
+ *   MoveAnnotator annot(sched);           // moves cleared
+ *   for each step: annot.add(move)...; annot.endStep();
+ *   annot.finish();                       // checks step-count match
+ */
+class MoveAnnotator
+{
+  public:
+    explicit MoveAnnotator(LeafSchedule &sched);
+
+    /** Append @p move to the movement slot of the current timestep. */
+    void add(const Move &move) { buf->moves.push_back(move); }
+
+    /** Seal the current timestep's movement slot. */
+    void
+    endStep()
+    {
+        buf->moveEnd.push_back(buf->moves.size());
+    }
+
+    /** Finish annotation; panics unless every timestep was sealed. */
+    void finish();
+
+  private:
+    ScheduleBuffer *buf;
+};
+
+/**
+ * Pull-style streaming cursor over a schedule's timesteps — the
+ * counterpart of ScheduleSink for consumers that interleave their own
+ * state machine with the walk (validator, movement replay).
+ */
+class ScheduleWalker
+{
+  public:
+    explicit ScheduleWalker(const LeafSchedule &sched)
+        : buf(&sched.buffer())
+    {}
+
+    bool atEnd() const { return step_ == buf->numSteps(); }
+    uint64_t index() const { return step_; }
+    TimestepView step() const { return TimestepView(*buf, step_); }
+    void next() { ++step_; }
+
+  private:
+    const ScheduleBuffer *buf;
+    uint64_t step_ = 0;
 };
 
 } // namespace msq

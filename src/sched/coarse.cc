@@ -123,6 +123,7 @@ CoarseScheduler::leafWidthResult(const Module &mod, unsigned w) const
     CommunicationAnalyzer comm(arch, mode);
     auto result = std::make_shared<LeafScheduleResult>();
     result->stats = comm.annotate(sched);
+    result->schedule = sched.sharedBuffer();
     if (tracing) {
         span->setArgs(csprintf(
             "\"module\": \"%s\", \"width\": %u, \"gates\": %llu, "

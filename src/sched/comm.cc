@@ -20,12 +20,12 @@ struct UseLists
           cursor(sched.module().numQubits(), 0)
     {
         const Module &mod = sched.module();
-        for (uint64_t ts = 0; ts < sched.steps().size(); ++ts) {
-            const Timestep &step = sched.steps()[ts];
-            for (unsigned r = 0; r < step.regions.size(); ++r) {
-                for (uint32_t op_index : step.regions[r].ops)
+        for (TimestepView step : sched.steps()) {
+            for (RegionSlotView slot : step) {
+                unsigned r = slot.region();
+                for (uint32_t op_index : slot.ops())
                     for (QubitId q : mod.op(op_index).operands)
-                        uses[q].emplace_back(ts, r);
+                        uses[q].emplace_back(step.index(), r);
             }
         }
     }
@@ -68,10 +68,17 @@ CommunicationAnalyzer::annotate(LeafSchedule &sched) const
     arch.validate();
     CommStats stats;
 
-    for (auto &step : sched.steps())
-        step.moves.clear();
+    // The annotator clears the existing movement annotation (detaching
+    // a private buffer copy if the schedule is aliased, e.g. cached);
+    // construct it before taking any views so they bind to the buffer
+    // that survives.
+    MoveAnnotator annot(sched);
+    const uint64_t num_steps = sched.computeTimesteps();
 
     if (mode == CommMode::None) {
+        for (uint64_t ts = 0; ts < num_steps; ++ts)
+            annot.endStep();
+        annot.finish();
         stats.totalCycles = sched.totalCycles(arch.eprBandwidth);
         return stats;
     }
@@ -97,15 +104,40 @@ CommunicationAnalyzer::annotate(LeafSchedule &sched) const
     // Qubits currently parked inside each region (between uses).
     std::vector<std::vector<QubitId>> parked(sched.k());
 
-    for (uint64_t ts = 0; ts < sched.steps().size(); ++ts) {
-        Timestep &step = sched.steps()[ts];
+    // Per-step operand scratch, reused across steps.
+    std::vector<std::vector<QubitId>> operands(sched.k());
+    std::vector<QubitId> all_operands;
+
+    for (uint64_t ts = 0; ts < num_steps; ++ts) {
+        TimestepView step = sched.step(ts);
         auto now = static_cast<int64_t>(ts);
+        bool any_blocking = false;
+        bool any_local = false;
+
+        // Single-pass move emission: every move is classified as it is
+        // created, so the stats accumulate here instead of re-scanning
+        // the step's move slot afterwards.
+        auto emit = [&](const Move &move) {
+            if (move.isLocal()) {
+                ++stats.localMoves;
+                any_local = true;
+            } else {
+                ++stats.teleportMoves;
+                if (move.blocking) {
+                    ++stats.blockingTeleports;
+                    any_blocking = true;
+                }
+            }
+            annot.add(move);
+        };
 
         // Operand sets per region for this timestep.
-        std::vector<std::vector<QubitId>> operands(sched.k());
-        std::vector<QubitId> all_operands;
-        for (unsigned r = 0; r < sched.k(); ++r) {
-            for (uint32_t op_index : step.regions[r].ops) {
+        for (auto &list : operands)
+            list.clear();
+        all_operands.clear();
+        for (RegionSlotView slot : step) {
+            unsigned r = slot.region();
+            for (uint32_t op_index : slot.ops()) {
                 for (QubitId q : mod.op(op_index).operands) {
                     operands[r].push_back(q);
                     all_operands.push_back(q);
@@ -124,9 +156,10 @@ CommunicationAnalyzer::annotate(LeafSchedule &sched) const
         // every parked qubit that is not one of its operands. An
         // eviction blocks only when the qubit is needed again within
         // the teleport window; distant reuse is masked by pipelining.
-        for (unsigned r = 0; r < sched.k(); ++r) {
-            if (!step.regions[r].active())
-                continue;
+        // Slots are region-sorted, so this visits active regions in
+        // ascending order, exactly like the old per-region sweep.
+        for (RegionSlotView slot : step) {
+            unsigned r = slot.region();
             std::vector<QubitId> keep;
             for (QubitId q : parked[r]) {
                 // A qubit operated on anywhere this timestep is not
@@ -158,7 +191,7 @@ CommunicationAnalyzer::annotate(LeafSchedule &sched) const
                     move.blocking = tight;
                     loc[q] = move.to;
                 }
-                step.moves.push_back(move);
+                emit(move);
                 last_touch[q] = now;
             }
             parked[r] = std::move(keep);
@@ -188,7 +221,7 @@ CommunicationAnalyzer::annotate(LeafSchedule &sched) const
                     auto &old = parked[loc[q].region];
                     old.erase(std::find(old.begin(), old.end(), q));
                 }
-                step.moves.push_back(move);
+                emit(move);
                 loc[q] = move.to;
                 parked[r].push_back(q);
                 last_touch[q] = now;
@@ -200,27 +233,15 @@ CommunicationAnalyzer::annotate(LeafSchedule &sched) const
             for (QubitId q : operands[r])
                 uses.consume(q, ts);
 
-        // Accumulate statistics.
-        bool any_blocking = false;
-        bool any_local = false;
-        for (const auto &move : step.moves) {
-            if (move.isLocal()) {
-                ++stats.localMoves;
-                any_local = true;
-            } else {
-                ++stats.teleportMoves;
-                if (move.blocking) {
-                    ++stats.blockingTeleports;
-                    any_blocking = true;
-                }
-            }
-        }
         if (any_blocking)
             ++stats.stepsWithBlockingMove;
         else if (any_local)
             ++stats.stepsWithOnlyLocalMoves;
+
+        annot.endStep();
     }
 
+    annot.finish();
     stats.peakBlockingMovesPerStep = sched.peakBlockingMoves();
     stats.totalCycles = sched.totalCycles(arch.eprBandwidth);
     return stats;

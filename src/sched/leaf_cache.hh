@@ -40,6 +40,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "arch/schedule.hh"
 #include "sched/comm.hh"
 
 namespace msq {
@@ -49,6 +50,16 @@ struct LeafScheduleResult
 {
     /** Movement statistics (totalCycles is the blackbox length). */
     CommStats stats;
+
+    /**
+     * The annotated schedule in its compact SoA form. Module-free: any
+     * structurally identical module can rebind it via
+     * LeafSchedule(mod, schedule). Consumers must never mutate through
+     * this pointer — LeafSchedule's copy-on-write detaches a private
+     * copy first (the cache keeps its own reference alive, so a cached
+     * buffer always copies on mutation).
+     */
+    std::shared_ptr<const ScheduleBuffer> schedule;
 };
 
 /** Thread-safe (structural hash, scheduler, arch, width) -> result map. */

@@ -199,8 +199,8 @@ struct LpfsState
      * reclaimed by pruneReady().
      */
     void
-    fillWithType(RegionSlot &slot, GateKind kind, uint64_t &budget,
-                 unsigned region, int64_t adopted = -1)
+    fillWithType(ScheduleBuilder::DraftSlot &slot, GateKind kind,
+                 uint64_t &budget, unsigned region, int64_t adopted = -1)
     {
         slot.kind = kind;
         size_t prefix = ready.size();
@@ -289,9 +289,9 @@ LpfsScheduler::schedule(const Module &mod, const MultiSimdArch &arch) const
     // sub-machines; clamp the dedicated-path count to what exists.
     const unsigned l = std::min(options.l, arch.k);
 
-    LeafSchedule sched(mod, arch.k);
+    ScheduleBuilder builder(mod, arch.k);
     if (mod.numOps() == 0)
-        return sched;
+        return builder.finish();
 
     LpfsState st(mod, arch);
 
@@ -301,7 +301,7 @@ LpfsScheduler::schedule(const Module &mod, const MultiSimdArch &arch) const
         path = st.nextLongestPath();
 
     while (st.remaining > 0) {
-        Timestep &step = sched.appendStep();
+        builder.beginStep();
         bool placed_any = false;
 
         // Dedicated path regions.
@@ -312,7 +312,7 @@ LpfsScheduler::schedule(const Module &mod, const MultiSimdArch &arch) const
             if (path.empty() && options.refill)
                 path = st.nextLongestPath();
 
-            RegionSlot &slot = step.regions[i];
+            ScheduleBuilder::DraftSlot &slot = builder.slot(i);
             uint64_t budget = arch.d;
             if (!path.empty() && st.isReady(path.front())) {
                 uint32_t op = path.front();
@@ -342,9 +342,9 @@ LpfsScheduler::schedule(const Module &mod, const MultiSimdArch &arch) const
             if (free_op < 0)
                 continue;
             uint64_t budget = arch.d;
-            st.fillWithType(step.regions[i], mod.op(free_op).kind, budget,
+            st.fillWithType(builder.slot(i), mod.op(free_op).kind, budget,
                             i, free_op);
-            placed_any = placed_any || step.regions[i].active();
+            placed_any = placed_any || builder.slot(i).active();
         }
 
         // Progress guarantee: if every path head stalled and no free op
@@ -362,7 +362,7 @@ LpfsScheduler::schedule(const Module &mod, const MultiSimdArch &arch) const
                 panic("LPFS: no ready operation but work remains "
                       "(dependence cycle?)");
             auto op = static_cast<uint32_t>(any);
-            RegionSlot &slot = step.regions[0];
+            ScheduleBuilder::DraftSlot &slot = builder.slot(0);
             slot.kind = mod.op(op).kind;
             slot.ops.push_back(op);
             st.commit(op);
@@ -374,7 +374,7 @@ LpfsScheduler::schedule(const Module &mod, const MultiSimdArch &arch) const
         // toward stealability.
         for (unsigned r = 0; r < arch.k; ++r) {
             st.lastQubits[r].clear();
-            for (uint32_t op_index : step.regions[r].ops) {
+            for (uint32_t op_index : builder.slot(r).ops) {
                 for (QubitId q : mod.op(op_index).operands) {
                     st.qubitRegion[q] = static_cast<int>(r);
                     st.lastQubits[r].push_back(q);
@@ -386,9 +386,10 @@ LpfsScheduler::schedule(const Module &mod, const MultiSimdArch &arch) const
                 ++st.age[op];
 
         st.pruneReady();
+        builder.endStep();
     }
 
-    return sched;
+    return builder.finish();
 }
 
 } // namespace msq

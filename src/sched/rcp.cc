@@ -70,17 +70,22 @@ LeafSchedule
 RcpScheduler::schedule(const Module &mod, const MultiSimdArch &arch) const
 {
     checkInputs(mod, arch);
-    LeafSchedule sched(mod, arch.k);
+    ScheduleBuilder builder(mod, arch.k);
     if (mod.numOps() == 0)
-        return sched;
+        return builder.finish();
 
     RcpState st(mod, arch);
 
+    // Hoisted per-step scratch: cleared each iteration, capacity kept.
+    std::vector<bool> region_used(arch.k, false);
+    std::vector<uint32_t> scheduled_now;
+    std::vector<uint32_t> candidates;
+
     while (!st.ready.empty()) {
-        Timestep &step = sched.appendStep();
-        std::vector<bool> region_used(arch.k, false);
+        builder.beginStep();
+        region_used.assign(arch.k, false);
         unsigned regions_left = arch.k;
-        std::vector<uint32_t> scheduled_now;
+        scheduled_now.clear();
 
         // getMaxWeightSimdOpType + extract loop (Algorithm 1 inner loop).
         while (regions_left > 0 && !st.ready.empty()) {
@@ -130,7 +135,7 @@ RcpScheduler::schedule(const Module &mod, const MultiSimdArch &arch) const
 
             // extract_optype: gather ready ops of the winning type,
             // in-place ops first, then most critical (lowest slack).
-            std::vector<uint32_t> candidates;
+            candidates.clear();
             for (uint32_t op_index : st.ready)
                 if (st.mod.op(op_index).kind == best_kind)
                     candidates.push_back(op_index);
@@ -145,7 +150,7 @@ RcpScheduler::schedule(const Module &mod, const MultiSimdArch &arch) const
                     return st.dynSlack[a] < st.dynSlack[b];
                 });
 
-            RegionSlot &slot = step.regions[r_unsigned];
+            ScheduleBuilder::DraftSlot &slot = builder.slot(r_unsigned);
             slot.kind = best_kind;
             uint64_t qubit_budget = st.arch.d;
             for (uint32_t op_index : candidates) {
@@ -174,7 +179,7 @@ RcpScheduler::schedule(const Module &mod, const MultiSimdArch &arch) const
         // dependence-free children become ready next timestep; waiting
         // ops grow more urgent.
         for (unsigned r = 0; r < arch.k; ++r) {
-            for (uint32_t op_index : step.regions[r].ops)
+            for (uint32_t op_index : builder.slot(r).ops)
                 for (QubitId q : st.mod.op(op_index).operands)
                     st.qubitRegion[q] = static_cast<int>(r);
         }
@@ -190,9 +195,10 @@ RcpScheduler::schedule(const Module &mod, const MultiSimdArch &arch) const
                     st.pushReady(succ);
             }
         }
+        builder.endStep();
     }
 
-    return sched;
+    return builder.finish();
 }
 
 } // namespace msq

@@ -31,13 +31,14 @@ SequentialScheduler::schedule(const Module &mod,
                               const MultiSimdArch &arch) const
 {
     checkInputs(mod, arch);
-    LeafSchedule sched(mod, arch.k);
+    ScheduleBuilder builder(mod, arch.k);
     for (uint32_t i = 0; i < mod.numOps(); ++i) {
-        Timestep &step = sched.appendStep();
-        step.regions[0].kind = mod.op(i).kind;
-        step.regions[0].ops.push_back(i);
+        builder.beginStep();
+        builder.slot(0).kind = mod.op(i).kind;
+        builder.slot(0).ops.push_back(i);
+        builder.endStep();
     }
-    return sched;
+    return builder.finish();
 }
 
 } // namespace msq

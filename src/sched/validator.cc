@@ -32,7 +32,6 @@ validateLeafSchedule(const LeafSchedule &sched, const MultiSimdArch &arch,
     size_t errors_before = out.numErrors();
 
     const Module &mod = sched.module();
-    const auto &steps = sched.steps();
     DiagContext mod_ctx{mod.name()};
 
     if (sched.k() != arch.k) {
@@ -45,24 +44,19 @@ validateLeafSchedule(const LeafSchedule &sched, const MultiSimdArch &arch,
         return false;
     }
 
-    // Invariant 1: coverage; also record each op's timestep.
+    // Invariant 1: coverage; also record each op's timestep. (The old
+    // per-step region-count check — S002 — is structurally guaranteed
+    // by the SoA representation: a slot's region is always < k.)
     constexpr uint64_t unscheduled = ~uint64_t{0};
     std::vector<uint64_t> op_step(mod.numOps(), unscheduled);
-    for (uint64_t ts = 0; ts < steps.size(); ++ts) {
-        const Timestep &step = steps[ts];
-        if (step.regions.size() != arch.k) {
-            out.error(DiagCode::SchedRegionCount,
-                      csprintf("step %llu has %zu regions, want %u",
-                               static_cast<unsigned long long>(ts),
-                               step.regions.size(), arch.k),
-                      mod_ctx);
-            continue;
-        }
+    for (ScheduleWalker walker(sched); !walker.atEnd(); walker.next()) {
+        const uint64_t ts = walker.index();
+        TimestepView step = walker.step();
         std::vector<TouchRecord> touched;
-        for (unsigned r = 0; r < arch.k; ++r) {
-            const RegionSlot &slot = step.regions[r];
+        for (RegionSlotView slot : step) {
+            const unsigned r = slot.region();
             uint64_t qubits_touched = 0;
-            for (uint32_t op_index : slot.ops) {
+            for (uint32_t op_index : slot.ops()) {
                 if (op_index >= mod.numOps()) {
                     out.error(
                         DiagCode::SchedOpOutOfRange,
@@ -87,12 +81,13 @@ validateLeafSchedule(const LeafSchedule &sched, const MultiSimdArch &arch,
                 op_step[op_index] = ts;
                 const Operation &op = mod.op(op_index);
                 // Invariant 3: homogeneity.
-                if (op.kind != slot.kind) {
+                if (op.kind != slot.kind()) {
                     out.error(
                         DiagCode::SchedMixedKinds,
                         csprintf("step %llu region %u mixes %s and %s",
                                  static_cast<unsigned long long>(ts), r,
-                                 gateName(slot.kind), gateName(op.kind)),
+                                 gateName(slot.kind()),
+                                 gateName(op.kind)),
                         {mod.name(), op_index, op.line});
                 }
                 qubits_touched += op.operands.size();
@@ -171,9 +166,10 @@ validateLeafSchedule(const LeafSchedule &sched, const MultiSimdArch &arch,
     // Invariant 6: movement consistency.
     std::vector<Location> loc(mod.numQubits(), Location::global());
     std::vector<uint64_t> local_count(arch.k, 0);
-    for (uint64_t ts = 0; ts < steps.size(); ++ts) {
-        const Timestep &step = steps[ts];
-        for (const auto &move : step.moves) {
+    for (ScheduleWalker walker(sched); !walker.atEnd(); walker.next()) {
+        const uint64_t ts = walker.index();
+        TimestepView step = walker.step();
+        for (const Move &move : step.moves()) {
             if (move.qubit >= mod.numQubits()) {
                 out.error(DiagCode::SchedMoveUnknownQubit,
                           csprintf("step %llu moves unknown qubit %u",
@@ -220,10 +216,9 @@ validateLeafSchedule(const LeafSchedule &sched, const MultiSimdArch &arch,
             }
             loc[move.qubit] = move.to;
         }
-        if (step.regions.size() != arch.k)
-            continue; // already reported above
-        for (unsigned r = 0; r < arch.k; ++r) {
-            for (uint32_t op_index : step.regions[r].ops) {
+        for (RegionSlotView slot : step) {
+            const unsigned r = slot.region();
+            for (uint32_t op_index : slot.ops()) {
                 if (op_index >= mod.numOps())
                     continue; // already reported above
                 for (QubitId q : mod.op(op_index).operands) {

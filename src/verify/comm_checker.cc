@@ -35,15 +35,14 @@ checkCommSchedule(const LeafSchedule &sched, const MultiSimdArch &arch,
     // from module op order) so partially scheduled modules still replay.
     constexpr uint64_t neverUsed = std::numeric_limits<uint64_t>::max();
     std::vector<uint64_t> last_use(num_qubits, neverUsed);
-    const auto &steps = sched.steps();
-    for (size_t ts = 0; ts < steps.size(); ++ts) {
-        for (const RegionSlot &slot : steps[ts].regions) {
-            for (uint32_t op_index : slot.ops) {
+    for (TimestepView step : sched.steps()) {
+        for (RegionSlotView slot : step) {
+            for (uint32_t op_index : slot.ops()) {
                 if (op_index >= mod.numOps())
                     continue; // S003's job
                 for (QubitId q : mod.op(op_index).operands)
                     if (q < num_qubits)
-                        last_use[q] = ts;
+                        last_use[q] = step.index();
             }
         }
     }
@@ -51,25 +50,27 @@ checkCommSchedule(const LeafSchedule &sched, const MultiSimdArch &arch,
     std::vector<Location> loc(num_qubits, Location::global());
     std::vector<uint64_t> local_count(sched.k(), 0);
 
-    for (size_t ts = 0; ts < steps.size(); ++ts) {
-        const Timestep &step = steps[ts];
+    for (ScheduleWalker walker(sched); !walker.atEnd(); walker.next()) {
+        const uint64_t ts = walker.index();
+        TimestepView step = walker.step();
         if (stats)
             ++stats->steps;
 
         // Which region each qubit computes in this step, if any.
         std::unordered_map<uint32_t, unsigned> operand_region;
-        for (unsigned r = 0; r < step.regions.size(); ++r) {
-            for (uint32_t op_index : step.regions[r].ops) {
+        for (RegionSlotView slot : step) {
+            for (uint32_t op_index : slot.ops()) {
                 if (op_index >= mod.numOps())
                     continue;
                 for (QubitId q : mod.op(op_index).operands)
-                    operand_region.emplace(q, r);
+                    operand_region.emplace(q, slot.region());
             }
         }
 
         std::unordered_map<uint32_t, size_t> moved_at;
-        for (size_t i = 0; i < step.moves.size(); ++i) {
-            const Move &move = step.moves[i];
+        MoveSpan step_moves = step.moves();
+        for (size_t i = 0; i < step_moves.size(); ++i) {
+            const Move &move = step_moves[i];
             uint32_t q = move.qubit;
             if (stats) {
                 ++stats->movesChecked;
@@ -185,8 +186,9 @@ checkCommSchedule(const LeafSchedule &sched, const MultiSimdArch &arch,
 
         // Post-movement residency: every operand sits in its gate's
         // region...
-        for (unsigned r = 0; r < step.regions.size(); ++r) {
-            for (uint32_t op_index : step.regions[r].ops) {
+        for (RegionSlotView slot : step) {
+            const unsigned r = slot.region();
+            for (uint32_t op_index : slot.ops()) {
                 if (op_index >= mod.numOps())
                     continue;
                 for (QubitId q : mod.op(op_index).operands) {

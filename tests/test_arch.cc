@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "arch/location.hh"
 #include "arch/multi_simd.hh"
 #include "arch/schedule.hh"
@@ -33,6 +35,15 @@ TEST(MultiSimdArch, ValidateRejectsZeroK)
 TEST(MultiSimdArch, ValidateRejectsZeroD)
 {
     MultiSimdArch arch(2, 0);
+    EXPECT_THROW(arch.validate(), FatalError);
+}
+
+// A 0-bandwidth EPR channel can never service a teleport; it used to be
+// silently treated as "one phase" deep inside the cost model. It is now
+// rejected up front as a configuration error.
+TEST(MultiSimdArch, ValidateRejectsZeroEprBandwidth)
+{
+    MultiSimdArch arch = MultiSimdArch(2).withEprBandwidth(0);
     EXPECT_THROW(arch.validate(), FatalError);
 }
 
@@ -96,36 +107,61 @@ TEST(Move, LocalityClassification)
     EXPECT_FALSE(region_to_region.isLocal());
 }
 
-TEST(Timestep, MovePhaseCosts)
+TEST(MovePhase, Costs)
 {
-    Timestep step;
-    step.regions.resize(2);
-    EXPECT_EQ(step.movePhaseCycles(), 0u);
+    std::vector<Move> moves;
+    auto cycles = [&] {
+        return movePhaseCycles(moves.data(),
+                               moves.data() + moves.size());
+    };
+    EXPECT_EQ(cycles(), 0u);
 
     // Masked teleport: free.
-    step.moves.push_back(
-        {0, Location::global(), Location::inRegion(0), false});
-    EXPECT_EQ(step.movePhaseCycles(), 0u);
+    moves.push_back({0, Location::global(), Location::inRegion(0), false});
+    EXPECT_EQ(cycles(), 0u);
 
     // Local move: one cycle.
-    step.moves.push_back(
+    moves.push_back(
         {1, Location::inRegion(0), Location::inLocalMem(0), false});
-    EXPECT_EQ(step.movePhaseCycles(), 1u);
+    EXPECT_EQ(cycles(), 1u);
 
     // Any blocking teleport: full four cycles.
-    step.moves.push_back(
-        {2, Location::inRegion(1), Location::global(), true});
-    EXPECT_EQ(step.movePhaseCycles(), 4u);
+    moves.push_back({2, Location::inRegion(1), Location::global(), true});
+    EXPECT_EQ(cycles(), 4u);
 }
 
-TEST(Timestep, ActiveRegions)
+TEST(MovePhase, PanicsOnZeroEprBandwidth)
 {
-    Timestep step;
-    step.regions.resize(3);
-    EXPECT_EQ(step.activeRegions(), 0u);
-    step.regions[1].ops.push_back(0);
-    step.regions[2].ops.push_back(1);
-    EXPECT_EQ(step.activeRegions(), 2u);
+    std::vector<Move> moves;
+    moves.push_back({0, Location::global(), Location::inRegion(0), true});
+    EXPECT_THROW(movePhaseCycles(moves.data(),
+                                 moves.data() + moves.size(), 0),
+                 PanicError);
+}
+
+TEST(TimestepView, ActiveRegions)
+{
+    Module mod("m");
+    auto reg = mod.addRegister("q", 2);
+    mod.addGate(GateKind::H, {reg[0]});
+    mod.addGate(GateKind::T, {reg[1]});
+
+    ScheduleBuilder builder(mod, 3);
+    builder.beginStep();
+    builder.endStep();
+    builder.beginStep();
+    builder.slot(1).kind = GateKind::H;
+    builder.slot(1).ops.push_back(0);
+    builder.slot(2).kind = GateKind::T;
+    builder.slot(2).ops.push_back(1);
+    builder.endStep();
+    LeafSchedule sched = builder.finish();
+
+    EXPECT_EQ(sched.step(0).activeRegions(), 0u);
+    EXPECT_EQ(sched.step(1).activeRegions(), 2u);
+    EXPECT_FALSE(sched.step(1).regionActive(0));
+    EXPECT_TRUE(sched.step(1).regionActive(1));
+    EXPECT_TRUE(sched.step(1).regionActive(2));
 }
 
 TEST(LeafSchedule, Accounting)
@@ -136,17 +172,20 @@ TEST(LeafSchedule, Accounting)
     mod.addGate(GateKind::H, {reg[1]});
     mod.addGate(GateKind::CNOT, {reg[0], reg[1]});
 
-    LeafSchedule sched(mod, 2);
-    Timestep &s0 = sched.appendStep();
-    s0.regions[0].kind = GateKind::H;
-    s0.regions[0].ops = {0, 1};
-    Timestep &s1 = sched.appendStep();
-    s1.regions[1].kind = GateKind::CNOT;
-    s1.regions[1].ops = {2};
-    s1.moves.push_back(
-        {reg[1], Location::inRegion(0), Location::inRegion(1), true});
-    s1.moves.push_back(
-        {reg[0], Location::inRegion(0), Location::inLocalMem(0), false});
+    ScheduleBuilder builder(mod, 2);
+    builder.beginStep();
+    builder.slot(0).kind = GateKind::H;
+    builder.slot(0).ops = {0, 1};
+    builder.endStep();
+    builder.beginStep();
+    builder.slot(1).kind = GateKind::CNOT;
+    builder.slot(1).ops = {2};
+    builder.endStep();
+    LeafSchedule sched = builder.finish();
+    sched.appendMove(
+        1, {reg[1], Location::inRegion(0), Location::inRegion(1), true});
+    sched.appendMove(1, {reg[0], Location::inRegion(0),
+                         Location::inLocalMem(0), false});
 
     EXPECT_EQ(sched.computeTimesteps(), 2u);
     EXPECT_EQ(sched.scheduledOps(), 3u);

@@ -18,27 +18,31 @@ namespace {
 using namespace msq;
 
 /** Hand-build a schedule placing each (op, region, step) explicitly. */
-class ScheduleBuilder
+class TestScheduleBuilder
 {
   public:
-    ScheduleBuilder(const Module &mod, unsigned k) : sched(mod, k) {}
+    TestScheduleBuilder(const Module &mod, unsigned k)
+        : mod(&mod), builder(mod, k)
+    {}
 
-    ScheduleBuilder &
+    TestScheduleBuilder &
     step(std::vector<std::pair<unsigned, uint32_t>> placements)
     {
-        Timestep &ts = sched.appendStep();
+        builder.beginStep();
         for (auto [region, op] : placements) {
-            RegionSlot &slot = ts.regions[region];
-            slot.kind = sched.module().op(op).kind;
+            auto &slot = builder.slot(region);
+            slot.kind = mod->op(op).kind;
             slot.ops.push_back(op);
         }
+        builder.endStep();
         return *this;
     }
 
-    LeafSchedule take() { return std::move(sched); }
+    LeafSchedule take() { return builder.finish(); }
 
   private:
-    LeafSchedule sched;
+    const Module *mod;
+    ScheduleBuilder builder;
 };
 
 TEST(Comm, NoneModeLeavesScheduleAlone)
@@ -46,7 +50,7 @@ TEST(Comm, NoneModeLeavesScheduleAlone)
     Module mod("m");
     QubitId q = mod.addLocal("q");
     mod.addGate(GateKind::H, {q});
-    LeafSchedule sched = ScheduleBuilder(mod, 1).step({{0, 0}}).take();
+    LeafSchedule sched = TestScheduleBuilder(mod, 1).step({{0, 0}}).take();
     CommunicationAnalyzer comm(MultiSimdArch(1), CommMode::None);
     CommStats stats = comm.annotate(sched);
     EXPECT_EQ(stats.teleportMoves, 0u);
@@ -59,7 +63,7 @@ TEST(Comm, FirstTouchIsMaskedTeleport)
     Module mod("m");
     QubitId q = mod.addLocal("q");
     mod.addGate(GateKind::H, {q});
-    LeafSchedule sched = ScheduleBuilder(mod, 1).step({{0, 0}}).take();
+    LeafSchedule sched = TestScheduleBuilder(mod, 1).step({{0, 0}}).take();
     CommunicationAnalyzer comm(MultiSimdArch(1), CommMode::Global);
     CommStats stats = comm.annotate(sched);
     EXPECT_EQ(stats.teleportMoves, 1u);
@@ -74,7 +78,7 @@ TEST(Comm, PinnedChainHasNoFurtherMoves)
     QubitId q = mod.addLocal("q");
     for (int i = 0; i < 10; ++i)
         mod.addGate(GateKind::T, {q});
-    ScheduleBuilder builder(mod, 1);
+    TestScheduleBuilder builder(mod, 1);
     for (uint32_t i = 0; i < 10; ++i)
         builder.step({{0, i}});
     LeafSchedule sched = builder.take();
@@ -95,7 +99,7 @@ TEST(Comm, TightCrossRegionMoveBlocks)
     mod.addGate(GateKind::H, {a});
     mod.addGate(GateKind::CNOT, {a, b});
     LeafSchedule sched =
-        ScheduleBuilder(mod, 2).step({{0, 0}}).step({{1, 1}}).take();
+        TestScheduleBuilder(mod, 2).step({{0, 0}}).step({{1, 1}}).take();
     CommunicationAnalyzer comm(MultiSimdArch(2), CommMode::Global);
     CommStats stats = comm.annotate(sched);
     EXPECT_EQ(stats.blockingTeleports, 1u);
@@ -115,7 +119,7 @@ TEST(Comm, DistantCrossRegionMoveIsMasked)
     for (int i = 0; i < 5; ++i)
         mod.addGate(GateKind::T, {z});    // ops 1..5 filler
     mod.addGate(GateKind::CNOT, {a, b});  // op6: step 5, region 1
-    ScheduleBuilder builder(mod, 2);
+    TestScheduleBuilder builder(mod, 2);
     builder.step({{0, 0}, {1, 1}});
     for (uint32_t i = 2; i <= 5; ++i)
         builder.step({{1, i}});
@@ -142,7 +146,7 @@ TEST(Comm, EvictionFromActiveRegion)
     for (int i = 0; i < 6; ++i)
         mod.addGate(GateKind::T, {q1}); // ops1..6
     mod.addGate(GateKind::H, {q0});  // op7
-    ScheduleBuilder builder(mod, 1);
+    TestScheduleBuilder builder(mod, 1);
     builder.step({{0, 0}});
     for (uint32_t i = 1; i <= 6; ++i)
         builder.step({{0, i}});
@@ -170,7 +174,7 @@ tightReuseSchedule(Module &mod)
     mod.addGate(GateKind::H, {q0});  // op0 step0
     mod.addGate(GateKind::T, {q1});  // op1 step1 (q0 idle, evicted)
     mod.addGate(GateKind::H, {q0});  // op2 step2 (q0 returns)
-    return ScheduleBuilder(mod, 1)
+    return TestScheduleBuilder(mod, 1)
         .step({{0, 0}})
         .step({{0, 1}})
         .step({{0, 2}})
@@ -215,7 +219,7 @@ TEST(Comm, LocalMemoryCapacityRespected)
     mod.addGate(GateKind::H, {q1});               // op0' same step
     mod.addGate(GateKind::T, {q2});               // op2: q0,q1 sit out
     mod.addGate(GateKind::CNOT, {q0, q1});        // op3: both return
-    LeafSchedule sched = ScheduleBuilder(mod, 1)
+    LeafSchedule sched = TestScheduleBuilder(mod, 1)
                              .step({{0, 0}})
                              .step({{0, 1}})
                              .step({{0, 2}})

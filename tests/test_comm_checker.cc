@@ -18,27 +18,31 @@ namespace {
 using namespace msq;
 
 /** Hand-build a schedule placing each (op, region, step) explicitly. */
-class ScheduleBuilder
+class TestScheduleBuilder
 {
   public:
-    ScheduleBuilder(const Module &mod, unsigned k) : sched(mod, k) {}
+    TestScheduleBuilder(const Module &mod, unsigned k)
+        : mod(&mod), builder(mod, k)
+    {}
 
-    ScheduleBuilder &
+    TestScheduleBuilder &
     step(std::vector<std::pair<unsigned, uint32_t>> placements)
     {
-        Timestep &ts = sched.appendStep();
+        builder.beginStep();
         for (auto [region, op] : placements) {
-            RegionSlot &slot = ts.regions[region];
-            slot.kind = sched.module().op(op).kind;
+            auto &slot = builder.slot(region);
+            slot.kind = mod->op(op).kind;
             slot.ops.push_back(op);
         }
+        builder.endStep();
         return *this;
     }
 
-    LeafSchedule take() { return std::move(sched); }
+    LeafSchedule take() { return builder.finish(); }
 
   private:
-    LeafSchedule sched;
+    const Module *mod;
+    ScheduleBuilder builder;
 };
 
 bool
@@ -80,7 +84,7 @@ TEST(CommChecker, AnalyzerOutputRepaysClean)
     mod.addGate(GateKind::H, {a});
     mod.addGate(GateKind::CNOT, {a, b});
     mod.addGate(GateKind::T, {b});
-    LeafSchedule sched = ScheduleBuilder(mod, 2)
+    LeafSchedule sched = TestScheduleBuilder(mod, 2)
                              .step({{0, 0}})
                              .step({{1, 1}})
                              .step({{1, 2}})
@@ -104,14 +108,13 @@ TEST(CommChecker, NonBlockingDeadEvictionToGlobalIsExempt)
     // is mandatory hygiene, not waste: no M005.
     Module mod = chainModule();
     LeafSchedule sched =
-        ScheduleBuilder(mod, 2).step({{0, 0}}).step({{0, 1}}).take();
-    sched.steps()[0].moves.push_back(
-        makeMove(0, Location::global(), Location::inRegion(0), false));
+        TestScheduleBuilder(mod, 2).step({{0, 0}}).step({{0, 1}}).take();
+    sched.appendMove(
+        0, makeMove(0, Location::global(), Location::inRegion(0), false));
     // One extra step after q's last use, evicting it masked.
-    sched.steps().push_back(Timestep{});
-    sched.steps()[2].regions.resize(2);
-    sched.steps()[2].moves.push_back(
-        makeMove(0, Location::inRegion(0), Location::global(), false));
+    sched.appendEmptyStep();
+    sched.appendMove(
+        2, makeMove(0, Location::inRegion(0), Location::global(), false));
 
     DiagnosticEngine diags;
     CommCheckStats stats;
@@ -126,11 +129,11 @@ TEST(CommChecker, M001MoveDuringGate)
     // global memory in the same timestep.
     Module mod = chainModule();
     LeafSchedule sched =
-        ScheduleBuilder(mod, 2).step({{0, 0}}).step({{0, 1}}).take();
-    sched.steps()[0].moves.push_back(
-        makeMove(0, Location::global(), Location::inRegion(0), false));
-    sched.steps()[1].moves.push_back(
-        makeMove(0, Location::inRegion(0), Location::global()));
+        TestScheduleBuilder(mod, 2).step({{0, 0}}).step({{0, 1}}).take();
+    sched.appendMove(
+        0, makeMove(0, Location::global(), Location::inRegion(0), false));
+    sched.appendMove(
+        1, makeMove(0, Location::inRegion(0), Location::global()));
 
     DiagnosticEngine diags;
     EXPECT_FALSE(checkCommSchedule(sched, MultiSimdArch(2), diags));
@@ -141,12 +144,12 @@ TEST(CommChecker, M002ConflictingMoves)
 {
     Module mod = chainModule();
     LeafSchedule sched =
-        ScheduleBuilder(mod, 2).step({{0, 0}}).step({{0, 1}}).take();
+        TestScheduleBuilder(mod, 2).step({{0, 0}}).step({{0, 1}}).take();
     // q moved twice within step 0's movement phase.
-    sched.steps()[0].moves.push_back(
-        makeMove(0, Location::global(), Location::inRegion(1), false));
-    sched.steps()[0].moves.push_back(
-        makeMove(0, Location::inRegion(1), Location::inRegion(0), false));
+    sched.appendMove(
+        0, makeMove(0, Location::global(), Location::inRegion(1), false));
+    sched.appendMove(
+        0, makeMove(0, Location::inRegion(1), Location::inRegion(0), false));
 
     DiagnosticEngine diags;
     EXPECT_FALSE(checkCommSchedule(sched, MultiSimdArch(2), diags));
@@ -162,10 +165,10 @@ TEST(CommChecker, M003RegionOversubscribed)
     for (QubitId q : reg)
         mod.addGate(GateKind::H, {q});
     LeafSchedule sched =
-        ScheduleBuilder(mod, 1).step({{0, 0}, {0, 1}, {0, 2}}).take();
+        TestScheduleBuilder(mod, 1).step({{0, 0}, {0, 1}, {0, 2}}).take();
     for (QubitId q : reg)
-        sched.steps()[0].moves.push_back(
-            makeMove(q, Location::global(), Location::inRegion(0), false));
+        sched.appendMove(
+            0, makeMove(q, Location::global(), Location::inRegion(0), false));
 
     MultiSimdArch arch(1, 2);
     DiagnosticEngine diags;
@@ -184,20 +187,19 @@ TEST(CommChecker, M004LocalMemoryOverCapacity)
     QubitId b = mod.addLocal("b");
     mod.addGate(GateKind::H, {a});
     mod.addGate(GateKind::CNOT, {a, b});
-    ScheduleBuilder builder(mod, 1);
+    TestScheduleBuilder builder(mod, 1);
     builder.step({{0, 0}}).step({{0, 1}});
     LeafSchedule sched = builder.take();
-    sched.steps()[0].moves.push_back(
-        makeMove(a, Location::global(), Location::inRegion(0), false));
-    sched.steps()[0].moves.push_back(
-        makeMove(b, Location::global(), Location::inRegion(0), false));
+    sched.appendMove(
+        0, makeMove(a, Location::global(), Location::inRegion(0), false));
+    sched.appendMove(
+        0, makeMove(b, Location::global(), Location::inRegion(0), false));
     // Park both qubits in region 0's scratchpad; capacity is 1.
-    sched.steps().push_back(Timestep{});
-    sched.steps()[2].regions.resize(1);
-    sched.steps()[2].moves.push_back(
-        makeMove(a, Location::inRegion(0), Location::inLocalMem(0), false));
-    sched.steps()[2].moves.push_back(
-        makeMove(b, Location::inRegion(0), Location::inLocalMem(0), false));
+    sched.appendEmptyStep();
+    sched.appendMove(
+        2, makeMove(a, Location::inRegion(0), Location::inLocalMem(0), false));
+    sched.appendMove(
+        2, makeMove(b, Location::inRegion(0), Location::inLocalMem(0), false));
 
     MultiSimdArch arch(1);
     arch.localMemCapacity = 1;
@@ -210,14 +212,13 @@ TEST(CommChecker, M005DeadQubitTeleportIsWarningOnly)
 {
     Module mod = chainModule();
     LeafSchedule sched =
-        ScheduleBuilder(mod, 2).step({{0, 0}}).step({{0, 1}}).take();
-    sched.steps()[0].moves.push_back(
-        makeMove(0, Location::global(), Location::inRegion(0), false));
+        TestScheduleBuilder(mod, 2).step({{0, 0}}).step({{0, 1}}).take();
+    sched.appendMove(
+        0, makeMove(0, Location::global(), Location::inRegion(0), false));
     // After its last use, q is teleported into region 1: pure waste.
-    sched.steps().push_back(Timestep{});
-    sched.steps()[2].regions.resize(2);
-    sched.steps()[2].moves.push_back(
-        makeMove(0, Location::inRegion(0), Location::inRegion(1)));
+    sched.appendEmptyStep();
+    sched.appendMove(
+        2, makeMove(0, Location::inRegion(0), Location::inRegion(1)));
 
     DiagnosticEngine diags;
     // Warnings do not fail the check.
@@ -230,10 +231,10 @@ TEST(CommChecker, M006MoveSourceMismatch)
 {
     Module mod = chainModule();
     LeafSchedule sched =
-        ScheduleBuilder(mod, 2).step({{0, 0}}).step({{0, 1}}).take();
+        TestScheduleBuilder(mod, 2).step({{0, 0}}).step({{0, 1}}).take();
     // q actually starts in global memory; the move claims region 1.
-    sched.steps()[0].moves.push_back(
-        makeMove(0, Location::inRegion(1), Location::inRegion(0), false));
+    sched.appendMove(
+        0, makeMove(0, Location::inRegion(1), Location::inRegion(0), false));
 
     DiagnosticEngine diags;
     EXPECT_FALSE(checkCommSchedule(sched, MultiSimdArch(2), diags));
@@ -245,7 +246,7 @@ TEST(CommChecker, M007OperandNotResident)
     // No movement plan at all: the operand never reaches its region.
     Module mod = chainModule();
     LeafSchedule sched =
-        ScheduleBuilder(mod, 2).step({{0, 0}}).step({{0, 1}}).take();
+        TestScheduleBuilder(mod, 2).step({{0, 0}}).step({{0, 1}}).take();
 
     DiagnosticEngine diags;
     EXPECT_FALSE(checkCommSchedule(sched, MultiSimdArch(2), diags));
@@ -256,12 +257,12 @@ TEST(CommChecker, M008RedundantMoveIsWarningOnly)
 {
     Module mod = chainModule();
     LeafSchedule sched =
-        ScheduleBuilder(mod, 2).step({{0, 0}}).step({{0, 1}}).take();
-    sched.steps()[0].moves.push_back(
-        makeMove(0, Location::global(), Location::inRegion(0), false));
+        TestScheduleBuilder(mod, 2).step({{0, 0}}).step({{0, 1}}).take();
+    sched.appendMove(
+        0, makeMove(0, Location::global(), Location::inRegion(0), false));
     // "Move" q to the region it already occupies.
-    sched.steps()[1].moves.push_back(
-        makeMove(0, Location::inRegion(0), Location::inRegion(0), false));
+    sched.appendMove(
+        1, makeMove(0, Location::inRegion(0), Location::inRegion(0), false));
 
     DiagnosticEngine diags;
     EXPECT_TRUE(checkCommSchedule(sched, MultiSimdArch(2), diags));

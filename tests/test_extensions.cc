@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <vector>
 
 #include "analysis/gate_mix.hh"
 #include "analysis/invocation_counts.hh"
@@ -93,41 +94,44 @@ TEST(GateMix, PerModuleCounts)
     EXPECT_EQ(mid.total(), 1u + 5u * 3u);
 }
 
+uint64_t
+phaseCycles(const std::vector<Move> &moves,
+            uint64_t epr_bandwidth = unbounded)
+{
+    return movePhaseCycles(moves.data(), moves.data() + moves.size(),
+                           epr_bandwidth);
+}
+
 TEST(EprBandwidth, UnboundedMatchesBaseModel)
 {
-    Timestep step;
-    step.regions.resize(1);
-    step.moves.push_back(
-        {0, Location::global(), Location::inRegion(0), true});
-    step.moves.push_back(
-        {1, Location::global(), Location::inRegion(0), true});
-    EXPECT_EQ(step.movePhaseCycles(), 4u);
-    EXPECT_EQ(step.movePhaseCycles(unbounded), 4u);
+    std::vector<Move> moves;
+    moves.push_back({0, Location::global(), Location::inRegion(0), true});
+    moves.push_back({1, Location::global(), Location::inRegion(0), true});
+    EXPECT_EQ(phaseCycles(moves), 4u);
+    EXPECT_EQ(phaseCycles(moves, unbounded), 4u);
 }
 
 TEST(EprBandwidth, FiniteBandwidthSerializesPhases)
 {
-    Timestep step;
-    step.regions.resize(1);
-    for (uint32_t q = 0; q < 5; ++q) {
-        step.moves.push_back(
+    std::vector<Move> moves;
+    for (uint32_t q = 0; q < 5; ++q)
+        moves.push_back(
             {q, Location::global(), Location::inRegion(0), true});
-    }
-    EXPECT_EQ(step.blockingMoveCount(), 5u);
-    EXPECT_EQ(step.movePhaseCycles(5), 4u);
-    EXPECT_EQ(step.movePhaseCycles(2), 12u); // ceil(5/2) = 3 phases
-    EXPECT_EQ(step.movePhaseCycles(1), 20u);
+    EXPECT_EQ(blockingMoveCount(moves.data(),
+                                moves.data() + moves.size()),
+              5u);
+    EXPECT_EQ(phaseCycles(moves, 5), 4u);
+    EXPECT_EQ(phaseCycles(moves, 2), 12u); // ceil(5/2) = 3 phases
+    EXPECT_EQ(phaseCycles(moves, 1), 20u);
 }
 
 TEST(EprBandwidth, MaskedMovesDontConsumeBandwidth)
 {
-    Timestep step;
-    step.regions.resize(1);
-    for (uint32_t q = 0; q < 5; ++q) {
-        step.moves.push_back(
+    std::vector<Move> moves;
+    for (uint32_t q = 0; q < 5; ++q)
+        moves.push_back(
             {q, Location::global(), Location::inRegion(0), false});
-    }
-    EXPECT_EQ(step.movePhaseCycles(1), 0u);
+    EXPECT_EQ(phaseCycles(moves, 1), 0u);
 }
 
 TEST(EprBandwidth, AnalyzerReportsPeakDemand)
@@ -135,23 +139,23 @@ TEST(EprBandwidth, AnalyzerReportsPeakDemand)
     // 4 qubits used in region 0 at step 0, then all four used across
     // regions at step 1: four tight teleports in one step.
     Module mod("m");
-    auto reg = mod.addRegister("q", 8);
-    LeafSchedule sched(mod, 4);
-    (void)reg;
-    // Build by hand: step0 touches q0..q3 in region 0 (needs ops).
+    mod.addRegister("q", 8);
     for (int i = 0; i < 4; ++i)
         mod.addGate(GateKind::H, {static_cast<QubitId>(i)});
     for (int i = 0; i < 4; ++i)
         mod.addGate(GateKind::T, {static_cast<QubitId>(i)});
-    LeafSchedule built(mod, 4);
-    Timestep &s0 = built.appendStep();
-    s0.regions[0].kind = GateKind::H;
-    s0.regions[0].ops = {0, 1, 2, 3};
-    Timestep &s1 = built.appendStep();
+    ScheduleBuilder builder(mod, 4);
+    builder.beginStep();
+    builder.slot(0).kind = GateKind::H;
+    builder.slot(0).ops = {0, 1, 2, 3};
+    builder.endStep();
+    builder.beginStep();
     for (unsigned r = 0; r < 4; ++r) {
-        s1.regions[r].kind = GateKind::T;
-        s1.regions[r].ops = {4 + r};
+        builder.slot(r).kind = GateKind::T;
+        builder.slot(r).ops = {4 + r};
     }
+    builder.endStep();
+    LeafSchedule built = builder.finish();
     MultiSimdArch arch(4);
     CommunicationAnalyzer comm(arch, CommMode::Global);
     CommStats stats = comm.annotate(built);

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Golden schedule-dump equivalence suite: the committed fixtures under
+ * tests/golden/ were captured from the nested-vector schedule
+ * representation the paper describes literally (one Timestep struct per
+ * step owning k RegionSlot vectors). Any change to the schedule data
+ * model — such as the compact structure-of-arrays ScheduleBuffer — must
+ * reproduce these dumps byte-for-byte: the representation may change,
+ * the schedule semantics may not.
+ *
+ * Regenerating fixtures (only when schedule *semantics* change on
+ * purpose): MSQ_UPDATE_GOLDEN=1 ./tests/test_golden_dumps
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "core/toolflow.hh"
+#include "passes/decompose_toffoli.hh"
+#include "passes/flatten.hh"
+#include "passes/pass_manager.hh"
+#include "passes/rotation_decomposer.hh"
+#include "sched/comm.hh"
+#include "sched/lpfs.hh"
+#include "sched/rcp.hh"
+#include "sched/schedule_printer.hh"
+#include "workloads/workloads.hh"
+
+namespace {
+
+using namespace msq;
+
+/** Leaves dumped per workload; keeps the fixtures reviewable. */
+constexpr size_t maxLeaves = 6;
+
+/** Timesteps dumped per schedule (the printer's truncation marker
+ * still encodes the full step count, so length changes are caught). */
+constexpr uint64_t maxSteps = 48;
+
+std::string
+goldenPath(const std::string &name)
+{
+    return std::string(MSQ_SOURCE_DIR) + "/tests/golden/" + name + ".txt";
+}
+
+Program
+prepare(const std::string &short_name)
+{
+    auto spec =
+        workloads::findWorkload(workloads::scaledParams(), short_name);
+    Program prog = spec.build();
+    PassManager passes;
+    passes.add(std::make_unique<DecomposeToffoliPass>());
+    passes.add(std::make_unique<RotationDecomposerPass>(
+        Toolflow::rotationPresetFor(short_name)));
+    passes.add(std::make_unique<FlattenPass>(30'000));
+    passes.run(prog);
+    return prog;
+}
+
+/**
+ * Dump the first ::maxLeaves scheduled leaves of @p prog under
+ * @p scheduler: timelines with movement annotation plus the aggregate
+ * counters that summarize the parts the truncated timeline omits.
+ */
+std::string
+dumpWorkload(const Program &prog, const LeafScheduler &scheduler,
+             const MultiSimdArch &arch, CommMode mode)
+{
+    std::ostringstream os;
+    os << "# scheduler=" << scheduler.name() << " arch="
+       << arch.describe() << " mode=" << commModeName(mode) << "\n";
+    CommunicationAnalyzer analyzer(arch, mode);
+    size_t dumped = 0;
+    for (ModuleId id : prog.reachableModules()) {
+        const Module &mod = prog.module(id);
+        if (!mod.isLeaf() || mod.numOps() == 0)
+            continue;
+        if (dumped++ == maxLeaves)
+            break;
+        LeafSchedule sched = scheduler.schedule(mod, arch);
+        CommStats stats = analyzer.annotate(sched);
+        os << "== " << mod.name() << " ops=" << mod.numOps()
+           << " qubits=" << mod.numQubits()
+           << " steps=" << sched.computeTimesteps()
+           << " width=" << sched.width()
+           << " cycles=" << stats.totalCycles
+           << " teleports=" << stats.teleportMoves
+           << " blocking=" << stats.blockingTeleports
+           << " local=" << stats.localMoves
+           << " peak=" << stats.peakBlockingMovesPerStep << "\n";
+        TimelinePrintOptions options;
+        options.maxSteps = maxSteps;
+        options.showMoves = true;
+        printTimeline(os, sched, options);
+    }
+    return os.str();
+}
+
+void
+checkGolden(const std::string &name, const std::string &actual)
+{
+    const std::string path = goldenPath(name);
+    const char *update = std::getenv("MSQ_UPDATE_GOLDEN");
+    if (update && *update && std::string(update) != "0") {
+        std::ofstream out(path, std::ios::binary);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << actual;
+        return;
+    }
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << "missing golden fixture " << path
+        << " (regenerate with MSQ_UPDATE_GOLDEN=1)";
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string expected = buffer.str();
+    // Byte-for-byte: report the first diverging line for diagnosis.
+    if (actual != expected) {
+        std::istringstream a(actual), e(expected);
+        std::string la, le;
+        size_t line = 0;
+        while (true) {
+            ++line;
+            bool more_a = static_cast<bool>(std::getline(a, la));
+            bool more_e = static_cast<bool>(std::getline(e, le));
+            if (!more_a && !more_e)
+                break;
+            ASSERT_EQ(le, la) << name << ": first divergence at line "
+                              << line;
+        }
+        FAIL() << name << ": dumps differ in length only";
+    }
+}
+
+class GoldenDumps : public ::testing::TestWithParam<const char *>
+{};
+
+TEST_P(GoldenDumps, RcpGlobal)
+{
+    Program prog = prepare(GetParam());
+    RcpScheduler rcp;
+    checkGolden(std::string(GetParam()) + "_rcp_k4",
+                dumpWorkload(prog, rcp, MultiSimdArch(4),
+                             CommMode::Global));
+}
+
+TEST_P(GoldenDumps, LpfsGlobal)
+{
+    Program prog = prepare(GetParam());
+    LpfsScheduler lpfs;
+    checkGolden(std::string(GetParam()) + "_lpfs_k4",
+                dumpWorkload(prog, lpfs, MultiSimdArch(4),
+                             CommMode::Global));
+}
+
+TEST_P(GoldenDumps, LpfsLocalMem)
+{
+    // Exercises the scratchpad moves (ballistic, r<n>.local) too.
+    Program prog = prepare(GetParam());
+    LpfsScheduler lpfs;
+    checkGolden(std::string(GetParam()) + "_lpfs_k4_local",
+                dumpWorkload(prog, lpfs, MultiSimdArch(4, unbounded, 2),
+                             CommMode::GlobalWithLocalMem));
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, GoldenDumps,
+                         ::testing::Values("grovers", "tfp", "gse"),
+                         [](const auto &info) {
+                             return std::string(info.param);
+                         });
+
+} // namespace

@@ -177,10 +177,19 @@ TEST(SchedulerProperties, DeterministicSchedules)
         auto s1 = make()->schedule(mod, arch);
         auto s2 = make()->schedule(mod, arch);
         ASSERT_EQ(s1.computeTimesteps(), s2.computeTimesteps());
-        for (size_t ts = 0; ts < s1.steps().size(); ++ts) {
-            for (unsigned r = 0; r < arch.k; ++r) {
-                EXPECT_EQ(s1.steps()[ts].regions[r].ops,
-                          s2.steps()[ts].regions[r].ops);
+        for (uint64_t ts = 0; ts < s1.computeTimesteps(); ++ts) {
+            TimestepView a = s1.step(ts);
+            TimestepView b = s2.step(ts);
+            ASSERT_EQ(a.numSlots(), b.numSlots());
+            for (unsigned i = 0; i < a.numSlots(); ++i) {
+                RegionSlotView sa = a.slot(i);
+                RegionSlotView sb = b.slot(i);
+                EXPECT_EQ(sa.region(), sb.region());
+                EXPECT_EQ(sa.kind(), sb.kind());
+                OpSpan oa = sa.ops();
+                OpSpan ob = sb.ops();
+                EXPECT_EQ(std::vector<uint32_t>(oa.begin(), oa.end()),
+                          std::vector<uint32_t>(ob.begin(), ob.end()));
             }
         }
     }

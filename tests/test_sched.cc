@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <tuple>
+#include <vector>
+
 #include "passes/decompose_toffoli.hh"
 #include "sched/lpfs.hh"
 #include "sched/rcp.hh"
@@ -254,9 +257,13 @@ TEST(Lpfs, FiniteDWideOpDoesNotStarveSmallerOps)
     EXPECT_EQ(out.scheduledOps(), mod.numOps());
 
     // The first timestep's slot must be filled with both 1-qubit ops.
-    ASSERT_GE(out.steps().size(), 1u);
-    const RegionSlot &slot = out.steps()[0].regions[0];
-    EXPECT_EQ(slot.ops, (std::vector<uint32_t>{0, 2}));
+    ASSERT_GE(out.computeTimesteps(), 1u);
+    ASSERT_EQ(out.step(0).activeRegions(), 1u);
+    RegionSlotView slot = out.step(0).slot(0);
+    EXPECT_EQ(slot.region(), 0u);
+    OpSpan ops = slot.ops();
+    EXPECT_EQ(std::vector<uint32_t>(ops.begin(), ops.end()),
+              (std::vector<uint32_t>{0, 2}));
     EXPECT_EQ(out.computeTimesteps(), 2u);
 }
 
@@ -276,13 +283,27 @@ TEST(Rcp, WeightsConfigurable)
 
 // --- Validator negative tests ---
 
+/** Hand-build a one-step schedule: (region, kind, ops) triples. */
+LeafSchedule
+oneStep(const Module &mod, unsigned k,
+        std::vector<std::tuple<unsigned, GateKind,
+                               std::vector<uint32_t>>> slots)
+{
+    ScheduleBuilder builder(mod, k);
+    builder.beginStep();
+    for (auto &[r, kind, ops] : slots) {
+        builder.slot(r).kind = kind;
+        builder.slot(r).ops = std::move(ops);
+    }
+    builder.endStep();
+    return builder.finish();
+}
+
 TEST(Validator, CatchesUnscheduledOp)
 {
     Module mod = parallelH(2);
-    LeafSchedule sched(mod, 1);
-    Timestep &step = sched.appendStep();
-    step.regions[0].kind = GateKind::H;
-    step.regions[0].ops = {0}; // op 1 missing
+    // op 1 missing
+    LeafSchedule sched = oneStep(mod, 1, {{0, GateKind::H, {0}}});
     EXPECT_THROW(validateLeafSchedule(sched, MultiSimdArch(1)),
                  PanicError);
 }
@@ -293,10 +314,7 @@ TEST(Validator, CatchesMixedTypes)
     auto reg = mod.addRegister("q", 2);
     mod.addGate(GateKind::H, {reg[0]});
     mod.addGate(GateKind::T, {reg[1]});
-    LeafSchedule sched(mod, 1);
-    Timestep &step = sched.appendStep();
-    step.regions[0].kind = GateKind::H;
-    step.regions[0].ops = {0, 1};
+    LeafSchedule sched = oneStep(mod, 1, {{0, GateKind::H, {0, 1}}});
     EXPECT_THROW(validateLeafSchedule(sched, MultiSimdArch(1)),
                  PanicError);
 }
@@ -307,12 +325,9 @@ TEST(Validator, CatchesDependenceViolation)
     QubitId q = mod.addLocal("q");
     mod.addGate(GateKind::H, {q});
     mod.addGate(GateKind::T, {q});
-    LeafSchedule sched(mod, 2);
-    Timestep &step = sched.appendStep();
-    step.regions[0].kind = GateKind::H;
-    step.regions[0].ops = {0};
-    step.regions[1].kind = GateKind::T;
-    step.regions[1].ops = {1}; // same step as its predecessor
+    // op 1 in the same step as its predecessor
+    LeafSchedule sched = oneStep(mod, 2, {{0, GateKind::H, {0}},
+                                          {1, GateKind::T, {1}}});
     EXPECT_THROW(validateLeafSchedule(sched, MultiSimdArch(2)),
                  PanicError);
 }
@@ -320,12 +335,8 @@ TEST(Validator, CatchesDependenceViolation)
 TEST(Validator, CatchesDoubleSchedule)
 {
     Module mod = parallelH(1);
-    LeafSchedule sched(mod, 2);
-    Timestep &step = sched.appendStep();
-    step.regions[0].kind = GateKind::H;
-    step.regions[0].ops = {0};
-    step.regions[1].kind = GateKind::H;
-    step.regions[1].ops = {0};
+    LeafSchedule sched = oneStep(mod, 2, {{0, GateKind::H, {0}},
+                                          {1, GateKind::H, {0}}});
     EXPECT_THROW(validateLeafSchedule(sched, MultiSimdArch(2)),
                  PanicError);
 }
@@ -334,23 +345,18 @@ TEST(Validator, CatchesDBudgetViolation)
 {
     Module mod = parallelH(3);
     MultiSimdArch arch(1, 2);
-    LeafSchedule sched(mod, 1);
-    Timestep &step = sched.appendStep();
-    step.regions[0].kind = GateKind::H;
-    step.regions[0].ops = {0, 1, 2}; // 3 qubits > d=2
+    // 3 qubits > d=2
+    LeafSchedule sched = oneStep(mod, 1, {{0, GateKind::H, {0, 1, 2}}});
     EXPECT_THROW(validateLeafSchedule(sched, arch), PanicError);
 }
 
 TEST(Validator, CatchesBadMoveSource)
 {
     Module mod = parallelH(1);
-    LeafSchedule sched(mod, 1);
-    Timestep &step = sched.appendStep();
-    step.regions[0].kind = GateKind::H;
-    step.regions[0].ops = {0};
+    LeafSchedule sched = oneStep(mod, 1, {{0, GateKind::H, {0}}});
     // Claims the qubit comes from region 0, but it starts in memory.
-    step.moves.push_back(
-        {0, Location::inRegion(0), Location::inRegion(0), true});
+    sched.appendMove(
+        0, {0, Location::inRegion(0), Location::inRegion(0), true});
     EXPECT_THROW(validateLeafSchedule(sched, MultiSimdArch(1), true),
                  PanicError);
 }
@@ -358,10 +364,7 @@ TEST(Validator, CatchesBadMoveSource)
 TEST(Validator, CatchesOperandNotResident)
 {
     Module mod = parallelH(1);
-    LeafSchedule sched(mod, 1);
-    Timestep &step = sched.appendStep();
-    step.regions[0].kind = GateKind::H;
-    step.regions[0].ops = {0};
+    LeafSchedule sched = oneStep(mod, 1, {{0, GateKind::H, {0}}});
     // No fetch move: operand still in global memory.
     EXPECT_THROW(validateLeafSchedule(sched, MultiSimdArch(1), true),
                  PanicError);
@@ -377,15 +380,18 @@ TEST(Validator, CatchesQubitTouchedTwiceAcrossRegions)
     mod.addGate(GateKind::H, {reg[0]});
     mod.addGate(GateKind::CNOT, {reg[1], reg[2]});
     mod.addGate(GateKind::CNOT, {reg[0], reg[1]}); // shares q0 with op 0
-    LeafSchedule sched(mod, 2);
-    Timestep &step = sched.appendStep();
-    step.regions[0].kind = GateKind::H;
-    step.regions[0].ops = {0};
-    step.regions[1].kind = GateKind::CNOT;
-    step.regions[1].ops = {2}; // q0 again, in the other region
-    Timestep &step2 = sched.appendStep();
-    step2.regions[0].kind = GateKind::CNOT;
-    step2.regions[0].ops = {1};
+    ScheduleBuilder builder(mod, 2);
+    builder.beginStep();
+    builder.slot(0).kind = GateKind::H;
+    builder.slot(0).ops = {0};
+    builder.slot(1).kind = GateKind::CNOT;
+    builder.slot(1).ops = {2}; // q0 again, in the other region
+    builder.endStep();
+    builder.beginStep();
+    builder.slot(0).kind = GateKind::CNOT;
+    builder.slot(0).ops = {1};
+    builder.endStep();
+    LeafSchedule sched = builder.finish();
 
     EXPECT_THROW(validateLeafSchedule(sched, MultiSimdArch(2)),
                  PanicError);
@@ -406,13 +412,8 @@ TEST(Validator, CollectModeReportsAllViolations)
     mod.addGate(GateKind::T, {reg[1]});
     mod.addGate(GateKind::H, {reg[2]});
 
-    LeafSchedule sched(mod, 2);
-    Timestep &step = sched.appendStep();
-    step.regions[0].kind = GateKind::H;
-    step.regions[0].ops = {0, 1}; // breakage 1: T in an H slot
-    step.regions[1].kind = GateKind::H;
-    step.regions[1].ops = {};
-    // breakage 2: op 2 never scheduled.
+    // breakage 1: T in an H slot; breakage 2: op 2 never scheduled.
+    LeafSchedule sched = oneStep(mod, 2, {{0, GateKind::H, {0, 1}}});
 
     DiagnosticEngine diags;
     EXPECT_FALSE(validateLeafSchedule(sched, MultiSimdArch(2), false,

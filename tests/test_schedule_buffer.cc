@@ -1,0 +1,391 @@
+/**
+ * @file
+ * Unit tests for the compact SoA schedule representation: ScheduleBuffer
+ * offsets and bitmap, view iteration, builder round-trips, streaming,
+ * copy-on-write mutation, and the leaf-cache aliasing regression (a
+ * fault injected after a cache hit must never corrupt the cached plan).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/schedule.hh"
+#include "sched/comm.hh"
+#include "sched/leaf_cache.hh"
+#include "sched/lpfs.hh"
+#include "support/logging.hh"
+
+namespace {
+
+using namespace msq;
+
+/** n parallel single-qubit H gates. */
+Module
+parallelH(unsigned n)
+{
+    Module mod("h");
+    auto reg = mod.addRegister("q", n);
+    for (QubitId q : reg)
+        mod.addGate(GateKind::H, {q});
+    return mod;
+}
+
+TEST(ScheduleBuffer, EmptySchedule)
+{
+    Module mod("empty");
+    LeafSchedule sched(mod, 4);
+    EXPECT_EQ(sched.computeTimesteps(), 0u);
+    EXPECT_EQ(sched.scheduledOps(), 0u);
+    EXPECT_EQ(sched.width(), 0u);
+    EXPECT_EQ(sched.totalCycles(), 0u);
+    EXPECT_EQ(sched.teleportMoves(), 0u);
+}
+
+TEST(ScheduleBuffer, BuilderRoundTrip)
+{
+    Module mod("m");
+    auto reg = mod.addRegister("q", 4);
+    mod.addGate(GateKind::H, {reg[0]});
+    mod.addGate(GateKind::H, {reg[1]});
+    mod.addGate(GateKind::T, {reg[2]});
+    mod.addGate(GateKind::CNOT, {reg[0], reg[1]});
+
+    ScheduleBuilder builder(mod, 4);
+    // Step 0: regions 0 (H x2) and 3 (T); regions 1-2 empty.
+    builder.beginStep();
+    builder.slot(0).kind = GateKind::H;
+    builder.slot(0).ops = {0, 1};
+    builder.slot(3).kind = GateKind::T;
+    builder.slot(3).ops = {2};
+    builder.endStep();
+    // Step 1: fully empty.
+    builder.beginStep();
+    builder.endStep();
+    // Step 2: region 2 only.
+    builder.beginStep();
+    builder.slot(2).kind = GateKind::CNOT;
+    builder.slot(2).ops = {3};
+    builder.endStep();
+    LeafSchedule sched = builder.finish();
+
+    const ScheduleBuffer &buf = sched.buffer();
+    EXPECT_EQ(buf.numSteps(), 3u);
+    // Only active (step, region) pairs get a slot record.
+    EXPECT_EQ(buf.slots.size(), 3u);
+    EXPECT_EQ(buf.ops.size(), 4u);
+
+    TimestepView s0 = sched.step(0);
+    EXPECT_EQ(s0.activeRegions(), 2u);
+    EXPECT_EQ(s0.slot(0).region(), 0u);
+    EXPECT_EQ(s0.slot(0).kind(), GateKind::H);
+    EXPECT_EQ(s0.slot(0).numOps(), 2u);
+    EXPECT_EQ(s0.slot(1).region(), 3u);
+    EXPECT_EQ(s0.slot(1).ops()[0], 2u);
+    EXPECT_TRUE(s0.regionActive(0));
+    EXPECT_FALSE(s0.regionActive(1));
+    EXPECT_FALSE(s0.regionActive(2));
+    EXPECT_TRUE(s0.regionActive(3));
+
+    TimestepView s1 = sched.step(1);
+    EXPECT_EQ(s1.activeRegions(), 0u);
+    for (unsigned r = 0; r < 4; ++r)
+        EXPECT_FALSE(s1.regionActive(r));
+
+    TimestepView s2 = sched.step(2);
+    EXPECT_EQ(s2.activeRegions(), 1u);
+    EXPECT_EQ(s2.slot(0).region(), 2u);
+    EXPECT_EQ(s2.slot(0).kind(), GateKind::CNOT);
+
+    EXPECT_EQ(sched.width(), 2u);
+    EXPECT_EQ(sched.scheduledOps(), 4u);
+}
+
+TEST(ScheduleBuffer, OpRangesTileTheStream)
+{
+    Module mod = parallelH(6);
+    ScheduleBuilder builder(mod, 3);
+    builder.beginStep();
+    builder.slot(0).kind = GateKind::H;
+    builder.slot(0).ops = {0, 1};
+    builder.slot(1).kind = GateKind::H;
+    builder.slot(1).ops = {2};
+    builder.endStep();
+    builder.beginStep();
+    builder.slot(2).kind = GateKind::H;
+    builder.slot(2).ops = {3, 4, 5};
+    builder.endStep();
+    LeafSchedule sched = builder.finish();
+
+    const ScheduleBuffer &buf = sched.buffer();
+    // Each slot's op range begins exactly where the previous one ended.
+    uint32_t prev_end = 0;
+    for (uint32_t i = 0; i < buf.slots.size(); ++i) {
+        EXPECT_EQ(buf.opBegin(i), prev_end);
+        EXPECT_GT(buf.slots[i].opEnd, prev_end); // never empty
+        prev_end = buf.slots[i].opEnd;
+    }
+    EXPECT_EQ(prev_end, buf.ops.size());
+}
+
+TEST(ScheduleBuffer, SlotIterationIsRegionAscending)
+{
+    Module mod = parallelH(3);
+    ScheduleBuilder builder(mod, 8);
+    builder.beginStep();
+    // Drafted out of order; sealed region-sorted.
+    builder.slot(5).kind = GateKind::H;
+    builder.slot(5).ops = {2};
+    builder.slot(1).kind = GateKind::H;
+    builder.slot(1).ops = {0};
+    builder.slot(3).kind = GateKind::H;
+    builder.slot(3).ops = {1};
+    builder.endStep();
+    LeafSchedule sched = builder.finish();
+
+    std::vector<unsigned> regions;
+    for (RegionSlotView slot : sched.step(0))
+        regions.push_back(slot.region());
+    EXPECT_EQ(regions, (std::vector<unsigned>{1, 3, 5}));
+}
+
+TEST(ScheduleBuffer, BitmapSpansMultipleWords)
+{
+    Module mod = parallelH(2);
+    const unsigned k = 130; // 3 bitmap words per step
+    ScheduleBuilder builder(mod, k);
+    builder.beginStep();
+    builder.slot(0).kind = GateKind::H;
+    builder.slot(0).ops = {0};
+    builder.slot(129).kind = GateKind::H;
+    builder.slot(129).ops = {1};
+    builder.endStep();
+    LeafSchedule sched = builder.finish();
+
+    EXPECT_EQ(sched.buffer().wordsPerStep(), 3u);
+    TimestepView step = sched.step(0);
+    EXPECT_TRUE(step.regionActive(0));
+    EXPECT_TRUE(step.regionActive(129));
+    for (unsigned r = 1; r < 129; ++r)
+        EXPECT_FALSE(step.regionActive(r));
+}
+
+TEST(ScheduleBuffer, BuilderGuardsAgainstMisuse)
+{
+    Module mod = parallelH(1);
+    ScheduleBuilder builder(mod, 1);
+    EXPECT_THROW(builder.endStep(), PanicError);
+    builder.beginStep();
+    EXPECT_THROW(builder.beginStep(), PanicError);
+    EXPECT_THROW(builder.finish(), PanicError);
+}
+
+TEST(ScheduleBuffer, AppendMoveShiftsLaterSteps)
+{
+    Module mod = parallelH(2);
+    ScheduleBuilder builder(mod, 1);
+    for (uint32_t i = 0; i < 2; ++i) {
+        builder.beginStep();
+        builder.slot(0).kind = GateKind::H;
+        builder.slot(0).ops = {i};
+        builder.endStep();
+    }
+    LeafSchedule sched = builder.finish();
+    Move late{1, Location::global(), Location::inRegion(0), true};
+    sched.appendMove(1, late);
+    Move early{0, Location::global(), Location::inRegion(0), false};
+    sched.appendMove(0, early);
+
+    ASSERT_EQ(sched.step(0).moves().size(), 1u);
+    EXPECT_EQ(sched.step(0).moves()[0].qubit, 0u);
+    ASSERT_EQ(sched.step(1).moves().size(), 1u);
+    EXPECT_EQ(sched.step(1).moves()[0].qubit, 1u);
+    EXPECT_THROW(sched.appendMove(2, early), PanicError);
+}
+
+TEST(ScheduleBuffer, AppendEmptyStep)
+{
+    Module mod = parallelH(1);
+    LeafSchedule sched(mod, 2);
+    sched.appendEmptyStep();
+    sched.appendEmptyStep();
+    EXPECT_EQ(sched.computeTimesteps(), 2u);
+    EXPECT_EQ(sched.step(1).activeRegions(), 0u);
+    EXPECT_TRUE(sched.step(1).moves().empty());
+    EXPECT_EQ(sched.totalCycles(), 2u); // gate phases only
+}
+
+/** Records the streaming callback sequence as a compact string. */
+struct RecordingSink : ScheduleSink
+{
+    std::string log;
+
+    void beginSchedule(const LeafSchedule &) override { log += "B"; }
+    void
+    beginStep(const TimestepView &step) override
+    {
+        log += "b" + std::to_string(step.index());
+    }
+    void
+    slot(const RegionSlotView &slot) override
+    {
+        log += "s" + std::to_string(slot.region());
+    }
+    void move(const Move &) override { log += "m"; }
+    void endStep(const TimestepView &) override { log += "e"; }
+    void endSchedule() override { log += "E"; }
+};
+
+TEST(ScheduleBuffer, StreamVisitsInOrder)
+{
+    Module mod = parallelH(3);
+    ScheduleBuilder builder(mod, 2);
+    builder.beginStep();
+    builder.slot(0).kind = GateKind::H;
+    builder.slot(0).ops = {0};
+    builder.slot(1).kind = GateKind::H;
+    builder.slot(1).ops = {1};
+    builder.endStep();
+    builder.beginStep();
+    builder.slot(0).kind = GateKind::H;
+    builder.slot(0).ops = {2};
+    builder.endStep();
+    LeafSchedule sched = builder.finish();
+    sched.appendMove(0,
+                     {0, Location::global(), Location::inRegion(0), false});
+
+    RecordingSink sink;
+    sched.stream(sink);
+    EXPECT_EQ(sink.log, "Bb0s0s1meb1s0eE");
+
+    RecordingSink truncated;
+    sched.stream(truncated, 1);
+    EXPECT_EQ(truncated.log, "Bb0s0s1meE");
+}
+
+TEST(ScheduleBuffer, WalkerCursorsAllSteps)
+{
+    Module mod = parallelH(3);
+    ScheduleBuilder builder(mod, 1);
+    for (uint32_t i = 0; i < 3; ++i) {
+        builder.beginStep();
+        builder.slot(0).kind = GateKind::H;
+        builder.slot(0).ops = {i};
+        builder.endStep();
+    }
+    LeafSchedule sched = builder.finish();
+
+    uint64_t visited = 0;
+    for (ScheduleWalker walker(sched); !walker.atEnd(); walker.next()) {
+        EXPECT_EQ(walker.index(), visited);
+        EXPECT_EQ(walker.step().slot(0).ops()[0], visited);
+        ++visited;
+    }
+    EXPECT_EQ(visited, 3u);
+}
+
+TEST(ScheduleBuffer, CopyOnWriteDetachesAliasedBuffers)
+{
+    Module mod = parallelH(2);
+    LpfsScheduler lpfs;
+    LeafSchedule sched = lpfs.schedule(mod, MultiSimdArch(2));
+
+    LeafSchedule alias(mod, sched.sharedBuffer());
+    ASSERT_EQ(alias.sharedBuffer().get(), sched.sharedBuffer().get());
+
+    alias.appendMove(0,
+                     {0, Location::global(), Location::inRegion(0), true});
+    // The alias detached; the original handle's buffer is untouched.
+    EXPECT_NE(alias.sharedBuffer().get(), sched.sharedBuffer().get());
+    EXPECT_EQ(sched.step(0).moves().size(), 0u);
+    EXPECT_EQ(alias.step(0).moves().size(), 1u);
+}
+
+// Regression for the shared-cache mutation hazard: with the old mutable
+// steps() accessor, msq-verify's fault injection (or any consumer)
+// could silently corrupt a plan other handles shared. Now every cached
+// buffer copies on mutation because the cache holds its own reference.
+TEST(LeafScheduleCacheCow, FaultInjectionAfterHitLeavesCacheIntact)
+{
+    Module mod("m");
+    auto reg = mod.addRegister("q", 3);
+    mod.addGate(GateKind::H, {reg[0]});
+    mod.addGate(GateKind::CNOT, {reg[0], reg[1]});
+    mod.addGate(GateKind::T, {reg[2]});
+
+    MultiSimdArch arch(2);
+    LpfsScheduler lpfs;
+    LeafSchedule sched = lpfs.schedule(mod, arch);
+    CommunicationAnalyzer comm(arch, CommMode::Global);
+
+    LeafScheduleCache cache;
+    auto result = std::make_shared<LeafScheduleResult>();
+    result->stats = comm.annotate(sched);
+    result->schedule = sched.sharedBuffer();
+    cache.insert("key", std::move(result));
+
+    auto hit = cache.lookup("key");
+    ASSERT_TRUE(hit);
+    ASSERT_TRUE(hit->schedule);
+    const uint64_t pristine_moves = hit->schedule->moves.size();
+
+    // A consumer rebinds the cached plan and injects a fault into it.
+    LeafSchedule rebound(mod, hit->schedule);
+    rebound.appendMove(
+        0, {reg[2], Location::inRegion(0), Location::global(), true});
+    EXPECT_EQ(rebound.buffer().moves.size(), pristine_moves + 1);
+
+    // The cached buffer is byte-identical to before the injection...
+    EXPECT_EQ(hit->schedule->moves.size(), pristine_moves);
+    EXPECT_NE(rebound.sharedBuffer().get(), hit->schedule.get());
+
+    // ...and a second hit still serves the pristine plan.
+    auto hit2 = cache.lookup("key");
+    LeafSchedule again(mod, hit2->schedule);
+    EXPECT_EQ(again.buffer().moves.size(), pristine_moves);
+    EXPECT_EQ(again.sharedBuffer().get(), hit->schedule.get());
+}
+
+// The analyzer re-annotates through MoveAnnotator, which also must
+// detach instead of clearing a cached plan's movement stream in place.
+TEST(LeafScheduleCacheCow, ReannotationDetachesCachedBuffer)
+{
+    Module mod("m");
+    QubitId a = mod.addLocal("a");
+    QubitId b = mod.addLocal("b");
+    mod.addGate(GateKind::H, {a});
+    mod.addGate(GateKind::CNOT, {a, b});
+
+    MultiSimdArch arch(2);
+    LpfsScheduler lpfs;
+    LeafSchedule sched = lpfs.schedule(mod, arch);
+    CommunicationAnalyzer comm(arch, CommMode::Global);
+    comm.annotate(sched);
+
+    std::shared_ptr<const ScheduleBuffer> cached = sched.sharedBuffer();
+    const uint64_t cached_moves = cached->moves.size();
+
+    LeafSchedule rebound(mod, cached);
+    CommStats stats = comm.annotate(rebound);
+    EXPECT_EQ(cached->moves.size(), cached_moves);
+    EXPECT_NE(rebound.sharedBuffer().get(), cached.get());
+    // Determinism: the re-derived plan matches the cached one.
+    EXPECT_EQ(rebound.buffer().moves.size(), cached_moves);
+    EXPECT_EQ(stats.totalCycles, rebound.totalCycles());
+}
+
+TEST(ScheduleBuffer, ByteSizeCoversAllArrays)
+{
+    Module mod = parallelH(8);
+    LpfsScheduler lpfs;
+    LeafSchedule sched = lpfs.schedule(mod, MultiSimdArch(4));
+    const ScheduleBuffer &buf = sched.buffer();
+    uint64_t floor = sizeof(ScheduleBuffer) +
+                     buf.slots.size() * sizeof(ScheduleBuffer::Slot) +
+                     buf.ops.size() * sizeof(uint32_t);
+    EXPECT_GE(buf.byteSize(), floor);
+}
+
+} // namespace

@@ -205,24 +205,29 @@ printDataflow(const std::string &path, const Program &prog)
 bool
 injectCommFault(LeafSchedule &sched, const std::string &kind)
 {
-    auto &steps = sched.steps();
     const Module &mod = sched.module();
+    const uint64_t num_steps = sched.computeTimesteps();
+
+    // All mutation goes through LeafSchedule::appendMove, which detaches
+    // a private buffer copy when the schedule is aliased (e.g. cached);
+    // the read-only planning below uses the immutable views.
 
     if (kind == "move-during-gate") {
-        for (auto &step : steps) {
-            for (unsigned r = 0; r < step.regions.size(); ++r) {
-                const RegionSlot &slot = step.regions[r];
-                if (!slot.active() || slot.ops[0] >= mod.numOps())
+        for (ScheduleWalker walker(sched); !walker.atEnd();
+             walker.next()) {
+            TimestepView step = walker.step();
+            for (RegionSlotView slot : step) {
+                if (slot.ops()[0] >= mod.numOps())
                     continue;
-                const Operation &op = mod.op(slot.ops[0]);
+                const Operation &op = mod.op(slot.ops()[0]);
                 if (op.operands.empty())
                     continue;
                 Move fault;
                 fault.qubit = op.operands[0];
-                fault.from = Location::inRegion(r);
+                fault.from = Location::inRegion(slot.region());
                 fault.to = Location::global();
                 fault.blocking = true;
-                step.moves.push_back(fault);
+                sched.appendMove(walker.index(), fault);
                 return true;
             }
         }
@@ -230,17 +235,17 @@ injectCommFault(LeafSchedule &sched, const std::string &kind)
     }
 
     if (kind == "oversubscribe") {
-        if (steps.empty())
+        if (num_steps == 0)
             return false;
-        Timestep &step = steps.front();
+        TimestepView step = sched.step(0);
         std::vector<bool> touched(mod.numQubits(), false);
-        for (const RegionSlot &slot : step.regions)
-            for (uint32_t op_index : slot.ops)
+        for (RegionSlotView slot : step)
+            for (uint32_t op_index : slot.ops())
                 if (op_index < mod.numOps())
                     for (QubitId q : mod.op(op_index).operands)
                         if (q < touched.size())
                             touched[q] = true;
-        for (const Move &move : step.moves)
+        for (const Move &move : step.moves())
             if (move.qubit < touched.size())
                 touched[move.qubit] = true;
         bool injected = false;
@@ -254,32 +259,34 @@ injectCommFault(LeafSchedule &sched, const std::string &kind)
             fault.from = Location::global();
             fault.to = Location::inRegion(0);
             fault.blocking = false;
-            step.moves.push_back(fault);
+            sched.appendMove(0, fault);
             injected = true;
         }
         return injected;
     }
 
     if (kind == "dead-teleport") {
-        if (steps.empty())
+        if (num_steps == 0)
             return false;
         // Replay the plan to learn final locations and last uses.
         constexpr uint64_t neverUsed =
             std::numeric_limits<uint64_t>::max();
         std::vector<Location> loc(mod.numQubits(), Location::global());
         std::vector<uint64_t> last_use(mod.numQubits(), neverUsed);
-        for (size_t ts = 0; ts < steps.size(); ++ts) {
-            for (const Move &move : steps[ts].moves)
+        for (ScheduleWalker walker(sched); !walker.atEnd();
+             walker.next()) {
+            TimestepView step = walker.step();
+            for (const Move &move : step.moves())
                 if (move.qubit < loc.size())
                     loc[move.qubit] = move.to;
-            for (const RegionSlot &slot : steps[ts].regions)
-                for (uint32_t op_index : slot.ops)
+            for (RegionSlotView slot : step)
+                for (uint32_t op_index : slot.ops())
                     if (op_index < mod.numOps())
                         for (QubitId q : mod.op(op_index).operands)
                             if (q < last_use.size())
-                                last_use[q] = ts;
+                                last_use[q] = walker.index();
         }
-        size_t final_step = steps.size() - 1;
+        uint64_t final_step = num_steps - 1;
         for (QubitId q = 0; q < mod.numQubits(); ++q) {
             bool dead = last_use[q] == neverUsed ||
                         last_use[q] < final_step;
@@ -292,7 +299,7 @@ injectCommFault(LeafSchedule &sched, const std::string &kind)
                            ? Location::inLocalMem(loc[q].region)
                            : Location::inRegion(0);
             fault.blocking = true;
-            steps[final_step].moves.push_back(fault);
+            sched.appendMove(final_step, fault);
             return true;
         }
         return false;
