@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Static makespan lower bounds (DESIGN.md §12).
+ *
+ * The paper evaluates RCP against LPFS but never against *optimal*; this
+ * analysis computes, per module, a certified lower bound on the makespan
+ * of ANY valid schedule, so schedule quality can be stated as an
+ * optimality gap (makespan / lower bound >= 1) and a schedule shorter
+ * than its bound can be rejected as corrupt (verify/bound_checker.hh,
+ * diagnostic codes B001-B006).
+ *
+ * Three bound families are computed for leaf modules, all in *compute
+ * timesteps* (every valid schedule's cycle count, with or without
+ * movement phases, is >= its compute-timestep count):
+ *
+ *  - critical path: ops on a dependence chain occupy distinct timesteps
+ *    (no-cloning serialization, ir/dag.hh), so the longest chain bounds
+ *    the step count;
+ *  - resource: one timestep touches at most min(k*d, numQubits) qubit
+ *    operands (k regions of d operands each — validator invariant S006 —
+ *    and no qubit twice per step — S007), so total operand touches
+ *    divided by that capacity bounds the step count;
+ *  - interval (Fernandez-style, cf. SNIPPETS.md snippet 2): every op
+ *    must execute inside its [earliest-start, latest-finish] window
+ *    derived from ASAP/ALAP levels at the critical-path length; if the
+ *    ops confined to some window demand more step-capacity than the
+ *    window holds, the whole schedule must stretch by the excess. The
+ *    window pairs examined are endpoint-sampled (soundness does not
+ *    depend on which intervals are examined, only tightness does).
+ *
+ * Leaf bounds deliberately charge no teleport cycles: the communication
+ * model masks any teleport whose qubit was last touched >= 4 steps ago
+ * (sched/comm.cc), and first fetches are always masked, so there exist
+ * leaves whose optimal schedules pay zero movement cycles; a bound that
+ * charged them would not be a bound. Teleport/move cycles enter where
+ * the cost model charges them deterministically: the hierarchical
+ * composition prices non-leaf gates at MultiSimdArch::coarseGateCost
+ * (1 or 1+4 cycles) and calls at repeat * (callee bound +
+ * MultiSimdArch::callOverhead) — the same per-op cycle costs the coarse
+ * scheduler itself uses, composed through the invocation_counts repeat
+ * algebra in O(distinct modules).
+ */
+
+#ifndef MSQ_ANALYSIS_BOUNDS_HH
+#define MSQ_ANALYSIS_BOUNDS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "arch/multi_simd.hh"
+#include "ir/program.hh"
+#include "support/diagnostic.hh"
+
+namespace msq {
+
+/** Certified lower bounds on one module's schedule makespan (cycles). */
+struct MakespanBounds
+{
+    uint64_t criticalPath = 0; ///< longest weighted dependence chain
+    uint64_t resource = 0;     ///< work / per-step machine capacity
+    uint64_t interval = 0;     ///< Fernandez window bound (leaves only)
+    bool saturated = false;    ///< repeat algebra clipped at 2^64-1
+
+    /** The strongest (largest) of the families — still a lower bound. */
+    uint64_t
+    composite() const
+    {
+        return std::max(criticalPath, std::max(resource, interval));
+    }
+};
+
+/**
+ * Lower-bound the compute-timestep count of any valid schedule of leaf
+ * @p mod on @p arch (arch.k is the width budget; pass a width-clamped
+ * copy to bound narrower sweep points).
+ */
+MakespanBounds computeLeafBounds(const Module &mod,
+                                 const MultiSimdArch &arch);
+
+/**
+ * Hierarchical (whole-program) makespan lower bounds: leaf bounds
+ * composed bottom-up through the call graph with the coarse scheduler's
+ * own per-op cycle costs, so every module's bound certifiably
+ * under-approximates the CoarseScheduler's blackbox lengths for the
+ * same (arch, mode).
+ */
+class MakespanBoundAnalysis
+{
+  public:
+    /**
+     * Analyze all modules reachable from @p prog's entry.
+     * @param mode communication mode the schedule under test was costed
+     *        with (selects the coarse-level gate/call cycle costs).
+     * @param diags optional sink for B006 repeat-overflow warnings.
+     */
+    MakespanBoundAnalysis(const Program &prog, const MultiSimdArch &arch,
+                          CommMode mode,
+                          DiagnosticEngine *diags = nullptr);
+
+    /** Bounds of one invocation of module @p id (at full width k). */
+    const MakespanBounds &bounds(ModuleId id) const;
+
+    /** Composite lower bound of module @p id (at full width k). */
+    uint64_t lowerBound(ModuleId id) const { return bounds(id).composite(); }
+
+    /** Composite lower bound of the entry module. */
+    uint64_t programLowerBound() const;
+
+    /**
+     * Lower bound of module @p id when restricted to @p width regions
+     * (bounds every blackbox dimension of the width sweep: the bound is
+     * non-increasing in width, the dims curve is non-increasing by the
+     * monotone clamp, and each raw length respects its width's bound).
+     */
+    uint64_t lowerBoundAt(ModuleId id, unsigned width) const;
+
+    /**
+     * Region-cycle area lower bound of module @p id: any schedule of
+     * the module occupying w regions for len cycles has w * len >= this
+     * (the numerator of the width-parametric resource bound).
+     */
+    uint64_t areaBound(ModuleId id) const;
+
+    /** Did any repeat product clip at 2^64-1 during composition? */
+    bool saturated() const { return saturated_; }
+
+  private:
+    const Program *prog;
+    MultiSimdArch arch;
+    CommMode mode;
+    std::vector<MakespanBounds> bounds_; ///< indexed by ModuleId
+    std::vector<uint64_t> areas_;        ///< indexed by ModuleId
+    bool saturated_ = false;
+};
+
+} // namespace msq
+
+#endif // MSQ_ANALYSIS_BOUNDS_HH

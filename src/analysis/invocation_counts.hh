@@ -5,6 +5,15 @@
  * through the call graph. Used to weight per-module statistics (gate
  * mix, movement traffic) into whole-program aggregates without
  * unrolling.
+ *
+ * All arithmetic saturates at UINT64_MAX instead of wrapping. Paper
+ * benchmarks reach 10^12 gates, and nested repeat loops can push the
+ * invocation product past 2^64; a saturated count is still a sound
+ * *lower* bound on the true count, so downstream aggregates degrade
+ * gracefully — but silently, which is why callers that care (the
+ * makespan bound composition, msq-verify) can pass a DiagnosticEngine
+ * to receive a line-numbered B006 warning at the call site where the
+ * product first clipped.
  */
 
 #ifndef MSQ_ANALYSIS_INVOCATION_COUNTS_HH
@@ -14,6 +23,7 @@
 #include <vector>
 
 #include "ir/program.hh"
+#include "support/diagnostic.hh"
 
 namespace msq {
 
@@ -21,15 +31,24 @@ namespace msq {
 class InvocationCountAnalysis
 {
   public:
-    /** Analyze all modules reachable from @p prog's entry. */
-    explicit InvocationCountAnalysis(const Program &prog);
+    /**
+     * Analyze all modules reachable from @p prog's entry.
+     * @param diags optional sink for B006 saturation warnings (one per
+     *        call site whose count product clips at UINT64_MAX).
+     */
+    explicit InvocationCountAnalysis(const Program &prog,
+                                     DiagnosticEngine *diags = nullptr);
 
     /** Times module @p id runs in one program execution (entry = 1). */
     uint64_t invocations(ModuleId id) const;
 
+    /** Did any count saturate at UINT64_MAX? */
+    bool saturated() const { return saturated_; }
+
   private:
     const Program *prog;
     std::vector<uint64_t> counts;
+    bool saturated_ = false;
 };
 
 } // namespace msq

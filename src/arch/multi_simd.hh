@@ -99,6 +99,36 @@ struct MultiSimdArch
     /** Validate the configuration; calls fatal() on nonsense. */
     void validate() const;
 
+    /// @name Per-op cycle costs of the coarse (non-leaf) level, §4.3
+    /// @{
+
+    /**
+     * Cycles one coarse-level gate operation costs under @p mode: the
+     * gate cycle itself plus, when communication is modelled, the
+     * 4-cycle teleport of its operands between global memory and a
+     * region ("a plain gate has execution cost 1 and movement cost 4").
+     */
+    static constexpr uint64_t
+    coarseGateCost(CommMode mode)
+    {
+        return mode == CommMode::None ? gateCycles
+                                      : gateCycles + teleportCycles;
+    }
+
+    /**
+     * Fixed per-invocation cost of a call under @p mode: the flush of
+     * active qubits to global memory around the call (§3.2, "a fixed
+     * overhead of a single teleportation cycle"); free when
+     * communication is not modelled.
+     */
+    static constexpr uint64_t
+    callOverhead(CommMode mode)
+    {
+        return mode == CommMode::None ? 0 : callOverheadCycles;
+    }
+
+    /// @}
+
     /** @return this architecture with a finite EPR channel bandwidth. */
     MultiSimdArch
     withEprBandwidth(uint64_t bandwidth) const

@@ -4,6 +4,7 @@
 #include <optional>
 #include <queue>
 
+#include "analysis/bounds.hh"
 #include "ir/dag.hh"
 #include "support/logging.hh"
 #include "support/saturate.hh"
@@ -123,6 +124,9 @@ CoarseScheduler::leafWidthResult(const Module &mod, unsigned w) const
     CommunicationAnalyzer comm(arch, mode);
     auto result = std::make_shared<LeafScheduleResult>();
     result->stats = comm.annotate(sched);
+    // Static lower bounds at this width ride the same memoization as
+    // the schedule: both are pure functions of what the key captures.
+    result->bounds = computeLeafBounds(mod, sub);
     result->schedule = sched.sharedBuffer();
     if (tracing) {
         span->setArgs(csprintf(
@@ -168,12 +172,8 @@ CoarseScheduler::scheduleNonLeaf(const Program &prog, const Module &mod,
                                  const ProgramSchedule &partial,
                                  unsigned max_width) const
 {
-    const uint64_t gate_cost =
-        mode == CommMode::None
-            ? MultiSimdArch::gateCycles
-            : MultiSimdArch::gateCycles + MultiSimdArch::teleportCycles;
-    const uint64_t call_overhead =
-        mode == CommMode::None ? 0 : MultiSimdArch::callOverheadCycles;
+    const uint64_t gate_cost = MultiSimdArch::coarseGateCost(mode);
+    const uint64_t call_overhead = MultiSimdArch::callOverhead(mode);
 
     // Priorities: height in the module DAG with hierarchical weights.
     DepDag dag = DepDag::build(mod, [&](const Operation &op) -> uint64_t {
@@ -462,6 +462,10 @@ CoarseScheduler::schedule(const Program &prog) const
                 .record(static_cast<double>(mod.numOps()));
             metrics->distribution("sched.leaf.cycles")
                 .record(static_cast<double>(info.comm.totalCycles));
+            // Schedule quality vs. the static lower bound at the widest
+            // sweep point (>= 1.0 for any correct scheduler output).
+            metrics->distribution("sched.leaf.optimality_gap")
+                .record(slots[(m + 1) * nw - 1]->optimalityGap());
             const CommStats &comm = info.comm;
             metrics->counter("comm.teleport_moves")
                 .add(comm.teleportMoves);

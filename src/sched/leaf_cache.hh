@@ -35,11 +35,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "analysis/bounds.hh"
 #include "arch/schedule.hh"
 #include "sched/comm.hh"
 
@@ -52,6 +54,15 @@ struct LeafScheduleResult
     CommStats stats;
 
     /**
+     * Static makespan lower bounds at this schedule's width
+     * (analysis/bounds.hh). Pure function of the module's structure and
+     * the arch — exactly what the cache key captures — so bounds are
+     * memoized alongside the schedule and a cache hit never recomputes
+     * them.
+     */
+    MakespanBounds bounds;
+
+    /**
      * The annotated schedule in its compact SoA form. Module-free: any
      * structurally identical module can rebind it via
      * LeafSchedule(mod, schedule). Consumers must never mutate through
@@ -60,6 +71,24 @@ struct LeafScheduleResult
      * buffer always copies on mutation).
      */
     std::shared_ptr<const ScheduleBuffer> schedule;
+
+    /**
+     * Schedule-quality ratio totalCycles / bounds.composite(): >= 1.0
+     * for any correct scheduler output (1.0 when both are zero — an
+     * empty module is trivially optimal).
+     */
+    double
+    optimalityGap() const
+    {
+        const uint64_t bound = bounds.composite();
+        if (bound == 0) {
+            return stats.totalCycles == 0
+                       ? 1.0
+                       : std::numeric_limits<double>::infinity();
+        }
+        return static_cast<double>(stats.totalCycles) /
+               static_cast<double>(bound);
+    }
 };
 
 /** Thread-safe (structural hash, scheduler, arch, width) -> result map. */

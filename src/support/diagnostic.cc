@@ -70,6 +70,13 @@ constexpr CodeInfo codeTable[] = {
     {"M006", Severity::Error},   // CommMoveSourceMismatch
     {"M007", Severity::Error},   // CommOperandNotResident
     {"M008", Severity::Warning}, // CommRedundantMove
+    // Makespan lower-bound checker.
+    {"B001", Severity::Error},   // BoundBelowCriticalPath
+    {"B002", Severity::Error},   // BoundBelowResource
+    {"B003", Severity::Error},   // BoundBelowInterval
+    {"B004", Severity::Error},   // BoundDimBelowBound
+    {"B005", Severity::Error},   // BoundProgramBelow
+    {"B006", Severity::Warning}, // BoundRepeatOverflow
 };
 
 static_assert(sizeof(codeTable) / sizeof(codeTable[0]) ==

@@ -91,6 +91,16 @@ enum class DiagCode : uint16_t {
     CommOperandNotResident, ///< M007 operand absent from its gate's region
     CommRedundantMove,      ///< M008 move to the current location (warning)
 
+    // B***: makespan lower-bound checker (verify/bound_checker). A
+    // schedule shorter than a sound lower bound is an internal
+    // inconsistency: scheduler or cache corruption, never valid output.
+    BoundBelowCriticalPath, ///< B001 leaf shorter than its CP bound
+    BoundBelowResource,     ///< B002 leaf shorter than its resource bound
+    BoundBelowInterval,     ///< B003 leaf shorter than its interval bound
+    BoundDimBelowBound,     ///< B004 blackbox dim below its width's bound
+    BoundProgramBelow,      ///< B005 program below the hierarchical bound
+    BoundRepeatOverflow,    ///< B006 repeat algebra saturated (warning)
+
     NumCodes,
 };
 

@@ -32,6 +32,44 @@ satMul(uint64_t a, uint64_t b)
     return a * b;
 }
 
+/**
+ * Saturation-detecting variants: @p saturated is OR-ed with whether this
+ * operation clipped, so a chain of calls can share one sticky flag. The
+ * hierarchical analyses use these to report (rather than silently absorb)
+ * repeat-count products beyond 2^64-1.
+ */
+constexpr uint64_t
+satAdd(uint64_t a, uint64_t b, bool &saturated)
+{
+    uint64_t sum = a + b;
+    if (sum < a) {
+        saturated = true;
+        return std::numeric_limits<uint64_t>::max();
+    }
+    return sum;
+}
+
+constexpr uint64_t
+satMul(uint64_t a, uint64_t b, bool &saturated)
+{
+    if (a == 0 || b == 0)
+        return 0;
+    if (a > std::numeric_limits<uint64_t>::max() / b) {
+        saturated = true;
+        return std::numeric_limits<uint64_t>::max();
+    }
+    return a * b;
+}
+
+/** @return ceil(a / b), saturating; b == 0 yields 0 (empty workload). */
+constexpr uint64_t
+satCeilDiv(uint64_t a, uint64_t b)
+{
+    if (b == 0)
+        return 0;
+    return a / b + (a % b != 0 ? 1 : 0);
+}
+
 } // namespace msq
 
 #endif // MSQ_SUPPORT_SATURATE_HH

@@ -1,0 +1,156 @@
+#include "verify/bound_checker.hh"
+
+#include <limits>
+
+#include "analysis/invocation_counts.hh"
+#include "support/strings.hh"
+
+namespace msq {
+
+namespace {
+
+unsigned long long
+ull(uint64_t v)
+{
+    return static_cast<unsigned long long>(v);
+}
+
+} // anonymous namespace
+
+double
+optimalityGap(uint64_t makespan, uint64_t lower_bound)
+{
+    if (lower_bound == 0) {
+        return makespan == 0 ? 1.0
+                             : std::numeric_limits<double>::infinity();
+    }
+    return static_cast<double>(makespan) /
+           static_cast<double>(lower_bound);
+}
+
+bool
+checkLeafScheduleBounds(const LeafSchedule &sched,
+                        const MultiSimdArch &arch,
+                        DiagnosticEngine &diags,
+                        const MakespanBounds *precomputed)
+{
+    MakespanBounds local;
+    if (precomputed == nullptr) {
+        MultiSimdArch sub = arch;
+        sub.k = sched.k();
+        local = computeLeafBounds(sched.module(), sub);
+        precomputed = &local;
+    }
+    const uint64_t steps = sched.computeTimesteps();
+    const DiagContext where{sched.module().name(), diagNoOp, 0};
+    const size_t errors_before = diags.numErrors();
+
+    if (steps < precomputed->criticalPath) {
+        diags.error(
+            DiagCode::BoundBelowCriticalPath,
+            csprintf("schedule has %llu compute timestep(s) but the "
+                     "critical-path bound is %llu: a dependence chain "
+                     "cannot fit (corrupt schedule)",
+                     ull(steps), ull(precomputed->criticalPath)),
+            where);
+    }
+    if (steps < precomputed->resource) {
+        diags.error(
+            DiagCode::BoundBelowResource,
+            csprintf("schedule has %llu compute timestep(s) but the "
+                     "resource bound at width %u is %llu: more operand "
+                     "touches than the machine can absorb (corrupt "
+                     "schedule)",
+                     ull(steps), sched.k(), ull(precomputed->resource)),
+            where);
+    }
+    if (steps < precomputed->interval) {
+        diags.error(
+            DiagCode::BoundBelowInterval,
+            csprintf("schedule has %llu compute timestep(s) but the "
+                     "interval bound is %llu: an earliest-start/"
+                     "latest-finish window is overcommitted (corrupt "
+                     "schedule)",
+                     ull(steps), ull(precomputed->interval)),
+            where);
+    }
+    return diags.numErrors() == errors_before;
+}
+
+bool
+checkScheduleBounds(const Program &prog, const ProgramSchedule &psched,
+                    const MultiSimdArch &arch, CommMode mode,
+                    DiagnosticEngine &diags, ProgramGapReport *report,
+                    BoundCheckStats *stats)
+{
+    const size_t errors_before = diags.numErrors();
+    MakespanBoundAnalysis analysis(prog, arch, mode, &diags);
+    InvocationCountAnalysis invocations(prog);
+
+    BoundCheckStats local_stats;
+    if (report != nullptr) {
+        *report = ProgramGapReport{};
+        report->saturated = analysis.saturated();
+    }
+
+    for (ModuleId id = 0; id < psched.modules.size(); ++id) {
+        const ModuleScheduleInfo &info = psched.modules[id];
+        if (!info.analyzed)
+            continue;
+        const Module &mod = prog.module(id);
+        for (const Blackbox &bb : info.dims) {
+            ++local_stats.dimsChecked;
+            const uint64_t lb = analysis.lowerBoundAt(id, bb.width);
+            if (bb.length >= lb)
+                continue;
+            diags.error(
+                DiagCode::BoundDimBelowBound,
+                csprintf("blackbox dimension (width %u, length %llu) "
+                         "is below the width-%u lower bound %llu "
+                         "(corrupt schedule or cache entry)",
+                         bb.width, ull(bb.length), bb.width, ull(lb)),
+                DiagContext{mod.name(), diagNoOp, 0});
+        }
+        if (!info.leaf || info.dims.empty())
+            continue;
+        ++local_stats.leavesChecked;
+        if (report == nullptr)
+            continue;
+        const Blackbox &widest = info.dims.back();
+        LeafGapRecord record;
+        record.module = mod.name();
+        record.gates = mod.numOps();
+        record.qubits = mod.numQubits();
+        record.invocations = invocations.invocations(id);
+        record.width = widest.width;
+        record.makespan = widest.length;
+        MultiSimdArch sub = arch;
+        sub.k = widest.width;
+        record.bounds = computeLeafBounds(mod, sub);
+        record.lowerBound = record.bounds.composite();
+        record.gap = optimalityGap(record.makespan, record.lowerBound);
+        report->leaves.push_back(std::move(record));
+    }
+
+    const uint64_t program_lb = analysis.programLowerBound();
+    if (psched.totalCycles < program_lb) {
+        diags.error(
+            DiagCode::BoundProgramBelow,
+            csprintf("program schedule totals %llu cycle(s) but the "
+                     "hierarchical lower bound is %llu (corrupt "
+                     "schedule)",
+                     ull(psched.totalCycles), ull(program_lb)),
+            DiagContext{prog.module(prog.entry()).name(), diagNoOp, 0});
+    }
+    if (report != nullptr) {
+        report->programMakespan = psched.totalCycles;
+        report->programLowerBound = program_lb;
+        report->programGap =
+            optimalityGap(psched.totalCycles, program_lb);
+    }
+    if (stats != nullptr)
+        *stats = local_stats;
+    return diags.numErrors() == errors_before;
+}
+
+} // namespace msq

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Schedule-quality / schedule-sanity checker (diagnostic codes
+ * B001-B006) built on the static makespan lower bounds of
+ * analysis/bounds.hh.
+ *
+ * A lower bound is a *certificate*: no valid schedule of a module can
+ * finish below it. A schedule that does is therefore not merely slow or
+ * suboptimal — it is corrupt (scheduler bug, cache aliasing, truncated
+ * buffer), and this checker turns that certificate into a novel bug
+ * detector the S/C validators cannot replicate (they check invariants
+ * of what *is* in the schedule; the bound checks what *must* be):
+ *
+ *  - B001 a leaf schedule has fewer compute timesteps than its
+ *         critical-path bound (a dependence chain cannot fit);
+ *  - B002 fewer timesteps than its resource bound (more operand touches
+ *         than k*d per step could absorb);
+ *  - B003 fewer timesteps than its Fernandez interval bound (some
+ *         earliest-start/latest-finish window is overcommitted);
+ *  - B004 a blackbox dimension of the width sweep is shorter than the
+ *         lower bound at that width;
+ *  - B005 the program's total cycle count is below the hierarchically
+ *         composed program bound;
+ *  - B006 (warning) the repeat algebra saturated at 2^64-1 while
+ *         composing bounds — the bounds stay sound but loose.
+ *
+ * The same pass computes the per-leaf and program *optimality gaps*
+ * (makespan / lower bound >= 1.0), the repo's first quantitative answer
+ * to "how far from optimal are RCP and LPFS?" (EXPERIMENTS.md); the
+ * msq-verify --bounds flag surfaces them as a JSON gap report.
+ */
+
+#ifndef MSQ_VERIFY_BOUND_CHECKER_HH
+#define MSQ_VERIFY_BOUND_CHECKER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/bounds.hh"
+#include "arch/multi_simd.hh"
+#include "arch/schedule.hh"
+#include "sched/coarse.hh"
+#include "support/diagnostic.hh"
+
+namespace msq {
+
+/** Aggregate numbers from one checker run (for reporting/tests). */
+struct BoundCheckStats
+{
+    uint64_t leavesChecked = 0; ///< leaf modules with a gap record
+    uint64_t dimsChecked = 0;   ///< (module, width) dims compared
+};
+
+/** One leaf module's schedule-quality record. */
+struct LeafGapRecord
+{
+    std::string module;       ///< module name
+    uint64_t gates = 0;       ///< op count
+    uint64_t qubits = 0;      ///< qubit count
+    uint64_t invocations = 0; ///< runs per program execution
+    unsigned width = 0;       ///< widest sweep width
+    uint64_t makespan = 0;    ///< cycles at the widest width (incl. comm)
+    MakespanBounds bounds;    ///< static bounds at the widest width
+    uint64_t lowerBound = 0;  ///< bounds.composite()
+    double gap = 1.0;         ///< makespan / lowerBound (>= 1.0)
+};
+
+/** Whole-program schedule-quality report (the --bounds JSON payload). */
+struct ProgramGapReport
+{
+    std::vector<LeafGapRecord> leaves; ///< one per scheduled leaf
+    uint64_t programMakespan = 0;      ///< ProgramSchedule::totalCycles
+    uint64_t programLowerBound = 0;    ///< hierarchical composite bound
+    double programGap = 1.0;           ///< makespan / bound (>= 1.0)
+    bool saturated = false;            ///< any repeat product clipped
+};
+
+/** makespan / bound; 1.0 when both are zero (empty module, exact). */
+double optimalityGap(uint64_t makespan, uint64_t lower_bound);
+
+/**
+ * Check one leaf schedule's compute-timestep count against its static
+ * bounds (B001-B003). The bounds are evaluated at the schedule's own
+ * width (sched.k()) with @p arch supplying d.
+ *
+ * @param precomputed reuse already-computed bounds (must match the
+ *        schedule's module and width) instead of recomputing.
+ * @return true when no Error-severity diagnostic was added.
+ */
+bool checkLeafScheduleBounds(const LeafSchedule &sched,
+                             const MultiSimdArch &arch,
+                             DiagnosticEngine &diags,
+                             const MakespanBounds *precomputed = nullptr);
+
+/**
+ * Check a whole ProgramSchedule against the hierarchical bounds: every
+ * blackbox dimension of every analyzed module (B004), and the program
+ * total (B005). @p mode must be the communication mode @p psched was
+ * produced with (it selects the coarse-level cycle costs).
+ *
+ * @param report optional gap report to fill (leaves in ModuleId order).
+ * @return true when no Error-severity diagnostic was added.
+ */
+bool checkScheduleBounds(const Program &prog,
+                         const ProgramSchedule &psched,
+                         const MultiSimdArch &arch, CommMode mode,
+                         DiagnosticEngine &diags,
+                         ProgramGapReport *report = nullptr,
+                         BoundCheckStats *stats = nullptr);
+
+} // namespace msq
+
+#endif // MSQ_VERIFY_BOUND_CHECKER_HH

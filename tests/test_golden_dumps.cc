@@ -26,6 +26,7 @@
 #include "passes/pass_manager.hh"
 #include "passes/rotation_decomposer.hh"
 #include "sched/comm.hh"
+#include "sched/leaf_scheduler.hh"
 #include "sched/lpfs.hh"
 #include "sched/rcp.hh"
 #include "sched/schedule_printer.hh"
@@ -156,6 +157,17 @@ TEST_P(GoldenDumps, LpfsGlobal)
     LpfsScheduler lpfs;
     checkGolden(std::string(GetParam()) + "_lpfs_k4",
                 dumpWorkload(prog, lpfs, MultiSimdArch(4),
+                             CommMode::Global));
+}
+
+TEST_P(GoldenDumps, SequentialGlobal)
+{
+    // The speedup baseline ("over sequential execution"): one op per
+    // step. Locks down the denominator of every reported speedup.
+    Program prog = prepare(GetParam());
+    SequentialScheduler sequential;
+    checkGolden(std::string(GetParam()) + "_sequential_k4",
+                dumpWorkload(prog, sequential, MultiSimdArch(4),
                              CommMode::Global));
 }
 

@@ -388,4 +388,96 @@ TEST(ScheduleBuffer, ByteSizeCoversAllArrays)
     EXPECT_GE(buf.byteSize(), floor);
 }
 
+TEST(ScheduleBuffer, WalkerOverAllEmptySteps)
+{
+    // A schedule made purely of empty steps: the walker and the sink
+    // must still visit every step, each one idle.
+    Module mod = parallelH(1);
+    LeafSchedule sched(mod, 4);
+    for (int i = 0; i < 3; ++i)
+        sched.appendEmptyStep();
+
+    uint64_t visited = 0;
+    for (ScheduleWalker walker(sched); !walker.atEnd(); walker.next()) {
+        TimestepView step = walker.step();
+        EXPECT_EQ(step.activeRegions(), 0u);
+        EXPECT_TRUE(step.moves().empty());
+        EXPECT_EQ(step.movePhaseCycles(), 0u);
+        EXPECT_FALSE(step.hasBlockingGlobalMove());
+        ++visited;
+    }
+    EXPECT_EQ(visited, 3u);
+
+    RecordingSink sink;
+    sched.stream(sink);
+    EXPECT_EQ(sink.log, "Bb0eb1eb2eE");
+    EXPECT_EQ(sched.totalCycles(), 3u); // idle gate phases still tick
+}
+
+TEST(ScheduleBuffer, MoveOnlyTimestepCosts)
+{
+    // A step with no compute, only movement. A blocking teleport costs
+    // a full teleport phase; a masked one rides along for free; a
+    // local-memory move alone costs the (cheaper) ballistic phase.
+    Module mod = parallelH(3);
+    LeafSchedule sched(mod, 2);
+    sched.appendEmptyStep();
+    sched.appendEmptyStep();
+    sched.appendMove(
+        0, {0, Location::global(), Location::inRegion(0), true});
+    sched.appendMove(
+        0, {1, Location::global(), Location::inRegion(1), false});
+    sched.appendMove(0, {2, Location::inRegion(0),
+                         Location::inLocalMem(0), false});
+
+    TimestepView step = sched.step(0);
+    EXPECT_EQ(step.activeRegions(), 0u);
+    ASSERT_EQ(step.moves().size(), 3u);
+    EXPECT_TRUE(step.hasBlockingGlobalMove());
+    EXPECT_TRUE(step.hasLocalMove());
+    EXPECT_EQ(step.blockingMoveCount(), 1u);
+    EXPECT_EQ(step.movePhaseCycles(),
+              MultiSimdArch::teleportCycles);
+
+    // 2 gate phases + one teleport phase on step 0, step 1 bare.
+    EXPECT_EQ(sched.totalCycles(),
+              2u + MultiSimdArch::teleportCycles);
+    EXPECT_EQ(sched.teleportMoves(), 2u);
+    EXPECT_EQ(sched.localMoves(), 1u);
+
+    // Masked-and-local only (no blocking): ballistic phase cost.
+    TimestepView idle = sched.step(1);
+    EXPECT_EQ(idle.movePhaseCycles(), 0u);
+    sched.appendMove(1, {2, Location::inLocalMem(0),
+                         Location::inRegion(0), false});
+    EXPECT_EQ(sched.step(1).movePhaseCycles(),
+              MultiSimdArch::localMoveCycles);
+}
+
+TEST(ScheduleBuffer, FullyIdleRegionsAroundOneActiveSlot)
+{
+    // k=4 but only region 2 computes: the bitmap must report the other
+    // three idle and slot iteration must skip them entirely.
+    Module mod = parallelH(1);
+    ScheduleBuilder builder(mod, 4);
+    builder.beginStep();
+    builder.slot(2).kind = GateKind::H;
+    builder.slot(2).ops = {0};
+    builder.endStep();
+    LeafSchedule sched = builder.finish();
+
+    TimestepView step = sched.step(0);
+    EXPECT_EQ(step.activeRegions(), 1u);
+    EXPECT_FALSE(step.regionActive(0));
+    EXPECT_FALSE(step.regionActive(1));
+    EXPECT_TRUE(step.regionActive(2));
+    EXPECT_FALSE(step.regionActive(3));
+    unsigned slots = 0;
+    for (RegionSlotView slot : step) {
+        EXPECT_EQ(slot.region(), 2u);
+        ++slots;
+    }
+    EXPECT_EQ(slots, 1u);
+}
+
 } // namespace

@@ -30,6 +30,17 @@
  *                   move-during-gate (expect M001), oversubscribe
  *                   (expect M003 under a finite --d), or dead-teleport
  *                   (expect M005)
+ *   --bounds        decompose + flatten, coarse-schedule the whole
+ *                   program under RCP and LPFS, and check every leaf
+ *                   and blackbox dimension against the static makespan
+ *                   lower bounds (codes B001-B006); reports per-leaf
+ *                   and program optimality gaps (makespan / bound)
+ *   --bounds-json=PATH
+ *                   write the --bounds gap report as machine-readable
+ *                   JSON (schema msq-optimality-gap-v1) to PATH
+ *   --workload=NAME verify the built-in scaled benchmark NAME (e.g.
+ *                   grovers, bwt, gse, tfp, bf, cn, sha1, shors)
+ *                   instead of / in addition to input files; repeatable
  *   --metrics-json=PATH
  *                   write the run's metrics registry (verify.* counters
  *                   plus, under --check-comm, the full passes.* /
@@ -67,9 +78,11 @@
 #include "support/logging.hh"
 #include "support/strings.hh"
 #include "support/telemetry.hh"
+#include "verify/bound_checker.hh"
 #include "verify/comm_checker.hh"
 #include "verify/linter.hh"
 #include "verify/verifier.hh"
+#include "workloads/workloads.hh"
 
 using namespace msq;
 
@@ -87,14 +100,25 @@ struct Options
     bool quiet = false;
     bool dataflow = false;
     bool checkComm = false;
+    bool bounds = false;
     unsigned k = 4;
     uint64_t d = unbounded;
     uint64_t localMem = 0;
     unsigned threads = 1;
     std::string injectFault;
+    std::string boundsJson;
     std::string metricsJson;
     std::string traceJson;
     std::vector<std::string> files;
+    std::vector<std::string> workloads;
+};
+
+/** One (input, scheduler) slice of the --bounds-json report. */
+struct BoundsJsonEntry
+{
+    std::string input;     ///< file path or "workload:<name>"
+    std::string scheduler; ///< "rcp" / "lpfs"
+    ProgramGapReport report;
 };
 
 void
@@ -107,6 +131,8 @@ usage(std::ostream &out)
            "                  [--threads=N]\n"
            "                  [--inject-comm-fault="
            "move-during-gate|oversubscribe|dead-teleport]\n"
+           "                  [--bounds] [--bounds-json=PATH]"
+           " [--workload=NAME]\n"
            "                  [--metrics-json=PATH] [--trace-json=PATH]\n"
            "                  <file>...\n";
 }
@@ -309,15 +335,11 @@ injectCommFault(LeafSchedule &sched, const std::string &kind)
 }
 
 /**
- * --check-comm: lower the program to primitive leaves, schedule each
- * reachable leaf under RCP and LPFS, derive the movement plan, and
- * replay it through the race detector. Also coarse-schedules the whole
- * program and validates it (codes C001-C006).
+ * Shared lowering for --check-comm and --bounds: decompose Toffolis,
+ * decompose rotations, flatten small modules into primitive leaves.
  */
 void
-checkCommunication(const std::string &path, Program &prog,
-                   const Options &options, DiagnosticEngine &diags,
-                   MetricsRegistry &metrics)
+lowerForScheduling(Program &prog, MetricsRegistry &metrics)
 {
     PassManager pm;
     pm.setMetrics(&metrics);
@@ -327,7 +349,19 @@ checkCommunication(const std::string &path, Program &prog,
     pm.add(std::make_unique<RotationDecomposerPass>(rot));
     pm.add(std::make_unique<FlattenPass>(30'000));
     pm.run(prog);
+}
 
+/**
+ * --check-comm: schedule each reachable leaf of the lowered program
+ * under RCP and LPFS, derive the movement plan, and replay it through
+ * the race detector. Also coarse-schedules the whole program and
+ * validates it (codes C001-C006).
+ */
+void
+checkCommunication(const std::string &path, Program &prog,
+                   const Options &options, DiagnosticEngine &diags,
+                   MetricsRegistry &metrics)
+{
     MultiSimdArch arch(options.k, options.d, options.localMem);
 
     std::vector<CommMode> modes{CommMode::Global};
@@ -392,10 +426,196 @@ checkCommunication(const std::string &path, Program &prog,
     validateProgramSchedule(prog, psched, arch, &diags);
 }
 
+/**
+ * --bounds: coarse-schedule the lowered program under RCP and LPFS,
+ * check every blackbox dimension and the program total against the
+ * static makespan lower bounds (codes B001-B006), and report per-leaf
+ * optimality gaps.
+ */
+void
+checkBounds(const std::string &path, Program &prog,
+            const Options &options, DiagnosticEngine &diags,
+            MetricsRegistry &metrics,
+            std::vector<BoundsJsonEntry> &json_entries)
+{
+    MultiSimdArch arch(options.k, options.d, options.localMem);
+    const CommMode mode = options.localMem > 0
+                              ? CommMode::GlobalWithLocalMem
+                              : CommMode::Global;
+
+    RcpScheduler rcp;
+    LpfsScheduler lpfs;
+    const LeafScheduler *schedulers[] = {&rcp, &lpfs};
+    for (const LeafScheduler *scheduler : schedulers) {
+        CoarseScheduler::Options coarse_options;
+        coarse_options.numThreads = options.threads;
+        coarse_options.leafCache = std::make_shared<LeafScheduleCache>();
+        coarse_options.metrics = &metrics;
+        CoarseScheduler coarse(arch, *scheduler, mode, coarse_options);
+        ProgramSchedule psched = coarse.schedule(prog);
+
+        ProgramGapReport report;
+        BoundCheckStats stats;
+        const bool ok = checkScheduleBounds(prog, psched, arch, mode,
+                                            diags, &report, &stats);
+        metrics.counter("verify.bounds.leaves").add(stats.leavesChecked);
+        metrics.counter("verify.bounds.dims").add(stats.dimsChecked);
+        if (!ok)
+            metrics.counter("verify.bounds.violations").add(1);
+
+        if (!options.quiet) {
+            for (const LeafGapRecord &leaf : report.leaves) {
+                std::cout << path << ": bounds [" << scheduler->name()
+                          << "] leaf " << leaf.module << ": makespan "
+                          << leaf.makespan << ", bound "
+                          << leaf.lowerBound << " (cp "
+                          << leaf.bounds.criticalPath << ", res "
+                          << leaf.bounds.resource << ", int "
+                          << leaf.bounds.interval << "), gap "
+                          << csprintf("%.3f", leaf.gap) << "\n";
+            }
+        }
+        std::cout << path << ": bounds [" << scheduler->name()
+                  << "]: program makespan " << report.programMakespan
+                  << ", bound " << report.programLowerBound << ", gap "
+                  << csprintf("%.3f", report.programGap) << ", "
+                  << report.leaves.size() << " leaf record(s)"
+                  << (ok ? "" : " -- VIOLATIONS") << "\n";
+
+        json_entries.push_back(
+            {path, scheduler->name(), std::move(report)});
+    }
+}
+
+/** Minimal JSON string escaping (module names are identifiers, but be
+ * safe about quotes and backslashes anyway). */
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (static_cast<unsigned char>(c) < 0x20) {
+            out += csprintf("\\u%04x", c);
+            continue;
+        }
+        out += c;
+    }
+    return out;
+}
+
+/** Write the accumulated --bounds-json gap report. */
+bool
+writeBoundsJson(const Options &options,
+                const std::vector<BoundsJsonEntry> &entries)
+{
+    if (options.boundsJson.empty())
+        return true;
+    std::ofstream out(options.boundsJson);
+    if (!out) {
+        std::cerr << "msq-verify: cannot write bounds report to '"
+                  << options.boundsJson << "'\n";
+        return false;
+    }
+    MultiSimdArch arch(options.k, options.d, options.localMem);
+    const CommMode mode = options.localMem > 0
+                              ? CommMode::GlobalWithLocalMem
+                              : CommMode::Global;
+    out << "{\n"
+        << "  \"schema\": \"msq-optimality-gap-v1\",\n"
+        << "  \"arch\": \"" << jsonEscape(arch.describe()) << "\",\n"
+        << "  \"mode\": \"" << commModeName(mode) << "\",\n"
+        << "  \"inputs\": [";
+    for (size_t i = 0; i < entries.size(); ++i) {
+        const BoundsJsonEntry &entry = entries[i];
+        const ProgramGapReport &report = entry.report;
+        out << (i ? ",\n" : "\n")
+            << "    {\n"
+            << "      \"input\": \"" << jsonEscape(entry.input)
+            << "\",\n"
+            << "      \"scheduler\": \"" << jsonEscape(entry.scheduler)
+            << "\",\n"
+            << "      \"saturated\": "
+            << (report.saturated ? "true" : "false") << ",\n"
+            << "      \"program\": {\"makespan\": "
+            << report.programMakespan << ", \"lower_bound\": "
+            << report.programLowerBound << ", \"gap\": "
+            << csprintf("%.6f", report.programGap) << "},\n"
+            << "      \"leaves\": [";
+        for (size_t j = 0; j < report.leaves.size(); ++j) {
+            const LeafGapRecord &leaf = report.leaves[j];
+            out << (j ? ",\n" : "\n")
+                << "        {\"module\": \"" << jsonEscape(leaf.module)
+                << "\", \"gates\": " << leaf.gates << ", \"qubits\": "
+                << leaf.qubits << ", \"invocations\": "
+                << leaf.invocations << ", \"width\": " << leaf.width
+                << ", \"makespan\": " << leaf.makespan
+                << ", \"critical_path_bound\": "
+                << leaf.bounds.criticalPath << ", \"resource_bound\": "
+                << leaf.bounds.resource << ", \"interval_bound\": "
+                << leaf.bounds.interval << ", \"lower_bound\": "
+                << leaf.lowerBound << ", \"gap\": "
+                << csprintf("%.6f", leaf.gap) << "}";
+        }
+        out << (report.leaves.empty() ? "]" : "\n      ]") << "\n    }";
+    }
+    out << (entries.empty() ? "]" : "\n  ]") << "\n}\n";
+    return true;
+}
+
+/**
+ * Post-parse pipeline shared by file and --workload inputs: lint,
+ * dataflow printing, and (lowering once) the --check-comm and --bounds
+ * scheduling checks. @p diags may already hold parse-stage diagnostics.
+ */
+Outcome
+checkProgram(const std::string &label, Program &prog,
+             const Options &options, DiagnosticEngine &diags,
+             MetricsRegistry &metrics,
+             std::vector<BoundsJsonEntry> &json_entries)
+{
+    if (options.lint)
+        lintProgram(prog, diags);
+
+    if (options.dataflow && !diags.hasErrors())
+        printDataflow(label, prog);
+
+    if ((options.checkComm || options.bounds) && !diags.hasErrors()) {
+        try {
+            lowerForScheduling(prog, metrics);
+            if (options.checkComm)
+                checkCommunication(label, prog, options, diags, metrics);
+            if (options.bounds) {
+                checkBounds(label, prog, options, diags, metrics,
+                            json_entries);
+            }
+        } catch (const PanicError &err) {
+            std::cerr << label << ": error: scheduling checks: "
+                      << err.what() << "\n";
+            emitDiagnostics(label, diags, options);
+            return Outcome::Dirty;
+        }
+    }
+
+    emitDiagnostics(label, diags, options);
+
+    metrics.counter("verify.diagnostics.errors").add(diags.numErrors());
+    metrics.counter("verify.diagnostics.warnings")
+        .add(diags.numWarnings());
+    bool clean = !diags.hasErrors() &&
+                 !(options.werror && diags.numWarnings() > 0);
+    metrics.counter(clean ? "verify.files_clean" : "verify.files_dirty")
+        .add(1);
+    return clean ? Outcome::Clean : Outcome::Dirty;
+}
+
 /** @return the outcome for one input file. */
 Outcome
 checkFile(const std::string &path, const Options &options,
-          MetricsRegistry &metrics)
+          MetricsRegistry &metrics,
+          std::vector<BoundsJsonEntry> &json_entries)
 {
     Format format = options.format;
     if (format == Format::Auto)
@@ -424,33 +644,33 @@ checkFile(const std::string &path, const Options &options,
         return Outcome::ParseError;
     }
 
-    if (options.lint)
-        lintProgram(prog, diags);
+    return checkProgram(path, prog, options, diags, metrics,
+                        json_entries);
+}
 
-    if (options.dataflow && !diags.hasErrors())
-        printDataflow(path, prog);
-
-    if (options.checkComm && !diags.hasErrors()) {
-        try {
-            checkCommunication(path, prog, options, diags, metrics);
-        } catch (const PanicError &err) {
-            std::cerr << path << ": error: check-comm: " << err.what()
-                      << "\n";
-            emitDiagnostics(path, diags, options);
-            return Outcome::Dirty;
-        }
+/** @return the outcome for one --workload=NAME input. */
+Outcome
+checkWorkload(const std::string &name, const Options &options,
+              MetricsRegistry &metrics,
+              std::vector<BoundsJsonEntry> &json_entries)
+{
+    const std::string label = "workload:" + name;
+    TraceSpan span(Telemetry::trace(), "verify:" + label);
+    metrics.counter("verify.files").add(1);
+    DiagnosticEngine diags;
+    Program prog;
+    try {
+        prog = workloads::findWorkload(workloads::scaledParams(), name)
+                   .build();
+    } catch (const FatalError &err) {
+        // Unknown shortName — treat like an unreadable input.
+        std::cerr << label << ": error: " << err.what() << "\n";
+        metrics.counter("verify.parse_errors").add(1);
+        return Outcome::ParseError;
     }
 
-    emitDiagnostics(path, diags, options);
-
-    metrics.counter("verify.diagnostics.errors").add(diags.numErrors());
-    metrics.counter("verify.diagnostics.warnings")
-        .add(diags.numWarnings());
-    bool clean = !diags.hasErrors() &&
-                 !(options.werror && diags.numWarnings() > 0);
-    metrics.counter(clean ? "verify.files_clean" : "verify.files_dirty")
-        .add(1);
-    return clean ? Outcome::Clean : Outcome::Dirty;
+    return checkProgram(label, prog, options, diags, metrics,
+                        json_entries);
 }
 
 /**
@@ -504,6 +724,21 @@ main(int argc, char **argv)
             options.dataflow = true;
         } else if (arg == "--check-comm") {
             options.checkComm = true;
+        } else if (arg == "--bounds") {
+            options.bounds = true;
+        } else if (startsWith(arg, "--bounds-json=")) {
+            options.boundsJson = arg.substr(14);
+            if (options.boundsJson.empty()) {
+                std::cerr << "msq-verify: bad value in '" << arg << "'\n";
+                return 2;
+            }
+        } else if (startsWith(arg, "--workload=")) {
+            std::string name = arg.substr(11);
+            if (name.empty()) {
+                std::cerr << "msq-verify: bad value in '" << arg << "'\n";
+                return 2;
+            }
+            options.workloads.push_back(std::move(name));
         } else if (startsWith(arg, "--k=")) {
             uint64_t value = 0;
             if (!parseCount(arg.substr(4), value) || value == 0 ||
@@ -561,7 +796,7 @@ main(int argc, char **argv)
             options.files.push_back(arg);
         }
     }
-    if (options.files.empty()) {
+    if (options.files.empty() && options.workloads.empty()) {
         usage(std::cerr);
         return 2;
     }
@@ -570,25 +805,30 @@ main(int argc, char **argv)
                      "--check-comm\n";
         return 2;
     }
+    if (!options.boundsJson.empty() && !options.bounds) {
+        std::cerr << "msq-verify: --bounds-json requires --bounds\n";
+        return 2;
+    }
 
     if (!options.traceJson.empty())
         Telemetry::trace().setEnabled(true);
     MetricsRegistry metrics;
+    std::vector<BoundsJsonEntry> json_entries;
 
     bool any_dirty = false;
     bool any_parse_error = false;
-    for (const auto &path : options.files) {
-        switch (checkFile(path, options, metrics)) {
-          case Outcome::Clean:
-            break;
-          case Outcome::Dirty:
+    auto tally = [&](Outcome outcome) {
+        if (outcome == Outcome::Dirty)
             any_dirty = true;
-            break;
-          case Outcome::ParseError:
+        else if (outcome == Outcome::ParseError)
             any_parse_error = true;
-            break;
-        }
-    }
+    };
+    for (const auto &path : options.files)
+        tally(checkFile(path, options, metrics, json_entries));
+    for (const auto &name : options.workloads)
+        tally(checkWorkload(name, options, metrics, json_entries));
+    if (!writeBoundsJson(options, json_entries))
+        any_parse_error = true;
     if (!writeTelemetryOutputs(options, metrics))
         any_parse_error = true;
     if (any_parse_error)
