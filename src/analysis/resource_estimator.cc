@@ -12,15 +12,20 @@ ResourceEstimator::ResourceEstimator(const Program &prog)
     : prog(&prog), order(prog.bottomUpOrder()),
       totals(prog.numModules(), 0)
 {
-    // Callees precede callers in `order`, so one pass suffices.
+    // Callees precede callers in `order`, so one pass suffices. The
+    // sticky flag records whether any total clipped (saturated()).
     for (ModuleId id : order) {
         const Module &mod = prog.module(id);
         uint64_t total = 0;
         for (const auto &op : mod.ops()) {
-            if (op.isCall())
-                total = satAdd(total, satMul(op.repeat, totals[op.callee]));
-            else
-                total = satAdd(total, 1);
+            if (op.isCall()) {
+                total = satAdd(total,
+                               satMul(op.repeat, totals[op.callee],
+                                      saturated_),
+                               saturated_);
+            } else {
+                total = satAdd(total, 1, saturated_);
+            }
         }
         totals[id] = total;
     }

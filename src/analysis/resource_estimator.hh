@@ -39,10 +39,19 @@ class ResourceEstimator
     /** Modules reachable from the entry, callees first. */
     const std::vector<ModuleId> &analyzedModules() const { return order; }
 
+    /**
+     * Did any total clip at UINT64_MAX? A saturated total is still a
+     * sound *lower* bound on the true count, but equality comparisons
+     * against other saturated aggregates prove nothing — the estimate
+     * checker (verify/estimate_checker.hh) downgrades those to E006.
+     */
+    bool saturated() const { return saturated_; }
+
   private:
     const Program *prog;
     std::vector<ModuleId> order;
     std::vector<uint64_t> totals; ///< indexed by ModuleId
+    bool saturated_ = false;
 };
 
 /**

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Schedule-summary static analysis: paper-scale resource estimation in
+ * O(distinct leaves) memory (DESIGN.md §13).
+ *
+ * The paper reports makespan, speedup and communication numbers at true
+ * benchmark parameters (10^7..10^12 gates) that no materialized program
+ * schedule can ever hold. This analysis gets the same numbers exactly,
+ * without unrolling anything: each distinct leaf schedule is folded once
+ * into a compact ResourceSummary by a single streaming ScheduleSink pass
+ * (summarizeLeafSchedule), and summaries compose bottom-up through the
+ * coarse scheduler's own repeat-count algebra (ScheduleSummaryAnalysis)
+ * with saturating arithmetic from support/saturate.hh.
+ *
+ * The composed numbers are *exact*, not approximate: serialCycles is the
+ * cost of sequential composition under the coarse cost model
+ * (MultiSimdArch::coarseGateCost / callOverhead — the same per-op costs
+ * the CoarseScheduler charges), gateOps reproduces ResourceEstimator's
+ * totals, and every movement counter equals what a full unrolled
+ * annotated schedule would sum to. verify/estimate_checker.hh turns that
+ * claim into a machine-checked theorem (diagnostic codes E001-E006): on
+ * programs small enough to materialize, the composition must match the
+ * independently computed ground truth field-for-field.
+ *
+ * Saturation contract: any counter that would exceed 2^64-1 sticks at
+ * UINT64_MAX and sets ResourceSummary::saturated — poisoning every
+ * dependent field rather than silently capping (B006 interplay; the
+ * checker downgrades exactness comparisons of poisoned fields to E006
+ * warnings because equality of two clipped values proves nothing).
+ */
+
+#ifndef MSQ_ANALYSIS_SCHEDULE_SUMMARY_HH
+#define MSQ_ANALYSIS_SCHEDULE_SUMMARY_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "arch/multi_simd.hh"
+#include "arch/schedule.hh"
+#include "ir/program.hh"
+#include "support/diagnostic.hh"
+
+namespace msq {
+
+/**
+ * Compact resource footprint of one execution of one module (a single
+ * invocation), either folded from a materialized leaf schedule or
+ * composed from callee summaries. All counters saturate at UINT64_MAX.
+ */
+struct ResourceSummary
+{
+    /** Total gate operations (== ResourceEstimator::totalGates). */
+    uint64_t gateOps = 0;
+
+    /**
+     * Cycles of one sequential execution: for a leaf, the annotated
+     * schedule's totalCycles under the architecture's EPR bandwidth;
+     * composed, every gate at coarseGateCost and every call at
+     * repeat * (callee.serialCycles + callOverhead). This is the
+     * exactly-composable cycle metric; the *parallel* makespan comes
+     * from the CoarseScheduler (also O(distinct modules)) and is
+     * reported next to the summary, never derived from it.
+     */
+    uint64_t serialCycles = 0;
+
+    /**
+     * The portion of serialCycles spent on movement phases: per-step
+     * movePhaseCycles for leaves; the teleport share of coarseGateCost
+     * plus call flush overheads for composed levels.
+     */
+    uint64_t commCycles = 0;
+
+    /** Teleportation moves in fine-grained (leaf) schedules. Each
+     * teleport consumes one pre-distributed EPR pair (paper §2.3), so
+     * this doubles as EPR-pair consumption; see eprPairs(). Coarse-level
+     * gate movement is charged in commCycles but is not itemized as
+     * moves (there is no materialized move to count). */
+    uint64_t teleportMoves = 0;
+
+    /** Teleports that block the schedule (tight reuse windows). */
+    uint64_t blockingTeleports = 0;
+
+    /** Ballistic region<->scratchpad moves. */
+    uint64_t localMoves = 0;
+
+    /** Leaf timesteps whose movement phase costs full teleport time. */
+    uint64_t stepsWithBlockingMove = 0;
+
+    /** Leaf timesteps whose movement phase costs one local-move cycle. */
+    uint64_t stepsWithOnlyLocalMoves = 0;
+
+    /** (region, timestep) pairs executing operations. */
+    uint64_t activeRegionSteps = 0;
+
+    /** Total operand qubits across all active (region, timestep) pairs
+     * (== CommStats::operandSlots). */
+    uint64_t operandTouches = 0;
+
+    /** Most operand qubits any one region touches in one timestep.
+     * Composes by max: a peak anywhere is a peak of the whole run. */
+    uint64_t peakRegionOccupancy = 0;
+
+    /** Peak blocking teleports in any single timestep (EPR bandwidth
+     * demand). Composes by max. */
+    uint64_t peakBlockingMovesPerStep = 0;
+
+    /** Most simultaneously active regions in any leaf timestep.
+     * Composes by max. */
+    uint64_t peakActiveRegions = 0;
+
+    /** Module invocations beneath one run of this module (callees,
+     * transitively, with repeats; the run itself excluded). */
+    uint64_t callInvocations = 0;
+
+    /**
+     * Histogram of active-regions-per-timestep over every leaf timestep
+     * executed (fixed buckets, occupancyBounds(); last bucket is
+     * overflow). Bucket counts compose linearly by repeat products, so
+     * the whole-program region-utilization profile of a 10^12-gate run
+     * costs the same handful of integers as a single leaf's.
+     */
+    std::vector<uint64_t> occupancy;
+
+    /** Any counter clipped at 2^64-1 (poisons dependent fields). */
+    bool saturated = false;
+
+    /** EPR pairs consumed == teleport moves (paper §2.3). */
+    uint64_t eprPairs() const { return teleportMoves; }
+
+    /** serialCycles minus commCycles (0 when poisoned by saturation). */
+    uint64_t computeCycles() const;
+
+    /** Average operands per active region, operandTouches /
+     * activeRegionSteps (0 when no region was ever active). */
+    double meanRegionOccupancy() const;
+
+    /** Fraction (0..1) of serialCycles spent on movement phases. */
+    double commFraction() const;
+
+    /** Leaf timesteps counted by the occupancy histogram. */
+    uint64_t occupancySteps() const;
+
+    /** Upper bounds (inclusive) of the occupancy buckets; one extra
+     * overflow bucket follows the last bound. */
+    static const std::vector<uint64_t> &occupancyBounds();
+
+    /** Human-readable label of occupancy bucket @p index, e.g. "3-4". */
+    static std::string occupancyLabel(size_t index);
+
+    /** occupancyBounds().size() + 1 (the overflow bucket). */
+    static size_t numOccupancyBuckets();
+
+    /** Bucket index of @p active_regions (ModuleHistogram idiom). */
+    static size_t occupancyBucket(uint64_t active_regions);
+};
+
+/**
+ * Fold one annotated leaf schedule into its ResourceSummary with a
+ * single streaming pass (no random access, no intermediate storage):
+ * exactly the statistics CommunicationAnalyzer::annotate reports, plus
+ * the occupancy histogram, derived independently from the move/slot
+ * streams so the two paths cross-check each other (E001).
+ *
+ * @param epr_bandwidth EPR channel constraint for movement-phase costs
+ *        (must match the bandwidth the schedule was costed with).
+ */
+ResourceSummary summarizeLeafSchedule(const LeafSchedule &sched,
+                                      uint64_t epr_bandwidth = unbounded);
+
+/**
+ * Bottom-up whole-program composition of per-module ResourceSummaries
+ * through the call graph's repeat algebra — O(distinct modules) time
+ * and memory regardless of repeat counts.
+ */
+class ScheduleSummaryAnalysis
+{
+  public:
+    /** Produces the summary of one leaf module (typically a cache-hit
+     * lookup of a schedule folded once). */
+    using LeafSummaryFn =
+        std::function<ResourceSummary(const Module &, ModuleId)>;
+
+    /**
+     * Analyze all modules reachable from @p prog's entry.
+     * @param mode communication mode (selects coarse gate/call costs).
+     * @param leaf_summary called once per reachable leaf module.
+     * @param diags optional sink for E006 saturation warnings (one per
+     *        call site whose repeat product first clips).
+     */
+    ScheduleSummaryAnalysis(const Program &prog, CommMode mode,
+                            const LeafSummaryFn &leaf_summary,
+                            DiagnosticEngine *diags = nullptr);
+
+    /** Summary of one invocation of module @p id. */
+    const ResourceSummary &summary(ModuleId id) const;
+
+    /** Summary of the whole program (one run of the entry module). */
+    const ResourceSummary &programSummary() const;
+
+    /** Modules reachable from the entry, callees first. */
+    const std::vector<ModuleId> &analyzedModules() const { return order; }
+
+    /** Did any repeat product clip at 2^64-1 during composition? */
+    bool saturated() const { return saturated_; }
+
+    /**
+     * The contribution of module @p id's *own* operations to one of its
+     * invocations — gates at coarse cost plus per-call flush overhead,
+     * callee bodies excluded. Σ_m invocations(m) * localContribution(m)
+     * over all reachable m equals programSummary() exactly; the checker
+     * uses this identity as an independent top-down cross-check (E005).
+     */
+    ResourceSummary localContribution(ModuleId id) const;
+
+  private:
+    const Program *prog;
+    CommMode mode;
+    std::vector<ModuleId> order;
+    std::vector<ResourceSummary> summaries; ///< indexed by ModuleId
+    bool saturated_ = false;
+};
+
+} // namespace msq
+
+#endif // MSQ_ANALYSIS_SCHEDULE_SUMMARY_HH

@@ -77,13 +77,8 @@ CoarseScheduler::CoarseScheduler(const MultiSimdArch &arch,
     if (numThreads == 0)
         numThreads = ThreadPool::hardwareThreads();
     if (cache) {
-        cacheKeySuffix = csprintf(
-            "%s|d=%llu|lm=%llu|epr=%llu|%s",
-            leafScheduler->fingerprint().c_str(),
-            static_cast<unsigned long long>(arch.d),
-            static_cast<unsigned long long>(arch.localMemCapacity),
-            static_cast<unsigned long long>(arch.eprBandwidth),
-            commModeName(mode));
+        cacheKeySuffix = leafScheduleKeySuffix(
+            leafScheduler->fingerprint(), arch, mode);
     }
 }
 
@@ -101,12 +96,7 @@ CoarseScheduler::leafWidthResult(const Module &mod, unsigned w) const
 
     std::string key;
     if (cache) {
-        key = csprintf("%016llx|%llu|%llu|w=%u|%s",
-                       static_cast<unsigned long long>(
-                           mod.structuralHash()),
-                       static_cast<unsigned long long>(mod.numOps()),
-                       static_cast<unsigned long long>(mod.numQubits()),
-                       w, cacheKeySuffix.c_str());
+        key = leafScheduleKey(mod, w, cacheKeySuffix);
         if (auto hit = cache->lookup(key)) {
             if (tracing) {
                 span->setArgs(csprintf(
@@ -124,9 +114,11 @@ CoarseScheduler::leafWidthResult(const Module &mod, unsigned w) const
     CommunicationAnalyzer comm(arch, mode);
     auto result = std::make_shared<LeafScheduleResult>();
     result->stats = comm.annotate(sched);
-    // Static lower bounds at this width ride the same memoization as
-    // the schedule: both are pure functions of what the key captures.
+    // Static lower bounds and the streaming resource-summary fold ride
+    // the same memoization as the schedule: all are pure functions of
+    // what the key captures.
     result->bounds = computeLeafBounds(mod, sub);
+    result->summary = summarizeLeafSchedule(sched, arch.eprBandwidth);
     result->schedule = sched.sharedBuffer();
     if (tracing) {
         span->setArgs(csprintf(

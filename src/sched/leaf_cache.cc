@@ -1,6 +1,31 @@
 #include "sched/leaf_cache.hh"
 
+#include "support/strings.hh"
+
 namespace msq {
+
+std::string
+leafScheduleKeySuffix(const std::string &scheduler_fingerprint,
+                      const MultiSimdArch &arch, CommMode mode)
+{
+    return csprintf("%s|d=%llu|lm=%llu|epr=%llu|%s",
+                    scheduler_fingerprint.c_str(),
+                    static_cast<unsigned long long>(arch.d),
+                    static_cast<unsigned long long>(arch.localMemCapacity),
+                    static_cast<unsigned long long>(arch.eprBandwidth),
+                    commModeName(mode));
+}
+
+std::string
+leafScheduleKey(const Module &mod, unsigned width,
+                const std::string &suffix)
+{
+    return csprintf("%016llx|%llu|%llu|w=%u|%s",
+                    static_cast<unsigned long long>(mod.structuralHash()),
+                    static_cast<unsigned long long>(mod.numOps()),
+                    static_cast<unsigned long long>(mod.numQubits()),
+                    width, suffix.c_str());
+}
 
 std::shared_ptr<const LeafScheduleResult>
 LeafScheduleCache::lookup(const std::string &key)

@@ -42,6 +42,7 @@
 #include <unordered_map>
 
 #include "analysis/bounds.hh"
+#include "analysis/schedule_summary.hh"
 #include "arch/schedule.hh"
 #include "sched/comm.hh"
 
@@ -52,6 +53,15 @@ struct LeafScheduleResult
 {
     /** Movement statistics (totalCycles is the blackbox length). */
     CommStats stats;
+
+    /**
+     * Streaming fold of the annotated schedule into its compact
+     * resource footprint (analysis/schedule_summary.hh) — the unit the
+     * paper-scale estimator composes through the repeat algebra. Like
+     * `bounds`, a pure function of what the cache key captures, so it
+     * is memoized alongside the schedule and a hit never re-folds.
+     */
+    ResourceSummary summary;
 
     /**
      * Static makespan lower bounds at this schedule's width
@@ -90,6 +100,31 @@ struct LeafScheduleResult
                static_cast<double>(bound);
     }
 };
+
+/// @name Memoization-key construction
+/// Shared by every cache client (CoarseScheduler, the resource
+/// estimator) so independently built keys for the same (module,
+/// scheduler, arch, mode, width) always collide — which is what lets
+/// the estimator reuse schedules the scheduler already computed.
+/// @{
+
+/**
+ * The width-independent part of a memoization key: the leaf scheduler's
+ * identity (@p scheduler_fingerprint, LeafScheduler::fingerprint()) plus
+ * every architecture/mode parameter the result depends on.
+ */
+std::string leafScheduleKeySuffix(const std::string &scheduler_fingerprint,
+                                  const MultiSimdArch &arch,
+                                  CommMode mode);
+
+/**
+ * The full memoization key of scheduling @p mod at @p width under the
+ * configuration captured by @p suffix (leafScheduleKeySuffix).
+ */
+std::string leafScheduleKey(const Module &mod, unsigned width,
+                            const std::string &suffix);
+
+/// @}
 
 /** Thread-safe (structural hash, scheduler, arch, width) -> result map. */
 class LeafScheduleCache

@@ -77,6 +77,13 @@ constexpr CodeInfo codeTable[] = {
     {"B004", Severity::Error},   // BoundDimBelowBound
     {"B005", Severity::Error},   // BoundProgramBelow
     {"B006", Severity::Warning}, // BoundRepeatOverflow
+    // Schedule-summary estimate checker.
+    {"E001", Severity::Error},   // EstimateLeafFoldMismatch
+    {"E002", Severity::Error},   // EstimateMakespanMismatch
+    {"E003", Severity::Error},   // EstimateGateAlgebra
+    {"E004", Severity::Error},   // EstimateUnrolledMismatch
+    {"E005", Severity::Error},   // EstimateWeightMismatch
+    {"E006", Severity::Warning}, // EstimateSaturated
 };
 
 static_assert(sizeof(codeTable) / sizeof(codeTable[0]) ==

@@ -101,6 +101,18 @@ enum class DiagCode : uint16_t {
     BoundProgramBelow,      ///< B005 program below the hierarchical bound
     BoundRepeatOverflow,    ///< B006 repeat algebra saturated (warning)
 
+    // E***: schedule-summary estimate checker (verify/estimate_checker).
+    // The composed resource estimate is exact by construction; any
+    // divergence from an independently computed ground truth is an
+    // internal inconsistency (summary fold, repeat algebra, or
+    // scheduler bug), never an approximation error.
+    EstimateLeafFoldMismatch, ///< E001 leaf fold != annotator statistics
+    EstimateMakespanMismatch, ///< E002 estimate != fresh recomputation
+    EstimateGateAlgebra,      ///< E003 composed gates != ResourceEstimator
+    EstimateUnrolledMismatch, ///< E004 composed != materialized unrolled walk
+    EstimateWeightMismatch,   ///< E005 composed != invocation-weighted sum
+    EstimateSaturated,        ///< E006 repeat algebra saturated (warning)
+
     NumCodes,
 };
 

@@ -1,0 +1,599 @@
+#include "verify/estimate_checker.hh"
+
+#include <algorithm>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "analysis/invocation_counts.hh"
+#include "analysis/resource_estimator.hh"
+#include "sched/comm.hh"
+#include "support/logging.hh"
+#include "support/saturate.hh"
+#include "support/strings.hh"
+
+namespace msq {
+
+namespace {
+
+/** Shorthand for diagnostic message formatting. */
+unsigned long long
+ull(uint64_t v)
+{
+    return static_cast<unsigned long long>(v);
+}
+
+/**
+ * Build the leaf-summary callback the composition runs on: look the
+ * full-width schedule up in the cache (the embedded CoarseScheduler run
+ * has already populated it — its width sweep always includes k), fall
+ * back to scheduling directly on a miss, and count distinct schedules
+ * by memoization key so structurally identical leaves are counted once.
+ */
+ScheduleSummaryAnalysis::LeafSummaryFn
+makeLeafSummaryFn(const MultiSimdArch &arch,
+                  const LeafScheduler &scheduler, CommMode mode,
+                  const std::shared_ptr<LeafScheduleCache> &cache,
+                  std::unordered_set<std::string> *distinct_keys)
+{
+    std::string suffix =
+        leafScheduleKeySuffix(scheduler.fingerprint(), arch, mode);
+    return [&arch, &scheduler, mode, cache, distinct_keys,
+            suffix](const Module &mod, ModuleId /*id*/) {
+        const std::string key = leafScheduleKey(mod, arch.k, suffix);
+        if (distinct_keys != nullptr)
+            distinct_keys->insert(key);
+        if (auto hit = cache->lookup(key))
+            return hit->summary;
+        LeafSchedule sched = scheduler.schedule(mod, arch);
+        CommunicationAnalyzer comm(arch, mode);
+        auto result = std::make_shared<LeafScheduleResult>();
+        result->stats = comm.annotate(sched);
+        result->bounds = computeLeafBounds(mod, arch);
+        result->summary = summarizeLeafSchedule(sched, arch.eprBandwidth);
+        result->schedule = sched.sharedBuffer();
+        return cache->insert(key, std::move(result))->summary;
+    };
+}
+
+} // anonymous namespace
+
+double
+ProgramResourceEstimate::sequentialSpeedup() const
+{
+    if (makespanCycles == 0)
+        return 0.0;
+    return static_cast<double>(program.gateOps) /
+           static_cast<double>(makespanCycles);
+}
+
+double
+ProgramResourceEstimate::naiveSpeedup() const
+{
+    return sequentialSpeedup() *
+           static_cast<double>(MultiSimdArch::naiveCyclesPerGate);
+}
+
+ProgramResourceEstimate
+computeProgramEstimate(const Program &prog, const MultiSimdArch &arch,
+                       const LeafScheduler &scheduler, CommMode mode,
+                       const EstimateOptions &opts)
+{
+    TraceSpan span(Telemetry::trace(), "toolflow-estimate");
+    std::optional<ScopedTimerMs> timer;
+    if (opts.metrics != nullptr)
+        timer.emplace(opts.metrics->distribution("toolflow.estimate_ms"));
+
+    arch.validate();
+    std::shared_ptr<LeafScheduleCache> cache = opts.cache;
+    if (!cache)
+        cache = std::make_shared<LeafScheduleCache>();
+    const uint64_t hits_before = cache->hits();
+    const uint64_t misses_before = cache->misses();
+
+    ProgramResourceEstimate est;
+
+    // The parallel makespan needs the real hierarchical scheduler; its
+    // cost is O(distinct modules x sweep widths), never O(gates), and
+    // it leaves every (leaf, width) result — summary folds included —
+    // in the shared cache for the composition below.
+    CoarseScheduler::Options copts;
+    copts.numThreads = opts.numThreads;
+    copts.leafCache = cache;
+    CoarseScheduler coarse(arch, scheduler, mode, copts);
+    ProgramSchedule psched = coarse.schedule(prog);
+    est.makespanCycles = psched.totalCycles;
+
+    std::unordered_set<std::string> distinct;
+    ScheduleSummaryAnalysis analysis(
+        prog, mode,
+        makeLeafSummaryFn(arch, scheduler, mode, cache, &distinct),
+        opts.diags);
+    est.program = analysis.programSummary();
+    est.saturated = analysis.saturated();
+    est.distinctLeafSchedules = distinct.size();
+    est.reachableModules = analysis.analyzedModules().size();
+    for (ModuleId id : analysis.analyzedModules())
+        if (prog.module(id).isLeaf())
+            ++est.leafModules;
+    est.cacheHits = cache->hits() - hits_before;
+    est.cacheMisses = cache->misses() - misses_before;
+
+    // All recorded single-threaded, after the parallel fan-out has
+    // joined: values are thread-count-invariant by construction.
+    if (opts.metrics != nullptr) {
+        MetricsRegistry &reg = *opts.metrics;
+        reg.counter("estimate.runs").add(1);
+        reg.counter("estimate.distinct_leaf_schedules")
+            .add(est.distinctLeafSchedules);
+        reg.counter("estimate.leaf_cache.hits").add(est.cacheHits);
+        reg.counter("estimate.leaf_cache.misses").add(est.cacheMisses);
+        if (est.saturated)
+            reg.counter("estimate.saturated_runs").add(1);
+        reg.distribution("estimate.program_gates")
+            .record(static_cast<double>(est.program.gateOps));
+        reg.distribution("estimate.serial_cycles")
+            .record(static_cast<double>(est.program.serialCycles));
+        reg.distribution("estimate.makespan_cycles")
+            .record(static_cast<double>(est.makespanCycles));
+        reg.distribution("estimate.comm_fraction")
+            .record(est.program.commFraction());
+        reg.distribution("estimate.sequential_speedup")
+            .record(est.sequentialSpeedup());
+    }
+    return est;
+}
+
+namespace {
+
+/** Compare one field of a leaf fold against the annotator (E001). */
+void
+checkLeafField(DiagnosticEngine &diags, const Module &mod,
+               const char *field, uint64_t fold, uint64_t annotator)
+{
+    if (fold == annotator)
+        return;
+    diags.error(DiagCode::EstimateLeafFoldMismatch,
+                csprintf("leaf summary fold disagrees with the "
+                         "communication analyzer on %s: fold %llu, "
+                         "annotator %llu",
+                         field, ull(fold), ull(annotator)),
+                DiagContext{mod.name()});
+}
+
+/** Compare one composed program field against a cross-check (E004/5). */
+void
+checkProgramField(DiagnosticEngine &diags, DiagCode code,
+                  const char *source, const char *field,
+                  uint64_t composed, uint64_t independent)
+{
+    if (composed == independent)
+        return;
+    diags.error(code,
+                csprintf("composed program %s (%llu) disagrees with "
+                         "the %s (%llu)",
+                         field, ull(composed), source,
+                         ull(independent)));
+}
+
+/** Accumulator for the E004 literally-unrolled walk: every repeat is
+ * executed as that many additions, so a multiplication bug in the
+ * composition cannot reproduce itself here. */
+struct UnrolledWalk
+{
+    const Program *prog;
+    const std::unordered_map<ModuleId, ResourceSummary> *leafSummaries;
+    uint64_t gateCost;
+    uint64_t gateComm;
+    uint64_t callOverhead;
+    uint64_t budget;
+    uint64_t visits = 0;
+
+    ResourceSummary sum;
+
+    bool
+    walk(ModuleId id)
+    {
+        const Module &mod = prog->module(id);
+        if (mod.isLeaf()) {
+            // One op-visit minimum per invocation keeps zero-gate
+            // leaves from making the walk budget-blind.
+            visits += std::max<uint64_t>(mod.numOps(), 1);
+            if (visits > budget)
+                return false;
+            const ResourceSummary &leaf = leafSummaries->at(id);
+            sum.gateOps += leaf.gateOps;
+            sum.serialCycles += leaf.serialCycles;
+            sum.commCycles += leaf.commCycles;
+            sum.teleportMoves += leaf.teleportMoves;
+            sum.blockingTeleports += leaf.blockingTeleports;
+            sum.localMoves += leaf.localMoves;
+            sum.stepsWithBlockingMove += leaf.stepsWithBlockingMove;
+            sum.stepsWithOnlyLocalMoves += leaf.stepsWithOnlyLocalMoves;
+            sum.activeRegionSteps += leaf.activeRegionSteps;
+            sum.operandTouches += leaf.operandTouches;
+            for (size_t b = 0; b < sum.occupancy.size(); ++b)
+                sum.occupancy[b] += leaf.occupancy[b];
+            sum.peakRegionOccupancy = std::max(
+                sum.peakRegionOccupancy, leaf.peakRegionOccupancy);
+            sum.peakBlockingMovesPerStep =
+                std::max(sum.peakBlockingMovesPerStep,
+                         leaf.peakBlockingMovesPerStep);
+            sum.peakActiveRegions = std::max(sum.peakActiveRegions,
+                                             leaf.peakActiveRegions);
+            return true;
+        }
+        for (const Operation &op : mod.ops()) {
+            if (!op.isCall()) {
+                ++visits;
+                if (visits > budget)
+                    return false;
+                sum.gateOps += 1;
+                sum.serialCycles += gateCost;
+                sum.commCycles += gateComm;
+                continue;
+            }
+            for (uint64_t rep = 0; rep < op.repeat; ++rep) {
+                sum.serialCycles += callOverhead;
+                sum.commCycles += callOverhead;
+                sum.callInvocations += 1;
+                if (!walk(op.callee))
+                    return false;
+            }
+        }
+        return true;
+    }
+};
+
+} // anonymous namespace
+
+bool
+checkEstimateExactness(const Program &prog, const MultiSimdArch &arch,
+                       const LeafScheduler &scheduler, CommMode mode,
+                       const ProgramResourceEstimate &est,
+                       DiagnosticEngine &diags,
+                       const EstimateOptions &opts,
+                       EstimateCheckStats *stats,
+                       uint64_t materialize_budget)
+{
+    const size_t errors_before = diags.numErrors();
+    arch.validate();
+    std::shared_ptr<LeafScheduleCache> cache = opts.cache;
+    if (!cache)
+        cache = std::make_shared<LeafScheduleCache>();
+
+    // E001 — re-schedule each distinct leaf from scratch and compare
+    // the streaming fold against the CommunicationAnalyzer's own
+    // accumulation, field for field. The two paths share no state: the
+    // annotator classifies moves as it derives them, the fold re-reads
+    // the annotated buffer through the sink interface.
+    std::unordered_set<std::string> folded;
+    const std::string suffix =
+        leafScheduleKeySuffix(scheduler.fingerprint(), arch, mode);
+    for (ModuleId id : prog.bottomUpOrder()) {
+        const Module &mod = prog.module(id);
+        if (!mod.isLeaf())
+            continue;
+        if (!folded.insert(leafScheduleKey(mod, arch.k, suffix)).second)
+            continue;
+        LeafSchedule sched = scheduler.schedule(mod, arch);
+        CommunicationAnalyzer comm(arch, mode);
+        CommStats ground = comm.annotate(sched);
+        ResourceSummary fold =
+            summarizeLeafSchedule(sched, arch.eprBandwidth);
+        checkLeafField(diags, mod, "totalCycles/serialCycles",
+                       fold.serialCycles, ground.totalCycles);
+        checkLeafField(diags, mod, "teleportMoves", fold.teleportMoves,
+                       ground.teleportMoves);
+        checkLeafField(diags, mod, "blockingTeleports",
+                       fold.blockingTeleports, ground.blockingTeleports);
+        checkLeafField(diags, mod, "localMoves", fold.localMoves,
+                       ground.localMoves);
+        checkLeafField(diags, mod, "stepsWithBlockingMove",
+                       fold.stepsWithBlockingMove,
+                       ground.stepsWithBlockingMove);
+        checkLeafField(diags, mod, "stepsWithOnlyLocalMoves",
+                       fold.stepsWithOnlyLocalMoves,
+                       ground.stepsWithOnlyLocalMoves);
+        checkLeafField(diags, mod, "activeRegionSteps",
+                       fold.activeRegionSteps, ground.activeRegionSteps);
+        checkLeafField(diags, mod, "operandTouches/operandSlots",
+                       fold.operandTouches, ground.operandSlots);
+        checkLeafField(diags, mod, "peakRegionOccupancy",
+                       fold.peakRegionOccupancy,
+                       ground.peakRegionOccupancy);
+        checkLeafField(diags, mod, "peakBlockingMovesPerStep",
+                       fold.peakBlockingMovesPerStep,
+                       ground.peakBlockingMovesPerStep);
+        checkLeafField(diags, mod, "gateOps/scheduledOps", fold.gateOps,
+                       sched.scheduledOps());
+        checkLeafField(diags, mod, "occupancySteps/computeTimesteps",
+                       fold.occupancySteps(), sched.computeTimesteps());
+        if (stats != nullptr)
+            ++stats->leafFoldsChecked;
+    }
+
+    // E002 — the estimate's makespan must equal a freshly scheduled
+    // ProgramSchedule's total (determinism + cache-integrity check).
+    {
+        CoarseScheduler::Options copts;
+        copts.numThreads = opts.numThreads;
+        copts.leafCache = cache;
+        CoarseScheduler coarse(arch, scheduler, mode, copts);
+        ProgramSchedule psched = coarse.schedule(prog);
+        if (psched.totalCycles != est.makespanCycles) {
+            diags.error(
+                DiagCode::EstimateMakespanMismatch,
+                csprintf("estimate makespan %llu disagrees with a "
+                         "freshly computed ProgramSchedule (%llu cycles)",
+                         ull(est.makespanCycles),
+                         ull(psched.totalCycles)));
+        }
+    }
+
+    // Recompose for the per-module comparisons (leaf scheduling is all
+    // cache hits by now; composition is O(distinct modules)).
+    ScheduleSummaryAnalysis analysis(
+        prog, mode,
+        makeLeafSummaryFn(arch, scheduler, mode, cache, nullptr),
+        nullptr);
+    const bool saturated = analysis.saturated() || est.saturated;
+
+    // E002 (continued) — the estimate handed to us must equal the fresh
+    // recomposition field-for-field, not just on the makespan: a stale
+    // or tampered estimate is as wrong as a nondeterministic scheduler.
+    if (!saturated) {
+        const ResourceSummary &p = analysis.programSummary();
+        const char *src = "fresh recomposition";
+        auto code = DiagCode::EstimateMakespanMismatch;
+        checkProgramField(diags, code, src, "gateOps",
+                          est.program.gateOps, p.gateOps);
+        checkProgramField(diags, code, src, "serialCycles",
+                          est.program.serialCycles, p.serialCycles);
+        checkProgramField(diags, code, src, "commCycles",
+                          est.program.commCycles, p.commCycles);
+        checkProgramField(diags, code, src, "teleportMoves",
+                          est.program.teleportMoves, p.teleportMoves);
+        checkProgramField(diags, code, src, "localMoves",
+                          est.program.localMoves, p.localMoves);
+        checkProgramField(diags, code, src, "operandTouches",
+                          est.program.operandTouches, p.operandTouches);
+        checkProgramField(diags, code, src, "callInvocations",
+                          est.program.callInvocations,
+                          p.callInvocations);
+    }
+
+    // E006 — saturation poisons dependent fields; exactness of those
+    // cannot be verified, only flagged.
+    if (saturated) {
+        if (stats != nullptr)
+            stats->saturated = true;
+        diags.warning(
+            DiagCode::EstimateSaturated,
+            "repeat algebra saturated at 2^64-1 while composing the "
+            "estimate; poisoned fields are excluded from exactness "
+            "checks");
+    }
+
+    // E003 — composed gate totals vs ResourceEstimator, per module.
+    // Skip saturated modules: both sides clip to 2^64-1 by design and
+    // comparing clipped values proves nothing.
+    ResourceEstimator estimator(prog);
+    for (ModuleId id : analysis.analyzedModules()) {
+        const ResourceSummary &s = analysis.summary(id);
+        if (s.saturated)
+            continue;
+        if (s.gateOps != estimator.totalGates(id)) {
+            diags.error(
+                DiagCode::EstimateGateAlgebra,
+                csprintf("composed gate total %llu disagrees with "
+                         "ResourceEstimator (%llu)",
+                         ull(s.gateOps), ull(estimator.totalGates(id))),
+                DiagContext{prog.module(id).name()});
+        }
+        if (stats != nullptr)
+            ++stats->modulesChecked;
+    }
+
+    // E005 — invocation-weighted sum of local contributions: an
+    // independent *top-down* composition path (InvocationCountAnalysis
+    // multiplies down the call graph; the summary composes up).
+    InvocationCountAnalysis invocations(prog);
+    if (!saturated && !invocations.saturated()) {
+        ResourceSummary weighted;
+        weighted.occupancy.assign(ResourceSummary::numOccupancyBuckets(),
+                                  0);
+        bool wsat = false;
+        uint64_t total_invocations = 0;
+        for (ModuleId id : analysis.analyzedModules()) {
+            const uint64_t inv = invocations.invocations(id);
+            ResourceSummary local = analysis.localContribution(id);
+            wsat |= local.saturated;
+            weighted.gateOps = satAdd(
+                weighted.gateOps, satMul(inv, local.gateOps, wsat),
+                wsat);
+            weighted.serialCycles =
+                satAdd(weighted.serialCycles,
+                       satMul(inv, local.serialCycles, wsat), wsat);
+            weighted.commCycles =
+                satAdd(weighted.commCycles,
+                       satMul(inv, local.commCycles, wsat), wsat);
+            weighted.teleportMoves =
+                satAdd(weighted.teleportMoves,
+                       satMul(inv, local.teleportMoves, wsat), wsat);
+            weighted.blockingTeleports =
+                satAdd(weighted.blockingTeleports,
+                       satMul(inv, local.blockingTeleports, wsat), wsat);
+            weighted.localMoves =
+                satAdd(weighted.localMoves,
+                       satMul(inv, local.localMoves, wsat), wsat);
+            weighted.stepsWithBlockingMove =
+                satAdd(weighted.stepsWithBlockingMove,
+                       satMul(inv, local.stepsWithBlockingMove, wsat),
+                       wsat);
+            weighted.stepsWithOnlyLocalMoves =
+                satAdd(weighted.stepsWithOnlyLocalMoves,
+                       satMul(inv, local.stepsWithOnlyLocalMoves, wsat),
+                       wsat);
+            weighted.activeRegionSteps =
+                satAdd(weighted.activeRegionSteps,
+                       satMul(inv, local.activeRegionSteps, wsat), wsat);
+            weighted.operandTouches =
+                satAdd(weighted.operandTouches,
+                       satMul(inv, local.operandTouches, wsat), wsat);
+            weighted.callInvocations =
+                satAdd(weighted.callInvocations,
+                       satMul(inv, local.callInvocations, wsat), wsat);
+            for (size_t b = 0; b < weighted.occupancy.size(); ++b) {
+                weighted.occupancy[b] =
+                    satAdd(weighted.occupancy[b],
+                           satMul(inv, local.occupancy[b], wsat), wsat);
+            }
+            if (inv > 0) {
+                weighted.peakRegionOccupancy =
+                    std::max(weighted.peakRegionOccupancy,
+                             local.peakRegionOccupancy);
+                weighted.peakBlockingMovesPerStep =
+                    std::max(weighted.peakBlockingMovesPerStep,
+                             local.peakBlockingMovesPerStep);
+                weighted.peakActiveRegions =
+                    std::max(weighted.peakActiveRegions,
+                             local.peakActiveRegions);
+            }
+            total_invocations = satAdd(total_invocations, inv, wsat);
+        }
+        const ResourceSummary &p = analysis.programSummary();
+        if (!wsat) {
+            const char *src = "invocation-weighted sum";
+            auto code = DiagCode::EstimateWeightMismatch;
+            checkProgramField(diags, code, src, "gateOps", p.gateOps,
+                              weighted.gateOps);
+            checkProgramField(diags, code, src, "serialCycles",
+                              p.serialCycles, weighted.serialCycles);
+            checkProgramField(diags, code, src, "commCycles",
+                              p.commCycles, weighted.commCycles);
+            checkProgramField(diags, code, src, "teleportMoves",
+                              p.teleportMoves, weighted.teleportMoves);
+            checkProgramField(diags, code, src, "blockingTeleports",
+                              p.blockingTeleports,
+                              weighted.blockingTeleports);
+            checkProgramField(diags, code, src, "localMoves",
+                              p.localMoves, weighted.localMoves);
+            checkProgramField(diags, code, src, "stepsWithBlockingMove",
+                              p.stepsWithBlockingMove,
+                              weighted.stepsWithBlockingMove);
+            checkProgramField(diags, code, src,
+                              "stepsWithOnlyLocalMoves",
+                              p.stepsWithOnlyLocalMoves,
+                              weighted.stepsWithOnlyLocalMoves);
+            checkProgramField(diags, code, src, "activeRegionSteps",
+                              p.activeRegionSteps,
+                              weighted.activeRegionSteps);
+            checkProgramField(diags, code, src, "operandTouches",
+                              p.operandTouches, weighted.operandTouches);
+            checkProgramField(diags, code, src, "peakRegionOccupancy",
+                              p.peakRegionOccupancy,
+                              weighted.peakRegionOccupancy);
+            checkProgramField(diags, code, src,
+                              "peakBlockingMovesPerStep",
+                              p.peakBlockingMovesPerStep,
+                              weighted.peakBlockingMovesPerStep);
+            checkProgramField(diags, code, src, "peakActiveRegions",
+                              p.peakActiveRegions,
+                              weighted.peakActiveRegions);
+            for (size_t b = 0; b < weighted.occupancy.size(); ++b) {
+                checkProgramField(
+                    diags, code, src,
+                    csprintf("occupancy[%s]",
+                             ResourceSummary::occupancyLabel(b).c_str())
+                        .c_str(),
+                    p.occupancy[b], weighted.occupancy[b]);
+            }
+            // Every invocation except the entry's own run is a call.
+            checkProgramField(diags, code, src, "callInvocations",
+                              p.callInvocations,
+                              total_invocations - 1);
+            checkProgramField(diags, code, src,
+                              "callInvocations(weighted)",
+                              p.callInvocations,
+                              weighted.callInvocations);
+        }
+    }
+
+    // E004 — the literally unrolled walk: repeats executed as repeated
+    // addition, so the composition's repeat *multiplication* is checked
+    // against ground-truth iteration. Budget-gated by op visits.
+    if (!saturated && !estimator.saturated() &&
+        estimator.programGates() <= materialize_budget) {
+        std::unordered_map<ModuleId, ResourceSummary> leaf_summaries;
+        for (ModuleId id : analysis.analyzedModules())
+            if (prog.module(id).isLeaf())
+                leaf_summaries.emplace(id, analysis.summary(id));
+        UnrolledWalk walk;
+        walk.prog = &prog;
+        walk.leafSummaries = &leaf_summaries;
+        walk.gateCost = MultiSimdArch::coarseGateCost(mode);
+        walk.gateComm = walk.gateCost - MultiSimdArch::gateCycles;
+        walk.callOverhead = MultiSimdArch::callOverhead(mode);
+        walk.budget = materialize_budget;
+        walk.sum.occupancy.assign(ResourceSummary::numOccupancyBuckets(),
+                                  0);
+        if (walk.walk(prog.entry())) {
+            const ResourceSummary &p = analysis.programSummary();
+            const char *src = "unrolled walk";
+            auto code = DiagCode::EstimateUnrolledMismatch;
+            checkProgramField(diags, code, src, "gateOps", p.gateOps,
+                              walk.sum.gateOps);
+            checkProgramField(diags, code, src, "serialCycles",
+                              p.serialCycles, walk.sum.serialCycles);
+            checkProgramField(diags, code, src, "commCycles",
+                              p.commCycles, walk.sum.commCycles);
+            checkProgramField(diags, code, src, "teleportMoves",
+                              p.teleportMoves, walk.sum.teleportMoves);
+            checkProgramField(diags, code, src, "blockingTeleports",
+                              p.blockingTeleports,
+                              walk.sum.blockingTeleports);
+            checkProgramField(diags, code, src, "localMoves",
+                              p.localMoves, walk.sum.localMoves);
+            checkProgramField(diags, code, src, "stepsWithBlockingMove",
+                              p.stepsWithBlockingMove,
+                              walk.sum.stepsWithBlockingMove);
+            checkProgramField(diags, code, src,
+                              "stepsWithOnlyLocalMoves",
+                              p.stepsWithOnlyLocalMoves,
+                              walk.sum.stepsWithOnlyLocalMoves);
+            checkProgramField(diags, code, src, "activeRegionSteps",
+                              p.activeRegionSteps,
+                              walk.sum.activeRegionSteps);
+            checkProgramField(diags, code, src, "operandTouches",
+                              p.operandTouches, walk.sum.operandTouches);
+            checkProgramField(diags, code, src, "callInvocations",
+                              p.callInvocations,
+                              walk.sum.callInvocations);
+            checkProgramField(diags, code, src, "peakRegionOccupancy",
+                              p.peakRegionOccupancy,
+                              walk.sum.peakRegionOccupancy);
+            checkProgramField(diags, code, src,
+                              "peakBlockingMovesPerStep",
+                              p.peakBlockingMovesPerStep,
+                              walk.sum.peakBlockingMovesPerStep);
+            checkProgramField(diags, code, src, "peakActiveRegions",
+                              p.peakActiveRegions,
+                              walk.sum.peakActiveRegions);
+            for (size_t b = 0; b < walk.sum.occupancy.size(); ++b) {
+                checkProgramField(
+                    diags, code, src,
+                    csprintf("occupancy[%s]",
+                             ResourceSummary::occupancyLabel(b).c_str())
+                        .c_str(),
+                    p.occupancy[b], walk.sum.occupancy[b]);
+            }
+            if (stats != nullptr)
+                stats->unrolledChecked = true;
+        }
+    }
+
+    return diags.numErrors() == errors_before;
+}
+
+} // namespace msq

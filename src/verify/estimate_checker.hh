@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Paper-scale resource estimation driver and its exactness checker
+ * (diagnostic codes E001-E006).
+ *
+ * computeProgramEstimate() is the production entry point of the
+ * schedule-summary analysis (analysis/schedule_summary.hh): it
+ * schedules each *distinct* leaf exactly once through the shared
+ * LeafScheduleCache, reuses the per-leaf ResourceSummary folds memoized
+ * in LeafScheduleResult, composes them bottom-up through the repeat
+ * algebra, and runs the CoarseScheduler (itself O(distinct modules))
+ * for the parallel makespan — exact program-level resource reports for
+ * 10^12-gate workloads in O(distinct leaves) memory.
+ *
+ * checkEstimateExactness() is what makes the estimate trustworthy: the
+ * composed numbers are claimed *exact*, so on any program small enough
+ * to materialize, they must equal independently computed ground truth
+ * field-for-field. Divergence is a hard error — an estimator, repeat
+ * algebra, scheduler or cache bug — never an approximation error:
+ *
+ *  - E001 a leaf's streaming summary fold disagrees with the
+ *         CommunicationAnalyzer's independently accumulated statistics;
+ *  - E002 the estimate disagrees with a fresh recomputation — its
+ *         makespan with a freshly computed ProgramSchedule, or its
+ *         summary fields with a fresh recomposition;
+ *  - E003 composed gate totals disagree with ResourceEstimator's
+ *         independently composed totals (per module and program);
+ *  - E004 the composition disagrees with a literally unrolled walk of
+ *         the call tree (repeat-by-repeat addition — multiplication
+ *         checked against repeated addition); budget-gated;
+ *  - E005 the composition disagrees with the invocation-weighted sum
+ *         Σ invocations(m) * localContribution(m) (independent
+ *         top-down path through InvocationCountAnalysis);
+ *  - E006 (warning) the repeat algebra saturated at 2^64-1 — poisoned
+ *         fields are excluded from exactness comparisons because
+ *         equality of two clipped values proves nothing.
+ */
+
+#ifndef MSQ_VERIFY_ESTIMATE_CHECKER_HH
+#define MSQ_VERIFY_ESTIMATE_CHECKER_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "analysis/schedule_summary.hh"
+#include "arch/multi_simd.hh"
+#include "ir/program.hh"
+#include "sched/coarse.hh"
+#include "sched/leaf_cache.hh"
+#include "sched/leaf_scheduler.hh"
+#include "support/diagnostic.hh"
+#include "support/telemetry.hh"
+
+namespace msq {
+
+/** Exact whole-program resource estimate (the --estimate payload). */
+struct ProgramResourceEstimate
+{
+    /** Composed summary of one program run (entry module). */
+    ResourceSummary program;
+
+    /** Parallel makespan: the CoarseScheduler's entry best length. */
+    uint64_t makespanCycles = 0;
+
+    /** Distinct leaf schedules computed/folded (the memory bound). */
+    uint64_t distinctLeafSchedules = 0;
+
+    /** Reachable leaf modules (>= distinctLeafSchedules). */
+    uint64_t leafModules = 0;
+
+    /** Modules reachable from the entry. */
+    uint64_t reachableModules = 0;
+
+    /** Leaf-cache traffic attributable to this estimate run. */
+    uint64_t cacheHits = 0;
+    uint64_t cacheMisses = 0;
+
+    /** Any repeat product clipped at 2^64-1 (poisons fields). */
+    bool saturated = false;
+
+    /**
+     * Speedup over sequential execution (one gate per cycle):
+     * gateOps / makespan — the paper's speedup metric.
+     */
+    double sequentialSpeedup() const;
+
+    /** Speedup over the naive every-timestep movement model
+     * (naiveCyclesPerGate * gateOps / makespan, paper §4). */
+    double naiveSpeedup() const;
+};
+
+/** Options shared by the estimate driver and the exactness checker. */
+struct EstimateOptions
+{
+    /** Scheduling fan-out threads (1 = sequential, 0 = hardware). */
+    unsigned numThreads = 1;
+
+    /** Leaf-schedule memoization cache; created fresh when null. May
+     * be shared with prior CoarseScheduler runs so already-scheduled
+     * leaves are never recomputed. */
+    std::shared_ptr<LeafScheduleCache> cache;
+
+    /** Optional telemetry sink: estimate.* counters/distributions and
+     * the toolflow.estimate_ms phase timing, recorded only from the
+     * single-threaded driver (thread-count-invariance contract). */
+    MetricsRegistry *metrics = nullptr;
+
+    /** Optional sink for E006 composition-saturation warnings. */
+    DiagnosticEngine *diags = nullptr;
+};
+
+/**
+ * Compute the exact resource estimate of @p prog on @p arch under
+ * @p mode, never materializing more than O(distinct leaves) schedule
+ * state. Leaves are scheduled at every sweep width by the embedded
+ * CoarseScheduler run (for the makespan) and their full-width summary
+ * folds are composed through the repeat algebra.
+ */
+ProgramResourceEstimate
+computeProgramEstimate(const Program &prog, const MultiSimdArch &arch,
+                       const LeafScheduler &scheduler, CommMode mode,
+                       const EstimateOptions &opts = {});
+
+/** Aggregate numbers from one exactness-checker run. */
+struct EstimateCheckStats
+{
+    uint64_t leafFoldsChecked = 0; ///< distinct leaves re-folded (E001)
+    uint64_t modulesChecked = 0;   ///< modules compared (E003/E005)
+    bool unrolledChecked = false;  ///< E004 ran (within budget)
+    bool saturated = false;        ///< E006 anywhere
+};
+
+/** Default op-visit budget for the E004 unrolled-walk cross-check. */
+constexpr uint64_t defaultMaterializeBudget = 5'000'000;
+
+/**
+ * Verify @p est against independently computed ground truth (E001-E006
+ * above). @p scheduler and @p mode must match what produced @p est.
+ *
+ * @param materialize_budget op-visit ceiling for the E004 unrolled
+ *        walk; programs larger than this skip E004 (the other checks
+ *        run at any scale — they are all O(distinct modules)).
+ * @return true when no Error-severity diagnostic was added.
+ */
+bool checkEstimateExactness(const Program &prog,
+                            const MultiSimdArch &arch,
+                            const LeafScheduler &scheduler, CommMode mode,
+                            const ProgramResourceEstimate &est,
+                            DiagnosticEngine &diags,
+                            const EstimateOptions &opts = {},
+                            EstimateCheckStats *stats = nullptr,
+                            uint64_t materialize_budget =
+                                defaultMaterializeBudget);
+
+} // namespace msq
+
+#endif // MSQ_VERIFY_ESTIMATE_CHECKER_HH

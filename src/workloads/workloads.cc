@@ -47,5 +47,28 @@ findWorkload(const std::vector<WorkloadSpec> &specs,
     fatal("unknown workload: " + short_name);
 }
 
+void
+scaleWorkload(Program &prog, uint64_t factor)
+{
+    if (factor <= 1)
+        return;
+    const ModuleId old_entry = prog.entry();
+    if (old_entry == invalidModule)
+        fatal("scaleWorkload: program has no entry module");
+    const ModuleId wrapper_id = prog.addModule(
+        "__scaled_x" + std::to_string(factor));
+    Module &wrapper = prog.module(wrapper_id);
+    // The old entry's parameters become wrapper locals bound to every
+    // iteration (benchmarks generally take none; this keeps arbitrary
+    // programs valid).
+    std::vector<QubitId> args;
+    const Module &old_mod = prog.module(old_entry);
+    for (size_t p = 0; p < old_mod.numParams(); ++p)
+        args.push_back(wrapper.addLocal("scaled_q" +
+                                        std::to_string(p)));
+    wrapper.addCall(old_entry, std::move(args), factor);
+    prog.setEntry(wrapper_id);
+}
+
 } // namespace workloads
 } // namespace msq

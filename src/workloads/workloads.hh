@@ -81,6 +81,18 @@ std::vector<WorkloadSpec> scaledParams();
 WorkloadSpec findWorkload(const std::vector<WorkloadSpec> &specs,
                           const std::string &short_name);
 
+/**
+ * Scale @p prog up by @p factor without unrolling: the entry module is
+ * wrapped in a new entry that repeat-calls it @p factor times, so every
+ * resource total grows by exactly @p factor (plus the wrapper's single
+ * call-flush overhead) while the set of distinct modules — and thus
+ * scheduling/estimation cost — is unchanged. This is how the built-in
+ * benchmarks are instantiated at paper-scale sizes (10^9+ gates) for
+ * `msq-verify --scale` and bench_paper_scale. @p factor <= 1 is a
+ * no-op.
+ */
+void scaleWorkload(Program &prog, uint64_t factor);
+
 } // namespace workloads
 } // namespace msq
 

@@ -1,0 +1,544 @@
+/**
+ * @file
+ * Tests for the schedule-summary static analysis
+ * (analysis/schedule_summary.hh) and the E001-E006 estimate exactness
+ * checker (verify/estimate_checker.hh).
+ *
+ * The analysis claims *exact* composition, so every test here compares
+ * against independently computed ground truth: the streaming leaf fold
+ * against the CommunicationAnalyzer, the repeat algebra against
+ * hand-computed closed forms and against full workloads, and the
+ * saturation contract against deliberately overflowing repeat counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+
+#include "analysis/invocation_counts.hh"
+#include "analysis/resource_estimator.hh"
+#include "analysis/schedule_summary.hh"
+#include "core/toolflow.hh"
+#include "passes/decompose_toffoli.hh"
+#include "passes/flatten.hh"
+#include "passes/pass_manager.hh"
+#include "sched/comm.hh"
+#include "sched/lpfs.hh"
+#include "sched/rcp.hh"
+#include "support/diagnostic.hh"
+#include "support/telemetry.hh"
+#include "verify/estimate_checker.hh"
+#include "workloads/workloads.hh"
+
+namespace {
+
+using namespace msq;
+
+bool
+hasCode(const DiagnosticEngine &diags, DiagCode code)
+{
+    for (const Diagnostic &d : diags.diagnostics())
+        if (d.code == code)
+            return true;
+    return false;
+}
+
+/** A leaf whose schedule exercises teleports: chained CNOTs across
+ * enough qubits that k=2 regions must exchange operands. */
+Module
+commHeavyLeaf(unsigned qubits, unsigned rounds)
+{
+    Module mod("commleaf");
+    std::vector<QubitId> qs;
+    for (unsigned i = 0; i < qubits; ++i)
+        qs.push_back(mod.addLocal("q" + std::to_string(i)));
+    for (unsigned r = 0; r < rounds; ++r)
+        for (unsigned i = 0; i + 1 < qubits; ++i)
+            mod.addGate(GateKind::CNOT, {qs[i], qs[i + 1]});
+    return mod;
+}
+
+/** Fold vs annotator, field for field, for one (scheduler, mode). */
+void
+expectFoldMatchesAnnotator(const Module &mod, const LeafScheduler &sched,
+                           const MultiSimdArch &arch, CommMode mode)
+{
+    LeafSchedule leaf = sched.schedule(mod, arch);
+    CommunicationAnalyzer comm(arch, mode);
+    CommStats ground = comm.annotate(leaf);
+    ResourceSummary fold = summarizeLeafSchedule(leaf, arch.eprBandwidth);
+
+    EXPECT_EQ(fold.serialCycles, ground.totalCycles);
+    EXPECT_EQ(fold.teleportMoves, ground.teleportMoves);
+    EXPECT_EQ(fold.blockingTeleports, ground.blockingTeleports);
+    EXPECT_EQ(fold.localMoves, ground.localMoves);
+    EXPECT_EQ(fold.stepsWithBlockingMove, ground.stepsWithBlockingMove);
+    EXPECT_EQ(fold.stepsWithOnlyLocalMoves,
+              ground.stepsWithOnlyLocalMoves);
+    EXPECT_EQ(fold.activeRegionSteps, ground.activeRegionSteps);
+    EXPECT_EQ(fold.operandTouches, ground.operandSlots);
+    EXPECT_EQ(fold.peakRegionOccupancy, ground.peakRegionOccupancy);
+    EXPECT_EQ(fold.peakBlockingMovesPerStep,
+              ground.peakBlockingMovesPerStep);
+    EXPECT_EQ(fold.gateOps, leaf.scheduledOps());
+    EXPECT_EQ(fold.occupancySteps(), leaf.computeTimesteps());
+    EXPECT_EQ(fold.eprPairs(), ground.teleportMoves);
+    EXPECT_FALSE(fold.saturated);
+}
+
+// ---------------------------------------------------------------------
+// The streaming leaf fold vs the CommunicationAnalyzer (E001's claim).
+// ---------------------------------------------------------------------
+
+TEST(LeafFold, MatchesAnnotatorGlobalMode)
+{
+    Module mod = commHeavyLeaf(8, 4);
+    RcpScheduler rcp;
+    LpfsScheduler lpfs;
+    MultiSimdArch arch(2);
+    expectFoldMatchesAnnotator(mod, rcp, arch, CommMode::Global);
+    expectFoldMatchesAnnotator(mod, lpfs, arch, CommMode::Global);
+}
+
+TEST(LeafFold, MatchesAnnotatorLocalMemMode)
+{
+    Module mod = commHeavyLeaf(8, 4);
+    RcpScheduler rcp;
+    LpfsScheduler lpfs;
+    MultiSimdArch arch(2, unbounded, /*localMemCapacity=*/4);
+    expectFoldMatchesAnnotator(mod, rcp, arch,
+                               CommMode::GlobalWithLocalMem);
+    expectFoldMatchesAnnotator(mod, lpfs, arch,
+                               CommMode::GlobalWithLocalMem);
+}
+
+TEST(LeafFold, MatchesAnnotatorUnderFiniteEprBandwidth)
+{
+    Module mod = commHeavyLeaf(10, 3);
+    RcpScheduler rcp;
+    MultiSimdArch arch(4);
+    arch.eprBandwidth = 1;
+    expectFoldMatchesAnnotator(mod, rcp, arch, CommMode::Global);
+}
+
+TEST(LeafFold, EmptyLeafFoldsToZero)
+{
+    Module mod("empty");
+    mod.addLocal("q");
+    RcpScheduler rcp;
+    LeafSchedule leaf = rcp.schedule(mod, MultiSimdArch(2));
+    ResourceSummary fold = summarizeLeafSchedule(leaf);
+    EXPECT_EQ(fold.gateOps, 0u);
+    EXPECT_EQ(fold.serialCycles, 0u);
+    EXPECT_EQ(fold.commCycles, 0u);
+    EXPECT_EQ(fold.teleportMoves, 0u);
+    EXPECT_EQ(fold.occupancySteps(), 0u);
+    EXPECT_EQ(fold.peakActiveRegions, 0u);
+    EXPECT_FALSE(fold.saturated);
+}
+
+// ---------------------------------------------------------------------
+// Composition through the repeat algebra: hand-computed closed forms.
+// ---------------------------------------------------------------------
+
+/** leaf (g gates) <- mid (2 gates + leaf x3) <- entry (mid x5). */
+struct ThreeLevelProgram
+{
+    Program prog;
+    ModuleId leaf, mid, entry;
+
+    ThreeLevelProgram()
+    {
+        leaf = prog.addModule("leaf");
+        Module &l = prog.module(leaf);
+        QubitId lq = l.addLocal("q");
+        l.addGate(GateKind::H, {lq});
+        l.addGate(GateKind::T, {lq});
+
+        mid = prog.addModule("mid");
+        Module &m = prog.module(mid);
+        QubitId mq = m.addLocal("q");
+        m.addGate(GateKind::X, {mq});
+        m.addGate(GateKind::X, {mq});
+        m.addCall(leaf, {}, 3);
+
+        entry = prog.addModule("entry");
+        Module &e = prog.module(entry);
+        e.addLocal("q");
+        e.addCall(mid, {}, 5);
+        prog.setEntry(entry);
+    }
+};
+
+TEST(SummaryComposition, MatchesHandComputedClosedForm)
+{
+    ThreeLevelProgram tlp;
+    RcpScheduler rcp;
+    MultiSimdArch arch(2);
+    const CommMode mode = CommMode::Global;
+
+    ScheduleSummaryAnalysis analysis(
+        tlp.prog, mode, [&](const Module &mod, ModuleId) {
+            LeafSchedule sched = rcp.schedule(mod, arch);
+            CommunicationAnalyzer(arch, mode).annotate(sched);
+            return summarizeLeafSchedule(sched, arch.eprBandwidth);
+        });
+
+    const ResourceSummary &leaf = analysis.summary(tlp.leaf);
+    const ResourceSummary &mid = analysis.summary(tlp.mid);
+    const ResourceSummary &program = analysis.programSummary();
+
+    const uint64_t gate_cost = MultiSimdArch::coarseGateCost(mode);
+    const uint64_t call_oh = MultiSimdArch::callOverhead(mode);
+
+    EXPECT_EQ(leaf.gateOps, 2u);
+    EXPECT_EQ(mid.gateOps, 2 + 3 * leaf.gateOps);
+    EXPECT_EQ(program.gateOps, 5 * mid.gateOps);
+
+    EXPECT_EQ(mid.serialCycles,
+              2 * gate_cost + 3 * (leaf.serialCycles + call_oh));
+    EXPECT_EQ(program.serialCycles, 5 * (mid.serialCycles + call_oh));
+
+    EXPECT_EQ(mid.callInvocations, 3u);
+    EXPECT_EQ(program.callInvocations, 5 * (mid.callInvocations + 1));
+
+    EXPECT_EQ(program.teleportMoves, 15 * leaf.teleportMoves);
+    EXPECT_EQ(program.peakRegionOccupancy,
+              std::max(leaf.peakRegionOccupancy,
+                       mid.peakRegionOccupancy));
+
+    // Occupancy histograms count leaf timesteps only and compose
+    // linearly: mid already includes its three leaf runs, the program
+    // five mid runs.
+    ASSERT_EQ(program.occupancy.size(),
+              ResourceSummary::numOccupancyBuckets());
+    for (size_t b = 0; b < program.occupancy.size(); ++b) {
+        EXPECT_EQ(mid.occupancy[b], 3 * leaf.occupancy[b]);
+        EXPECT_EQ(program.occupancy[b], 5 * mid.occupancy[b]);
+    }
+    EXPECT_FALSE(analysis.saturated());
+}
+
+TEST(SummaryComposition, LocalContributionIdentityHolds)
+{
+    ThreeLevelProgram tlp;
+    RcpScheduler rcp;
+    MultiSimdArch arch(2);
+    const CommMode mode = CommMode::Global;
+    ScheduleSummaryAnalysis analysis(
+        tlp.prog, mode, [&](const Module &mod, ModuleId) {
+            LeafSchedule sched = rcp.schedule(mod, arch);
+            CommunicationAnalyzer(arch, mode).annotate(sched);
+            return summarizeLeafSchedule(sched, arch.eprBandwidth);
+        });
+    InvocationCountAnalysis invocations(tlp.prog);
+
+    uint64_t gates = 0;
+    uint64_t serial = 0;
+    for (ModuleId id : analysis.analyzedModules()) {
+        ResourceSummary local = analysis.localContribution(id);
+        gates += invocations.invocations(id) * local.gateOps;
+        serial += invocations.invocations(id) * local.serialCycles;
+    }
+    EXPECT_EQ(gates, analysis.programSummary().gateOps);
+    EXPECT_EQ(serial, analysis.programSummary().serialCycles);
+}
+
+// ---------------------------------------------------------------------
+// The estimate driver + exactness checker end to end.
+// ---------------------------------------------------------------------
+
+TEST(EstimateChecker, PassesOnHandBuiltProgram)
+{
+    ThreeLevelProgram tlp;
+    RcpScheduler rcp;
+    MultiSimdArch arch(2);
+
+    ProgramResourceEstimate est = computeProgramEstimate(
+        tlp.prog, arch, rcp, CommMode::Global);
+    EXPECT_GT(est.makespanCycles, 0u);
+    EXPECT_EQ(est.distinctLeafSchedules, 1u);
+    EXPECT_EQ(est.leafModules, 1u);
+    EXPECT_EQ(est.reachableModules, 3u);
+    EXPECT_FALSE(est.saturated);
+
+    DiagnosticEngine diags;
+    EstimateCheckStats stats;
+    EXPECT_TRUE(checkEstimateExactness(tlp.prog, arch, rcp,
+                                       CommMode::Global, est, diags,
+                                       {}, &stats));
+    EXPECT_EQ(diags.numErrors(), 0u);
+    EXPECT_EQ(stats.leafFoldsChecked, 1u);
+    EXPECT_GE(stats.modulesChecked, 3u);
+    EXPECT_TRUE(stats.unrolledChecked);
+    EXPECT_FALSE(stats.saturated);
+}
+
+TEST(EstimateChecker, PerturbedMakespanTripsE002)
+{
+    ThreeLevelProgram tlp;
+    RcpScheduler rcp;
+    MultiSimdArch arch(2);
+    ProgramResourceEstimate est = computeProgramEstimate(
+        tlp.prog, arch, rcp, CommMode::Global);
+    est.makespanCycles += 1;
+    DiagnosticEngine diags;
+    EXPECT_FALSE(checkEstimateExactness(tlp.prog, arch, rcp,
+                                        CommMode::Global, est, diags));
+    EXPECT_TRUE(hasCode(diags, DiagCode::EstimateMakespanMismatch));
+}
+
+TEST(EstimateChecker, PerturbedSummaryTripsE002)
+{
+    ThreeLevelProgram tlp;
+    RcpScheduler rcp;
+    MultiSimdArch arch(2);
+    ProgramResourceEstimate est = computeProgramEstimate(
+        tlp.prog, arch, rcp, CommMode::Global);
+    est.program.gateOps += 1;
+    DiagnosticEngine diags;
+    EXPECT_FALSE(checkEstimateExactness(tlp.prog, arch, rcp,
+                                        CommMode::Global, est, diags));
+    EXPECT_TRUE(hasCode(diags, DiagCode::EstimateMakespanMismatch));
+}
+
+TEST(EstimateChecker, ZeroOpLeafUnderHugeRepeatStaysExact)
+{
+    Program prog;
+    ModuleId leaf = prog.addModule("noop");
+    prog.module(leaf).addLocal("q");
+    ModuleId entry = prog.addModule("entry");
+    prog.module(entry).addLocal("q");
+    prog.module(entry).addCall(leaf, {}, 1'000'000'000'000ull);
+    prog.setEntry(entry);
+
+    RcpScheduler rcp;
+    MultiSimdArch arch(2);
+    ProgramResourceEstimate est = computeProgramEstimate(
+        prog, arch, rcp, CommMode::Global);
+    EXPECT_EQ(est.program.gateOps, 0u);
+    // Each call still pays the flush overhead, nothing else.
+    EXPECT_EQ(est.program.serialCycles,
+              1'000'000'000'000ull *
+                  MultiSimdArch::callOverhead(CommMode::Global));
+    EXPECT_EQ(est.program.callInvocations, 1'000'000'000'000ull);
+    EXPECT_FALSE(est.saturated);
+
+    // The unrolled walk must abort on its op-visit budget (zero-gate
+    // leaves still count one visit per invocation) without erroring.
+    DiagnosticEngine diags;
+    EstimateCheckStats stats;
+    EXPECT_TRUE(checkEstimateExactness(prog, arch, rcp,
+                                       CommMode::Global, est, diags,
+                                       {}, &stats,
+                                       /*materialize_budget=*/1000));
+    EXPECT_FALSE(stats.unrolledChecked);
+    EXPECT_EQ(diags.numErrors(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Saturation contract: overflow poisons, warns, never false-alarms.
+// ---------------------------------------------------------------------
+
+TEST(EstimateChecker, SaturatedRepeatAlgebraPoisonsAndWarns)
+{
+    // 2^40 x 2^40 invocations of a one-gate leaf overflows uint64.
+    Program prog;
+    ModuleId leaf = prog.addModule("leaf");
+    {
+        Module &l = prog.module(leaf);
+        QubitId q = l.addLocal("q");
+        l.addGate(GateKind::H, {q});
+    }
+    ModuleId mid = prog.addModule("mid");
+    prog.module(mid).addLocal("q");
+    prog.module(mid).addCall(leaf, {}, uint64_t(1) << 40);
+    ModuleId entry = prog.addModule("entry");
+    prog.module(entry).addLocal("q");
+    prog.module(entry).addCall(mid, {}, uint64_t(1) << 40);
+    prog.setEntry(entry);
+
+    RcpScheduler rcp;
+    MultiSimdArch arch(2);
+    DiagnosticEngine diags;
+    EstimateOptions opts;
+    opts.diags = &diags;
+    ProgramResourceEstimate est = computeProgramEstimate(
+        prog, arch, rcp, CommMode::Global, opts);
+
+    // Poisoned, not silently capped: the flag is set and dependent
+    // fields stick at 2^64-1.
+    EXPECT_TRUE(est.saturated);
+    EXPECT_TRUE(est.program.saturated);
+    EXPECT_EQ(est.program.gateOps,
+              std::numeric_limits<uint64_t>::max());
+    EXPECT_EQ(est.program.serialCycles,
+              std::numeric_limits<uint64_t>::max());
+    EXPECT_EQ(est.program.computeCycles(), 0u);
+    EXPECT_TRUE(hasCode(diags, DiagCode::EstimateSaturated));
+
+    // The independent gate estimator must saturate in lockstep
+    // (satellite cross-check: both sides use support/saturate.hh).
+    ResourceEstimator estimator(prog);
+    EXPECT_TRUE(estimator.saturated());
+    EXPECT_EQ(estimator.programGates(),
+              std::numeric_limits<uint64_t>::max());
+
+    // Saturation downgrades exactness checks to the E006 warning; no
+    // E001-E005 error may fire on clipped fields.
+    DiagnosticEngine check_diags;
+    EstimateCheckStats stats;
+    EXPECT_TRUE(checkEstimateExactness(prog, arch, rcp,
+                                       CommMode::Global, est,
+                                       check_diags, {}, &stats));
+    EXPECT_TRUE(stats.saturated);
+    EXPECT_EQ(check_diags.numErrors(), 0u);
+    EXPECT_TRUE(hasCode(check_diags, DiagCode::EstimateSaturated));
+}
+
+TEST(EstimateChecker, UnsaturatedHugeRepeatStaysExactBelowClip)
+{
+    // A repeat product just below 2^64 must compose without clipping.
+    Program prog;
+    ModuleId leaf = prog.addModule("leaf");
+    {
+        Module &l = prog.module(leaf);
+        QubitId q = l.addLocal("q");
+        l.addGate(GateKind::H, {q});
+    }
+    ModuleId entry = prog.addModule("entry");
+    prog.module(entry).addLocal("q");
+    prog.module(entry).addCall(leaf, {}, uint64_t(1) << 40);
+    prog.setEntry(entry);
+
+    RcpScheduler rcp;
+    MultiSimdArch arch(2);
+    ProgramResourceEstimate est = computeProgramEstimate(
+        prog, arch, rcp, CommMode::Global);
+    EXPECT_FALSE(est.saturated);
+    EXPECT_EQ(est.program.gateOps, uint64_t(1) << 40);
+    EXPECT_EQ(est.program.callInvocations, uint64_t(1) << 40);
+}
+
+// ---------------------------------------------------------------------
+// scaleWorkload: totals scale exactly, distinct-module set does not.
+// ---------------------------------------------------------------------
+
+TEST(ScaleWorkload, ScalesEveryLinearFieldExactly)
+{
+    auto lowered = [] {
+        Program prog = workloads::findWorkload(
+                           workloads::scaledParams(), "tfp")
+                           .build();
+        PassManager passes;
+        passes.add(std::make_unique<DecomposeToffoliPass>());
+        passes.add(std::make_unique<RotationDecomposerPass>(
+            Toolflow::rotationPresetFor("tfp")));
+        passes.add(std::make_unique<FlattenPass>(30'000));
+        passes.run(prog);
+        return prog;
+    };
+    Program base = lowered();
+    Program scaled = lowered();
+    workloads::scaleWorkload(scaled, 1000);
+
+    RcpScheduler rcp;
+    MultiSimdArch arch(4);
+    ProgramResourceEstimate b = computeProgramEstimate(
+        base, arch, rcp, CommMode::Global);
+    ProgramResourceEstimate s = computeProgramEstimate(
+        scaled, arch, rcp, CommMode::Global);
+
+    EXPECT_EQ(s.program.gateOps, 1000 * b.program.gateOps);
+    EXPECT_EQ(s.program.teleportMoves, 1000 * b.program.teleportMoves);
+    EXPECT_EQ(s.program.serialCycles,
+              1000 * (b.program.serialCycles +
+                      MultiSimdArch::callOverhead(CommMode::Global)));
+    EXPECT_EQ(s.distinctLeafSchedules, b.distinctLeafSchedules);
+    EXPECT_EQ(s.reachableModules, b.reachableModules + 1);
+
+    DiagnosticEngine diags;
+    EXPECT_TRUE(checkEstimateExactness(scaled, arch, rcp,
+                                       CommMode::Global, s, diags));
+}
+
+TEST(ScaleWorkload, FactorOneIsNoOp)
+{
+    Program prog = workloads::findWorkload(workloads::scaledParams(),
+                                           "tfp")
+                       .build();
+    const size_t modules_before = prog.reachableModules().size();
+    workloads::scaleWorkload(prog, 1);
+    EXPECT_EQ(prog.reachableModules().size(), modules_before);
+}
+
+// ---------------------------------------------------------------------
+// All eight workloads x RCP/LPFS: exactness + ResourceEstimator
+// cross-check at full pipeline fidelity (the acceptance criterion).
+// ---------------------------------------------------------------------
+
+TEST(EstimateWorkloads, AllEightExactUnderBothSchedulers)
+{
+    MultiSimdArch arch(4);
+    for (const auto &spec : workloads::scaledParams()) {
+        Program prog = spec.build();
+        PassManager passes;
+        passes.add(std::make_unique<DecomposeToffoliPass>());
+        passes.add(std::make_unique<RotationDecomposerPass>(
+            Toolflow::rotationPresetFor(spec.shortName)));
+        passes.add(std::make_unique<FlattenPass>(30'000));
+        passes.run(prog);
+
+        const uint64_t independent_gates =
+            ResourceEstimator(prog).programGates();
+
+        for (SchedulerKind kind :
+             {SchedulerKind::Rcp, SchedulerKind::Lpfs}) {
+            SCOPED_TRACE(spec.shortName + std::string("/") +
+                         schedulerKindName(kind));
+            auto scheduler = Toolflow::makeScheduler(kind);
+            ProgramResourceEstimate est = computeProgramEstimate(
+                prog, arch, *scheduler, CommMode::Global);
+            EXPECT_EQ(est.program.gateOps, independent_gates);
+            EXPECT_GT(est.makespanCycles, 0u);
+
+            DiagnosticEngine diags;
+            EXPECT_TRUE(checkEstimateExactness(prog, arch, *scheduler,
+                                               CommMode::Global, est,
+                                               diags));
+            EXPECT_EQ(diags.numErrors(), 0u);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Telemetry contract: estimate.* counters and the phase span.
+// ---------------------------------------------------------------------
+
+TEST(EstimateTelemetry, RecordsCountersAndPhaseTiming)
+{
+    ThreeLevelProgram tlp;
+    RcpScheduler rcp;
+    MultiSimdArch arch(2);
+    MetricsRegistry metrics;
+    EstimateOptions opts;
+    opts.metrics = &metrics;
+    computeProgramEstimate(tlp.prog, arch, rcp, CommMode::Global, opts);
+    computeProgramEstimate(tlp.prog, arch, rcp, CommMode::Global, opts);
+
+    EXPECT_EQ(metrics.counter("estimate.runs").value(), 2u);
+    EXPECT_EQ(
+        metrics.counter("estimate.distinct_leaf_schedules").value(), 2u);
+    EXPECT_EQ(metrics.counter("estimate.saturated_runs").value(), 0u);
+    EXPECT_EQ(metrics.distribution("toolflow.estimate_ms")
+                  .samples()
+                  .size(),
+              2u);
+    EXPECT_EQ(metrics.distribution("estimate.program_gates")
+                  .samples()
+                  .size(),
+              2u);
+}
+
+} // anonymous namespace

@@ -38,9 +38,28 @@
  *   --bounds-json=PATH
  *                   write the --bounds gap report as machine-readable
  *                   JSON (schema msq-optimality-gap-v1) to PATH
+ *   --estimate      decompose + flatten, then compute the exact
+ *                   whole-program resource estimate under RCP and LPFS
+ *                   via the schedule-summary analysis (each distinct
+ *                   leaf scheduled once, composed through the repeat
+ *                   algebra) and cross-check it field-for-field against
+ *                   independently computed ground truth (codes
+ *                   E001-E006); any divergence is a hard error
+ *   --estimate-json=PATH
+ *                   write the --estimate report as machine-readable
+ *                   JSON (schema msq-resource-estimate-v1) to PATH
  *   --workload=NAME verify the built-in scaled benchmark NAME (e.g.
  *                   grovers, bwt, gse, tfp, bf, cn, sha1, shors)
  *                   instead of / in addition to input files; repeatable
+ *   --params=paper|scaled
+ *                   which parameter preset --workload builds (default
+ *                   scaled; paper instantiates the paper's problem
+ *                   sizes, e.g. BWT n=300 s=3000, Shors n=512)
+ *   --scale=N       repeat-wrap each --workload entry module N times
+ *                   before checking, multiplying every resource total
+ *                   by N without changing the distinct-module set --
+ *                   paper-scale (10^9+ gate) instantiation stays cheap
+ *                   because estimation is O(distinct leaves)
  *   --metrics-json=PATH
  *                   write the run's metrics registry (verify.* counters
  *                   plus, under --check-comm, the full passes.* /
@@ -80,6 +99,7 @@
 #include "support/telemetry.hh"
 #include "verify/bound_checker.hh"
 #include "verify/comm_checker.hh"
+#include "verify/estimate_checker.hh"
 #include "verify/linter.hh"
 #include "verify/verifier.hh"
 #include "workloads/workloads.hh"
@@ -101,12 +121,16 @@ struct Options
     bool dataflow = false;
     bool checkComm = false;
     bool bounds = false;
+    bool estimate = false;
+    bool paperParams = false;
     unsigned k = 4;
     uint64_t d = unbounded;
     uint64_t localMem = 0;
+    uint64_t scale = 1;
     unsigned threads = 1;
     std::string injectFault;
     std::string boundsJson;
+    std::string estimateJson;
     std::string metricsJson;
     std::string traceJson;
     std::vector<std::string> files;
@@ -121,6 +145,16 @@ struct BoundsJsonEntry
     ProgramGapReport report;
 };
 
+/** One (input, scheduler) slice of the --estimate-json report. */
+struct EstimateJsonEntry
+{
+    std::string input;     ///< file path or "workload:<name>"
+    std::string scheduler; ///< "rcp" / "lpfs"
+    ProgramResourceEstimate est;
+    EstimateCheckStats stats;
+    bool exact = true; ///< checkEstimateExactness added no errors
+};
+
 void
 usage(std::ostream &out)
 {
@@ -133,6 +167,9 @@ usage(std::ostream &out)
            "move-during-gate|oversubscribe|dead-teleport]\n"
            "                  [--bounds] [--bounds-json=PATH]"
            " [--workload=NAME]\n"
+           "                  [--estimate] [--estimate-json=PATH]"
+           " [--params=paper|scaled]\n"
+           "                  [--scale=N]\n"
            "                  [--metrics-json=PATH] [--trace-json=PATH]\n"
            "                  <file>...\n";
 }
@@ -487,6 +524,94 @@ checkBounds(const std::string &path, Program &prog,
     }
 }
 
+/**
+ * --estimate: compute the exact schedule-summary resource estimate
+ * under RCP and LPFS and cross-check it against independently computed
+ * ground truth (codes E001-E006). The estimate itself is O(distinct
+ * leaves) and survives any --scale factor; the E004 unrolled-walk
+ * cross-check is budget-gated and silently skipped at true paper scale.
+ */
+void
+checkEstimate(const std::string &path, Program &prog,
+              const Options &options, DiagnosticEngine &diags,
+              MetricsRegistry &metrics,
+              std::vector<EstimateJsonEntry> &json_entries)
+{
+    MultiSimdArch arch(options.k, options.d, options.localMem);
+    const CommMode mode = options.localMem > 0
+                              ? CommMode::GlobalWithLocalMem
+                              : CommMode::Global;
+
+    RcpScheduler rcp;
+    LpfsScheduler lpfs;
+    const LeafScheduler *schedulers[] = {&rcp, &lpfs};
+    for (const LeafScheduler *scheduler : schedulers) {
+        EstimateOptions eopts;
+        eopts.numThreads = options.threads;
+        eopts.cache = std::make_shared<LeafScheduleCache>();
+        eopts.metrics = &metrics;
+        eopts.diags = &diags;
+        ProgramResourceEstimate est =
+            computeProgramEstimate(prog, arch, *scheduler, mode, eopts);
+
+        EstimateCheckStats stats;
+        // Reuse the populated cache so the checker's fresh leaf
+        // schedules cross-check the cached ones instead of paying for
+        // a second sweep of the widths.
+        const bool exact = checkEstimateExactness(
+            prog, arch, *scheduler, mode, est, diags, eopts, &stats);
+
+        const ResourceSummary &sum = est.program;
+        if (!options.quiet) {
+            std::cout << path << ": estimate [" << scheduler->name()
+                      << "] serial: " << sum.serialCycles
+                      << " cycle(s) (" << sum.commCycles << " comm, "
+                      << csprintf("%.1f", 100.0 * sum.commFraction())
+                      << "%)\n";
+            std::cout << path << ": estimate [" << scheduler->name()
+                      << "] comm: " << sum.teleportMoves
+                      << " teleport(s) (" << sum.blockingTeleports
+                      << " blocking), " << sum.localMoves
+                      << " local move(s), " << sum.eprPairs()
+                      << " EPR pair(s)\n";
+            std::cout << path << ": estimate [" << scheduler->name()
+                      << "] leaves: " << est.distinctLeafSchedules
+                      << " distinct schedule(s), " << est.leafModules
+                      << " leaf module(s), " << est.reachableModules
+                      << " reachable, cache " << est.cacheHits
+                      << " hit(s)/" << est.cacheMisses << " miss(es)\n";
+            std::cout << path << ": estimate [" << scheduler->name()
+                      << "] occupancy: peak " << sum.peakActiveRegions
+                      << " region(s), mean "
+                      << csprintf("%.2f", sum.meanRegionOccupancy())
+                      << " operand(s)/active region";
+            for (size_t b = 0; b < ResourceSummary::numOccupancyBuckets();
+                 ++b) {
+                if (b < sum.occupancy.size() && sum.occupancy[b]) {
+                    std::cout << ", ["
+                              << ResourceSummary::occupancyLabel(b)
+                              << "] " << sum.occupancy[b];
+                }
+            }
+            std::cout << "\n";
+        }
+        std::cout << path << ": estimate [" << scheduler->name()
+                  << "]: " << sum.gateOps << " gate(s), makespan "
+                  << est.makespanCycles << ", speedup "
+                  << csprintf("%.2f", est.sequentialSpeedup())
+                  << " (naive "
+                  << csprintf("%.2f", est.naiveSpeedup()) << "), comm "
+                  << csprintf("%.1f", 100.0 * sum.commFraction())
+                  << "%, " << est.distinctLeafSchedules
+                  << " distinct leaf schedule(s)"
+                  << (est.saturated ? ", SATURATED" : "")
+                  << (exact ? "" : " -- INEXACT") << "\n";
+
+        json_entries.push_back(
+            {path, scheduler->name(), std::move(est), stats, exact});
+    }
+}
+
 /** Minimal JSON string escaping (module names are identifiers, but be
  * safe about quotes and backslashes anyway). */
 std::string
@@ -565,6 +690,105 @@ writeBoundsJson(const Options &options,
     return true;
 }
 
+/** Write the accumulated --estimate-json resource report. */
+bool
+writeEstimateJson(const Options &options,
+                  const std::vector<EstimateJsonEntry> &entries)
+{
+    if (options.estimateJson.empty())
+        return true;
+    std::ofstream out(options.estimateJson);
+    if (!out) {
+        std::cerr << "msq-verify: cannot write estimate report to '"
+                  << options.estimateJson << "'\n";
+        return false;
+    }
+    MultiSimdArch arch(options.k, options.d, options.localMem);
+    const CommMode mode = options.localMem > 0
+                              ? CommMode::GlobalWithLocalMem
+                              : CommMode::Global;
+    out << "{\n"
+        << "  \"schema\": \"msq-resource-estimate-v1\",\n"
+        << "  \"arch\": \"" << jsonEscape(arch.describe()) << "\",\n"
+        << "  \"mode\": \"" << commModeName(mode) << "\",\n"
+        << "  \"scale\": " << options.scale << ",\n"
+        << "  \"params\": \""
+        << (options.paperParams ? "paper" : "scaled") << "\",\n"
+        << "  \"inputs\": [";
+    for (size_t i = 0; i < entries.size(); ++i) {
+        const EstimateJsonEntry &entry = entries[i];
+        const ResourceSummary &sum = entry.est.program;
+        out << (i ? ",\n" : "\n")
+            << "    {\n"
+            << "      \"input\": \"" << jsonEscape(entry.input)
+            << "\",\n"
+            << "      \"scheduler\": \"" << jsonEscape(entry.scheduler)
+            << "\",\n"
+            << "      \"saturated\": "
+            << (entry.est.saturated ? "true" : "false") << ",\n"
+            << "      \"exact\": " << (entry.exact ? "true" : "false")
+            << ",\n"
+            << "      \"checks\": {\"leaf_folds\": "
+            << entry.stats.leafFoldsChecked << ", \"modules\": "
+            << entry.stats.modulesChecked << ", \"unrolled\": "
+            << (entry.stats.unrolledChecked ? "true" : "false")
+            << "},\n"
+            << "      \"program\": {\n"
+            << "        \"gate_ops\": " << sum.gateOps << ",\n"
+            << "        \"serial_cycles\": " << sum.serialCycles
+            << ",\n"
+            << "        \"comm_cycles\": " << sum.commCycles << ",\n"
+            << "        \"teleport_moves\": " << sum.teleportMoves
+            << ",\n"
+            << "        \"blocking_teleports\": "
+            << sum.blockingTeleports << ",\n"
+            << "        \"local_moves\": " << sum.localMoves << ",\n"
+            << "        \"epr_pairs\": " << sum.eprPairs() << ",\n"
+            << "        \"operand_touches\": " << sum.operandTouches
+            << ",\n"
+            << "        \"active_region_steps\": "
+            << sum.activeRegionSteps << ",\n"
+            << "        \"peak_region_occupancy\": "
+            << sum.peakRegionOccupancy << ",\n"
+            << "        \"peak_blocking_moves_per_step\": "
+            << sum.peakBlockingMovesPerStep << ",\n"
+            << "        \"peak_active_regions\": "
+            << sum.peakActiveRegions << ",\n"
+            << "        \"call_invocations\": " << sum.callInvocations
+            << ",\n"
+            << "        \"mean_region_occupancy\": "
+            << csprintf("%.6f", sum.meanRegionOccupancy()) << ",\n"
+            << "        \"comm_fraction\": "
+            << csprintf("%.6f", sum.commFraction()) << "\n"
+            << "      },\n"
+            << "      \"makespan_cycles\": " << entry.est.makespanCycles
+            << ",\n"
+            << "      \"sequential_speedup\": "
+            << csprintf("%.6f", entry.est.sequentialSpeedup()) << ",\n"
+            << "      \"naive_speedup\": "
+            << csprintf("%.6f", entry.est.naiveSpeedup()) << ",\n"
+            << "      \"distinct_leaf_schedules\": "
+            << entry.est.distinctLeafSchedules << ",\n"
+            << "      \"leaf_modules\": " << entry.est.leafModules
+            << ",\n"
+            << "      \"reachable_modules\": "
+            << entry.est.reachableModules << ",\n"
+            << "      \"cache\": {\"hits\": " << entry.est.cacheHits
+            << ", \"misses\": " << entry.est.cacheMisses << "},\n"
+            << "      \"occupancy\": [";
+        for (size_t b = 0; b < sum.occupancy.size(); ++b) {
+            out << (b ? ",\n" : "\n")
+                << "        {\"bucket\": \""
+                << jsonEscape(ResourceSummary::occupancyLabel(b))
+                << "\", \"steps\": " << sum.occupancy[b] << "}";
+        }
+        out << (sum.occupancy.empty() ? "]" : "\n      ]")
+            << "\n    }";
+    }
+    out << (entries.empty() ? "]" : "\n  ]") << "\n}\n";
+    return true;
+}
+
 /**
  * Post-parse pipeline shared by file and --workload inputs: lint,
  * dataflow printing, and (lowering once) the --check-comm and --bounds
@@ -574,7 +798,8 @@ Outcome
 checkProgram(const std::string &label, Program &prog,
              const Options &options, DiagnosticEngine &diags,
              MetricsRegistry &metrics,
-             std::vector<BoundsJsonEntry> &json_entries)
+             std::vector<BoundsJsonEntry> &json_entries,
+             std::vector<EstimateJsonEntry> &estimate_entries)
 {
     if (options.lint)
         lintProgram(prog, diags);
@@ -582,7 +807,8 @@ checkProgram(const std::string &label, Program &prog,
     if (options.dataflow && !diags.hasErrors())
         printDataflow(label, prog);
 
-    if ((options.checkComm || options.bounds) && !diags.hasErrors()) {
+    if ((options.checkComm || options.bounds || options.estimate) &&
+        !diags.hasErrors()) {
         try {
             lowerForScheduling(prog, metrics);
             if (options.checkComm)
@@ -590,6 +816,10 @@ checkProgram(const std::string &label, Program &prog,
             if (options.bounds) {
                 checkBounds(label, prog, options, diags, metrics,
                             json_entries);
+            }
+            if (options.estimate) {
+                checkEstimate(label, prog, options, diags, metrics,
+                              estimate_entries);
             }
         } catch (const PanicError &err) {
             std::cerr << label << ": error: scheduling checks: "
@@ -615,7 +845,8 @@ checkProgram(const std::string &label, Program &prog,
 Outcome
 checkFile(const std::string &path, const Options &options,
           MetricsRegistry &metrics,
-          std::vector<BoundsJsonEntry> &json_entries)
+          std::vector<BoundsJsonEntry> &json_entries,
+          std::vector<EstimateJsonEntry> &estimate_entries)
 {
     Format format = options.format;
     if (format == Format::Auto)
@@ -645,23 +876,30 @@ checkFile(const std::string &path, const Options &options,
     }
 
     return checkProgram(path, prog, options, diags, metrics,
-                        json_entries);
+                        json_entries, estimate_entries);
 }
 
 /** @return the outcome for one --workload=NAME input. */
 Outcome
 checkWorkload(const std::string &name, const Options &options,
               MetricsRegistry &metrics,
-              std::vector<BoundsJsonEntry> &json_entries)
+              std::vector<BoundsJsonEntry> &json_entries,
+              std::vector<EstimateJsonEntry> &estimate_entries)
 {
-    const std::string label = "workload:" + name;
+    std::string label = "workload:" + name;
+    if (options.scale > 1)
+        label += csprintf(" (x%llu)",
+                          static_cast<unsigned long long>(options.scale));
     TraceSpan span(Telemetry::trace(), "verify:" + label);
     metrics.counter("verify.files").add(1);
     DiagnosticEngine diags;
     Program prog;
     try {
-        prog = workloads::findWorkload(workloads::scaledParams(), name)
-                   .build();
+        const auto specs = options.paperParams
+                               ? workloads::paperParams()
+                               : workloads::scaledParams();
+        prog = workloads::findWorkload(specs, name).build();
+        workloads::scaleWorkload(prog, options.scale);
     } catch (const FatalError &err) {
         // Unknown shortName — treat like an unreadable input.
         std::cerr << label << ": error: " << err.what() << "\n";
@@ -670,7 +908,7 @@ checkWorkload(const std::string &name, const Options &options,
     }
 
     return checkProgram(label, prog, options, diags, metrics,
-                        json_entries);
+                        json_entries, estimate_entries);
 }
 
 /**
@@ -729,6 +967,30 @@ main(int argc, char **argv)
         } else if (startsWith(arg, "--bounds-json=")) {
             options.boundsJson = arg.substr(14);
             if (options.boundsJson.empty()) {
+                std::cerr << "msq-verify: bad value in '" << arg << "'\n";
+                return 2;
+            }
+        } else if (arg == "--estimate") {
+            options.estimate = true;
+        } else if (startsWith(arg, "--estimate-json=")) {
+            options.estimateJson = arg.substr(16);
+            if (options.estimateJson.empty()) {
+                std::cerr << "msq-verify: bad value in '" << arg << "'\n";
+                return 2;
+            }
+        } else if (startsWith(arg, "--params=")) {
+            const std::string value = arg.substr(9);
+            if (value == "paper") {
+                options.paperParams = true;
+            } else if (value == "scaled") {
+                options.paperParams = false;
+            } else {
+                std::cerr << "msq-verify: bad value in '" << arg << "'\n";
+                return 2;
+            }
+        } else if (startsWith(arg, "--scale=")) {
+            if (!parseCount(arg.substr(8), options.scale) ||
+                options.scale == 0 || options.scale == unbounded) {
                 std::cerr << "msq-verify: bad value in '" << arg << "'\n";
                 return 2;
             }
@@ -809,11 +1071,24 @@ main(int argc, char **argv)
         std::cerr << "msq-verify: --bounds-json requires --bounds\n";
         return 2;
     }
+    if (!options.estimateJson.empty() && !options.estimate) {
+        std::cerr << "msq-verify: --estimate-json requires --estimate\n";
+        return 2;
+    }
+    if (options.scale > 1 && options.workloads.empty()) {
+        std::cerr << "msq-verify: --scale requires --workload\n";
+        return 2;
+    }
+    if (options.paperParams && options.workloads.empty()) {
+        std::cerr << "msq-verify: --params requires --workload\n";
+        return 2;
+    }
 
     if (!options.traceJson.empty())
         Telemetry::trace().setEnabled(true);
     MetricsRegistry metrics;
     std::vector<BoundsJsonEntry> json_entries;
+    std::vector<EstimateJsonEntry> estimate_entries;
 
     bool any_dirty = false;
     bool any_parse_error = false;
@@ -824,10 +1099,14 @@ main(int argc, char **argv)
             any_parse_error = true;
     };
     for (const auto &path : options.files)
-        tally(checkFile(path, options, metrics, json_entries));
+        tally(checkFile(path, options, metrics, json_entries,
+                        estimate_entries));
     for (const auto &name : options.workloads)
-        tally(checkWorkload(name, options, metrics, json_entries));
+        tally(checkWorkload(name, options, metrics, json_entries,
+                            estimate_entries));
     if (!writeBoundsJson(options, json_entries))
+        any_parse_error = true;
+    if (!writeEstimateJson(options, estimate_entries))
         any_parse_error = true;
     if (!writeTelemetryOutputs(options, metrics))
         any_parse_error = true;
