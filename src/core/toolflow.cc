@@ -38,6 +38,8 @@ schedulerKindName(SchedulerKind kind)
         return "rcp";
       case SchedulerKind::Lpfs:
         return "lpfs";
+      case SchedulerKind::Opt:
+        return "opt";
     }
     panic("unknown SchedulerKind");
 }
@@ -57,6 +59,8 @@ Toolflow::makeScheduler(SchedulerKind kind)
         return std::make_unique<RcpScheduler>();
       case SchedulerKind::Lpfs:
         return std::make_unique<LpfsScheduler>();
+      case SchedulerKind::Opt:
+        return std::make_unique<OptScheduler>();
     }
     panic("unknown SchedulerKind");
 }
@@ -71,6 +75,13 @@ Toolflow::makeConfiguredScheduler() const
         return std::make_unique<RcpScheduler>(config_.rcpWeights);
       case SchedulerKind::Lpfs:
         return std::make_unique<LpfsScheduler>(config_.lpfsOptions);
+      case SchedulerKind::Opt: {
+        // The certificate must be judged under the same communication
+        // model the coarse scheduler costs schedules with.
+        OptScheduler::Options options = config_.optOptions;
+        options.commMode = config_.commMode;
+        return std::make_unique<OptScheduler>(options);
+      }
     }
     panic("unknown SchedulerKind");
 }

@@ -19,6 +19,7 @@
 #include "sched/coarse.hh"
 #include "sched/leaf_scheduler.hh"
 #include "sched/lpfs.hh"
+#include "sched/opt.hh"
 #include "sched/rcp.hh"
 #include "support/telemetry.hh"
 
@@ -29,9 +30,10 @@ enum class SchedulerKind : uint8_t {
     Sequential, ///< baseline: one op per timestep
     Rcp,        ///< Ready Critical Path (Algorithm 1)
     Lpfs,       ///< Longest Path First (Algorithm 2)
+    Opt,        ///< branch-and-bound optimal tier with fallback
 };
 
-/** @return "sequential" / "rcp" / "lpfs". */
+/** @return "sequential" / "rcp" / "lpfs" / "opt". */
 const char *schedulerKindName(SchedulerKind kind);
 
 /** Complete configuration of one toolflow run. */
@@ -57,6 +59,14 @@ struct ToolflowConfig
 
     /** LPFS options (l, SIMD, Refill; paper runs l=1 with both on). */
     LpfsScheduler::Options lpfsOptions;
+
+    /**
+     * OptScheduler options (node budget, size cap, fallback tier).
+     * optOptions.commMode is ignored: run() overwrites it with
+     * @ref commMode so the optimality certificate is judged under
+     * exactly the communication model the schedule is costed with.
+     */
+    OptScheduler::Options optOptions;
 
     /** Run gate decomposition passes (disable only for pre-lowered IR). */
     bool decompose = true;

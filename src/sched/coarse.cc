@@ -110,9 +110,10 @@ CoarseScheduler::leafWidthResult(const Module &mod, unsigned w) const
     }
     MultiSimdArch sub = arch;
     sub.k = w;
-    LeafSchedule sched = leafScheduler->schedule(mod, sub);
-    CommunicationAnalyzer comm(arch, mode);
     auto result = std::make_shared<LeafScheduleResult>();
+    LeafSchedule sched =
+        leafScheduler->scheduleWithAttempt(mod, sub, result->attempt);
+    CommunicationAnalyzer comm(arch, mode);
     result->stats = comm.annotate(sched);
     // Static lower bounds and the streaming resource-summary fold ride
     // the same memoization as the schedule: all are pure functions of
@@ -445,10 +446,38 @@ CoarseScheduler::schedule(const Program &prog) const
             uint64_t length = std::min(stats.totalCycles, best_so_far);
             best_so_far = length;
             info.dims.push_back({widths[wi], length});
-            if (wi + 1 == nw)
+            if (wi + 1 == nw) {
                 info.comm = stats;
+                info.provenance = slots[m * nw + wi]->attempt.provenance;
+            }
         }
         if (metrics != nullptr) {
+            // Optimal-tier telemetry, summed across the width sweep.
+            // Recorded here in the single-threaded merge from memoized
+            // attempt stats, so the counters are invariant to thread
+            // count and cache state like everything else in this loop.
+            for (size_t wi = 0; wi < nw; ++wi) {
+                const ScheduleAttempt &attempt =
+                    slots[m * nw + wi]->attempt;
+                if (attempt.provenance == ScheduleProvenance::Heuristic &&
+                    attempt.nodesExpanded == 0)
+                    continue;
+                metrics->counter("sched.opt.nodes_expanded")
+                    .add(attempt.nodesExpanded);
+                metrics->counter("sched.opt.pruned_critical_path")
+                    .add(attempt.prunedByCriticalPath);
+                metrics->counter("sched.opt.pruned_resource")
+                    .add(attempt.prunedByResource);
+                metrics->counter("sched.opt.pruned_dominance")
+                    .add(attempt.prunedByDominance);
+                metrics->counter("sched.opt.candidates_annotated")
+                    .add(attempt.candidatesAnnotated);
+                if (attempt.provenance == ScheduleProvenance::Optimal)
+                    metrics->counter("sched.opt.proofs").add(1);
+                else if (attempt.provenance ==
+                         ScheduleProvenance::Fallback)
+                    metrics->counter("sched.opt.fallbacks").add(1);
+            }
             metrics->counter("sched.leaf.instances").add(1);
             metrics->distribution("sched.leaf.gates")
                 .record(static_cast<double>(mod.numOps()));

@@ -54,6 +54,15 @@ struct ModuleScheduleInfo
      * only). */
     CommStats comm;
 
+    /**
+     * Provenance of the widest fine-grained schedule (leaves only):
+     * Optimal when the scheduler certified a minimum-makespan schedule
+     * at that width (its makespan equals the static lower bound — the
+     * B-checker's B007 enforces exactly this), Fallback when an
+     * OptScheduler ran out of budget, Heuristic otherwise.
+     */
+    ScheduleProvenance provenance = ScheduleProvenance::Heuristic;
+
     /** Shortest available length. */
     uint64_t bestLength() const;
 

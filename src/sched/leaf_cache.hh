@@ -45,6 +45,7 @@
 #include "analysis/schedule_summary.hh"
 #include "arch/schedule.hh"
 #include "sched/comm.hh"
+#include "sched/leaf_scheduler.hh"
 
 namespace msq {
 
@@ -53,6 +54,16 @@ struct LeafScheduleResult
 {
     /** Movement statistics (totalCycles is the blackbox length). */
     CommStats stats;
+
+    /**
+     * How the schedule was obtained (provenance) plus the scheduler's
+     * search statistics (sched/leaf_scheduler.hh). Deterministic for
+     * the cache key — heuristics always report Heuristic with zeroed
+     * counters; OptScheduler's node-budgeted search reports identical
+     * numbers on every recomputation — so a hit replays exactly what a
+     * miss would have computed.
+     */
+    ScheduleAttempt attempt;
 
     /**
      * Streaming fold of the annotated schedule into its compact

@@ -26,6 +26,37 @@
 
 namespace msq {
 
+/**
+ * How a leaf schedule was obtained. Heuristic schedulers always report
+ * Heuristic; the branch-and-bound OptScheduler reports Optimal when it
+ * certified a minimum-makespan schedule (annotated makespan equals the
+ * static lower bound) and Fallback when it exhausted its node budget
+ * and returned the configured heuristic's schedule instead.
+ */
+enum class ScheduleProvenance : uint8_t {
+    Heuristic, ///< produced by a heuristic (RCP/LPFS/sequential)
+    Optimal,   ///< proven minimum-makespan (certificate: makespan == LB)
+    Fallback,  ///< opt budget exhausted; heuristic schedule returned
+};
+
+/** @return "heuristic" / "optimal" / "fallback". */
+const char *scheduleProvenanceName(ScheduleProvenance provenance);
+
+/**
+ * Per-schedule provenance and search statistics. Deterministic for a
+ * fixed (module, arch, fingerprint) triple — it rides the memoized
+ * LeafScheduleResult, so cache hits replay identical numbers.
+ */
+struct ScheduleAttempt
+{
+    ScheduleProvenance provenance = ScheduleProvenance::Heuristic;
+    uint64_t nodesExpanded = 0;        ///< B&B nodes expanded
+    uint64_t prunedByCriticalPath = 0; ///< prunes: CP/height bound
+    uint64_t prunedByResource = 0;     ///< prunes: resource bound
+    uint64_t prunedByDominance = 0;    ///< prunes: dominance table
+    uint64_t candidatesAnnotated = 0;  ///< completed candidates costed
+};
+
 /** Abstract fine-grained scheduler. */
 class LeafScheduler
 {
@@ -50,6 +81,20 @@ class LeafScheduler
      */
     virtual LeafSchedule schedule(const Module &mod,
                                   const MultiSimdArch &arch) const = 0;
+
+    /**
+     * Schedule @p mod and report how the schedule was obtained via
+     * @p attempt. The default forwards to schedule() and reports
+     * Heuristic provenance with zeroed search counters; only schedulers
+     * with a non-trivial search (OptScheduler) override this.
+     */
+    virtual LeafSchedule
+    scheduleWithAttempt(const Module &mod, const MultiSimdArch &arch,
+                        ScheduleAttempt &attempt) const
+    {
+        attempt = ScheduleAttempt{};
+        return schedule(mod, arch);
+    }
 
   protected:
     /** Shared precondition checks; panics on violations. */

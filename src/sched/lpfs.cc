@@ -48,6 +48,7 @@ struct LpfsState
      * at the end of the step so dependent ops never share a timestep
      * with their predecessor. */
     std::vector<uint32_t> committedThisStep;
+    std::vector<uint32_t> releaseBatch; ///< endOfStep() scratch
     uint64_t remaining;         ///< unscheduled op count
 
     LpfsState(const Module &mod, const MultiSimdArch &arch)
@@ -167,16 +168,27 @@ struct LpfsState
         committedThisStep.push_back(op);
     }
 
-    /** Release the successors of everything committed this timestep. */
+    /**
+     * Release the successors of everything committed this timestep, in
+     * canonical op-index order. The FIFO then holds ops ordered by
+     * (release step, op index) — a pure function of the module content —
+     * so every first-seen tie-break over `ready` (pickForRegion,
+     * nextLongestPath, fillWithType) is canonical too, never an
+     * artifact of the region-commit order within the step.
+     */
     void
     endOfStep()
     {
+        releaseBatch.clear();
         for (uint32_t op : committedThisStep) {
             for (uint32_t succ : dag.succs(op)) {
                 if (--pendingPreds[succ] == 0)
-                    ready.push_back(succ);
+                    releaseBatch.push_back(succ);
             }
         }
+        std::sort(releaseBatch.begin(), releaseBatch.end());
+        for (uint32_t succ : releaseBatch)
+            ready.push_back(succ);
         committedThisStep.clear();
     }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cstddef>
 #include <cstdint>
 
 #include "ir/dag.hh"
@@ -22,6 +23,10 @@ struct RcpState
     DepDag dag;
     std::vector<int64_t> dynSlack;     ///< decays while an op waits ready
     std::vector<uint32_t> pendingPreds;
+    /** Ready ops, kept sorted by op index: every tie in the weight scan
+     * and the candidate sort below resolves to the lowest op index, so
+     * the schedule is a canonical function of the module content with
+     * no reliance on incidental release order. */
     std::vector<uint32_t> ready;
     std::array<uint32_t, numGateKinds> readyCount{};
     std::vector<int> qubitRegion; ///< region holding each qubit, or memory
@@ -36,7 +41,7 @@ struct RcpState
         for (uint32_t i = 0; i < dag.numNodes(); ++i)
             pendingPreds[i] = static_cast<uint32_t>(dag.preds(i).size());
         for (uint32_t root : dag.roots())
-            pushReady(root);
+            pushReady(root); // roots() is ascending; ready starts sorted
     }
 
     void
@@ -80,6 +85,7 @@ RcpScheduler::schedule(const Module &mod, const MultiSimdArch &arch) const
     std::vector<bool> region_used(arch.k, false);
     std::vector<uint32_t> scheduled_now;
     std::vector<uint32_t> candidates;
+    std::vector<uint32_t> released;
 
     while (!st.ready.empty()) {
         builder.beginStep();
@@ -114,6 +120,9 @@ RcpScheduler::schedule(const Module &mod, const MultiSimdArch &arch) const
                     }
                 }
                 double weight = base + (preferred >= 0 ? weights.dist : 0.0);
+                // Strict '>' over the index-sorted ready list: weight
+                // ties resolve to the lowest op index, never to
+                // incidental release order.
                 if (weight > best_weight) {
                     best_weight = weight;
                     best_kind = op.kind;
@@ -140,14 +149,16 @@ RcpScheduler::schedule(const Module &mod, const MultiSimdArch &arch) const
                 if (st.mod.op(op_index).kind == best_kind)
                     candidates.push_back(op_index);
             auto r_unsigned = static_cast<unsigned>(best_region);
-            std::stable_sort(
+            std::sort(
                 candidates.begin(), candidates.end(),
                 [&](uint32_t a, uint32_t b) {
                     bool a_in = st.inPlace(a, r_unsigned);
                     bool b_in = st.inPlace(b, r_unsigned);
                     if (a_in != b_in)
                         return a_in;
-                    return st.dynSlack[a] < st.dynSlack[b];
+                    if (st.dynSlack[a] != st.dynSlack[b])
+                        return st.dynSlack[a] < st.dynSlack[b];
+                    return a < b; // explicit op-index tie-break
                 });
 
             ScheduleBuilder::DraftSlot &slot = builder.slot(r_unsigned);
@@ -189,12 +200,22 @@ RcpScheduler::schedule(const Module &mod, const MultiSimdArch &arch) const
             if (slack > 0)
                 --slack;
         }
+        // Release in canonical op-index order and merge into the sorted
+        // ready list (erase above preserved its order), not in the
+        // incidental region-commit order of this step.
+        released.clear();
         for (uint32_t op_index : scheduled_now) {
             for (uint32_t succ : st.dag.succs(op_index)) {
                 if (--st.pendingPreds[succ] == 0)
-                    st.pushReady(succ);
+                    released.push_back(succ);
             }
         }
+        std::sort(released.begin(), released.end());
+        auto mid = static_cast<std::ptrdiff_t>(st.ready.size());
+        for (uint32_t succ : released)
+            st.pushReady(succ);
+        std::inplace_merge(st.ready.begin(), st.ready.begin() + mid,
+                           st.ready.end());
         builder.endStep();
     }
 

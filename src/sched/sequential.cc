@@ -1,9 +1,25 @@
 #include "sched/leaf_scheduler.hh"
 
+#include <algorithm>
+
 #include "support/logging.hh"
 #include "support/strings.hh"
 
 namespace msq {
+
+const char *
+scheduleProvenanceName(ScheduleProvenance provenance)
+{
+    switch (provenance) {
+      case ScheduleProvenance::Heuristic:
+        return "heuristic";
+      case ScheduleProvenance::Optimal:
+        return "optimal";
+      case ScheduleProvenance::Fallback:
+        return "fallback";
+    }
+    panic("scheduleProvenanceName: invalid provenance");
+}
 
 void
 LeafScheduler::checkInputs(const Module &mod, const MultiSimdArch &arch)
@@ -22,6 +38,19 @@ LeafScheduler::checkInputs(const Module &mod, const MultiSimdArch &arch)
             panic(csprintf("leaf scheduler: gate %s touches %zu qubits, "
                            "more than region width d",
                            gateName(op.kind), op.operands.size()));
+        }
+        // Repeated operands would make opQubitCount() disagree with the
+        // set of qubits actually occupied (and with the bound side's
+        // operand-touch accounting); such gates are ill-formed (V003)
+        // and must never reach a scheduler.
+        std::vector<QubitId> sorted(op.operands);
+        std::sort(sorted.begin(), sorted.end());
+        if (std::adjacent_find(sorted.begin(), sorted.end()) !=
+            sorted.end()) {
+            panic(csprintf("leaf scheduler: gate %s in module %s names "
+                           "the same qubit twice; reject with V003 in "
+                           "the IR verifier first",
+                           gateName(op.kind), mod.name().c_str()));
         }
     }
 }

@@ -77,6 +77,7 @@ constexpr CodeInfo codeTable[] = {
     {"B004", Severity::Error},   // BoundDimBelowBound
     {"B005", Severity::Error},   // BoundProgramBelow
     {"B006", Severity::Warning}, // BoundRepeatOverflow
+    {"B007", Severity::Error},   // BoundOptimalGapNotOne
     // Schedule-summary estimate checker.
     {"E001", Severity::Error},   // EstimateLeafFoldMismatch
     {"E002", Severity::Error},   // EstimateMakespanMismatch

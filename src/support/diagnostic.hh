@@ -100,6 +100,7 @@ enum class DiagCode : uint16_t {
     BoundDimBelowBound,     ///< B004 blackbox dim below its width's bound
     BoundProgramBelow,      ///< B005 program below the hierarchical bound
     BoundRepeatOverflow,    ///< B006 repeat algebra saturated (warning)
+    BoundOptimalGapNotOne,  ///< B007 proven-optimal leaf with gap != 1.0
 
     // E***: schedule-summary estimate checker (verify/estimate_checker).
     // The composed resource estimate is exact by construction; any

@@ -114,7 +114,9 @@ checkScheduleBounds(const Program &prog, const ProgramSchedule &psched,
         if (!info.leaf || info.dims.empty())
             continue;
         ++local_stats.leavesChecked;
-        if (report == nullptr)
+        const bool proven =
+            info.provenance == ScheduleProvenance::Optimal;
+        if (report == nullptr && !proven)
             continue;
         const Blackbox &widest = info.dims.back();
         LeafGapRecord record;
@@ -124,12 +126,28 @@ checkScheduleBounds(const Program &prog, const ProgramSchedule &psched,
         record.invocations = invocations.invocations(id);
         record.width = widest.width;
         record.makespan = widest.length;
+        record.provenance = info.provenance;
         MultiSimdArch sub = arch;
         sub.k = widest.width;
         record.bounds = computeLeafBounds(mod, sub);
         record.lowerBound = record.bounds.composite();
         record.gap = optimalityGap(record.makespan, record.lowerBound);
-        report->leaves.push_back(std::move(record));
+        // A certificate is an equality claim, checked on the raw
+        // integers (never through the float gap): a proven-optimal
+        // leaf off its bound means the proof logic or the bound is
+        // broken.
+        if (proven && record.makespan != record.lowerBound) {
+            diags.error(
+                DiagCode::BoundOptimalGapNotOne,
+                csprintf("schedule is marked proven-optimal but its "
+                         "makespan %llu differs from the width-%u "
+                         "lower bound %llu (false certificate)",
+                         ull(record.makespan), record.width,
+                         ull(record.lowerBound)),
+                DiagContext{mod.name(), diagNoOp, 0});
+        }
+        if (report != nullptr)
+            report->leaves.push_back(std::move(record));
     }
 
     const uint64_t program_lb = analysis.programLowerBound();

@@ -22,7 +22,11 @@
  *  - B005 the program's total cycle count is below the hierarchically
  *         composed program bound;
  *  - B006 (warning) the repeat algebra saturated at 2^64-1 while
- *         composing bounds — the bounds stay sound but loose.
+ *         composing bounds — the bounds stay sound but loose;
+ *  - B007 a leaf whose schedule the scheduler certified as optimal
+ *         (ScheduleProvenance::Optimal) does not sit exactly on its
+ *         lower bound — a false certificate: either the proof logic or
+ *         the bound is broken, never valid output.
  *
  * The same pass computes the per-leaf and program *optimality gaps*
  * (makespan / lower bound >= 1.0), the repo's first quantitative answer
@@ -64,6 +68,9 @@ struct LeafGapRecord
     MakespanBounds bounds;    ///< static bounds at the widest width
     uint64_t lowerBound = 0;  ///< bounds.composite()
     double gap = 1.0;         ///< makespan / lowerBound (>= 1.0)
+    /** How the widest schedule was obtained; Optimal implies gap 1.0
+     * (enforced as B007). */
+    ScheduleProvenance provenance = ScheduleProvenance::Heuristic;
 };
 
 /** Whole-program schedule-quality report (the --bounds JSON payload). */

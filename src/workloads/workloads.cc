@@ -37,6 +37,25 @@ scaledParams()
     };
 }
 
+std::vector<WorkloadSpec>
+tinyParams()
+{
+    // Minimum legal instance of each builder: the leaves stay small
+    // enough for the OptScheduler's exhaustive tier to search them
+    // outright, so `msq-verify --params=tiny --scheduler=opt` exercises
+    // real proofs (and real fallbacks) on genuine benchmark structure.
+    return {
+        {"BF x=2,y=2", "bf", [] { return buildBooleanFormula(2, 2); }},
+        {"BWT n=2,s=2", "bwt", [] { return buildBwt(2, 2); }},
+        {"CN p=1", "cn", [] { return buildClassNumber(1); }},
+        {"Grovers n=3", "grovers", [] { return buildGrovers(3); }},
+        {"GSE M=2", "gse", [] { return buildGse(2, 1); }},
+        {"SHA-1 n=8", "sha1", [] { return buildSha1(8, 4, 4); }},
+        {"Shors n=3", "shors", [] { return buildShors(3); }},
+        {"TFP n=3", "tfp", [] { return buildTfp(3); }},
+    };
+}
+
 WorkloadSpec
 findWorkload(const std::vector<WorkloadSpec> &specs,
              const std::string &short_name)

@@ -13,6 +13,10 @@
  *  - scaledParams(): reduced sizes with identical structure that
  *    schedule in seconds; use them for the scheduling studies
  *    (Figs. 6-9). See DESIGN.md for the substitution rationale.
+ *  - tinyParams(): minimum legal sizes whose leaf modules fit the
+ *    OptScheduler's exhaustive tier (a few hundred ops at most), so
+ *    the branch-and-bound scheduler can produce optimality proofs on
+ *    real benchmark structure instead of falling back everywhere.
  */
 
 #ifndef MSQ_WORKLOADS_WORKLOADS_HH
@@ -75,6 +79,10 @@ std::vector<WorkloadSpec> paperParams();
 
 /** All eight benchmarks at scaled-down sizes (same structure). */
 std::vector<WorkloadSpec> scaledParams();
+
+/** All eight benchmarks at minimum legal sizes (OptScheduler-friendly
+ * leaves; same algorithmic skeleton as the other presets). */
+std::vector<WorkloadSpec> tinyParams();
 
 /** Look up a spec by shortName in @p specs (fatal when missing).
  * Returns a copy so callers may pass a temporary spec list. */

@@ -33,11 +33,35 @@
  *   --bounds        decompose + flatten, coarse-schedule the whole
  *                   program under RCP and LPFS, and check every leaf
  *                   and blackbox dimension against the static makespan
- *                   lower bounds (codes B001-B006); reports per-leaf
+ *                   lower bounds (codes B001-B007); reports per-leaf
  *                   and program optimality gaps (makespan / bound)
  *   --bounds-json=PATH
  *                   write the --bounds gap report as machine-readable
  *                   JSON (schema msq-optimality-gap-v1) to PATH
+ *   --scheduler=rcp|lpfs|opt
+ *                   restrict the --check-comm / --bounds / --estimate
+ *                   sweeps to one leaf scheduler instead of the default
+ *                   RCP+LPFS pair; opt is the branch-and-bound optimal
+ *                   tier (sched/opt.hh), whose proven-optimal leaves are
+ *                   certified by the B007 check
+ *   --opt-budget=N  node budget for --scheduler=opt (default 200000;
+ *                   0 forces the fallback everywhere). Budgets are
+ *                   counted in search nodes, not wall-clock, so runs
+ *                   are bit-identical across machines
+ *   --opt-fallback=rcp|lpfs
+ *                   which heuristic --scheduler=opt falls back to when
+ *                   the leaf is too big or the budget runs out
+ *                   (default lpfs)
+ *   --comm-mode=none|global
+ *                   communication model for --bounds / --estimate
+ *                   (default global, or global+local-mem when
+ *                   --local-mem is nonzero). Under none, makespans are
+ *                   pure compute steps, which is where the compute-step
+ *                   lower bounds are tight and --scheduler=opt proves
+ *                   most small leaves optimal; under global, movement
+ *                   cycles make the bound unreachable for
+ *                   communication-bound leaves and opt falls back
+ *                   honestly
  *   --estimate      decompose + flatten, then compute the exact
  *                   whole-program resource estimate under RCP and LPFS
  *                   via the schedule-summary analysis (each distinct
@@ -51,10 +75,12 @@
  *   --workload=NAME verify the built-in scaled benchmark NAME (e.g.
  *                   grovers, bwt, gse, tfp, bf, cn, sha1, shors)
  *                   instead of / in addition to input files; repeatable
- *   --params=paper|scaled
+ *   --params=paper|scaled|tiny
  *                   which parameter preset --workload builds (default
  *                   scaled; paper instantiates the paper's problem
- *                   sizes, e.g. BWT n=300 s=3000, Shors n=512)
+ *                   sizes, e.g. BWT n=300 s=3000, Shors n=512; tiny
+ *                   builds minimum legal sizes whose leaves fit the
+ *                   OptScheduler's exhaustive tier)
  *   --scale=N       repeat-wrap each --workload entry module N times
  *                   before checking, multiplying every resource total
  *                   by N without changing the distinct-module set --
@@ -91,6 +117,7 @@
 #include "sched/comm.hh"
 #include "sched/coarse.hh"
 #include "sched/lpfs.hh"
+#include "sched/opt.hh"
 #include "sched/rcp.hh"
 #include "sched/validator.hh"
 #include "support/diagnostic.hh"
@@ -112,6 +139,22 @@ enum class Format { Auto, Scaffold, Qasm };
 
 enum class Outcome { Clean, Dirty, ParseError };
 
+enum class ParamsPreset { Scaled, Paper, Tiny };
+
+const char *
+paramsPresetName(ParamsPreset preset)
+{
+    switch (preset) {
+      case ParamsPreset::Scaled:
+        return "scaled";
+      case ParamsPreset::Paper:
+        return "paper";
+      case ParamsPreset::Tiny:
+        return "tiny";
+    }
+    return "unknown";
+}
+
 struct Options
 {
     Format format = Format::Auto;
@@ -122,12 +165,21 @@ struct Options
     bool checkComm = false;
     bool bounds = false;
     bool estimate = false;
-    bool paperParams = false;
+    ParamsPreset params = ParamsPreset::Scaled;
+    bool paramsGiven = false;
     unsigned k = 4;
     uint64_t d = unbounded;
     uint64_t localMem = 0;
     uint64_t scale = 1;
     unsigned threads = 1;
+    /** --scheduler value; empty = the default RCP+LPFS pair. */
+    std::string scheduler;
+    /** --comm-mode value; empty = derive from --local-mem. */
+    std::string commMode;
+    uint64_t optBudget = OptScheduler::Options{}.nodeBudget;
+    bool optBudgetGiven = false;
+    OptFallback optFallback = OptFallback::Lpfs;
+    bool optFallbackGiven = false;
     std::string injectFault;
     std::string boundsJson;
     std::string estimateJson;
@@ -137,11 +189,47 @@ struct Options
     std::vector<std::string> workloads;
 };
 
+/** Communication model --bounds / --estimate cost schedules with. */
+CommMode
+resolveCommMode(const Options &options)
+{
+    if (options.commMode == "none")
+        return CommMode::None;
+    if (options.commMode == "global")
+        return CommMode::Global;
+    return options.localMem > 0 ? CommMode::GlobalWithLocalMem
+                                : CommMode::Global;
+}
+
+/**
+ * The leaf schedulers a scheduling check sweeps: the RCP+LPFS pair by
+ * default, or the single scheduler --scheduler selected. The opt tier
+ * is built to judge its certificates under @p mode, the same
+ * communication model the calling check costs schedules with.
+ */
+std::vector<std::unique_ptr<LeafScheduler>>
+makeCheckSchedulers(const Options &options, CommMode mode)
+{
+    std::vector<std::unique_ptr<LeafScheduler>> out;
+    if (options.scheduler.empty() || options.scheduler == "rcp")
+        out.push_back(std::make_unique<RcpScheduler>());
+    if (options.scheduler.empty() || options.scheduler == "lpfs")
+        out.push_back(std::make_unique<LpfsScheduler>());
+    if (options.scheduler == "opt") {
+        OptScheduler::Options opt;
+        opt.nodeBudget = options.optBudget;
+        opt.commMode = mode;
+        opt.fallback = options.optFallback;
+        out.push_back(std::make_unique<OptScheduler>(opt));
+    }
+    return out;
+}
+
 /** One (input, scheduler) slice of the --bounds-json report. */
 struct BoundsJsonEntry
 {
     std::string input;     ///< file path or "workload:<name>"
-    std::string scheduler; ///< "rcp" / "lpfs"
+    std::string scheduler; ///< "rcp" / "lpfs" / "opt"
     ProgramGapReport report;
 };
 
@@ -167,8 +255,11 @@ usage(std::ostream &out)
            "move-during-gate|oversubscribe|dead-teleport]\n"
            "                  [--bounds] [--bounds-json=PATH]"
            " [--workload=NAME]\n"
+           "                  [--scheduler=rcp|lpfs|opt] [--opt-budget=N]"
+           " [--opt-fallback=rcp|lpfs]\n"
+           "                  [--comm-mode=none|global]\n"
            "                  [--estimate] [--estimate-json=PATH]"
-           " [--params=paper|scaled]\n"
+           " [--params=paper|scaled|tiny]\n"
            "                  [--scale=N]\n"
            "                  [--metrics-json=PATH] [--trace-json=PATH]\n"
            "                  <file>...\n";
@@ -405,12 +496,11 @@ checkCommunication(const std::string &path, Program &prog,
     if (options.localMem > 0)
         modes.push_back(CommMode::GlobalWithLocalMem);
 
-    RcpScheduler rcp;
-    LpfsScheduler lpfs;
-    const LeafScheduler *schedulers[] = {&rcp, &lpfs};
+    const auto schedulers =
+        makeCheckSchedulers(options, CommMode::Global);
 
     bool fault_pending = !options.injectFault.empty();
-    for (const LeafScheduler *scheduler : schedulers) {
+    for (const auto &scheduler : schedulers) {
         for (CommMode mode : modes) {
             CommunicationAnalyzer analyzer(arch, mode);
             for (ModuleId id : prog.reachableModules()) {
@@ -458,7 +548,8 @@ checkCommunication(const std::string &path, Program &prog,
     coarse_options.numThreads = options.threads;
     coarse_options.leafCache = std::make_shared<LeafScheduleCache>();
     coarse_options.metrics = &metrics;
-    CoarseScheduler coarse(arch, lpfs, CommMode::Global, coarse_options);
+    CoarseScheduler coarse(arch, *schedulers.back(), CommMode::Global,
+                           coarse_options);
     ProgramSchedule psched = coarse.schedule(prog);
     validateProgramSchedule(prog, psched, arch, &diags);
 }
@@ -476,14 +567,9 @@ checkBounds(const std::string &path, Program &prog,
             std::vector<BoundsJsonEntry> &json_entries)
 {
     MultiSimdArch arch(options.k, options.d, options.localMem);
-    const CommMode mode = options.localMem > 0
-                              ? CommMode::GlobalWithLocalMem
-                              : CommMode::Global;
+    const CommMode mode = resolveCommMode(options);
 
-    RcpScheduler rcp;
-    LpfsScheduler lpfs;
-    const LeafScheduler *schedulers[] = {&rcp, &lpfs};
-    for (const LeafScheduler *scheduler : schedulers) {
+    for (const auto &scheduler : makeCheckSchedulers(options, mode)) {
         CoarseScheduler::Options coarse_options;
         coarse_options.numThreads = options.threads;
         coarse_options.leafCache = std::make_shared<LeafScheduleCache>();
@@ -500,6 +586,10 @@ checkBounds(const std::string &path, Program &prog,
         if (!ok)
             metrics.counter("verify.bounds.violations").add(1);
 
+        uint64_t proven = 0;
+        for (const LeafGapRecord &leaf : report.leaves)
+            if (leaf.provenance == ScheduleProvenance::Optimal)
+                ++proven;
         if (!options.quiet) {
             for (const LeafGapRecord &leaf : report.leaves) {
                 std::cout << path << ": bounds [" << scheduler->name()
@@ -509,14 +599,17 @@ checkBounds(const std::string &path, Program &prog,
                           << leaf.bounds.criticalPath << ", res "
                           << leaf.bounds.resource << ", int "
                           << leaf.bounds.interval << "), gap "
-                          << csprintf("%.3f", leaf.gap) << "\n";
+                          << csprintf("%.3f", leaf.gap) << " ["
+                          << scheduleProvenanceName(leaf.provenance)
+                          << "]\n";
             }
         }
         std::cout << path << ": bounds [" << scheduler->name()
                   << "]: program makespan " << report.programMakespan
                   << ", bound " << report.programLowerBound << ", gap "
                   << csprintf("%.3f", report.programGap) << ", "
-                  << report.leaves.size() << " leaf record(s)"
+                  << report.leaves.size() << " leaf record(s), "
+                  << proven << " proven optimal"
                   << (ok ? "" : " -- VIOLATIONS") << "\n";
 
         json_entries.push_back(
@@ -538,14 +631,9 @@ checkEstimate(const std::string &path, Program &prog,
               std::vector<EstimateJsonEntry> &json_entries)
 {
     MultiSimdArch arch(options.k, options.d, options.localMem);
-    const CommMode mode = options.localMem > 0
-                              ? CommMode::GlobalWithLocalMem
-                              : CommMode::Global;
+    const CommMode mode = resolveCommMode(options);
 
-    RcpScheduler rcp;
-    LpfsScheduler lpfs;
-    const LeafScheduler *schedulers[] = {&rcp, &lpfs};
-    for (const LeafScheduler *scheduler : schedulers) {
+    for (const auto &scheduler : makeCheckSchedulers(options, mode)) {
         EstimateOptions eopts;
         eopts.numThreads = options.threads;
         eopts.cache = std::make_shared<LeafScheduleCache>();
@@ -645,9 +733,7 @@ writeBoundsJson(const Options &options,
         return false;
     }
     MultiSimdArch arch(options.k, options.d, options.localMem);
-    const CommMode mode = options.localMem > 0
-                              ? CommMode::GlobalWithLocalMem
-                              : CommMode::Global;
+    const CommMode mode = resolveCommMode(options);
     out << "{\n"
         << "  \"schema\": \"msq-optimality-gap-v1\",\n"
         << "  \"arch\": \"" << jsonEscape(arch.describe()) << "\",\n"
@@ -682,7 +768,8 @@ writeBoundsJson(const Options &options,
                 << leaf.bounds.resource << ", \"interval_bound\": "
                 << leaf.bounds.interval << ", \"lower_bound\": "
                 << leaf.lowerBound << ", \"gap\": "
-                << csprintf("%.6f", leaf.gap) << "}";
+                << csprintf("%.6f", leaf.gap) << ", \"provenance\": \""
+                << scheduleProvenanceName(leaf.provenance) << "\"}";
         }
         out << (report.leaves.empty() ? "]" : "\n      ]") << "\n    }";
     }
@@ -704,16 +791,14 @@ writeEstimateJson(const Options &options,
         return false;
     }
     MultiSimdArch arch(options.k, options.d, options.localMem);
-    const CommMode mode = options.localMem > 0
-                              ? CommMode::GlobalWithLocalMem
-                              : CommMode::Global;
+    const CommMode mode = resolveCommMode(options);
     out << "{\n"
         << "  \"schema\": \"msq-resource-estimate-v1\",\n"
         << "  \"arch\": \"" << jsonEscape(arch.describe()) << "\",\n"
         << "  \"mode\": \"" << commModeName(mode) << "\",\n"
         << "  \"scale\": " << options.scale << ",\n"
-        << "  \"params\": \""
-        << (options.paperParams ? "paper" : "scaled") << "\",\n"
+        << "  \"params\": \"" << paramsPresetName(options.params)
+        << "\",\n"
         << "  \"inputs\": [";
     for (size_t i = 0; i < entries.size(); ++i) {
         const EstimateJsonEntry &entry = entries[i];
@@ -895,9 +980,11 @@ checkWorkload(const std::string &name, const Options &options,
     DiagnosticEngine diags;
     Program prog;
     try {
-        const auto specs = options.paperParams
+        const auto specs = options.params == ParamsPreset::Paper
                                ? workloads::paperParams()
-                               : workloads::scaledParams();
+                               : options.params == ParamsPreset::Tiny
+                                     ? workloads::tinyParams()
+                                     : workloads::scaledParams();
         prog = workloads::findWorkload(specs, name).build();
         workloads::scaleWorkload(prog, options.scale);
     } catch (const FatalError &err) {
@@ -981,13 +1068,49 @@ main(int argc, char **argv)
         } else if (startsWith(arg, "--params=")) {
             const std::string value = arg.substr(9);
             if (value == "paper") {
-                options.paperParams = true;
+                options.params = ParamsPreset::Paper;
             } else if (value == "scaled") {
-                options.paperParams = false;
+                options.params = ParamsPreset::Scaled;
+            } else if (value == "tiny") {
+                options.params = ParamsPreset::Tiny;
             } else {
                 std::cerr << "msq-verify: bad value in '" << arg << "'\n";
                 return 2;
             }
+            options.paramsGiven = true;
+        } else if (startsWith(arg, "--scheduler=")) {
+            options.scheduler = arg.substr(12);
+            if (options.scheduler != "rcp" &&
+                options.scheduler != "lpfs" &&
+                options.scheduler != "opt") {
+                std::cerr << "msq-verify: bad value in '" << arg << "'\n";
+                return 2;
+            }
+        } else if (startsWith(arg, "--opt-budget=")) {
+            if (!parseCount(arg.substr(13), options.optBudget) ||
+                options.optBudget == unbounded) {
+                std::cerr << "msq-verify: bad value in '" << arg << "'\n";
+                return 2;
+            }
+            options.optBudgetGiven = true;
+        } else if (startsWith(arg, "--comm-mode=")) {
+            options.commMode = arg.substr(12);
+            if (options.commMode != "none" &&
+                options.commMode != "global") {
+                std::cerr << "msq-verify: bad value in '" << arg << "'\n";
+                return 2;
+            }
+        } else if (startsWith(arg, "--opt-fallback=")) {
+            const std::string value = arg.substr(15);
+            if (value == "rcp") {
+                options.optFallback = OptFallback::Rcp;
+            } else if (value == "lpfs") {
+                options.optFallback = OptFallback::Lpfs;
+            } else {
+                std::cerr << "msq-verify: bad value in '" << arg << "'\n";
+                return 2;
+            }
+            options.optFallbackGiven = true;
         } else if (startsWith(arg, "--scale=")) {
             if (!parseCount(arg.substr(8), options.scale) ||
                 options.scale == 0 || options.scale == unbounded) {
@@ -1079,8 +1202,30 @@ main(int argc, char **argv)
         std::cerr << "msq-verify: --scale requires --workload\n";
         return 2;
     }
-    if (options.paperParams && options.workloads.empty()) {
+    if (options.paramsGiven && options.workloads.empty()) {
         std::cerr << "msq-verify: --params requires --workload\n";
+        return 2;
+    }
+    if (options.optBudgetGiven && options.scheduler != "opt") {
+        std::cerr << "msq-verify: --opt-budget requires "
+                     "--scheduler=opt\n";
+        return 2;
+    }
+    if (options.optFallbackGiven && options.scheduler != "opt") {
+        std::cerr << "msq-verify: --opt-fallback requires "
+                     "--scheduler=opt\n";
+        return 2;
+    }
+    if (!options.scheduler.empty() && !options.checkComm &&
+        !options.bounds && !options.estimate) {
+        std::cerr << "msq-verify: --scheduler requires --check-comm, "
+                     "--bounds, or --estimate\n";
+        return 2;
+    }
+    if (!options.commMode.empty() && !options.bounds &&
+        !options.estimate) {
+        std::cerr << "msq-verify: --comm-mode requires --bounds or "
+                     "--estimate\n";
         return 2;
     }
 
