@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Serving-layer latency baseline: replays synthetic mixed-workload
+ * traffic against an in-process ServeEngine (the exact engine behind
+ * msq-served, minus pipe overhead) in two phases:
+ *
+ *   cold   fresh engine, empty cache — every request pays full leaf
+ *          scheduling; the cache is persisted at the end of the phase
+ *   warm   fresh engine in the same process, cache loaded from the
+ *          file the cold phase wrote — the daemon-restart case the
+ *          persistent cache exists for
+ *
+ * and reports requests/sec plus p50/p99 per-request latency for each,
+ * writing BENCH_serve_latency.json for the CI regression gate. The
+ * determinism contract (DESIGN.md §15) is cross-checked on the fly:
+ * every warm response must carry the same schedule_hash and makespan
+ * as its cold twin, and the warm phase must end at leaf-cache hit
+ * rate 1.0 — the bench exits 1 on any violation, so the committed
+ * baseline doubles as a regression test.
+ *
+ * Environment knobs:
+ *   MSQ_BENCH_THREADS  batch parallelism (default 8)
+ *   MSQ_BENCH_REPS     requests per workload per phase (default 3)
+ *
+ * Usage: bench_serve_latency [output.json]   (default
+ * BENCH_serve_latency.json in the working directory)
+ */
+
+#include "common.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <vector>
+
+#include "core/serve.hh"
+#include "support/json.hh"
+#include "support/strings.hh"
+
+using namespace msq;
+
+namespace {
+
+unsigned
+envUnsigned(const char *name, unsigned fallback)
+{
+    const char *value = std::getenv(name);
+    if (!value || !*value)
+        return fallback;
+    char *end = nullptr;
+    unsigned long parsed = std::strtoul(value, &end, 10);
+    if (end == value || *end || parsed == 0)
+        return fallback;
+    return static_cast<unsigned>(parsed);
+}
+
+double
+percentile(std::vector<double> sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    std::sort(sorted.begin(), sorted.end());
+    size_t index = static_cast<size_t>(p * (sorted.size() - 1) + 0.5);
+    return sorted[std::min(index, sorted.size() - 1)];
+}
+
+struct PhaseResult
+{
+    std::string phase;
+    size_t requests = 0;
+    double wallMs = 0.0;
+    double rps = 0.0;
+    double p50Ms = 0.0;
+    double p99Ms = 0.0;
+    double hitRate = 0.0;
+    /** workload -> (schedule_hash, makespan) of the last response. */
+    std::map<std::string, std::pair<std::string, uint64_t>> results;
+};
+
+/** Run @p traffic through a fresh engine; warm = load the cache. */
+PhaseResult
+runPhase(const std::string &phase, const std::string &cache_path,
+         bool warm, unsigned threads,
+         const std::vector<std::pair<std::string, std::string>> &traffic)
+{
+    ServeOptions options;
+    options.k = 8;
+    options.numThreads = threads;
+    options.cachePath = cache_path;
+    ServeEngine engine(options);
+    if (warm) {
+        engine.loadCache();
+        if (engine.diags().numWarnings() > 0) {
+            std::cerr << engine.diags().formatAll();
+            std::exit(1);
+        }
+    }
+
+    PhaseResult out;
+    out.phase = phase;
+    std::vector<double> latencies;
+    WallTimer timer;
+    for (const auto &[workload, line] : traffic) {
+        WallTimer requestTimer;
+        std::string response = engine.handleLine(line);
+        latencies.push_back(requestTimer.elapsedMs());
+
+        std::string error;
+        auto json = parseJson(response, error);
+        if (!json || !json->get("ok").asBool()) {
+            std::cerr << phase << ": request for " << workload
+                      << " failed: " << response << "\n";
+            std::exit(1);
+        }
+        out.results[workload] = {
+            json->get("schedule_hash").asString(),
+            json->get("makespan").asUnsigned()};
+    }
+    out.wallMs = timer.elapsedMs();
+    out.requests = traffic.size();
+    out.rps = out.wallMs > 0.0 ? 1000.0 * out.requests / out.wallMs : 0.0;
+    out.p50Ms = percentile(latencies, 0.50);
+    out.p99Ms = percentile(latencies, 0.99);
+    const uint64_t hits = engine.cache().hits();
+    const uint64_t misses = engine.cache().misses();
+    out.hitRate = hits + misses == 0
+                      ? 0.0
+                      : static_cast<double>(hits) /
+                            static_cast<double>(hits + misses);
+    if (!warm)
+        engine.saveCache();
+    return out;
+}
+
+void
+writePhaseJson(std::ostream &os, const PhaseResult &phase, bool last)
+{
+    os << "    {\n"
+       << "      \"phase\": \"" << phase.phase << "\",\n"
+       << "      \"requests\": " << phase.requests << ",\n"
+       << "      \"wall_ms\": " << jsonNumber(phase.wallMs) << ",\n"
+       << "      \"requests_per_sec\": " << jsonNumber(phase.rps)
+       << ",\n"
+       << "      \"p50_ms\": " << jsonNumber(phase.p50Ms) << ",\n"
+       << "      \"p99_ms\": " << jsonNumber(phase.p99Ms) << ",\n"
+       << "      \"hit_rate\": " << jsonNumber(phase.hitRate) << "\n"
+       << "    }" << (last ? "\n" : ",\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::banner("bench_serve_latency: msq-served cold vs warm start",
+                  "DESIGN.md §15 (serving layer; extends DESIGN.md §9 "
+                  "determinism to daemon restarts)");
+
+    const unsigned threads = envUnsigned("MSQ_BENCH_THREADS", 8);
+    const unsigned reps = envUnsigned("MSQ_BENCH_REPS", 3);
+    const std::string output =
+        argc > 1 ? argv[1] : "BENCH_serve_latency.json";
+    const std::string cachePath = output + ".cache.tmp";
+    std::remove(cachePath.c_str());
+
+    // Mixed traffic: `reps` interleaved rounds over all eight scaled
+    // workloads, the same request line every time (the steady-state
+    // recompile traffic a build farm generates).
+    std::vector<std::pair<std::string, std::string>> traffic;
+    const auto specs = workloads::scaledParams();
+    for (unsigned rep = 0; rep < reps; ++rep)
+        for (const auto &spec : specs)
+            traffic.emplace_back(
+                spec.shortName,
+                csprintf("{\"id\": \"%s-%u\", \"workload\": \"%s\", "
+                         "\"k\": 8}",
+                         spec.shortName.c_str(), rep,
+                         spec.shortName.c_str()));
+
+    PhaseResult cold =
+        runPhase("cold", cachePath, false, threads, traffic);
+    PhaseResult warm =
+        runPhase("warm", cachePath, true, threads, traffic);
+    std::remove(cachePath.c_str());
+
+    // Determinism cross-check: warm must replay cold bit-identically
+    // and never recompute a leaf (hit rate 1.0).
+    bool ok = true;
+    for (const auto &[workload, coldResult] : cold.results) {
+        const auto &warmResult = warm.results[workload];
+        if (coldResult != warmResult) {
+            std::cerr << "DETERMINISM VIOLATION: " << workload
+                      << " cold hash=" << coldResult.first
+                      << " makespan=" << coldResult.second
+                      << " vs warm hash=" << warmResult.first
+                      << " makespan=" << warmResult.second << "\n";
+            ok = false;
+        }
+    }
+    if (warm.hitRate < 1.0) {
+        std::cerr << "WARM-START VIOLATION: hit rate "
+                  << warm.hitRate << " != 1.0\n";
+        ok = false;
+    }
+
+    std::cout << "phase   requests   req/s      p50 ms    p99 ms   "
+              << "hit rate\n";
+    for (const PhaseResult *phase : {&cold, &warm}) {
+        std::cout << csprintf("%-7s %8zu %8.2f %9.3f %9.3f %9.3f\n",
+                              phase->phase.c_str(), phase->requests,
+                              phase->rps, phase->p50Ms, phase->p99Ms,
+                              phase->hitRate);
+    }
+    std::cout << "\nwarm speedup (p50): "
+              << csprintf("%.2fx", warm.p50Ms > 0.0
+                                       ? cold.p50Ms / warm.p50Ms
+                                       : 0.0)
+              << "\ndeterminism: " << (ok ? "ok" : "VIOLATED") << "\n";
+
+    std::ofstream os(output);
+    os << "{\n"
+       << "  \"bench\": \"bench_serve_latency\",\n"
+       << "  \"threads\": " << threads << ",\n"
+       << "  \"reps\": " << reps << ",\n"
+       << "  \"workloads\": " << specs.size() << ",\n"
+       << "  \"determinism_ok\": " << (ok ? "true" : "false") << ",\n"
+       << "  \"warm_hit_rate\": " << jsonNumber(warm.hitRate) << ",\n"
+       << "  \"phases\": [\n";
+    writePhaseJson(os, cold, false);
+    writePhaseJson(os, warm, true);
+    os << "  ],\n"
+       << "  \"results\": [\n";
+    size_t index = 0;
+    for (const auto &[workload, result] : cold.results) {
+        os << "    {\"workload\": \"" << workload
+           << "\", \"schedule_hash\": \"" << result.first
+           << "\", \"makespan\": " << result.second << "}"
+           << (++index == cold.results.size() ? "\n" : ",\n");
+    }
+    os << "  ]\n}\n";
+    std::cout << "\nwrote " << output << "\n";
+    return ok ? 0 : 1;
+}

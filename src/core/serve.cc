@@ -1,0 +1,353 @@
+#include "core/serve.hh"
+
+#include <chrono>
+#include <cstdint>
+#include <exception>
+#include <fstream>
+
+#include "analysis/bounds.hh"
+#include "core/toolflow.hh"
+#include "frontend/parser.hh"
+#include "frontend/qasm_reader.hh"
+#include "sched/cache_io.hh"
+#include "support/json.hh"
+#include "support/logging.hh"
+#include "support/strings.hh"
+#include "support/thread_pool.hh"
+#include "workloads/workloads.hh"
+
+namespace msq {
+
+namespace {
+
+struct HashFold
+{
+    uint64_t hash = 0xcbf29ce484222325ull;
+
+    void
+    u64(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            hash ^= static_cast<uint8_t>(v >> (8 * i));
+            hash *= 0x100000001b3ull;
+        }
+    }
+};
+
+/** The "id" field is echoed back as-is (string or number) so clients
+ * can correlate pipelined responses; anything else becomes null. */
+std::string
+echoId(const JsonValue &request)
+{
+    const JsonValue &id = request.get("id");
+    if (id.isString())
+        return "\"" + jsonEscape(id.asString()) + "\"";
+    if (id.isNumber())
+        return jsonNumber(id.asNumber());
+    return "null";
+}
+
+std::string
+errorResponse(const std::string &id, const std::string &message)
+{
+    return csprintf("{\"id\": %s, \"ok\": false, \"error\": \"%s\"}",
+                    id.c_str(), jsonEscape(message).c_str());
+}
+
+/** Everything decoded out of one request line. */
+struct Request
+{
+    std::string id = "null";
+    Program prog;
+    std::string name;
+    ToolflowConfig config;
+};
+
+bool
+parseRequest(const std::string &line, const ServeOptions &defaults,
+             Request &out, std::string &error)
+{
+    std::unique_ptr<JsonValue> parsed = parseJson(line, error);
+    if (!parsed)
+        return false;
+    const JsonValue &req = *parsed;
+    if (!req.isObject()) {
+        error = "request must be a JSON object";
+        return false;
+    }
+    out.id = echoId(req);
+
+    // --- program source -------------------------------------------------
+    const std::string workload = req.get("workload").asString();
+    const std::string source = req.get("source").asString();
+    if (workload.empty() == source.empty()) {
+        error = "exactly one of \"workload\" or \"source\" is required";
+        return false;
+    }
+    if (!workload.empty()) {
+        const std::string params = req.has("params")
+                                       ? req.get("params").asString()
+                                       : "scaled";
+        std::vector<workloads::WorkloadSpec> specs;
+        if (params == "tiny")
+            specs = workloads::tinyParams();
+        else if (params == "scaled")
+            specs = workloads::scaledParams();
+        else if (params == "paper")
+            specs = workloads::paperParams();
+        else {
+            error = "unknown params preset \"" + params + "\"";
+            return false;
+        }
+        bool found = false;
+        for (const auto &spec : specs) {
+            if (spec.shortName == workload) {
+                out.prog = spec.build();
+                out.name = spec.shortName;
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            error = "unknown workload \"" + workload + "\"";
+            return false;
+        }
+        out.config.rotations = Toolflow::rotationPresetFor(workload);
+    } else {
+        const std::string format = req.has("format")
+                                       ? req.get("format").asString()
+                                       : "scaffold";
+        try {
+            if (format == "scaffold")
+                out.prog = parseScaffold(source);
+            else if (format == "qasm")
+                out.prog = parseHierarchicalQasm(source);
+            else {
+                error = "unknown source format \"" + format + "\"";
+                return false;
+            }
+        } catch (const FatalError &e) {
+            error = std::string("parse error: ") + e.what();
+            return false;
+        }
+        out.name = "source";
+    }
+    uint64_t scale = req.get("scale").asUnsigned(1);
+    if (scale > 1)
+        workloads::scaleWorkload(out.prog, scale);
+
+    // --- scheduler / architecture ---------------------------------------
+    const std::string scheduler = req.has("scheduler")
+                                      ? req.get("scheduler").asString()
+                                      : "lpfs";
+    if (scheduler == "lpfs")
+        out.config.scheduler = SchedulerKind::Lpfs;
+    else if (scheduler == "rcp")
+        out.config.scheduler = SchedulerKind::Rcp;
+    else if (scheduler == "opt")
+        out.config.scheduler = SchedulerKind::Opt;
+    else if (scheduler == "sequential")
+        out.config.scheduler = SchedulerKind::Sequential;
+    else {
+        error = "unknown scheduler \"" + scheduler + "\"";
+        return false;
+    }
+
+    unsigned k = static_cast<unsigned>(
+        req.get("k").asUnsigned(defaults.k));
+    uint64_t d = req.has("d") ? req.get("d").asUnsigned(defaults.d)
+                              : defaults.d;
+    uint64_t localMem = req.has("local_mem")
+                            ? req.get("local_mem").asUnsigned(0)
+                            : defaults.localMem;
+    if (k == 0) {
+        error = "k must be >= 1";
+        return false;
+    }
+    out.config.arch = MultiSimdArch(k, d == 0 ? unbounded : d, localMem);
+    if (req.has("epr"))
+        out.config.arch.eprBandwidth = req.get("epr").asUnsigned(1);
+    else
+        out.config.arch.eprBandwidth = defaults.eprBandwidth;
+
+    const std::string mode = req.has("comm_mode")
+                                 ? req.get("comm_mode").asString()
+                                 : "";
+    if (mode == "none")
+        out.config.commMode = CommMode::None;
+    else if (mode == "global")
+        out.config.commMode = CommMode::Global;
+    else if (mode == "local")
+        out.config.commMode = CommMode::GlobalWithLocalMem;
+    else if (mode.empty())
+        out.config.commMode = localMem > 0 ? CommMode::GlobalWithLocalMem
+                                           : CommMode::Global;
+    else {
+        error = "unknown comm_mode \"" + mode + "\"";
+        return false;
+    }
+
+    // Per-request scheduling is single-threaded: parallelism lives at
+    // the batch level, and this keeps each response bit-identical to a
+    // standalone sequential run (DESIGN.md §9).
+    out.config.numThreads = 1;
+    return true;
+}
+
+} // anonymous namespace
+
+uint64_t
+hashProgramSchedule(const ProgramSchedule &sched)
+{
+    HashFold fold;
+    fold.u64(sched.totalCycles);
+    fold.u64(sched.modules.size());
+    for (const ModuleScheduleInfo &info : sched.modules) {
+        fold.u64(info.analyzed ? 1 : 0);
+        if (!info.analyzed)
+            continue;
+        fold.u64(info.leaf ? 1 : 0);
+        fold.u64(static_cast<uint64_t>(info.provenance));
+        fold.u64(info.dims.size());
+        for (const Blackbox &bb : info.dims) {
+            fold.u64(bb.width);
+            fold.u64(bb.length);
+        }
+        fold.u64(info.comm.teleportMoves);
+        fold.u64(info.comm.blockingTeleports);
+        fold.u64(info.comm.localMoves);
+        fold.u64(info.comm.totalCycles);
+    }
+    return fold.hash;
+}
+
+ServeEngine::ServeEngine(ServeOptions options)
+    : options_(std::move(options)),
+      cache_(std::make_shared<LeafScheduleCache>())
+{}
+
+size_t
+ServeEngine::loadCache()
+{
+    if (options_.cachePath.empty())
+        return 0;
+    // A missing file is a normal cold start, not a diagnostic.
+    if (!std::ifstream(options_.cachePath).good())
+        return 0;
+    return cache_->loadFrom(options_.cachePath, &diags_);
+}
+
+size_t
+ServeEngine::saveCache()
+{
+    if (options_.cachePath.empty())
+        return SIZE_MAX;
+    return cache_->saveTo(options_.cachePath, &diags_);
+}
+
+std::string
+ServeEngine::handleLine(const std::string &line)
+{
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    Request request;
+    std::string error;
+    if (!parseRequest(line, options_, request, error))
+        return errorResponse(request.id, error);
+
+    const auto start = std::chrono::steady_clock::now();
+    ToolflowResult result;
+    MetricsRegistry local;
+    try {
+        request.config.sharedLeafCache = cache_;
+        request.config.metrics = &local;
+        Toolflow toolflow(request.config);
+        result = toolflow.run(request.prog);
+    } catch (const std::exception &e) {
+        return errorResponse(request.id,
+                             std::string("compile failed: ") + e.what());
+    }
+    // Daemon-lifetime accumulation: per-request registries merge into
+    // the engine's registry (and the process-wide one when enabled), so
+    // periodic flushes see every request even though the daemon never
+    // reaches the atexit hook.
+    local.mergeInto(metrics_);
+    if (Telemetry::metricsEnabled())
+        local.mergeInto(Telemetry::metrics());
+
+    // Optimality gap against the hierarchical lower bound of the
+    // *lowered* program (run() rewrites it in place).
+    uint64_t lowerBound = 0;
+    try {
+        MakespanBoundAnalysis bounds(request.prog, request.config.arch,
+                                     request.config.commMode);
+        lowerBound = bounds.programLowerBound();
+    } catch (const std::exception &) {
+        lowerBound = 0; // gap degrades to 0 rather than failing the request
+    }
+    double gap = 0.0;
+    if (lowerBound > 0)
+        gap = static_cast<double>(result.scheduledCycles) /
+              static_cast<double>(lowerBound);
+    else if (result.scheduledCycles == 0)
+        gap = 1.0;
+
+    const double wallMs =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+
+    const uint64_t hits = cache_->hits();
+    const uint64_t misses = cache_->misses();
+    std::string out = csprintf(
+        "{\"id\": %s, \"ok\": true, \"workload\": \"%s\", "
+        "\"makespan\": %llu, \"total_gates\": %llu, \"qubits\": %llu, "
+        "\"critical_path\": %llu, \"speedup\": %s, "
+        "\"lower_bound\": %llu, \"gap\": %s, "
+        "\"schedule_hash\": \"%016llx\"",
+        request.id.c_str(), jsonEscape(request.name).c_str(),
+        static_cast<unsigned long long>(result.scheduledCycles),
+        static_cast<unsigned long long>(result.totalGates),
+        static_cast<unsigned long long>(result.qubits),
+        static_cast<unsigned long long>(result.criticalPath),
+        jsonNumber(result.speedupVsSequential).c_str(),
+        static_cast<unsigned long long>(lowerBound),
+        jsonNumber(gap).c_str(),
+        static_cast<unsigned long long>(
+            hashProgramSchedule(result.schedule)));
+    out += csprintf(
+        ", \"cache\": {\"hits\": %llu, \"misses\": %llu, "
+        "\"loads\": %llu, \"rejections\": %llu, \"size\": %llu, "
+        "\"hit_rate\": %s}",
+        static_cast<unsigned long long>(hits),
+        static_cast<unsigned long long>(misses),
+        static_cast<unsigned long long>(cache_->loads()),
+        static_cast<unsigned long long>(cache_->rejections()),
+        static_cast<unsigned long long>(cache_->size()),
+        jsonNumber(hits + misses == 0
+                       ? 0.0
+                       : static_cast<double>(hits) /
+                             static_cast<double>(hits + misses))
+            .c_str());
+    out += csprintf(
+        ", \"telemetry\": {\"leaf_cache_hits\": %llu, "
+        "\"leaf_cache_misses\": %llu, \"metrics\": %llu}, "
+        "\"wall_ms\": %s}",
+        static_cast<unsigned long long>(result.leafCacheHits),
+        static_cast<unsigned long long>(result.leafCacheMisses),
+        static_cast<unsigned long long>(result.telemetry.entries.size()),
+        jsonNumber(wallMs).c_str());
+    return out;
+}
+
+std::vector<std::string>
+ServeEngine::handleBatch(const std::vector<std::string> &lines)
+{
+    std::vector<std::string> responses(lines.size());
+    ThreadPool pool(options_.numThreads);
+    pool.parallelFor(lines.size(), [&](uint64_t i) {
+        responses[i] = handleLine(lines[i]);
+    });
+    return responses;
+}
+
+} // namespace msq

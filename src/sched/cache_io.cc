@@ -1,0 +1,629 @@
+#include "sched/cache_io.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+
+#include "support/strings.hh"
+
+namespace msq {
+
+const char cacheFileMagic[4] = {'M', 'S', 'Q', 'C'};
+
+uint64_t
+fnv1a64(const void *data, size_t size)
+{
+    const auto *bytes = static_cast<const uint8_t *>(data);
+    uint64_t hash = 0xcbf29ce484222325ull;
+    for (size_t i = 0; i < size; ++i) {
+        hash ^= bytes[i];
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Little-endian byte codecs. Integers are assembled/disassembled with
+// shifts — never memcpy'd — so the on-disk format is host-independent.
+// ---------------------------------------------------------------------
+
+struct ByteWriter
+{
+    std::vector<uint8_t> &out;
+
+    void
+    u8(uint8_t v)
+    {
+        out.push_back(v);
+    }
+
+    void
+    u32(uint32_t v)
+    {
+        out.push_back(static_cast<uint8_t>(v));
+        out.push_back(static_cast<uint8_t>(v >> 8));
+        out.push_back(static_cast<uint8_t>(v >> 16));
+        out.push_back(static_cast<uint8_t>(v >> 24));
+    }
+
+    void
+    u64(uint64_t v)
+    {
+        u32(static_cast<uint32_t>(v));
+        u32(static_cast<uint32_t>(v >> 32));
+    }
+
+    void
+    str(const std::string &s)
+    {
+        u32(static_cast<uint32_t>(s.size()));
+        out.insert(out.end(), s.begin(), s.end());
+    }
+};
+
+/** Bounds-checked reader: every accessor reports success so truncation
+ * can never read past the buffer (the ok flag latches false). */
+struct ByteReader
+{
+    const uint8_t *data;
+    size_t size;
+    size_t pos = 0;
+    bool ok = true;
+
+    bool
+    need(size_t n)
+    {
+        if (!ok || size - pos < n) {
+            ok = false;
+            return false;
+        }
+        return true;
+    }
+
+    uint8_t
+    u8()
+    {
+        if (!need(1))
+            return 0;
+        return data[pos++];
+    }
+
+    uint32_t
+    u32()
+    {
+        if (!need(4))
+            return 0;
+        uint32_t v = static_cast<uint32_t>(data[pos]) |
+                     (static_cast<uint32_t>(data[pos + 1]) << 8) |
+                     (static_cast<uint32_t>(data[pos + 2]) << 16) |
+                     (static_cast<uint32_t>(data[pos + 3]) << 24);
+        pos += 4;
+        return v;
+    }
+
+    uint64_t
+    u64()
+    {
+        uint64_t lo = u32();
+        uint64_t hi = u32();
+        return lo | (hi << 32);
+    }
+
+    std::string
+    str()
+    {
+        uint32_t len = u32();
+        if (!need(len))
+            return {};
+        std::string s(reinterpret_cast<const char *>(data + pos), len);
+        pos += len;
+        return s;
+    }
+};
+
+void
+writeLocation(ByteWriter &w, const Location &loc)
+{
+    w.u8(static_cast<uint8_t>(loc.kind));
+    w.u32(loc.region);
+}
+
+Location
+readLocation(ByteReader &r, bool &valid, unsigned k)
+{
+    Location loc;
+    uint8_t kind = r.u8();
+    loc.region = r.u32();
+    if (kind > static_cast<uint8_t>(Location::Kind::LocalMemory)) {
+        valid = false;
+        return loc;
+    }
+    loc.kind = static_cast<Location::Kind>(kind);
+    if (!loc.isGlobal() && loc.region >= k)
+        valid = false;
+    return loc;
+}
+
+/** Full structural validation of a deserialized buffer — everything the
+ * ScheduleBuffer invariant list promises, so downstream consumers never
+ * see a malformed cached schedule (they assume the invariants). */
+bool
+validateBuffer(const ScheduleBuffer &buf, uint64_t op_count)
+{
+    const uint64_t steps = buf.numSteps();
+    if (buf.moveEnd.size() != steps)
+        return false;
+    if (buf.activeWords.size() != steps * buf.wordsPerStep())
+        return false;
+
+    uint32_t prevSlotEnd = 0;
+    for (uint64_t s = 0; s < steps; ++s) {
+        if (buf.slotEnd[s] < prevSlotEnd ||
+            buf.slotEnd[s] > buf.slots.size())
+            return false;
+        prevSlotEnd = buf.slotEnd[s];
+        if (s > 0 && buf.moveEnd[s] < buf.moveEnd[s - 1])
+            return false;
+        if (buf.moveEnd[s] > buf.moves.size())
+            return false;
+    }
+    if (steps > 0 && (buf.slotEnd.back() != buf.slots.size() ||
+                      buf.moveEnd.back() != buf.moves.size()))
+        return false;
+    if (steps == 0 && (!buf.slots.empty() || !buf.moves.empty() ||
+                       !buf.ops.empty()))
+        return false;
+
+    // Slots: region-sorted within each step, valid kinds, non-empty op
+    // ranges tiling the op stream; bitmap mirrors the slots exactly.
+    std::vector<uint64_t> words(buf.activeWords.size(), 0);
+    uint32_t prevOpEnd = 0;
+    for (uint64_t s = 0; s < steps; ++s) {
+        uint32_t begin = buf.slotBegin(s);
+        uint32_t end = buf.slotEnd[s];
+        unsigned prevRegion = 0;
+        for (uint32_t i = begin; i < end; ++i) {
+            const ScheduleBuffer::Slot &slot = buf.slots[i];
+            if (slot.region >= buf.k)
+                return false;
+            if (i > begin && slot.region <= prevRegion)
+                return false;
+            prevRegion = slot.region;
+            if (static_cast<uint8_t>(slot.kind) >=
+                static_cast<uint8_t>(GateKind::NumKinds))
+                return false;
+            if (slot.opEnd <= prevOpEnd || slot.opEnd > buf.ops.size())
+                return false;
+            prevOpEnd = slot.opEnd;
+            words[s * buf.wordsPerStep() + slot.region / 64] |=
+                uint64_t(1) << (slot.region % 64);
+        }
+    }
+    if (!buf.slots.empty() && buf.slots.back().opEnd != buf.ops.size())
+        return false;
+    if (words != buf.activeWords)
+        return false;
+
+    // Op indices must land inside the module the entry claims to be
+    // for (opCount is the rebind collision guard; 0 in legacy test
+    // fixtures, where an empty op stream is the only valid content).
+    for (uint32_t op : buf.ops)
+        if (op >= op_count)
+            return false;
+    return true;
+}
+
+/**
+ * Parse the guard fields back out of a memoization key
+ * (leafScheduleKey: "hash|ops|qubits|w=width|fingerprint|d=..."), so a
+ * loaded payload can be cross-checked against the key it is filed
+ * under. @return false when the key does not have that shape.
+ */
+bool
+parseKeyGuards(const std::string &key, uint64_t &ops, uint64_t &qubits,
+               std::string &suffix)
+{
+    size_t p1 = key.find('|');
+    if (p1 == std::string::npos)
+        return false;
+    size_t p2 = key.find('|', p1 + 1);
+    if (p2 == std::string::npos)
+        return false;
+    size_t p3 = key.find('|', p2 + 1);
+    if (p3 == std::string::npos)
+        return false;
+    size_t p4 = key.find('|', p3 + 1);
+    if (p4 == std::string::npos)
+        return false;
+    try {
+        ops = std::stoull(key.substr(p1 + 1, p2 - p1 - 1));
+        qubits = std::stoull(key.substr(p2 + 1, p3 - p2 - 1));
+    } catch (...) {
+        return false;
+    }
+    if (key.compare(p3 + 1, 2, "w=") != 0)
+        return false;
+    suffix = key.substr(p4 + 1);
+    return true;
+}
+
+} // anonymous namespace
+
+void
+serializeLeafResult(const LeafScheduleResult &result,
+                    const std::string &fingerprint,
+                    std::vector<uint8_t> &out)
+{
+    ByteWriter w{out};
+    w.u64(result.opCount);
+    w.u64(result.qubitCount);
+    w.str(fingerprint);
+
+    const CommStats &cs = result.stats;
+    w.u64(cs.teleportMoves);
+    w.u64(cs.blockingTeleports);
+    w.u64(cs.localMoves);
+    w.u64(cs.stepsWithBlockingMove);
+    w.u64(cs.stepsWithOnlyLocalMoves);
+    w.u64(cs.peakBlockingMovesPerStep);
+    w.u64(cs.totalCycles);
+    w.u64(cs.activeRegionSteps);
+    w.u64(cs.operandSlots);
+    w.u64(cs.peakRegionOccupancy);
+
+    const ScheduleAttempt &at = result.attempt;
+    w.u8(static_cast<uint8_t>(at.provenance));
+    w.u64(at.nodesExpanded);
+    w.u64(at.prunedByCriticalPath);
+    w.u64(at.prunedByResource);
+    w.u64(at.prunedByDominance);
+    w.u64(at.candidatesAnnotated);
+
+    const ResourceSummary &rs = result.summary;
+    w.u64(rs.gateOps);
+    w.u64(rs.serialCycles);
+    w.u64(rs.commCycles);
+    w.u64(rs.teleportMoves);
+    w.u64(rs.blockingTeleports);
+    w.u64(rs.localMoves);
+    w.u64(rs.stepsWithBlockingMove);
+    w.u64(rs.stepsWithOnlyLocalMoves);
+    w.u64(rs.activeRegionSteps);
+    w.u64(rs.operandTouches);
+    w.u64(rs.peakRegionOccupancy);
+    w.u64(rs.peakBlockingMovesPerStep);
+    w.u64(rs.peakActiveRegions);
+    w.u64(rs.callInvocations);
+    w.u64(rs.occupancy.size());
+    for (uint64_t bucket : rs.occupancy)
+        w.u64(bucket);
+    w.u8(rs.saturated ? 1 : 0);
+
+    const MakespanBounds &mb = result.bounds;
+    w.u64(mb.criticalPath);
+    w.u64(mb.resource);
+    w.u64(mb.interval);
+    w.u8(mb.saturated ? 1 : 0);
+
+    const ScheduleBuffer &buf = *result.schedule;
+    w.u32(buf.k);
+    w.u64(buf.numSteps());
+    w.u64(buf.slots.size());
+    for (const ScheduleBuffer::Slot &slot : buf.slots) {
+        w.u32(slot.opEnd);
+        w.u32(slot.region);
+        w.u8(static_cast<uint8_t>(slot.kind));
+    }
+    for (uint32_t end : buf.slotEnd)
+        w.u32(end);
+    w.u64(buf.ops.size());
+    for (uint32_t op : buf.ops)
+        w.u32(op);
+    w.u64(buf.moves.size());
+    for (const Move &move : buf.moves) {
+        w.u32(move.qubit);
+        writeLocation(w, move.from);
+        writeLocation(w, move.to);
+        w.u8(move.blocking ? 1 : 0);
+    }
+    for (uint64_t end : buf.moveEnd)
+        w.u64(end);
+    for (uint64_t word : buf.activeWords)
+        w.u64(word);
+}
+
+std::shared_ptr<LeafScheduleResult>
+deserializeLeafResult(const uint8_t *data, size_t size,
+                      std::string &fingerprint)
+{
+    ByteReader r{data, size};
+    auto result = std::make_shared<LeafScheduleResult>();
+
+    result->opCount = r.u64();
+    result->qubitCount = r.u64();
+    fingerprint = r.str();
+
+    CommStats &cs = result->stats;
+    cs.teleportMoves = r.u64();
+    cs.blockingTeleports = r.u64();
+    cs.localMoves = r.u64();
+    cs.stepsWithBlockingMove = r.u64();
+    cs.stepsWithOnlyLocalMoves = r.u64();
+    cs.peakBlockingMovesPerStep = r.u64();
+    cs.totalCycles = r.u64();
+    cs.activeRegionSteps = r.u64();
+    cs.operandSlots = r.u64();
+    cs.peakRegionOccupancy = r.u64();
+
+    ScheduleAttempt &at = result->attempt;
+    uint8_t provenance = r.u8();
+    if (provenance > static_cast<uint8_t>(ScheduleProvenance::Fallback))
+        return nullptr;
+    at.provenance = static_cast<ScheduleProvenance>(provenance);
+    at.nodesExpanded = r.u64();
+    at.prunedByCriticalPath = r.u64();
+    at.prunedByResource = r.u64();
+    at.prunedByDominance = r.u64();
+    at.candidatesAnnotated = r.u64();
+
+    ResourceSummary &rs = result->summary;
+    rs.gateOps = r.u64();
+    rs.serialCycles = r.u64();
+    rs.commCycles = r.u64();
+    rs.teleportMoves = r.u64();
+    rs.blockingTeleports = r.u64();
+    rs.localMoves = r.u64();
+    rs.stepsWithBlockingMove = r.u64();
+    rs.stepsWithOnlyLocalMoves = r.u64();
+    rs.activeRegionSteps = r.u64();
+    rs.operandTouches = r.u64();
+    rs.peakRegionOccupancy = r.u64();
+    rs.peakBlockingMovesPerStep = r.u64();
+    rs.peakActiveRegions = r.u64();
+    rs.callInvocations = r.u64();
+    uint64_t buckets = r.u64();
+    // An absurd bucket count means a corrupt length field — refuse
+    // before std::vector::resize turns it into a bad_alloc.
+    if (!r.ok || buckets > r.size - r.pos)
+        return nullptr;
+    rs.occupancy.resize(buckets);
+    for (uint64_t i = 0; i < buckets; ++i)
+        rs.occupancy[i] = r.u64();
+    rs.saturated = r.u8() != 0;
+
+    MakespanBounds &mb = result->bounds;
+    mb.criticalPath = r.u64();
+    mb.resource = r.u64();
+    mb.interval = r.u64();
+    mb.saturated = r.u8() != 0;
+
+    auto buf = std::make_shared<ScheduleBuffer>();
+    buf->k = r.u32();
+    uint64_t steps = r.u64();
+    uint64_t slots = r.u64();
+    if (!r.ok || slots > (r.size - r.pos) / 9 ||
+        steps > (r.size - r.pos) / 4)
+        return nullptr;
+    buf->slots.resize(slots);
+    bool valid = true;
+    for (uint64_t i = 0; i < slots; ++i) {
+        ScheduleBuffer::Slot &slot = buf->slots[i];
+        slot.opEnd = r.u32();
+        slot.region = r.u32();
+        slot.kind = static_cast<GateKind>(r.u8());
+    }
+    buf->slotEnd.resize(steps);
+    for (uint64_t i = 0; i < steps; ++i)
+        buf->slotEnd[i] = r.u32();
+    uint64_t ops = r.u64();
+    if (!r.ok || ops > (r.size - r.pos) / 4)
+        return nullptr;
+    buf->ops.resize(ops);
+    for (uint64_t i = 0; i < ops; ++i)
+        buf->ops[i] = r.u32();
+    uint64_t moves = r.u64();
+    if (!r.ok || moves > (r.size - r.pos) / 15)
+        return nullptr;
+    buf->moves.resize(moves);
+    for (uint64_t i = 0; i < moves; ++i) {
+        Move &move = buf->moves[i];
+        move.qubit = r.u32();
+        move.from = readLocation(r, valid, buf->k);
+        move.to = readLocation(r, valid, buf->k);
+        move.blocking = r.u8() != 0;
+    }
+    if (!r.ok || steps > (r.size - r.pos) / 8)
+        return nullptr;
+    buf->moveEnd.resize(steps);
+    for (uint64_t i = 0; i < steps; ++i)
+        buf->moveEnd[i] = r.u64();
+    uint64_t words = steps * buf->wordsPerStep();
+    if (!r.ok || words > (r.size - r.pos) / 8)
+        return nullptr;
+    buf->activeWords.resize(words);
+    for (uint64_t i = 0; i < words; ++i)
+        buf->activeWords[i] = r.u64();
+
+    if (!r.ok || r.pos != r.size || !valid)
+        return nullptr;
+    // Legacy fixtures (opCount == 0) carry no guard; their op stream
+    // must then be validated against itself only when non-empty.
+    uint64_t opGuard = result->opCount;
+    if (opGuard == 0 && !buf->ops.empty()) {
+        opGuard = 0;
+        for (uint32_t op : buf->ops)
+            opGuard = std::max<uint64_t>(opGuard, uint64_t(op) + 1);
+    }
+    if (!validateBuffer(*buf, opGuard))
+        return nullptr;
+    result->schedule = std::move(buf);
+    return result;
+}
+
+size_t
+LeafScheduleCache::saveTo(const std::string &path,
+                          DiagnosticEngine *diags) const
+{
+    auto snapshot = snapshotEntries();
+
+    std::vector<uint8_t> bytes;
+    ByteWriter w{bytes};
+    bytes.insert(bytes.end(), cacheFileMagic, cacheFileMagic + 4);
+    w.u32(cacheFileVersion);
+    w.u32(cacheFileEndianTag);
+    w.u64(snapshot.size());
+
+    std::vector<uint8_t> payload;
+    for (const auto &[key, result] : snapshot) {
+        payload.clear();
+        std::string suffix;
+        uint64_t keyOps = 0, keyQubits = 0;
+        parseKeyGuards(key, keyOps, keyQubits, suffix);
+        // The stored fingerprint is the key suffix's leading token; the
+        // whole suffix round-trips fine too, but the fingerprint alone
+        // is what loadFrom cross-checks, so store exactly that.
+        std::string fingerprint = suffix.substr(0, suffix.find('|'));
+        serializeLeafResult(*result, fingerprint, payload);
+        w.str(key);
+        w.u64(payload.size());
+        w.u64(fnv1a64(payload.data(), payload.size()));
+        bytes.insert(bytes.end(), payload.begin(), payload.end());
+    }
+
+    // Atomic publish: write a sibling temp file, then rename over the
+    // target, so a concurrent loadFrom never sees a half-written file.
+    std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out ||
+            !out.write(reinterpret_cast<const char *>(bytes.data()),
+                       static_cast<std::streamsize>(bytes.size()))) {
+            if (diags)
+                diags->report(DiagCode::CacheFileTruncated,
+                              "cannot write cache file " + tmp);
+            std::remove(tmp.c_str());
+            return SIZE_MAX;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        if (diags)
+            diags->report(DiagCode::CacheFileTruncated,
+                          "cannot rename " + tmp + " to " + path);
+        std::remove(tmp.c_str());
+        return SIZE_MAX;
+    }
+    return snapshot.size();
+}
+
+size_t
+LeafScheduleCache::loadFrom(const std::string &path,
+                            DiagnosticEngine *diags)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        if (diags)
+            diags->report(DiagCode::CacheFileTruncated,
+                          "cannot open cache file " + path);
+        return 0;
+    }
+    std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                               std::istreambuf_iterator<char>());
+
+    ByteReader r{bytes.data(), bytes.size()};
+    if (!r.need(4) ||
+        std::memcmp(bytes.data(), cacheFileMagic, 4) != 0) {
+        if (diags)
+            diags->report(DiagCode::CacheFileBadMagic,
+                          path + " is not a leaf-cache file");
+        return 0;
+    }
+    r.pos = 4;
+    uint32_t version = r.u32();
+    uint32_t endianTag = r.u32();
+    if (!r.ok || version != cacheFileVersion ||
+        endianTag != cacheFileEndianTag) {
+        if (diags)
+            diags->report(DiagCode::CacheFileBadVersion,
+                          csprintf("%s: version %u (supported: %u)",
+                                   path.c_str(), version,
+                                   cacheFileVersion));
+        return 0;
+    }
+    uint64_t entryCount = r.u64();
+
+    size_t loaded = 0;
+    for (uint64_t e = 0; e < entryCount; ++e) {
+        std::string key = r.str();
+        uint64_t payloadLen = r.u64();
+        uint64_t checksum = r.u64();
+        if (!r.ok || !r.need(payloadLen)) {
+            if (diags)
+                diags->report(
+                    DiagCode::CacheFileTruncated,
+                    csprintf("%s: file ends inside entry %llu of %llu",
+                             path.c_str(),
+                             static_cast<unsigned long long>(e),
+                             static_cast<unsigned long long>(
+                                 entryCount)));
+            return loaded;
+        }
+        const uint8_t *payload = bytes.data() + r.pos;
+        r.pos += payloadLen;
+
+        if (fnv1a64(payload, payloadLen) != checksum) {
+            if (diags)
+                diags->report(DiagCode::CacheEntryCorrupt,
+                              "checksum mismatch for key " + key);
+            continue;
+        }
+        std::string fingerprint;
+        auto result =
+            deserializeLeafResult(payload, payloadLen, fingerprint);
+        if (!result) {
+            if (diags)
+                diags->report(DiagCode::CacheEntryCorrupt,
+                              "invalid entry payload for key " + key);
+            continue;
+        }
+
+        // Cross-check the payload's guard fields against the key the
+        // entry is filed under: a forged or collided key must never
+        // publish a schedule for the wrong module/scheduler.
+        uint64_t keyOps = 0, keyQubits = 0;
+        std::string suffix;
+        if (!parseKeyGuards(key, keyOps, keyQubits, suffix)) {
+            if (diags)
+                diags->report(DiagCode::CacheEntryKeyMismatch,
+                              "unparseable cache key " + key);
+            continue;
+        }
+        bool guardOk = keyOps == result->opCount &&
+                       keyQubits == result->qubitCount;
+        if (guardOk && !fingerprint.empty() &&
+            suffix.compare(0, fingerprint.size(), fingerprint) != 0)
+            guardOk = false;
+        if (!guardOk) {
+            if (diags)
+                diags->report(
+                    DiagCode::CacheEntryKeyMismatch,
+                    csprintf("stored guards (%llu ops, %llu qubits, "
+                             "\"%s\") disagree with key %s",
+                             static_cast<unsigned long long>(
+                                 result->opCount),
+                             static_cast<unsigned long long>(
+                                 result->qubitCount),
+                             fingerprint.c_str(), key.c_str()));
+            continue;
+        }
+
+        if (insertLoaded(key, std::move(result)))
+            ++loaded;
+    }
+    return loaded;
+}
+
+} // namespace msq

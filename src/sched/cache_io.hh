@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Versioned binary (de)serialization for the persistent leaf-schedule
+ * cache (DESIGN.md §15). This is what lets a long-running `msq-served`
+ * daemon amortize leaf scheduling across process restarts: the cache's
+ * SoA ScheduleBuffer layout is already flat, so an entry serializes as a
+ * handful of length-prefixed integer arrays with no pointer fixups.
+ *
+ * File layout (all integers little-endian regardless of host, written
+ * byte by byte — never memcpy'd structs, so the format is identical on
+ * any architecture and any compiler padding scheme):
+ *
+ *   header:  magic "MSQC" | u32 version | u32 endianTag (0x01020304)
+ *            | u64 entryCount
+ *   entry:   u32 keyLen | key bytes
+ *            | u64 payloadLen | u64 fnv1a(payload) | payload bytes
+ *   payload: u64 opCount | u64 qubitCount
+ *            | u32 fpLen | fingerprint bytes            (collision guard)
+ *            | CommStats (10 u64, field order of sched/comm.hh)
+ *            | ScheduleAttempt (u8 provenance + 5 u64)
+ *            | ResourceSummary (14 u64 + u64 occupancy[] + u8 saturated)
+ *            | MakespanBounds (3 u64 + u8 saturated)
+ *            | ScheduleBuffer: u32 k | u64 numSteps | u64 numSlots
+ *              | slots (u32 opEnd, u32 region, u8 kind)*
+ *              | u32 slotEnd[] | u64 numOps | u32 ops[]
+ *              | u64 numMoves | moves (u32 qubit, u8 fromKind,
+ *                u32 fromRegion, u8 toKind, u32 toRegion, u8 blocking)*
+ *              | u64 moveEnd[] | u64 activeWords[]
+ *
+ * Load-time validation is layered — every rejection is a stable P-code
+ * diagnostic (support/diagnostic.hh) and a skipped file or entry, never
+ * a crash and never a silently wrong schedule:
+ *   P001/P002  bad magic / unsupported version (whole file rejected)
+ *   P003       truncation anywhere (file rejected from that point)
+ *   P004       checksum mismatch or structural-invariant violation
+ *              inside one entry (entry skipped)
+ *   P005       payload opCount/qubitCount/fingerprint disagree with the
+ *              entry's own key (entry skipped)
+ * A fourth layer (P006) lives at rebind time in sched/coarse.cc: even an
+ * internally consistent entry is refused when the requesting module's
+ * op/qubit counts disagree with the stored guard fields.
+ */
+
+#ifndef MSQ_SCHED_CACHE_IO_HH
+#define MSQ_SCHED_CACHE_IO_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sched/leaf_cache.hh"
+#include "support/diagnostic.hh"
+
+namespace msq {
+
+/// @name Format constants
+/// @{
+
+/** First four file bytes. */
+extern const char cacheFileMagic[4];
+
+/** Current format version (bump on any layout change). */
+constexpr uint32_t cacheFileVersion = 1;
+
+/** Byte-order canary, always written little-endian: reads back as
+ * 0x01020304 iff the decoder honours the format's endianness. */
+constexpr uint32_t cacheFileEndianTag = 0x01020304;
+
+/// @}
+
+/** FNV-1a 64-bit hash of @p size bytes at @p data (entry checksums;
+ * also reused as the daemon's schedule-identity probe). */
+uint64_t fnv1a64(const void *data, size_t size);
+
+/// @name Single-entry (de)serialization
+/// The building blocks of saveTo/loadFrom, exposed for tests and for
+/// byte-identity checks (serialize is deterministic: same result, same
+/// bytes).
+/// @{
+
+/** Append @p result's payload encoding (everything after the checksum)
+ * to @p out. @p fingerprint is the scheduler fingerprint stored as the
+ * cross-process collision guard. */
+void serializeLeafResult(const LeafScheduleResult &result,
+                         const std::string &fingerprint,
+                         std::vector<uint8_t> &out);
+
+/**
+ * Decode one payload produced by serializeLeafResult.
+ * @param fingerprint receives the stored scheduler fingerprint.
+ * @return the decoded result, or nullptr when the payload is truncated
+ *         or violates a ScheduleBuffer/enum invariant (the caller
+ *         reports P003/P004; this function never throws on bad input).
+ */
+std::shared_ptr<LeafScheduleResult>
+deserializeLeafResult(const uint8_t *data, size_t size,
+                      std::string &fingerprint);
+
+/// @}
+
+} // namespace msq
+
+#endif // MSQ_SCHED_CACHE_IO_HH

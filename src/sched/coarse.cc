@@ -98,14 +98,34 @@ CoarseScheduler::leafWidthResult(const Module &mod, unsigned w) const
     if (cache) {
         key = leafScheduleKey(mod, w, cacheKeySuffix);
         if (auto hit = cache->lookup(key)) {
-            if (tracing) {
-                span->setArgs(csprintf(
-                    "\"module\": \"%s\", \"width\": %u, \"gates\": %llu, "
-                    "\"cache\": \"hit\"",
-                    mod.name().c_str(), w,
-                    static_cast<unsigned long long>(mod.numOps())));
+            if (hit->matchesModule(mod.numOps(), mod.numQubits())) {
+                if (tracing) {
+                    span->setArgs(csprintf(
+                        "\"module\": \"%s\", \"width\": %u, "
+                        "\"gates\": %llu, \"cache\": \"hit\"",
+                        mod.name().c_str(), w,
+                        static_cast<unsigned long long>(mod.numOps())));
+                }
+                return hit;
             }
-            return hit;
+            // Rebind-time collision guard (DiagCode::
+            // CacheRebindRejected): a disk-loaded entry whose stored
+            // counts disagree with the requesting module — a
+            // structural-hash collision or a forged file — must never
+            // rebind. Evict it so the recompute's insert() wins, and
+            // fall through to the miss path.
+            cache->remove(key);
+            cache->countRejection();
+            warn(csprintf(
+                "leaf cache: %s: entry for key %s rejected at rebind "
+                "(stored %llu ops/%llu qubits, module has %llu/%llu); "
+                "recomputing",
+                diagCodeName(DiagCode::CacheRebindRejected),
+                key.c_str(),
+                static_cast<unsigned long long>(hit->opCount),
+                static_cast<unsigned long long>(hit->qubitCount),
+                static_cast<unsigned long long>(mod.numOps()),
+                static_cast<unsigned long long>(mod.numQubits())));
         }
     }
     MultiSimdArch sub = arch;
@@ -121,6 +141,10 @@ CoarseScheduler::leafWidthResult(const Module &mod, unsigned w) const
     result->bounds = computeLeafBounds(mod, sub);
     result->summary = summarizeLeafSchedule(sched, arch.eprBandwidth);
     result->schedule = sched.sharedBuffer();
+    // Guard fields for cross-process reuse: a warm-started process can
+    // only rebind this result to a module with matching counts.
+    result->opCount = mod.numOps();
+    result->qubitCount = mod.numQubits();
     if (tracing) {
         span->setArgs(csprintf(
             "\"module\": \"%s\", \"width\": %u, \"gates\": %llu, "

@@ -1,5 +1,7 @@
 #include "sched/leaf_cache.hh"
 
+#include <algorithm>
+
 #include "support/strings.hh"
 
 namespace msq {
@@ -58,6 +60,28 @@ LeafScheduleCache::insert(const std::string &key,
     return it->second;
 }
 
+bool
+LeafScheduleCache::insertLoaded(
+    const std::string &key,
+    std::shared_ptr<const LeafScheduleResult> result)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    auto [it, inserted] = entries.emplace(key, std::move(result));
+    (void)it;
+    if (inserted)
+        loads_.fetch_add(1, std::memory_order_relaxed);
+    // A losing load is NOT a lost compute race: no lookup missed before
+    // it, so there is no miss to reclassify and the counters stay put.
+    return inserted;
+}
+
+bool
+LeafScheduleCache::remove(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return entries.erase(key) > 0;
+}
+
 double
 LeafScheduleCache::hitRate() const
 {
@@ -82,6 +106,26 @@ LeafScheduleCache::clear()
     entries.clear();
     hits_.store(0);
     misses_.store(0);
+    loads_.store(0);
+    rejections_.store(0);
+}
+
+std::vector<std::pair<std::string,
+                      std::shared_ptr<const LeafScheduleResult>>>
+LeafScheduleCache::snapshotEntries() const
+{
+    std::vector<std::pair<std::string,
+                          std::shared_ptr<const LeafScheduleResult>>>
+        out;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        out.reserve(entries.size());
+        for (const auto &[key, value] : entries)
+            out.emplace_back(key, value);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
+    return out;
 }
 
 } // namespace msq

@@ -40,12 +40,15 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "analysis/bounds.hh"
 #include "analysis/schedule_summary.hh"
 #include "arch/schedule.hh"
 #include "sched/comm.hh"
 #include "sched/leaf_scheduler.hh"
+#include "support/diagnostic.hh"
 
 namespace msq {
 
@@ -92,6 +95,28 @@ struct LeafScheduleResult
      * buffer always copies on mutation).
      */
     std::shared_ptr<const ScheduleBuffer> schedule;
+
+    /**
+     * Op/qubit counts of the module this result was computed from —
+     * the rebind-time collision guard for cross-process reuse. For
+     * in-process entries these trivially match the requesting module
+     * (the key embeds them); for entries loaded from disk they are an
+     * independent copy carried in the entry payload, so a forged or
+     * collided key can never silently rebind a wrong schedule
+     * (DiagCode::CacheRebindRejected). 0/0 only in hand-built test
+     * fixtures that predate persistence; the guard skips those.
+     */
+    uint64_t opCount = 0;
+    uint64_t qubitCount = 0;
+
+    /** @return whether this result may be rebound to @p ops/@p qubits. */
+    bool
+    matchesModule(uint64_t ops, uint64_t qubits) const
+    {
+        if (opCount == 0 && qubitCount == 0)
+            return true; // legacy fixture without guard fields
+        return opCount == ops && qubitCount == qubits;
+    }
 
     /**
      * Schedule-quality ratio totalCycles / bounds.composite(): >= 1.0
@@ -162,8 +187,40 @@ class LeafScheduleCache
     insert(const std::string &key,
            std::shared_ptr<const LeafScheduleResult> result);
 
+    /**
+     * Publish an entry deserialized from disk. Counts toward loads(),
+     * never misses() — preloading is not a compute, so the hit/miss
+     * tallies of a warm-started process stay comparable with a cold
+     * one (one hit per access, zero misses when fully warm). First
+     * insertion wins, exactly like insert(), but a losing load
+     * reclassifies nothing: no lookup preceded it.
+     * @return false when @p key was already present (entry dropped).
+     */
+    bool insertLoaded(const std::string &key,
+                      std::shared_ptr<const LeafScheduleResult> result);
+
+    /**
+     * Drop the entry under @p key (used to evict a poisoned disk entry
+     * rejected by the rebind guard, so the recompute's insert() wins).
+     * Counters are untouched. @return whether an entry was removed.
+     */
+    bool remove(const std::string &key);
+
     uint64_t hits() const { return hits_.load(); }
     uint64_t misses() const { return misses_.load(); }
+
+    /** Entries published via insertLoaded() (disk preloads). */
+    uint64_t loads() const { return loads_.load(); }
+
+    /** Entries refused at rebind time by the collision guard. */
+    uint64_t rejections() const { return rejections_.load(); }
+
+    /** Count one rebind-guard refusal (sched/coarse.cc). */
+    void
+    countRejection()
+    {
+        rejections_.fetch_add(1, std::memory_order_relaxed);
+    }
 
     /** hits / (hits + misses), or 0 when never queried. */
     double hitRate() const;
@@ -174,6 +231,34 @@ class LeafScheduleCache
     /** Drop all entries and reset the counters. */
     void clear();
 
+    /**
+     * Key-sorted copy of every entry (value pointers shared). The unit
+     * saveTo() serializes; sorted so the file bytes are deterministic
+     * for a given cache content.
+     */
+    std::vector<std::pair<std::string,
+                          std::shared_ptr<const LeafScheduleResult>>>
+    snapshotEntries() const;
+
+    /**
+     * Serialize every entry to @p path in the versioned binary format
+     * of sched/cache_io.hh (written atomically: temp file + rename).
+     * @return the number of entries written, or SIZE_MAX on I/O error
+     * (reported through @p diags as a warning when non-null).
+     */
+    size_t saveTo(const std::string &path,
+                  DiagnosticEngine *diags = nullptr) const;
+
+    /**
+     * Deserialize @p path and publish every valid entry via
+     * insertLoaded(). Corrupt, truncated, or mismatched files/entries
+     * are reported through @p diags (stable codes P001-P005) and
+     * skipped — never a crash, never a silently wrong schedule.
+     * @return the number of entries loaded (0 on a rejected file).
+     */
+    size_t loadFrom(const std::string &path,
+                    DiagnosticEngine *diags = nullptr);
+
   private:
     mutable std::mutex mutex;
     std::unordered_map<std::string,
@@ -181,6 +266,8 @@ class LeafScheduleCache
         entries;
     std::atomic<uint64_t> hits_{0};
     std::atomic<uint64_t> misses_{0};
+    std::atomic<uint64_t> loads_{0};
+    std::atomic<uint64_t> rejections_{0};
 };
 
 } // namespace msq

@@ -85,6 +85,13 @@ constexpr CodeInfo codeTable[] = {
     {"E004", Severity::Error},   // EstimateUnrolledMismatch
     {"E005", Severity::Error},   // EstimateWeightMismatch
     {"E006", Severity::Warning}, // EstimateSaturated
+    // Persistent leaf-cache loader.
+    {"P001", Severity::Warning}, // CacheFileBadMagic
+    {"P002", Severity::Warning}, // CacheFileBadVersion
+    {"P003", Severity::Warning}, // CacheFileTruncated
+    {"P004", Severity::Warning}, // CacheEntryCorrupt
+    {"P005", Severity::Warning}, // CacheEntryKeyMismatch
+    {"P006", Severity::Warning}, // CacheRebindRejected
 };
 
 static_assert(sizeof(codeTable) / sizeof(codeTable[0]) ==

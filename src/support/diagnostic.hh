@@ -114,6 +114,19 @@ enum class DiagCode : uint16_t {
     EstimateWeightMismatch,   ///< E005 composed != invocation-weighted sum
     EstimateSaturated,        ///< E006 repeat algebra saturated (warning)
 
+    // P***: persistent leaf-cache deserialization (sched/cache_io).
+    // A rejected file or entry is never fatal — the loader skips it and
+    // the scheduler recomputes — so every P code is a warning; what is
+    // NEVER allowed is silently rebinding a wrong or corrupt schedule.
+    CacheFileBadMagic,    ///< P001 file does not start with the magic
+    CacheFileBadVersion,  ///< P002 unsupported format version
+    CacheFileTruncated,   ///< P003 file ends inside a header or entry
+    CacheEntryCorrupt,    ///< P004 checksum/invariant failure in an entry
+    CacheEntryKeyMismatch, ///< P005 stored counts/fingerprint disagree
+                           ///<      with the entry's own key
+    CacheRebindRejected,  ///< P006 cached result refused at rebind time
+                          ///<      (module op/qubit counts disagree)
+
     NumCodes,
 };
 

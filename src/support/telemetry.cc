@@ -518,6 +518,31 @@ Telemetry::initFromEnv()
 }
 
 void
+Telemetry::setMetricsPath(const std::string &path)
+{
+    envMetricsPath() = path;
+    setMetricsEnabled(!path.empty());
+}
+
+void
+Telemetry::setTracePath(const std::string &path)
+{
+    envTracePath() = path;
+}
+
+const std::string &
+Telemetry::metricsPath()
+{
+    return envMetricsPath();
+}
+
+const std::string &
+Telemetry::tracePath()
+{
+    return envTracePath();
+}
+
+void
 Telemetry::flushEnvOutputs()
 {
     if (!envMetricsPath().empty()) {

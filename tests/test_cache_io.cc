@@ -1,0 +1,649 @@
+/**
+ * @file
+ * Tests for the persistent leaf-schedule cache (sched/cache_io.hh):
+ * binary round-trips over adversarial ScheduleBuffers (empty steps,
+ * move-only steps, idle regions, >64-region bitmaps, saturated
+ * summaries), byte-identical re-serialization, truncation/bit-flip
+ * rejection with stable P-code diagnostics, the load-path counter
+ * accounting (loads never count as misses; hit/miss totals are
+ * thread-count- and warm/cold-invariant), and the rebind-time
+ * collision guard (P006).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "arch/schedule.hh"
+#include "sched/cache_io.hh"
+#include "sched/coarse.hh"
+#include "sched/comm.hh"
+#include "sched/leaf_cache.hh"
+#include "sched/lpfs.hh"
+#include "support/diagnostic.hh"
+#include "support/strings.hh"
+
+namespace {
+
+using namespace msq;
+
+/** Deterministic xorshift PRNG (tests must not depend on libc rand). */
+struct Rng
+{
+    uint64_t state;
+    explicit Rng(uint64_t seed) : state(seed ? seed : 1) {}
+
+    uint64_t
+    next()
+    {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        return state;
+    }
+
+    uint64_t pick(uint64_t n) { return n == 0 ? 0 : next() % n; }
+};
+
+/** A random leaf module of @p ops gates over @p qubits qubits. */
+Module
+randomLeaf(Rng &rng, unsigned qubits, unsigned ops)
+{
+    Module mod("fuzz");
+    auto reg = mod.addRegister("q", qubits);
+    for (unsigned i = 0; i < ops; ++i) {
+        if (qubits >= 2 && rng.pick(3) == 0) {
+            QubitId a = reg[rng.pick(qubits)];
+            QubitId b = reg[rng.pick(qubits)];
+            if (a != b) {
+                mod.addGate(GateKind::CNOT, {a, b});
+                continue;
+            }
+        }
+        static const GateKind kinds[] = {GateKind::H, GateKind::T,
+                                         GateKind::X, GateKind::Sdag};
+        mod.addGate(kinds[rng.pick(4)], {reg[rng.pick(qubits)]});
+    }
+    return mod;
+}
+
+/** Schedule @p mod with LPFS at width @p k and annotate movement. */
+std::shared_ptr<LeafScheduleResult>
+makeResult(const Module &mod, unsigned k, CommMode mode)
+{
+    MultiSimdArch arch(k);
+    LpfsScheduler scheduler;
+    auto result = std::make_shared<LeafScheduleResult>();
+    LeafSchedule sched =
+        scheduler.scheduleWithAttempt(mod, arch, result->attempt);
+    result->stats = CommunicationAnalyzer(arch, mode).annotate(sched);
+    result->schedule = sched.sharedBuffer();
+    result->opCount = mod.numOps();
+    result->qubitCount = mod.numQubits();
+    return result;
+}
+
+void
+expectBuffersEqual(const ScheduleBuffer &a, const ScheduleBuffer &b)
+{
+    EXPECT_EQ(a.k, b.k);
+    ASSERT_EQ(a.slots.size(), b.slots.size());
+    for (size_t i = 0; i < a.slots.size(); ++i) {
+        EXPECT_EQ(a.slots[i].opEnd, b.slots[i].opEnd);
+        EXPECT_EQ(a.slots[i].region, b.slots[i].region);
+        EXPECT_EQ(a.slots[i].kind, b.slots[i].kind);
+    }
+    EXPECT_EQ(a.slotEnd, b.slotEnd);
+    EXPECT_EQ(a.ops, b.ops);
+    ASSERT_EQ(a.moves.size(), b.moves.size());
+    for (size_t i = 0; i < a.moves.size(); ++i) {
+        EXPECT_EQ(a.moves[i].qubit, b.moves[i].qubit);
+        EXPECT_EQ(a.moves[i].from, b.moves[i].from);
+        EXPECT_EQ(a.moves[i].to, b.moves[i].to);
+        EXPECT_EQ(a.moves[i].blocking, b.moves[i].blocking);
+    }
+    EXPECT_EQ(a.moveEnd, b.moveEnd);
+    EXPECT_EQ(a.activeWords, b.activeWords);
+}
+
+void
+expectResultsEqual(const LeafScheduleResult &a,
+                   const LeafScheduleResult &b)
+{
+    EXPECT_EQ(a.opCount, b.opCount);
+    EXPECT_EQ(a.qubitCount, b.qubitCount);
+    EXPECT_EQ(a.stats.teleportMoves, b.stats.teleportMoves);
+    EXPECT_EQ(a.stats.blockingTeleports, b.stats.blockingTeleports);
+    EXPECT_EQ(a.stats.localMoves, b.stats.localMoves);
+    EXPECT_EQ(a.stats.totalCycles, b.stats.totalCycles);
+    EXPECT_EQ(a.stats.peakRegionOccupancy, b.stats.peakRegionOccupancy);
+    EXPECT_EQ(a.attempt.provenance, b.attempt.provenance);
+    EXPECT_EQ(a.attempt.nodesExpanded, b.attempt.nodesExpanded);
+    EXPECT_EQ(a.summary.gateOps, b.summary.gateOps);
+    EXPECT_EQ(a.summary.serialCycles, b.summary.serialCycles);
+    EXPECT_EQ(a.summary.occupancy, b.summary.occupancy);
+    EXPECT_EQ(a.summary.saturated, b.summary.saturated);
+    EXPECT_EQ(a.bounds.criticalPath, b.bounds.criticalPath);
+    EXPECT_EQ(a.bounds.resource, b.bounds.resource);
+    EXPECT_EQ(a.bounds.interval, b.bounds.interval);
+    EXPECT_EQ(a.bounds.saturated, b.bounds.saturated);
+    expectBuffersEqual(*a.schedule, *b.schedule);
+}
+
+/** Serialize -> deserialize -> compare; returns the decoded result. */
+std::shared_ptr<LeafScheduleResult>
+roundTrip(const LeafScheduleResult &result)
+{
+    std::vector<uint8_t> bytes;
+    serializeLeafResult(result, "lpfs", bytes);
+    std::string fingerprint;
+    auto decoded =
+        deserializeLeafResult(bytes.data(), bytes.size(), fingerprint);
+    EXPECT_NE(decoded, nullptr);
+    if (decoded) {
+        EXPECT_EQ(fingerprint, "lpfs");
+        expectResultsEqual(result, *decoded);
+    }
+    return decoded;
+}
+
+/** Temp-file path unique to the current test. */
+std::string
+tempPath(const std::string &stem)
+{
+    return testing::TempDir() + stem;
+}
+
+TEST(CacheIo, FnvMatchesReferenceVectors)
+{
+    // Standard FNV-1a test vectors: offset basis and "a".
+    EXPECT_EQ(fnv1a64("", 0), 0xcbf29ce484222325ull);
+    EXPECT_EQ(fnv1a64("a", 1), 0xaf63dc4c8601ec8cull);
+}
+
+TEST(CacheIo, RoundTripRealSchedule)
+{
+    Rng rng(42);
+    Module mod = randomLeaf(rng, 8, 40);
+    auto result = makeResult(mod, 4, CommMode::Global);
+    ASSERT_GT(result->schedule->numSteps(), 0u);
+    ASSERT_GT(result->schedule->moves.size(), 0u);
+    roundTrip(*result);
+}
+
+TEST(CacheIo, RoundTripEmptySchedule)
+{
+    Module mod("empty");
+    auto result = makeResult(mod, 4, CommMode::None);
+    EXPECT_EQ(result->schedule->numSteps(), 0u);
+    roundTrip(*result);
+}
+
+TEST(CacheIo, RoundTripEmptyAndMoveOnlySteps)
+{
+    // Hand-built schedule: a compute step with idle regions between
+    // active ones, an entirely empty step, then a move-only step.
+    Module mod("m");
+    auto reg = mod.addRegister("q", 4);
+    mod.addGate(GateKind::H, {reg[0]});
+    mod.addGate(GateKind::H, {reg[3]});
+
+    ScheduleBuilder builder(mod, 4);
+    builder.beginStep();
+    builder.slot(0).kind = GateKind::H;
+    builder.slot(0).ops = {0};
+    builder.slot(3).kind = GateKind::H;
+    builder.slot(3).ops = {1};
+    builder.endStep();
+    LeafSchedule sched = builder.finish();
+    sched.appendEmptyStep();
+    sched.appendEmptyStep();
+    Move move;
+    move.qubit = 2;
+    move.from = Location::global();
+    move.to = Location::inRegion(1);
+    move.blocking = true;
+    sched.appendMove(2, move);
+
+    LeafScheduleResult result;
+    result.schedule = sched.sharedBuffer();
+    result.opCount = mod.numOps();
+    result.qubitCount = mod.numQubits();
+    auto decoded = roundTrip(result);
+    ASSERT_NE(decoded, nullptr);
+    EXPECT_EQ(decoded->schedule->numSteps(), 3u);
+    EXPECT_EQ(decoded->schedule->moves.size(), 1u);
+}
+
+TEST(CacheIo, RoundTripWideMachineBitmap)
+{
+    // k = 130 regions: three activeWords words per step, exercising
+    // the >64-region bitmap path.
+    Module mod("wide");
+    auto reg = mod.addRegister("q", 130);
+    for (unsigned i = 0; i < 130; ++i)
+        mod.addGate(GateKind::H, {reg[i]});
+    auto result = makeResult(mod, 130, CommMode::Global);
+    EXPECT_EQ(result->schedule->wordsPerStep(), 3u);
+    roundTrip(*result);
+}
+
+TEST(CacheIo, RoundTripSaturatedSummary)
+{
+    Module mod("sat");
+    auto reg = mod.addRegister("q", 2);
+    mod.addGate(GateKind::H, {reg[0]});
+    auto result = makeResult(mod, 2, CommMode::None);
+    result->summary.gateOps = UINT64_MAX;
+    result->summary.serialCycles = UINT64_MAX;
+    result->summary.callInvocations = UINT64_MAX;
+    result->summary.occupancy = {1, 2, UINT64_MAX, 0, 7};
+    result->summary.saturated = true;
+    result->bounds.criticalPath = UINT64_MAX;
+    result->bounds.saturated = true;
+    result->attempt.provenance = ScheduleProvenance::Fallback;
+    result->attempt.nodesExpanded = UINT64_MAX;
+    roundTrip(*result);
+}
+
+TEST(CacheIo, ByteIdenticalReserialization)
+{
+    Rng rng(7);
+    for (int i = 0; i < 8; ++i) {
+        Module mod = randomLeaf(rng, 3 + rng.pick(8), 10 + rng.pick(60));
+        auto result = makeResult(mod, 2 + rng.pick(6),
+                                 i % 2 ? CommMode::Global
+                                       : CommMode::None);
+        std::vector<uint8_t> first;
+        serializeLeafResult(*result, "lpfs", first);
+        std::string fingerprint;
+        auto decoded = deserializeLeafResult(first.data(), first.size(),
+                                             fingerprint);
+        ASSERT_NE(decoded, nullptr);
+        std::vector<uint8_t> second;
+        serializeLeafResult(*decoded, fingerprint, second);
+        EXPECT_EQ(first, second) << "iteration " << i;
+    }
+}
+
+TEST(CacheIo, TruncatedPayloadRejectedNotCrash)
+{
+    Rng rng(3);
+    Module mod = randomLeaf(rng, 6, 30);
+    auto result = makeResult(mod, 4, CommMode::Global);
+    std::vector<uint8_t> bytes;
+    serializeLeafResult(*result, "lpfs", bytes);
+    // Every proper prefix must decode to nullptr, never crash.
+    for (size_t len = 0; len < bytes.size(); ++len) {
+        std::string fingerprint;
+        EXPECT_EQ(deserializeLeafResult(bytes.data(), len, fingerprint),
+                  nullptr)
+            << "prefix " << len;
+    }
+}
+
+/** One cache with two distinct real entries, keyed canonically. */
+void
+populate(LeafScheduleCache &cache, const std::string &suffix)
+{
+    Rng rng(11);
+    for (unsigned i = 0; i < 2; ++i) {
+        Module mod = randomLeaf(rng, 4 + i, 20 + 5 * i);
+        auto result = makeResult(mod, 4, CommMode::Global);
+        cache.insert(leafScheduleKey(mod, 4, suffix), result);
+    }
+}
+
+TEST(CacheIo, SaveLoadRoundTripAndCounters)
+{
+    MultiSimdArch arch(4);
+    const std::string suffix =
+        leafScheduleKeySuffix(LpfsScheduler().fingerprint(), arch,
+                              CommMode::Global);
+    LeafScheduleCache cache;
+    populate(cache, suffix);
+    const std::string path = tempPath("cache_roundtrip.msqc");
+
+    DiagnosticEngine diags;
+    EXPECT_EQ(cache.saveTo(path, &diags), 2u);
+    EXPECT_EQ(diags.numWarnings(), 0u);
+
+    LeafScheduleCache loaded;
+    EXPECT_EQ(loaded.loadFrom(path, &diags), 2u);
+    EXPECT_EQ(diags.numWarnings(), 0u);
+    EXPECT_EQ(loaded.size(), 2u);
+    // Satellite contract: preloading counts as loads, never misses.
+    EXPECT_EQ(loaded.loads(), 2u);
+    EXPECT_EQ(loaded.hits(), 0u);
+    EXPECT_EQ(loaded.misses(), 0u);
+
+    // Entries compare equal to the originals.
+    auto original = cache.snapshotEntries();
+    auto reloaded = loaded.snapshotEntries();
+    ASSERT_EQ(original.size(), reloaded.size());
+    for (size_t i = 0; i < original.size(); ++i) {
+        EXPECT_EQ(original[i].first, reloaded[i].first);
+        expectResultsEqual(*original[i].second, *reloaded[i].second);
+    }
+
+    // Re-saving the loaded cache reproduces the file byte for byte
+    // (key-sorted entries make the bytes deterministic).
+    const std::string path2 = tempPath("cache_roundtrip2.msqc");
+    EXPECT_EQ(loaded.saveTo(path2, &diags), 2u);
+    std::ifstream a(path, std::ios::binary), b(path2, std::ios::binary);
+    std::string bytesA((std::istreambuf_iterator<char>(a)),
+                       std::istreambuf_iterator<char>());
+    std::string bytesB((std::istreambuf_iterator<char>(b)),
+                       std::istreambuf_iterator<char>());
+    EXPECT_EQ(bytesA, bytesB);
+    std::remove(path.c_str());
+    std::remove(path2.c_str());
+}
+
+TEST(CacheIo, BadMagicRejected)
+{
+    MultiSimdArch arch(4);
+    const std::string suffix = leafScheduleKeySuffix(
+        LpfsScheduler().fingerprint(), arch, CommMode::Global);
+    LeafScheduleCache cache;
+    populate(cache, suffix);
+    const std::string path = tempPath("cache_badmagic.msqc");
+    ASSERT_EQ(cache.saveTo(path), 2u);
+
+    std::fstream file(path, std::ios::in | std::ios::out |
+                                std::ios::binary);
+    file.seekp(0);
+    file.put('X');
+    file.close();
+
+    LeafScheduleCache loaded;
+    DiagnosticEngine diags;
+    EXPECT_EQ(loaded.loadFrom(path, &diags), 0u);
+    EXPECT_TRUE(diags.has(DiagCode::CacheFileBadMagic));
+    std::remove(path.c_str());
+}
+
+TEST(CacheIo, BadVersionRejected)
+{
+    MultiSimdArch arch(4);
+    const std::string suffix = leafScheduleKeySuffix(
+        LpfsScheduler().fingerprint(), arch, CommMode::Global);
+    LeafScheduleCache cache;
+    populate(cache, suffix);
+    const std::string path = tempPath("cache_badversion.msqc");
+    ASSERT_EQ(cache.saveTo(path), 2u);
+
+    std::fstream file(path, std::ios::in | std::ios::out |
+                                std::ios::binary);
+    file.seekp(4); // version field follows the 4-byte magic
+    file.put(static_cast<char>(0x7F));
+    file.close();
+
+    LeafScheduleCache loaded;
+    DiagnosticEngine diags;
+    EXPECT_EQ(loaded.loadFrom(path, &diags), 0u);
+    EXPECT_TRUE(diags.has(DiagCode::CacheFileBadVersion));
+    std::remove(path.c_str());
+}
+
+TEST(CacheIo, TruncatedFileReportsP003)
+{
+    MultiSimdArch arch(4);
+    const std::string suffix = leafScheduleKeySuffix(
+        LpfsScheduler().fingerprint(), arch, CommMode::Global);
+    LeafScheduleCache cache;
+    populate(cache, suffix);
+    const std::string path = tempPath("cache_truncated.msqc");
+    ASSERT_EQ(cache.saveTo(path), 2u);
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    in.close();
+
+    // Cut the file inside the second entry: the first entry must still
+    // load; the truncation must be a P003 diagnostic, not a crash.
+    std::string cut = bytes.substr(0, bytes.size() - 20);
+    const std::string cutPath = tempPath("cache_truncated_cut.msqc");
+    std::ofstream(cutPath, std::ios::binary) << cut;
+    LeafScheduleCache loaded;
+    DiagnosticEngine diags;
+    EXPECT_EQ(loaded.loadFrom(cutPath, &diags), 1u);
+    EXPECT_TRUE(diags.has(DiagCode::CacheFileTruncated));
+
+    // And every shorter prefix still never crashes.
+    for (size_t len = 0; len < bytes.size(); len += 7) {
+        std::ofstream(cutPath, std::ios::binary)
+            << bytes.substr(0, len);
+        LeafScheduleCache prefix_cache;
+        prefix_cache.loadFrom(cutPath); // diagnostics optional
+    }
+    std::remove(path.c_str());
+    std::remove(cutPath.c_str());
+}
+
+TEST(CacheIo, BitFlippedPayloadReportsP004)
+{
+    MultiSimdArch arch(4);
+    const std::string suffix = leafScheduleKeySuffix(
+        LpfsScheduler().fingerprint(), arch, CommMode::Global);
+    LeafScheduleCache cache;
+    populate(cache, suffix);
+    const std::string path = tempPath("cache_bitflip.msqc");
+    ASSERT_EQ(cache.saveTo(path), 2u);
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    in.close();
+
+    // Flip one byte near the end (inside the last entry's payload):
+    // the checksum must catch it; the other entry still loads.
+    bytes[bytes.size() - 5] ^= 0x40;
+    std::ofstream(path, std::ios::binary) << bytes;
+    LeafScheduleCache loaded;
+    DiagnosticEngine diags;
+    EXPECT_EQ(loaded.loadFrom(path, &diags), 1u);
+    EXPECT_TRUE(diags.has(DiagCode::CacheEntryCorrupt));
+    std::remove(path.c_str());
+}
+
+TEST(CacheIo, KeyPayloadMismatchReportsP005)
+{
+    MultiSimdArch arch(4);
+    const std::string suffix = leafScheduleKeySuffix(
+        LpfsScheduler().fingerprint(), arch, CommMode::Global);
+    Rng rng(5);
+    Module mod = randomLeaf(rng, 5, 25);
+    auto result = makeResult(mod, 4, CommMode::Global);
+
+    // File the entry under a key claiming different op/qubit counts
+    // than the payload's own guard fields (a forged or collided key).
+    std::string key = csprintf(
+        "deadbeefdeadbeef|%llu|%llu|w=4|%s",
+        static_cast<unsigned long long>(result->opCount + 1),
+        static_cast<unsigned long long>(result->qubitCount),
+        suffix.c_str());
+    LeafScheduleCache cache;
+    cache.insertLoaded(key, result);
+    const std::string path = tempPath("cache_keymismatch.msqc");
+    ASSERT_EQ(cache.saveTo(path), 1u);
+
+    LeafScheduleCache loaded;
+    DiagnosticEngine diags;
+    EXPECT_EQ(loaded.loadFrom(path, &diags), 0u);
+    EXPECT_TRUE(diags.has(DiagCode::CacheEntryKeyMismatch));
+    EXPECT_EQ(loaded.size(), 0u);
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Satellite 1: counter accounting across thread counts and warm/cold
+// starts. The PR 3/4 invariance contract said "hit/miss totals are
+// identical for any thread count" assuming an empty cache; the load
+// path must preserve it — a warm start turns every cold miss into a
+// hit, never into a phantom miss.
+// ---------------------------------------------------------------------
+
+Program
+repeatedLeafProgram()
+{
+    Program prog;
+    ModuleId chain = prog.addModule("chain");
+    {
+        Module &mod = prog.module(chain);
+        QubitId q = mod.addParam("q");
+        for (int i = 0; i < 12; ++i)
+            mod.addGate(i % 2 ? GateKind::T : GateKind::H, {q});
+    }
+    ModuleId top = prog.addModule("top");
+    {
+        Module &mod = prog.module(top);
+        QubitId a = mod.addLocal("a");
+        QubitId b = mod.addLocal("b");
+        QubitId c = mod.addLocal("c");
+        mod.addCall(chain, {a}, 3);
+        mod.addCall(chain, {b}, 2);
+        mod.addCall(chain, {c}, 1);
+        mod.addGate(GateKind::CNOT, {a, b});
+    }
+    prog.setEntry(top);
+    return prog;
+}
+
+struct CacheTotals
+{
+    uint64_t hits, misses, loads;
+};
+
+CacheTotals
+scheduleWithCache(unsigned threads,
+                  std::shared_ptr<LeafScheduleCache> cache)
+{
+    Program prog = repeatedLeafProgram();
+    LpfsScheduler leaf;
+    CoarseScheduler::Options options;
+    options.numThreads = threads;
+    options.leafCache = cache;
+    CoarseScheduler coarse(MultiSimdArch(4), leaf, CommMode::Global,
+                           options);
+    coarse.schedule(prog);
+    return {cache->hits(), cache->misses(), cache->loads()};
+}
+
+TEST(LeafCacheCounters, WarmColdAndThreadCountInvariance)
+{
+    // Cold baselines at 1 and 4 threads: identical totals.
+    CacheTotals cold1 =
+        scheduleWithCache(1, std::make_shared<LeafScheduleCache>());
+    CacheTotals cold4 =
+        scheduleWithCache(4, std::make_shared<LeafScheduleCache>());
+    EXPECT_EQ(cold1.hits, cold4.hits);
+    EXPECT_EQ(cold1.misses, cold4.misses);
+    EXPECT_GT(cold1.misses, 0u);
+    EXPECT_EQ(cold1.loads, 0u);
+
+    // Persist a cold cache, then warm-start fresh caches from it.
+    auto seed = std::make_shared<LeafScheduleCache>();
+    scheduleWithCache(1, seed);
+    const std::string path = tempPath("cache_invariance.msqc");
+    ASSERT_NE(seed->saveTo(path), SIZE_MAX);
+
+    for (unsigned threads : {1u, 4u}) {
+        auto warm = std::make_shared<LeafScheduleCache>();
+        DiagnosticEngine diags;
+        ASSERT_EQ(warm->loadFrom(path, &diags), seed->size());
+        EXPECT_EQ(diags.numWarnings(), 0u);
+        CacheTotals totals = scheduleWithCache(threads, warm);
+        // Every cold access replays as a hit; loads are not misses.
+        EXPECT_EQ(totals.hits, cold1.hits + cold1.misses)
+            << "threads=" << threads;
+        EXPECT_EQ(totals.misses, 0u) << "threads=" << threads;
+        EXPECT_EQ(totals.loads, seed->size());
+        EXPECT_EQ(warm->hitRate(), 1.0);
+    }
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Satellite 3: the rebind-time collision guard (P006). A cached entry
+// whose stored op/qubit counts disagree with the requesting module is
+// evicted and recomputed, never silently rebound.
+// ---------------------------------------------------------------------
+
+TEST(RebindGuard, MismatchedEntryEvictedAndRecomputed)
+{
+    Program prog = repeatedLeafProgram();
+    LpfsScheduler leaf;
+    MultiSimdArch arch(4);
+
+    // Clean run for the ground truth.
+    auto clean = std::make_shared<LeafScheduleCache>();
+    CoarseScheduler::Options options;
+    options.numThreads = 1;
+    options.leafCache = clean;
+    CoarseScheduler coarse(arch, leaf, CommMode::Global, options);
+    Program cleanProg = repeatedLeafProgram();
+    ProgramSchedule truth = coarse.schedule(cleanProg);
+
+    // Poison a fresh cache: every clean entry re-filed with corrupted
+    // guard counts, as a forged cache file would produce.
+    auto poisoned = std::make_shared<LeafScheduleCache>();
+    for (const auto &[key, value] : clean->snapshotEntries()) {
+        auto forged = std::make_shared<LeafScheduleResult>(*value);
+        forged->opCount += 1;
+        poisoned->insertLoaded(key, std::move(forged));
+    }
+    const uint64_t entryCount = poisoned->size();
+    ASSERT_GT(entryCount, 0u);
+
+    CoarseScheduler::Options poisonedOptions;
+    poisonedOptions.numThreads = 1;
+    poisonedOptions.leafCache = poisoned;
+    CoarseScheduler guarded(arch, leaf, CommMode::Global,
+                            poisonedOptions);
+    ProgramSchedule recomputed = guarded.schedule(prog);
+
+    // Every poisoned entry was refused and recomputed; the resulting
+    // schedule matches the clean run exactly.
+    EXPECT_EQ(poisoned->rejections(), entryCount);
+    EXPECT_EQ(recomputed.totalCycles, truth.totalCycles);
+    ASSERT_EQ(recomputed.modules.size(), truth.modules.size());
+    for (size_t i = 0; i < truth.modules.size(); ++i) {
+        if (!truth.modules[i].analyzed)
+            continue;
+        ASSERT_EQ(recomputed.modules[i].dims.size(),
+                  truth.modules[i].dims.size());
+        for (size_t d = 0; d < truth.modules[i].dims.size(); ++d) {
+            EXPECT_EQ(recomputed.modules[i].dims[d].length,
+                      truth.modules[i].dims[d].length);
+        }
+    }
+    // The recomputed (correct) entries replaced the forged ones: the
+    // cache now holds exactly the clean entries again.
+    auto cleanEntries = clean->snapshotEntries();
+    auto healedEntries = poisoned->snapshotEntries();
+    ASSERT_EQ(healedEntries.size(), cleanEntries.size());
+    for (size_t i = 0; i < cleanEntries.size(); ++i) {
+        EXPECT_EQ(healedEntries[i].first, cleanEntries[i].first);
+        EXPECT_EQ(healedEntries[i].second->opCount,
+                  cleanEntries[i].second->opCount);
+        EXPECT_EQ(healedEntries[i].second->stats.totalCycles,
+                  cleanEntries[i].second->stats.totalCycles);
+    }
+}
+
+TEST(RebindGuard, LegacyZeroCountFixturesStillRebind)
+{
+    LeafScheduleResult legacy;
+    EXPECT_TRUE(legacy.matchesModule(10, 3)); // 0/0 guard skips
+    legacy.opCount = 10;
+    legacy.qubitCount = 3;
+    EXPECT_TRUE(legacy.matchesModule(10, 3));
+    EXPECT_FALSE(legacy.matchesModule(11, 3));
+    EXPECT_FALSE(legacy.matchesModule(10, 4));
+}
+
+} // namespace

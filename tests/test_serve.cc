@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Tests for the serving layer (core/serve.hh) and its JSON substrate
+ * (support/json.hh): request parsing and error responses, schedule
+ * hashing, replay determinism, batch-vs-sequential equivalence, and the
+ * warm-start contract — a daemon restarted onto a persisted cache
+ * answers bit-identically to the cold process that wrote it, at leaf
+ * hit rate 1.0.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/serve.hh"
+#include "support/json.hh"
+#include "support/strings.hh"
+
+namespace {
+
+using namespace msq;
+
+// ---------------------------------------------------------------------
+// support/json.hh
+// ---------------------------------------------------------------------
+
+std::unique_ptr<JsonValue>
+parseOk(const std::string &text)
+{
+    std::string error;
+    auto value = parseJson(text, error);
+    EXPECT_NE(value, nullptr) << text << ": " << error;
+    return value;
+}
+
+TEST(JsonParser, Scalars)
+{
+    EXPECT_TRUE(parseOk("null")->isNull());
+    EXPECT_EQ(parseOk("true")->asBool(), true);
+    EXPECT_EQ(parseOk("false")->asBool(), false);
+    EXPECT_EQ(parseOk("42")->asUnsigned(), 42u);
+    EXPECT_EQ(parseOk("-3")->asNumber(), -3.0);
+    EXPECT_EQ(parseOk("2.5e2")->asNumber(), 250.0);
+    EXPECT_EQ(parseOk("\"hi\"")->asString(), "hi");
+}
+
+TEST(JsonParser, StringEscapes)
+{
+    EXPECT_EQ(parseOk("\"a\\n\\t\\\"b\\\\\"")->asString(),
+              "a\n\t\"b\\");
+    EXPECT_EQ(parseOk("\"\\u0041\\u00e9\"")->asString(), "A\xc3\xa9");
+}
+
+TEST(JsonParser, Containers)
+{
+    auto doc = parseOk(R"({"a": [1, 2, 3], "b": {"c": "d"}, "e": null})");
+    ASSERT_TRUE(doc->isObject());
+    EXPECT_TRUE(doc->has("a"));
+    EXPECT_FALSE(doc->has("missing"));
+    EXPECT_TRUE(doc->get("missing").isNull());
+    ASSERT_TRUE(doc->get("a").isArray());
+    EXPECT_EQ(doc->get("a").elements().size(), 3u);
+    EXPECT_EQ(doc->get("a").elements()[2].asUnsigned(), 3u);
+    EXPECT_EQ(doc->get("b").get("c").asString(), "d");
+    EXPECT_TRUE(doc->get("e").isNull());
+}
+
+TEST(JsonParser, AsUnsignedFallback)
+{
+    EXPECT_EQ(parseOk("\"nan\"")->asUnsigned(7), 7u);
+    EXPECT_EQ(parseOk("{}")->get("missing").asUnsigned(9), 9u);
+}
+
+TEST(JsonParser, Rejections)
+{
+    std::string error;
+    EXPECT_EQ(parseJson("", error), nullptr);
+    EXPECT_EQ(parseJson("{", error), nullptr);
+    EXPECT_EQ(parseJson("{\"a\": }", error), nullptr);
+    EXPECT_EQ(parseJson("\"unterminated", error), nullptr);
+    EXPECT_EQ(parseJson("[1, 2,]", error), nullptr);
+    EXPECT_EQ(parseJson("true false", error), nullptr); // trailing junk
+    EXPECT_EQ(parseJson("tru", error), nullptr);
+    EXPECT_FALSE(error.empty());
+}
+
+// ---------------------------------------------------------------------
+// ServeEngine
+// ---------------------------------------------------------------------
+
+std::unique_ptr<JsonValue>
+serveOne(ServeEngine &engine, const std::string &line)
+{
+    std::string error;
+    auto response = parseJson(engine.handleLine(line), error);
+    EXPECT_NE(response, nullptr) << error;
+    return response;
+}
+
+TEST(Serve, ErrorResponses)
+{
+    ServeEngine engine(ServeOptions{});
+    struct Case
+    {
+        const char *line;
+        const char *needle; ///< must appear in the error message
+    };
+    const Case cases[] = {
+        {"not json at all", "expected"},
+        {"[1, 2]", "object"},
+        {"{}", "workload"},
+        {R"({"workload": "grovers", "source": "module main() {}"})",
+         "exactly one"},
+        {R"({"workload": "nope"})", "unknown workload"},
+        {R"({"workload": "grovers", "params": "huge"})",
+         "unknown params"},
+        {R"({"workload": "grovers", "scheduler": "magic"})",
+         "unknown scheduler"},
+        {R"({"workload": "grovers", "comm_mode": "warp"})",
+         "unknown comm_mode"},
+        {R"({"workload": "grovers", "k": 0})", "k must be"},
+    };
+    for (const Case &c : cases) {
+        auto response = serveOne(engine, c.line);
+        EXPECT_FALSE(response->get("ok").asBool()) << c.line;
+        EXPECT_NE(response->get("error").asString().find(c.needle),
+                  std::string::npos)
+            << c.line << " -> " << response->get("error").asString();
+    }
+}
+
+TEST(Serve, IdEchoedVerbatim)
+{
+    ServeEngine engine(ServeOptions{});
+    auto str = serveOne(engine, R"({"id": "req-7", "bad": true})");
+    EXPECT_EQ(str->get("id").asString(), "req-7");
+    auto num = serveOne(engine, R"({"id": 31337})");
+    EXPECT_EQ(num->get("id").asUnsigned(), 31337u);
+    auto none = serveOne(engine, R"({"bad": true})");
+    EXPECT_TRUE(none->get("id").isNull());
+}
+
+TEST(Serve, WorkloadRequest)
+{
+    ServeEngine engine(ServeOptions{});
+    auto response = serveOne(
+        engine,
+        R"({"id": 1, "workload": "grovers", "params": "tiny", "k": 4})");
+    ASSERT_TRUE(response->get("ok").asBool())
+        << response->get("error").asString();
+    EXPECT_EQ(response->get("workload").asString(), "grovers");
+    EXPECT_GT(response->get("makespan").asUnsigned(), 0u);
+    EXPECT_GT(response->get("total_gates").asUnsigned(), 0u);
+    EXPECT_GT(response->get("qubits").asUnsigned(), 0u);
+    EXPECT_EQ(response->get("schedule_hash").asString().size(), 16u);
+    EXPECT_GE(response->get("gap").asNumber(), 1.0);
+    EXPECT_GT(response->get("cache").get("misses").asUnsigned(), 0u);
+    EXPECT_EQ(response->get("cache").get("loads").asUnsigned(), 0u);
+}
+
+TEST(Serve, ScaffoldSourceRequest)
+{
+    ServeEngine engine(ServeOptions{});
+    auto response = serveOne(
+        engine,
+        R"({"source": "module main() { qbit q[2]; H(q[0]); CNOT(q[0], q[1]); }", "k": 2})");
+    ASSERT_TRUE(response->get("ok").asBool())
+        << response->get("error").asString();
+    EXPECT_EQ(response->get("workload").asString(), "source");
+    EXPECT_EQ(response->get("qubits").asUnsigned(), 2u);
+    EXPECT_EQ(response->get("total_gates").asUnsigned(), 2u);
+    EXPECT_GT(response->get("makespan").asUnsigned(), 0u);
+}
+
+TEST(Serve, ReplayHitsCacheAndIsDeterministic)
+{
+    ServeEngine engine(ServeOptions{});
+    const std::string line =
+        R"({"workload": "bwt", "params": "tiny", "k": 4})";
+    auto first = serveOne(engine, line);
+    auto second = serveOne(engine, line);
+    ASSERT_TRUE(first->get("ok").asBool());
+    ASSERT_TRUE(second->get("ok").asBool());
+    EXPECT_EQ(first->get("schedule_hash").asString(),
+              second->get("schedule_hash").asString());
+    EXPECT_EQ(first->get("makespan").asUnsigned(),
+              second->get("makespan").asUnsigned());
+    EXPECT_GT(second->get("cache").get("hits").asUnsigned(), 0u);
+    EXPECT_EQ(second->get("telemetry").get("leaf_cache_misses")
+                  .asUnsigned(),
+              0u);
+    EXPECT_EQ(engine.requestsServed(), 2u);
+}
+
+TEST(Serve, BatchMatchesSequential)
+{
+    const char *workloads[] = {"grovers", "bwt", "cn"};
+    std::vector<std::string> lines;
+    for (int rep = 0; rep < 2; ++rep)
+        for (const char *name : workloads)
+            lines.push_back(csprintf(
+                "{\"id\": \"%s-%d\", \"workload\": \"%s\", "
+                "\"params\": \"tiny\", \"k\": 4}",
+                name, rep, name));
+
+    ServeOptions batchOptions;
+    batchOptions.numThreads = 4;
+    ServeEngine batchEngine(batchOptions);
+    std::vector<std::string> batched = batchEngine.handleBatch(lines);
+    ASSERT_EQ(batched.size(), lines.size());
+
+    ServeEngine seqEngine(ServeOptions{});
+    for (size_t i = 0; i < lines.size(); ++i) {
+        auto parallel = parseOk(batched[i]);
+        auto sequential = serveOne(seqEngine, lines[i]);
+        ASSERT_TRUE(parallel->get("ok").asBool()) << batched[i];
+        EXPECT_EQ(parallel->get("id").asString(),
+                  sequential->get("id").asString());
+        EXPECT_EQ(parallel->get("schedule_hash").asString(),
+                  sequential->get("schedule_hash").asString())
+            << lines[i];
+        EXPECT_EQ(parallel->get("makespan").asUnsigned(),
+                  sequential->get("makespan").asUnsigned());
+    }
+    // Same distinct leaves -> same hit/miss totals, any thread count.
+    EXPECT_EQ(batchEngine.cache().hits(), seqEngine.cache().hits());
+    EXPECT_EQ(batchEngine.cache().misses(),
+              seqEngine.cache().misses());
+}
+
+TEST(Serve, WarmStartIsBitIdenticalAtHitRateOne)
+{
+    const std::string path =
+        testing::TempDir() + "serve_warmstart.msqc";
+    std::remove(path.c_str());
+    const char *workloads[] = {"grovers", "bwt", "gse"};
+
+    ServeOptions options;
+    options.cachePath = path;
+    ServeEngine cold(options);
+    EXPECT_EQ(cold.loadCache(), 0u); // missing file: silent cold start
+    EXPECT_EQ(cold.diags().numWarnings(), 0u);
+
+    std::vector<std::pair<std::string, uint64_t>> coldResults;
+    for (const char *name : workloads) {
+        auto response = serveOne(
+            cold, csprintf("{\"workload\": \"%s\", \"params\": "
+                           "\"tiny\", \"k\": 4}",
+                           name));
+        ASSERT_TRUE(response->get("ok").asBool());
+        coldResults.emplace_back(
+            response->get("schedule_hash").asString(),
+            response->get("makespan").asUnsigned());
+    }
+    ASSERT_NE(cold.saveCache(), SIZE_MAX);
+
+    ServeEngine warm(options);
+    EXPECT_EQ(warm.loadCache(), cold.cache().size());
+    EXPECT_EQ(warm.diags().numWarnings(), 0u);
+    for (size_t i = 0; i < std::size(workloads); ++i) {
+        auto response = serveOne(
+            warm, csprintf("{\"workload\": \"%s\", \"params\": "
+                           "\"tiny\", \"k\": 4}",
+                           workloads[i]));
+        ASSERT_TRUE(response->get("ok").asBool());
+        EXPECT_EQ(response->get("schedule_hash").asString(),
+                  coldResults[i].first)
+            << workloads[i];
+        EXPECT_EQ(response->get("makespan").asUnsigned(),
+                  coldResults[i].second);
+    }
+    // The warm-start contract: zero recomputes, every lookup a hit.
+    EXPECT_EQ(warm.cache().misses(), 0u);
+    EXPECT_EQ(warm.cache().hitRate(), 1.0);
+    EXPECT_EQ(warm.cache().loads(), cold.cache().size());
+    std::remove(path.c_str());
+}
+
+} // namespace
