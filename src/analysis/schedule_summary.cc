@@ -97,7 +97,11 @@ namespace {
 class SummarySink : public ScheduleSink
 {
   public:
-    explicit SummarySink(uint64_t epr_bandwidth) : bw(epr_bandwidth)
+    /** @param cost topology cost model for multi-core folds; null keeps
+     * the flat machine's historical per-step formula bit-for-bit. */
+    explicit SummarySink(uint64_t epr_bandwidth,
+                         const MovePhaseCostModel *cost = nullptr)
+        : bw(epr_bandwidth), cost(cost)
     {
         sum.occupancy.assign(ResourceSummary::numOccupancyBuckets(), 0);
     }
@@ -141,6 +145,8 @@ class SummarySink : public ScheduleSink
             stepHasLocal = true;
         } else {
             ++sum.teleportMoves;
+            if (cost && cost->interCore(move))
+                ++sum.interCoreTeleports;
             if (move.blocking) {
                 ++sum.blockingTeleports;
                 ++stepBlocking;
@@ -151,11 +157,21 @@ class SummarySink : public ScheduleSink
     void
     endStep(const TimestepView &step) override
     {
-        // Movement-phase cost, recomputed from this pass's own move
-        // classification (arch/schedule.cc movePhaseCycles semantics):
-        // blocking teleports cost full 4-cycle phases, serialized by a
-        // finite EPR bandwidth; a local-only phase costs one cycle.
-        if (stepBlocking > 0) {
+        // Movement-phase cost. On the flat machine, recomputed from
+        // this pass's own move classification (arch/schedule.cc
+        // movePhaseCycles semantics): blocking teleports cost full
+        // 4-cycle phases, serialized by a finite EPR bandwidth; a
+        // local-only phase costs one cycle. Multi-core phases route
+        // through the shared MovePhaseCostModel — the same fold
+        // CommStats::totalCycles uses, which E001 checks.
+        if (cost) {
+            MoveSpan m = step.moves();
+            sum.commCycles += cost->cycles(m.begin(), m.end());
+            if (stepBlocking > 0)
+                ++sum.stepsWithBlockingMove;
+            else if (stepHasLocal)
+                ++sum.stepsWithOnlyLocalMoves;
+        } else if (stepBlocking > 0) {
             ++sum.stepsWithBlockingMove;
             uint64_t phases =
                 bw == unbounded ? 1 : (stepBlocking + bw - 1) / bw;
@@ -184,6 +200,7 @@ class SummarySink : public ScheduleSink
   private:
     const Module *mod = nullptr;
     uint64_t bw;
+    const MovePhaseCostModel *cost;
     ResourceSummary sum;
     uint64_t steps = 0;
     uint64_t stepBlocking = 0;
@@ -200,6 +217,17 @@ summarizeLeafSchedule(const LeafSchedule &sched, uint64_t epr_bandwidth)
               "anything; MultiSimdArch::validate() should have rejected "
               "this configuration");
     SummarySink sink(epr_bandwidth);
+    sched.stream(sink);
+    return sink.take();
+}
+
+ResourceSummary
+summarizeLeafSchedule(const LeafSchedule &sched, const MultiSimdArch &arch)
+{
+    if (!arch.topology.multiCore())
+        return summarizeLeafSchedule(sched, arch.eprBandwidth);
+    MovePhaseCostModel cost(arch);
+    SummarySink sink(arch.eprBandwidth, &cost);
     sched.stream(sink);
     return sink.take();
 }
@@ -273,6 +301,9 @@ ScheduleSummaryAnalysis::ScheduleSummaryAnalysis(
             s.operandTouches =
                 satAdd(s.operandTouches,
                        satMul(r, c.operandTouches, site), site);
+            s.interCoreTeleports =
+                satAdd(s.interCoreTeleports,
+                       satMul(r, c.interCoreTeleports, site), site);
             s.callInvocations = satAdd(
                 s.callInvocations,
                 satMul(r, satAdd(c.callInvocations, 1, site), site),

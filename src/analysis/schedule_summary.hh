@@ -114,6 +114,11 @@ struct ResourceSummary
      * transitively, with repeats; the run itself excluded). */
     uint64_t callInvocations = 0;
 
+    /** Teleports whose endpoints live on different cores (== CommStats::
+     * interCoreTeleports; composes linearly). Always 0 on the flat
+     * machine. Serialized last in .msqc v2 records. */
+    uint64_t interCoreTeleports = 0;
+
     /**
      * Histogram of active-regions-per-timestep over every leaf timestep
      * executed (fixed buckets, occupancyBounds(); last bucket is
@@ -168,6 +173,15 @@ struct ResourceSummary
  */
 ResourceSummary summarizeLeafSchedule(const LeafSchedule &sched,
                                       uint64_t epr_bandwidth = unbounded);
+
+/**
+ * Topology-aware fold: movement phases are priced by a
+ * MovePhaseCostModel over @p arch and inter-core teleports are counted.
+ * Identical to summarizeLeafSchedule(sched, arch.eprBandwidth) on a
+ * single-core topology.
+ */
+ResourceSummary summarizeLeafSchedule(const LeafSchedule &sched,
+                                      const MultiSimdArch &arch);
 
 /**
  * Bottom-up whole-program composition of per-module ResourceSummaries

@@ -23,9 +23,22 @@ struct Location
     };
 
     Kind kind = Kind::GlobalMemory;
-    unsigned region = 0; ///< valid for Region and LocalMemory
+
+    /**
+     * For Region and LocalMemory: the SIMD region index. For
+     * GlobalMemory: the index of the core whose memory bank this is —
+     * always 0 on the flat single-core machine, which is why
+     * Location::global() historically meant "the" global memory.
+     */
+    unsigned region = 0;
 
     static Location global() { return {Kind::GlobalMemory, 0}; }
+
+    /** The global memory bank of core @p core (multi-core machines). */
+    static Location inMemory(unsigned core)
+    {
+        return {Kind::GlobalMemory, core};
+    }
     static Location inRegion(unsigned r) { return {Kind::Region, r}; }
     static Location inLocalMem(unsigned r) { return {Kind::LocalMemory, r}; }
 
@@ -36,9 +49,10 @@ struct Location
     bool
     operator==(const Location &other) const
     {
-        if (kind != other.kind)
-            return false;
-        return kind == Kind::GlobalMemory || region == other.region;
+        // The region field always participates: for GlobalMemory it is
+        // the core index, and single-core code only ever constructs
+        // core 0, so the flat machine behaves as before.
+        return kind == other.kind && region == other.region;
     }
 
     bool operator!=(const Location &other) const { return !(*this == other); }
@@ -49,7 +63,10 @@ struct Location
     {
         switch (kind) {
           case Kind::GlobalMemory:
-            return "mem";
+            // Core 0's bank keeps the flat machine's historical "mem"
+            // spelling (golden dumps depend on it).
+            return region == 0 ? "mem"
+                               : "mem" + std::to_string(region);
           case Kind::Region:
             return "r" + std::to_string(region);
           case Kind::LocalMemory:

@@ -18,6 +18,8 @@
 #include <limits>
 #include <string>
 
+#include "arch/topology.hh"
+
 namespace msq {
 
 /** Sentinel meaning "unbounded" for d and local-memory capacity. */
@@ -64,6 +66,17 @@ struct MultiSimdArch
      * 4-cycle phases.
      */
     uint64_t eprBandwidth = unbounded;
+
+    /**
+     * Core-and-link graph of the machine (DESIGN.md §16). The default
+     * single-core topology is the paper's flat machine and changes
+     * nothing anywhere; with cores > 1 the k regions split into
+     * contiguous per-core groups (topology.regionsPerCore each, so
+     * k == cores * regionsPerCore on the full machine), every qubit
+     * gets a home core from the mapping pass, and cross-core moves are
+     * routed over the link graph.
+     */
+    Topology topology;
 
     /** Cycles per logical gate operation (all gates, §3.2). */
     static constexpr uint64_t gateCycles = 1;
@@ -138,9 +151,42 @@ struct MultiSimdArch
         return copy;
     }
 
-    /** @return e.g. "Multi-SIMD(4,inf)+local(32)". */
+    /** @return the core owning region @p region (0 on one core). */
+    unsigned
+    coreOfRegion(unsigned region) const
+    {
+        return topology.coreOfRegion(region);
+    }
+
+    /**
+     * Canonical cache-key fragment covering every architecture
+     * parameter a leaf-schedule result depends on (the single source of
+     * truth for leafScheduleKeySuffix, the .msqc v2 entry guard, and
+     * the serve warm-start path — DESIGN.md §16). On the flat machine
+     * this is byte-identical to the historical hand-listed
+     * "d=..|lm=..|epr=.." suffix, so existing keys and v1 cache files
+     * keep hitting; multi-core appends the topology fingerprint.
+     */
+    std::string fingerprint() const;
+
+    /** @return e.g. "Multi-SIMD(4,inf)+local(32)" or
+     * "Multi-SIMD(8,inf) on ring(4x2, link-bw=1, link-lat=3)". */
     std::string describe() const;
 };
+
+/**
+ * Parse a `--topology=<spec>` string into @p arch: comma-separated
+ * key=value pairs, e.g. "cores=4,k=8,d=2,link-bw=1,link-lat=3,
+ * shape=ring,map=greedy,local-mem=16,epr=2". `k` is the per-core region
+ * count (the machine total becomes cores * k); keys that are absent
+ * leave the corresponding field of @p arch untouched; "shape" accepts
+ * ring|mesh|all-to-all (default ring for cores > 1), "map" accepts
+ * greedy|roundrobin, and "link=a-b" (repeatable) adds an explicit extra
+ * link between two cores. The resulting topology is validated.
+ * @return false (with @p error set) on a malformed or invalid spec.
+ */
+bool parseTopologySpec(const std::string &spec, MultiSimdArch &arch,
+                       std::string &error);
 
 } // namespace msq
 

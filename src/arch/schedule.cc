@@ -53,6 +53,87 @@ movePhaseCycles(const Move *begin, const Move *end, uint64_t epr_bandwidth)
     return 0;
 }
 
+unsigned
+locationCore(const Location &loc, const MultiSimdArch &arch)
+{
+    if (loc.isGlobal())
+        return loc.region;
+    return arch.coreOfRegion(loc.region);
+}
+
+MovePhaseCostModel::MovePhaseCostModel(const MultiSimdArch &arch)
+    : arch_(&arch), router_(arch.topology),
+      edgeLoad(router_.numEdges(), 0)
+{}
+
+uint64_t
+MovePhaseCostModel::cycles(const Move *begin, const Move *end) const
+{
+    const Topology &topo = arch_->topology;
+    if (!topo.multiCore())
+        return movePhaseCycles(begin, end, arch_->eprBandwidth);
+
+    if (arch_->eprBandwidth == 0)
+        panic("MovePhaseCostModel: EPR bandwidth of 0 cannot move "
+              "anything; MultiSimdArch::validate() should have rejected "
+              "this configuration");
+
+    uint64_t intra_blocking = 0;
+    uint64_t max_hops = 0;
+    bool any_inter = false;
+    bool any_local = false;
+    std::fill(edgeLoad.begin(), edgeLoad.end(), 0);
+    std::vector<unsigned> route;
+    for (const Move *m = begin; m != end; ++m) {
+        if (m->isLocal()) {
+            any_local = true;
+            continue;
+        }
+        if (!m->blocking)
+            continue;
+        unsigned from = locationCore(m->from, *arch_);
+        unsigned to = locationCore(m->to, *arch_);
+        if (from == to) {
+            ++intra_blocking;
+            continue;
+        }
+        any_inter = true;
+        max_hops = std::max<uint64_t>(max_hops, router_.dist(from, to));
+        route.clear();
+        router_.routeEdges(from, to, route);
+        for (unsigned e : route)
+            ++edgeLoad[e];
+    }
+
+    uint64_t intra = 0;
+    if (intra_blocking > 0) {
+        uint64_t phases = 1;
+        if (arch_->eprBandwidth != unbounded)
+            phases = (intra_blocking + arch_->eprBandwidth - 1) /
+                     arch_->eprBandwidth;
+        intra = phases * MultiSimdArch::teleportCycles;
+    }
+
+    uint64_t inter = 0;
+    if (any_inter) {
+        // Pipelined store-and-forward: the first round drains after
+        // maxHops link traversals, and every extra round a saturated
+        // link needs adds one more traversal behind it.
+        uint64_t rounds = 1;
+        if (topo.linkBandwidth != unbounded)
+            for (uint64_t load : edgeLoad)
+                rounds = std::max(
+                    rounds,
+                    (load + topo.linkBandwidth - 1) / topo.linkBandwidth);
+        inter = topo.linkLatency * (max_hops + rounds - 1);
+    }
+
+    uint64_t phase = std::max(intra, inter);
+    if (phase == 0 && any_local)
+        return MultiSimdArch::localMoveCycles;
+    return phase;
+}
+
 uint64_t
 ScheduleBuffer::byteSize() const
 {
@@ -134,6 +215,23 @@ LeafSchedule::totalCycles(uint64_t epr_bandwidth) const
     uint64_t prev = 0;
     for (uint64_t end : buf.moveEnd) {
         cycles += movePhaseCycles(base + prev, base + end, epr_bandwidth);
+        prev = end;
+    }
+    return cycles;
+}
+
+uint64_t
+LeafSchedule::totalCycles(const MultiSimdArch &arch) const
+{
+    if (!arch.topology.multiCore())
+        return totalCycles(arch.eprBandwidth);
+    MovePhaseCostModel cost(arch);
+    const ScheduleBuffer &buf = *buf_;
+    uint64_t cycles = buf.numSteps() * MultiSimdArch::gateCycles;
+    const Move *base = buf.moves.data();
+    uint64_t prev = 0;
+    for (uint64_t end : buf.moveEnd) {
+        cycles += cost.cycles(base + prev, base + end);
         prev = end;
     }
     return cycles;

@@ -77,6 +77,62 @@ bool hasBlockingGlobalMove(const Move *begin, const Move *end);
 uint64_t movePhaseCycles(const Move *begin, const Move *end,
                          uint64_t epr_bandwidth = unbounded);
 
+/** Core that houses @p loc: region/scratchpad locations map through the
+ * topology's region->core assignment; a GlobalMemory location names its
+ * core (bank index) directly. */
+unsigned locationCore(const Location &loc, const MultiSimdArch &arch);
+
+/**
+ * Topology-aware movement-phase cost model. On the flat one-core machine
+ * it reduces exactly to movePhaseCycles(begin, end, arch.eprBandwidth);
+ * on a multi-core topology the phase additionally routes blocking
+ * inter-core teleports over the link graph:
+ *
+ *   intra  = ceil(blockingIntra / eprBandwidth) * teleportCycles
+ *   inter  = linkLatency * (maxHops + rounds - 1), where rounds is the
+ *            max over links of ceil(blockingLoad(link) / linkBandwidth)
+ *   phase  = max(intra, inter), or localMoveCycles if that is zero and
+ *            a ballistic move occurs
+ *
+ * i.e. intra-core and inter-core traffic overlap (separate fabrics), a
+ * longer route costs one linkLatency per hop, and links serialize their
+ * excess load into extra pipelined rounds. Build one per schedule walk —
+ * construction builds the all-pairs route table.
+ */
+class MovePhaseCostModel
+{
+  public:
+    explicit MovePhaseCostModel(const MultiSimdArch &arch);
+
+    /** Cycles for one timestep's movement phase [@p begin, @p end). */
+    uint64_t cycles(const Move *begin, const Move *end) const;
+
+    const MultiSimdArch &arch() const { return *arch_; }
+    const TopologyRouter &router() const { return router_; }
+
+    /** Is @p m an inter-core teleport (endpoints on different cores)? */
+    bool
+    interCore(const Move &m) const
+    {
+        return arch_->topology.multiCore() &&
+               locationCore(m.from, *arch_) != locationCore(m.to, *arch_);
+    }
+
+    /** Link hops between @p m's endpoint cores (0 when intra-core). */
+    uint64_t
+    hops(const Move &m) const
+    {
+        return router_.dist(locationCore(m.from, *arch_),
+                            locationCore(m.to, *arch_));
+    }
+
+  private:
+    const MultiSimdArch *arch_;
+    TopologyRouter router_;
+    /** Scratch per-link blocking loads, reused across cycles() calls. */
+    mutable std::vector<uint64_t> edgeLoad;
+};
+
 /// @}
 
 /**
@@ -461,6 +517,11 @@ class LeafSchedule
      *        msq::movePhaseCycles).
      */
     uint64_t totalCycles(uint64_t epr_bandwidth = unbounded) const;
+
+    /** Topology-aware total cycles: per-step phases are priced by a
+     * MovePhaseCostModel over @p arch. Equals totalCycles(
+     * arch.eprBandwidth) on a single-core topology. */
+    uint64_t totalCycles(const MultiSimdArch &arch) const;
 
     /** Largest number of blocking teleports in any single timestep —
      * the peak EPR bandwidth demand of this schedule. */

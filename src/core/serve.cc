@@ -170,6 +170,21 @@ parseRequest(const std::string &line, const ServeOptions &defaults,
     else
         out.config.arch.eprBandwidth = defaults.eprBandwidth;
 
+    // Per-request topology overrides the daemon-wide default; either
+    // way the spec reshapes the arch (cores * per-core k regions) and
+    // is validated before any scheduling happens, so a bad spec is an
+    // error response, never a dead daemon.
+    const std::string topoSpec = req.has("topology")
+                                     ? req.get("topology").asString()
+                                     : defaults.topology;
+    if (!topoSpec.empty()) {
+        std::string topoError;
+        if (!parseTopologySpec(topoSpec, out.config.arch, topoError)) {
+            error = "bad topology spec: " + topoError;
+            return false;
+        }
+    }
+
     const std::string mode = req.has("comm_mode")
                                  ? req.get("comm_mode").asString()
                                  : "";

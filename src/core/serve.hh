@@ -17,7 +17,15 @@
  *    "scale": N,                      repeat-wrapper scale factor
  *    "scheduler": "lpfs"|"rcp"|"opt"|"sequential" (default "lpfs"),
  *    "k": N, "d": N, "local_mem": N, "epr": N,
- *    "comm_mode": "none"|"global"|"local"}
+ *    "comm_mode": "none"|"global"|"local",
+ *    "topology": "cores=4,k=2,shape=ring,link-bw=1,link-lat=3"}
+ *
+ * The "topology" field (parseTopologySpec grammar) reshapes the
+ * request's architecture into a multi-core machine; absent, the
+ * daemon-wide ServeOptions::topology default applies, and absent that
+ * the machine is the flat single-core Multi-SIMD(k,d). The topology is
+ * part of the leaf-cache key (MultiSimdArch::fingerprint), so requests
+ * against different topologies never share cached leaf schedules.
  *
  * Response: {"id", "ok", "makespan", "total_gates", "qubits",
  * "critical_path", "speedup", "lower_bound", "gap", "schedule_hash",
@@ -54,6 +62,10 @@ struct ServeOptions
     uint64_t d = unbounded;
     uint64_t localMem = 0;
     uint64_t eprBandwidth = unbounded;
+
+    /** Default `--topology` spec (parseTopologySpec grammar) applied to
+     * requests that carry no "topology" field; "" = flat machine. */
+    std::string topology;
 
     /** Batch parallelism for handleBatch (0 = hardware threads). Each
      * request schedules single-threaded; parallelism is across

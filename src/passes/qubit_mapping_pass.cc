@@ -1,0 +1,49 @@
+#include "passes/qubit_mapping_pass.hh"
+
+#include "analysis/qubit_mapping.hh"
+
+namespace msq {
+
+void
+QubitMappingPass::run(Program &prog)
+{
+    reports_.clear();
+    if (!topology.multiCore())
+        return;
+
+    Topology roundRobin = topology;
+    roundRobin.mapping = MappingStrategy::RoundRobin;
+
+    for (ModuleId id : prog.reachableModules()) {
+        const Module &mod = prog.module(id);
+        if (!mod.isLeaf() || mod.numOps() == 0)
+            continue;
+
+        Report report;
+        report.module = mod.name();
+        QubitInteractionGraph graph(mod);
+        for (QubitId q = 0; q < graph.numQubits(); ++q)
+            report.totalWeight += graph.totalWeight(q);
+        report.totalWeight /= 2; // each edge counted from both ends
+        report.cutWeight =
+            mappingCutWeight(mod, computeQubitMapping(mod, topology));
+        report.roundRobinCutWeight =
+            mappingCutWeight(mod, computeQubitMapping(mod, roundRobin));
+        reports_.push_back(std::move(report));
+    }
+
+    if (metrics) {
+        uint64_t cut = 0, rr = 0, total = 0;
+        for (const Report &report : reports_) {
+            cut += report.cutWeight;
+            rr += report.roundRobinCutWeight;
+            total += report.totalWeight;
+        }
+        metrics->counter("mapping.modules").add(reports_.size());
+        metrics->counter("mapping.total_weight").add(total);
+        metrics->counter("mapping.cut_weight").add(cut);
+        metrics->counter("mapping.roundrobin_cut_weight").add(rr);
+    }
+}
+
+} // namespace msq

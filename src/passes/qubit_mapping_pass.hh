@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Pipeline wrapper around the qubit-partitioning analysis
+ * (analysis/qubit_mapping.hh): runs the home-core mapping over every
+ * reachable leaf module of a program and reports, per module, how much
+ * inter-core interaction weight the configured strategy leaves on the
+ * links compared to the naive round-robin baseline.
+ *
+ * The pass rewrites nothing — homes are a pure function of (module,
+ * topology) recomputed identically by the analyzer, validator and
+ * checker, so there is nothing to store in the IR. What the wrapper
+ * adds is observability: a Report per leaf and, when a MetricsRegistry
+ * is attached, `mapping.*` counters a toolflow or bench run can dump.
+ * On a single-core topology the pass is a no-op (no reports).
+ */
+
+#ifndef MSQ_PASSES_QUBIT_MAPPING_PASS_HH
+#define MSQ_PASSES_QUBIT_MAPPING_PASS_HH
+
+#include <string>
+#include <vector>
+
+#include "arch/topology.hh"
+#include "passes/pass_manager.hh"
+
+namespace msq {
+
+/** Analysis-reporting pass: map every leaf's qubits to home cores. */
+class QubitMappingPass : public Pass
+{
+  public:
+    /** Mapping quality of one leaf module. */
+    struct Report
+    {
+        std::string module;
+        /** Total pairwise interaction weight in the module. */
+        uint64_t totalWeight = 0;
+        /** Interaction weight crossing cores under the configured
+         * strategy (each unit is one potential inter-core teleport
+         * pair). */
+        uint64_t cutWeight = 0;
+        /** The same cut under the round-robin baseline mapping. */
+        uint64_t roundRobinCutWeight = 0;
+    };
+
+    explicit QubitMappingPass(Topology topology,
+                              MetricsRegistry *metrics = nullptr)
+        : topology(std::move(topology)), metrics(metrics)
+    {}
+
+    const char *name() const override { return "qubit-mapping"; }
+
+    void run(Program &prog) override;
+
+    /** One Report per reachable non-empty leaf of the last run(). */
+    const std::vector<Report> &reports() const { return reports_; }
+
+  private:
+    Topology topology;
+    MetricsRegistry *metrics;
+    std::vector<Report> reports_;
+};
+
+} // namespace msq
+
+#endif // MSQ_PASSES_QUBIT_MAPPING_PASS_HH

@@ -256,12 +256,14 @@ parseKeyGuards(const std::string &key, uint64_t &ops, uint64_t &qubits,
 void
 serializeLeafResult(const LeafScheduleResult &result,
                     const std::string &fingerprint,
+                    const std::string &arch_fingerprint,
                     std::vector<uint8_t> &out)
 {
     ByteWriter w{out};
     w.u64(result.opCount);
     w.u64(result.qubitCount);
     w.str(fingerprint);
+    w.str(arch_fingerprint);
 
     const CommStats &cs = result.stats;
     w.u64(cs.teleportMoves);
@@ -274,6 +276,7 @@ serializeLeafResult(const LeafScheduleResult &result,
     w.u64(cs.activeRegionSteps);
     w.u64(cs.operandSlots);
     w.u64(cs.peakRegionOccupancy);
+    w.u64(cs.interCoreTeleports);
 
     const ScheduleAttempt &at = result.attempt;
     w.u8(static_cast<uint8_t>(at.provenance));
@@ -298,6 +301,7 @@ serializeLeafResult(const LeafScheduleResult &result,
     w.u64(rs.peakBlockingMovesPerStep);
     w.u64(rs.peakActiveRegions);
     w.u64(rs.callInvocations);
+    w.u64(rs.interCoreTeleports);
     w.u64(rs.occupancy.size());
     for (uint64_t bucket : rs.occupancy)
         w.u64(bucket);
@@ -338,7 +342,9 @@ serializeLeafResult(const LeafScheduleResult &result,
 
 std::shared_ptr<LeafScheduleResult>
 deserializeLeafResult(const uint8_t *data, size_t size,
-                      std::string &fingerprint)
+                      std::string &fingerprint,
+                      std::string &arch_fingerprint,
+                      uint32_t version)
 {
     ByteReader r{data, size};
     auto result = std::make_shared<LeafScheduleResult>();
@@ -346,6 +352,10 @@ deserializeLeafResult(const uint8_t *data, size_t size,
     result->opCount = r.u64();
     result->qubitCount = r.u64();
     fingerprint = r.str();
+    // Version 1 predates the arch-fingerprint guard and the inter-core
+    // counters; its entries decode with both defaulted (correct for the
+    // one-core schedules a v1 process produced).
+    arch_fingerprint = version >= 2 ? r.str() : std::string();
 
     CommStats &cs = result->stats;
     cs.teleportMoves = r.u64();
@@ -358,6 +368,7 @@ deserializeLeafResult(const uint8_t *data, size_t size,
     cs.activeRegionSteps = r.u64();
     cs.operandSlots = r.u64();
     cs.peakRegionOccupancy = r.u64();
+    cs.interCoreTeleports = version >= 2 ? r.u64() : 0;
 
     ScheduleAttempt &at = result->attempt;
     uint8_t provenance = r.u8();
@@ -385,6 +396,7 @@ deserializeLeafResult(const uint8_t *data, size_t size,
     rs.peakBlockingMovesPerStep = r.u64();
     rs.peakActiveRegions = r.u64();
     rs.callInvocations = r.u64();
+    rs.interCoreTeleports = version >= 2 ? r.u64() : 0;
     uint64_t buckets = r.u64();
     // An absurd bucket count means a corrupt length field — refuse
     // before std::vector::resize turns it into a bad_alloc.
@@ -483,11 +495,18 @@ LeafScheduleCache::saveTo(const std::string &path,
         std::string suffix;
         uint64_t keyOps = 0, keyQubits = 0;
         parseKeyGuards(key, keyOps, keyQubits, suffix);
-        // The stored fingerprint is the key suffix's leading token; the
-        // whole suffix round-trips fine too, but the fingerprint alone
-        // is what loadFrom cross-checks, so store exactly that.
+        // The stored fingerprints are the key suffix's leading token
+        // (scheduler identity) and the architecture fragment between it
+        // and the trailing comm-mode token (leafScheduleKeySuffix:
+        // "schedfp|<arch fingerprint>|mode", where the arch fragment
+        // may itself contain '|'s).
         std::string fingerprint = suffix.substr(0, suffix.find('|'));
-        serializeLeafResult(*result, fingerprint, payload);
+        std::string archFp;
+        size_t fp_end = suffix.find('|');
+        size_t mode_sep = suffix.rfind('|');
+        if (fp_end != std::string::npos && mode_sep > fp_end)
+            archFp = suffix.substr(fp_end + 1, mode_sep - fp_end - 1);
+        serializeLeafResult(*result, fingerprint, archFp, payload);
         w.str(key);
         w.u64(payload.size());
         w.u64(fnv1a64(payload.data(), payload.size()));
@@ -544,12 +563,14 @@ LeafScheduleCache::loadFrom(const std::string &path,
     r.pos = 4;
     uint32_t version = r.u32();
     uint32_t endianTag = r.u32();
-    if (!r.ok || version != cacheFileVersion ||
+    if (!r.ok || version < cacheFileMinVersion ||
+        version > cacheFileVersion ||
         endianTag != cacheFileEndianTag) {
         if (diags)
             diags->report(DiagCode::CacheFileBadVersion,
-                          csprintf("%s: version %u (supported: %u)",
+                          csprintf("%s: version %u (supported: %u-%u)",
                                    path.c_str(), version,
+                                   cacheFileMinVersion,
                                    cacheFileVersion));
         return 0;
     }
@@ -581,8 +602,10 @@ LeafScheduleCache::loadFrom(const std::string &path,
             continue;
         }
         std::string fingerprint;
-        auto result =
-            deserializeLeafResult(payload, payloadLen, fingerprint);
+        std::string archFp;
+        auto result = deserializeLeafResult(payload, payloadLen,
+                                            fingerprint, archFp,
+                                            version);
         if (!result) {
             if (diags)
                 diags->report(DiagCode::CacheEntryCorrupt,
@@ -606,6 +629,20 @@ LeafScheduleCache::loadFrom(const std::string &path,
         if (guardOk && !fingerprint.empty() &&
             suffix.compare(0, fingerprint.size(), fingerprint) != 0)
             guardOk = false;
+        // P007: an entry whose stored arch fingerprint disagrees with
+        // its own key was saved under a different topology — refuse it
+        // (a v1 entry has no stored fingerprint and skips this check;
+        // its key still guards everything the flat machine depends on).
+        if (guardOk && !archFp.empty() &&
+            suffix.find(archFp) == std::string::npos) {
+            if (diags)
+                diags->report(
+                    DiagCode::CacheTopologyMismatch,
+                    csprintf("stored arch fingerprint \"%s\" disagrees "
+                             "with key %s; entry skipped",
+                             archFp.c_str(), key.c_str()));
+            continue;
+        }
         if (!guardOk) {
             if (diags)
                 diags->report(

@@ -16,9 +16,13 @@
  *            | u64 payloadLen | u64 fnv1a(payload) | payload bytes
  *   payload: u64 opCount | u64 qubitCount
  *            | u32 fpLen | fingerprint bytes            (collision guard)
- *            | CommStats (10 u64, field order of sched/comm.hh)
+ *            | u32 archFpLen | arch fingerprint bytes   (v2+: topology
+ *              guard, MultiSimdArch::fingerprint())
+ *            | CommStats (11 u64, field order of sched/comm.hh; v1
+ *              files carry 10 — no interCoreTeleports)
  *            | ScheduleAttempt (u8 provenance + 5 u64)
- *            | ResourceSummary (14 u64 + u64 occupancy[] + u8 saturated)
+ *            | ResourceSummary (15 u64 + u64 occupancy[] + u8
+ *              saturated; v1 files carry 14)
  *            | MakespanBounds (3 u64 + u8 saturated)
  *            | ScheduleBuffer: u32 k | u64 numSteps | u64 numSlots
  *              | slots (u32 opEnd, u32 region, u8 kind)*
@@ -36,6 +40,13 @@
  *              inside one entry (entry skipped)
  *   P005       payload opCount/qubitCount/fingerprint disagree with the
  *              entry's own key (entry skipped)
+ *   P007       (v2, warning) the stored architecture fingerprint
+ *              disagrees with the entry's key — a file saved under a
+ *              different topology (entry skipped)
+ * Version 1 files (the flat machine's historical format) still load:
+ * their entries simply carry no arch fingerprint and no inter-core
+ * counters, which is correct for one-core schedules — the only kind a
+ * v1 process could produce.
  * A fourth layer (P006) lives at rebind time in sched/coarse.cc: even an
  * internally consistent entry is refused when the requesting module's
  * op/qubit counts disagree with the stored guard fields.
@@ -61,7 +72,10 @@ namespace msq {
 extern const char cacheFileMagic[4];
 
 /** Current format version (bump on any layout change). */
-constexpr uint32_t cacheFileVersion = 1;
+constexpr uint32_t cacheFileVersion = 2;
+
+/** Oldest format version loadFrom still accepts. */
+constexpr uint32_t cacheFileMinVersion = 1;
 
 /** Byte-order canary, always written little-endian: reads back as
  * 0x01020304 iff the decoder honours the format's endianness. */
@@ -81,21 +95,28 @@ uint64_t fnv1a64(const void *data, size_t size);
 
 /** Append @p result's payload encoding (everything after the checksum)
  * to @p out. @p fingerprint is the scheduler fingerprint stored as the
- * cross-process collision guard. */
+ * cross-process collision guard; @p arch_fingerprint is the machine's
+ * MultiSimdArch::fingerprint() (the v2 topology guard). */
 void serializeLeafResult(const LeafScheduleResult &result,
                          const std::string &fingerprint,
+                         const std::string &arch_fingerprint,
                          std::vector<uint8_t> &out);
 
 /**
  * Decode one payload produced by serializeLeafResult.
  * @param fingerprint receives the stored scheduler fingerprint.
+ * @param arch_fingerprint receives the stored arch fingerprint (empty
+ *        for version-1 payloads, which predate the field).
+ * @param version the file format version the payload was written under.
  * @return the decoded result, or nullptr when the payload is truncated
  *         or violates a ScheduleBuffer/enum invariant (the caller
  *         reports P003/P004; this function never throws on bad input).
  */
 std::shared_ptr<LeafScheduleResult>
 deserializeLeafResult(const uint8_t *data, size_t size,
-                      std::string &fingerprint);
+                      std::string &fingerprint,
+                      std::string &arch_fingerprint,
+                      uint32_t version = cacheFileVersion);
 
 /// @}
 

@@ -139,7 +139,7 @@ CoarseScheduler::leafWidthResult(const Module &mod, unsigned w) const
     // the same memoization as the schedule: all are pure functions of
     // what the key captures.
     result->bounds = computeLeafBounds(mod, sub);
-    result->summary = summarizeLeafSchedule(sched, arch.eprBandwidth);
+    result->summary = summarizeLeafSchedule(sched, arch);
     result->schedule = sched.sharedBuffer();
     // Guard fields for cross-process reuse: a warm-started process can
     // only rebind this result to a module with matching counts.

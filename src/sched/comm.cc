@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "analysis/qubit_mapping.hh"
 #include "support/logging.hh"
 
 namespace msq {
@@ -79,7 +80,7 @@ CommunicationAnalyzer::annotate(LeafSchedule &sched) const
         for (uint64_t ts = 0; ts < num_steps; ++ts)
             annot.endStep();
         annot.finish();
-        stats.totalCycles = sched.totalCycles(arch.eprBandwidth);
+        stats.totalCycles = sched.totalCycles(arch);
         return stats;
     }
 
@@ -89,11 +90,29 @@ CommunicationAnalyzer::annotate(LeafSchedule &sched) const
     const auto mask_window =
         static_cast<int64_t>(MultiSimdArch::teleportCycles);
 
+    const Topology &topo = arch.topology;
+    const bool multi_core = topo.multiCore();
+    // Home banks: every qubit starts in (and is evicted back to) its
+    // home core's memory. On the flat machine every home is core 0, so
+    // this is exactly the historical "all qubits start in global
+    // memory"; the validator and comm checker recompute the same
+    // mapping independently (it is a pure function of module+topology).
+    const std::vector<unsigned> home = computeQubitMapping(mod, topo);
+    const TopologyRouter router(topo);
+    // Remaining masked inter-core teleports each link can still absorb
+    // this timestep — pre-distributed EPR pairs are a per-link, per-step
+    // resource. Refilled to the link bandwidth at every step.
+    std::vector<uint64_t> link_budget(router.numEdges(), 0);
+    std::vector<unsigned> route;
+
     UseLists uses(sched);
 
     // All qubits (including ancilla, which are generated at the global
-    // memory, §3.2) start in global memory.
+    // memory, §3.2) start in their home core's memory bank.
     std::vector<Location> loc(mod.numQubits(), Location::global());
+    if (multi_core)
+        for (size_t q = 0; q < loc.size(); ++q)
+            loc[q] = Location::inMemory(home[q]);
     std::vector<uint64_t> local_count(sched.k(), 0);
 
     // Last timestep each qubit was touched (operand or moved); a
@@ -114,6 +133,10 @@ CommunicationAnalyzer::annotate(LeafSchedule &sched) const
         bool any_blocking = false;
         bool any_local = false;
 
+        if (multi_core && topo.linkBandwidth != unbounded)
+            std::fill(link_budget.begin(), link_budget.end(),
+                      topo.linkBandwidth);
+
         // Single-pass move emission: every move is classified as it is
         // created, so the stats accumulate here instead of re-scanning
         // the step's move slot afterwards.
@@ -123,6 +146,9 @@ CommunicationAnalyzer::annotate(LeafSchedule &sched) const
                 any_local = true;
             } else {
                 ++stats.teleportMoves;
+                if (multi_core && locationCore(move.from, arch) !=
+                                      locationCore(move.to, arch))
+                    ++stats.interCoreTeleports;
                 if (move.blocking) {
                     ++stats.blockingTeleports;
                     any_blocking = true;
@@ -187,7 +213,10 @@ CommunicationAnalyzer::annotate(LeafSchedule &sched) const
                     loc[q] = move.to;
                     ++local_count[r];
                 } else {
-                    move.to = Location::global();
+                    // Evictions always target the *current* core's
+                    // bank (an intra-core teleport) — going home would
+                    // turn every eviction into link traffic.
+                    move.to = Location::inMemory(arch.coreOfRegion(r));
                     move.blocking = tight;
                     loc[q] = move.to;
                 }
@@ -212,8 +241,40 @@ CommunicationAnalyzer::annotate(LeafSchedule &sched) const
                 move.to = Location::inRegion(r);
                 if (move.isLocal()) {
                     move.blocking = false;
-                } else {
+                } else if (unsigned from_core =
+                               locationCore(move.from, arch),
+                           to_core = locationCore(move.to, arch);
+                           from_core == to_core) {
                     move.blocking = now - last_touch[q] < mask_window;
+                } else {
+                    // Inter-core masking needs the EPR pair to have
+                    // crossed every link on the route ahead of time:
+                    // the quiescence window stretches to the route's
+                    // flight time when that exceeds one teleport.
+                    unsigned hops = router.dist(from_core, to_core);
+                    auto window = std::max<int64_t>(
+                        mask_window,
+                        static_cast<int64_t>(topo.linkLatency * hops));
+                    move.blocking = now - last_touch[q] < window;
+                    if (!move.blocking &&
+                        topo.linkBandwidth != unbounded) {
+                        // Masked teleports draw from each route link's
+                        // per-step EPR budget; when any link is
+                        // exhausted the move is demoted to blocking
+                        // (deterministic emission order, M010 checks
+                        // the cap).
+                        route.clear();
+                        router.routeEdges(from_core, to_core, route);
+                        bool fits = true;
+                        for (unsigned e : route)
+                            if (link_budget[e] == 0)
+                                fits = false;
+                        if (fits)
+                            for (unsigned e : route)
+                                --link_budget[e];
+                        else
+                            move.blocking = true;
+                    }
                 }
                 if (loc[q].isLocalMem())
                     --local_count[loc[q].region];
@@ -243,7 +304,7 @@ CommunicationAnalyzer::annotate(LeafSchedule &sched) const
 
     annot.finish();
     stats.peakBlockingMovesPerStep = sched.peakBlockingMoves();
-    stats.totalCycles = sched.totalCycles(arch.eprBandwidth);
+    stats.totalCycles = sched.totalCycles(arch);
     return stats;
 }
 

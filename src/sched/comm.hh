@@ -73,6 +73,11 @@ struct CommStats
     uint64_t operandSlots = 0;
     /** Most operand qubits any one region touches in one timestep. */
     uint64_t peakRegionOccupancy = 0;
+
+    /** Teleports whose endpoints live on different cores (masked or
+     * blocking), routed over the topology's links. Always 0 on the
+     * flat one-core machine. Serialized last in .msqc v2 records. */
+    uint64_t interCoreTeleports = 0;
 };
 
 /** Derives and schedules qubit movement for leaf schedules. */

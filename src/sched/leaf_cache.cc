@@ -10,12 +10,12 @@ std::string
 leafScheduleKeySuffix(const std::string &scheduler_fingerprint,
                       const MultiSimdArch &arch, CommMode mode)
 {
-    return csprintf("%s|d=%llu|lm=%llu|epr=%llu|%s",
-                    scheduler_fingerprint.c_str(),
-                    static_cast<unsigned long long>(arch.d),
-                    static_cast<unsigned long long>(arch.localMemCapacity),
-                    static_cast<unsigned long long>(arch.eprBandwidth),
-                    commModeName(mode));
+    // MultiSimdArch::fingerprint() is the single source of truth for
+    // the architecture part: byte-identical to the historical
+    // "d=..|lm=..|epr=.." suffix on the flat machine, extended with the
+    // topology fragment on multi-core machines.
+    return csprintf("%s|%s|%s", scheduler_fingerprint.c_str(),
+                    arch.fingerprint().c_str(), commModeName(mode));
 }
 
 std::string

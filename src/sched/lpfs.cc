@@ -1,5 +1,7 @@
 #include "sched/lpfs.hh"
 
+#include "sched/core_affinity.hh"
+
 #include <algorithm>
 #include <deque>
 
@@ -401,7 +403,7 @@ LpfsScheduler::schedule(const Module &mod, const MultiSimdArch &arch) const
         builder.endStep();
     }
 
-    return builder.finish();
+    return applyCoreAffinity(builder.finish(), arch);
 }
 
 } // namespace msq

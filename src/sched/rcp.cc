@@ -1,5 +1,7 @@
 #include "sched/rcp.hh"
 
+#include "sched/core_affinity.hh"
+
 #include <algorithm>
 #include <array>
 #include <cstddef>
@@ -219,7 +221,7 @@ RcpScheduler::schedule(const Module &mod, const MultiSimdArch &arch) const
         builder.endStep();
     }
 
-    return builder.finish();
+    return applyCoreAffinity(builder.finish(), arch);
 }
 
 } // namespace msq

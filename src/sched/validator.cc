@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "analysis/qubit_mapping.hh"
 #include "ir/dag.hh"
 #include "support/logging.hh"
 #include "support/strings.hh"
@@ -163,8 +164,16 @@ validateLeafSchedule(const LeafSchedule &sched, const MultiSimdArch &arch,
     if (!moves_annotated)
         return out.numErrors() == errors_before;
 
-    // Invariant 6: movement consistency.
+    // Invariant 6: movement consistency. Initial residency is each
+    // qubit's home core bank — the identical pure mapping the
+    // communication analyzer used (all core 0 on the flat machine).
     std::vector<Location> loc(mod.numQubits(), Location::global());
+    if (arch.topology.multiCore()) {
+        const std::vector<unsigned> home =
+            computeQubitMapping(mod, arch.topology);
+        for (size_t q = 0; q < loc.size(); ++q)
+            loc[q] = Location::inMemory(home[q]);
+    }
     std::vector<uint64_t> local_count(arch.k, 0);
     for (ScheduleWalker walker(sched); !walker.atEnd(); walker.next()) {
         const uint64_t ts = walker.index();

@@ -70,6 +70,8 @@ constexpr CodeInfo codeTable[] = {
     {"M006", Severity::Error},   // CommMoveSourceMismatch
     {"M007", Severity::Error},   // CommOperandNotResident
     {"M008", Severity::Warning}, // CommRedundantMove
+    {"M009", Severity::Error},   // CommCoreOutOfRange
+    {"M010", Severity::Error},   // CommLinkOvercap
     // Makespan lower-bound checker.
     {"B001", Severity::Error},   // BoundBelowCriticalPath
     {"B002", Severity::Error},   // BoundBelowResource
@@ -92,6 +94,13 @@ constexpr CodeInfo codeTable[] = {
     {"P004", Severity::Warning}, // CacheEntryCorrupt
     {"P005", Severity::Warning}, // CacheEntryKeyMismatch
     {"P006", Severity::Warning}, // CacheRebindRejected
+    {"P007", Severity::Warning}, // CacheTopologyMismatch
+    // Architecture/topology construction validation.
+    {"A001", Severity::Error},   // ArchNoCores
+    {"A002", Severity::Error},   // ArchZeroLinkBandwidth
+    {"A003", Severity::Error},   // ArchDisconnectedTopology
+    {"A004", Severity::Error},   // ArchSelfLoopLink
+    {"A005", Severity::Error},   // ArchNoRegionSplit
 };
 
 static_assert(sizeof(codeTable) / sizeof(codeTable[0]) ==

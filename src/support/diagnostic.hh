@@ -90,6 +90,9 @@ enum class DiagCode : uint16_t {
     CommMoveSourceMismatch, ///< M006 move source != replayed location
     CommOperandNotResident, ///< M007 operand absent from its gate's region
     CommRedundantMove,      ///< M008 move to the current location (warning)
+    CommCoreOutOfRange,     ///< M009 memory endpoint on a nonexistent core
+    CommLinkOvercap,        ///< M010 masked inter-core teleports on one
+                            ///<      link in one step exceed link bandwidth
 
     // B***: makespan lower-bound checker (verify/bound_checker). A
     // schedule shorter than a sound lower bound is an internal
@@ -126,6 +129,19 @@ enum class DiagCode : uint16_t {
                            ///<      with the entry's own key
     CacheRebindRejected,  ///< P006 cached result refused at rebind time
                           ///<      (module op/qubit counts disagree)
+    CacheTopologyMismatch, ///< P007 entry's stored architecture
+                           ///<      fingerprint disagrees with its key
+                           ///<      (schedule compiled for another machine)
+
+    // A***: architecture/topology construction validation
+    // (arch/topology.cc). A rejected topology is user input, not an
+    // internal bug: construction-time callers run in Fatal mode, the
+    // CLI turns them into exit code 2.
+    ArchNoCores,             ///< A001 topology with zero cores
+    ArchZeroLinkBandwidth,   ///< A002 inter-core link bandwidth of 0
+    ArchDisconnectedTopology, ///< A003 link graph does not reach all cores
+    ArchSelfLoopLink,        ///< A004 link from a core to itself
+    ArchNoRegionSplit,       ///< A005 multi-core without regionsPerCore
 
     NumCodes,
 };

@@ -1,8 +1,10 @@
 #include "verify/comm_checker.hh"
 
+#include <algorithm>
 #include <unordered_map>
 #include <vector>
 
+#include "analysis/qubit_mapping.hh"
 #include "support/strings.hh"
 
 namespace msq {
@@ -47,7 +49,22 @@ checkCommSchedule(const LeafSchedule &sched, const MultiSimdArch &arch,
         }
     }
 
+    const Topology &topo = arch.topology;
+    const bool multi_core = topo.multiCore();
+    const TopologyRouter router(topo);
+    // Masked inter-core teleports crossing each link this timestep —
+    // checked against the link bandwidth at end of step (M010).
+    std::vector<uint64_t> link_load(router.numEdges(), 0);
+    std::vector<unsigned> route;
+
     std::vector<Location> loc(num_qubits, Location::global());
+    if (multi_core) {
+        // The same pure home mapping the analyzer started from.
+        const std::vector<unsigned> home =
+            computeQubitMapping(mod, topo);
+        for (size_t q = 0; q < loc.size(); ++q)
+            loc[q] = Location::inMemory(home[q]);
+    }
     std::vector<uint64_t> local_count(sched.k(), 0);
 
     for (ScheduleWalker walker(sched); !walker.atEnd(); walker.next()) {
@@ -80,6 +97,38 @@ checkCommSchedule(const LeafSchedule &sched, const MultiSimdArch &arch,
                     ++stats->teleports;
                     if (!move.blocking)
                         ++stats->maskedTeleports;
+                }
+            }
+
+            // M009: memory-bank endpoints must name an existing core.
+            bool endpoint_bad = false;
+            for (const Location *end : {&move.from, &move.to}) {
+                if (end->isGlobal() && end->region >= topo.cores) {
+                    diags.error(
+                        DiagCode::CommCoreOutOfRange,
+                        csprintf("step %zu: move of qubit %s names "
+                                 "memory bank of core %u, topology has "
+                                 "%u cores",
+                                 ts, qubitLabel(mod, q).c_str(),
+                                 end->region, topo.cores),
+                        ctx);
+                    endpoint_bad = true;
+                }
+            }
+
+            if (multi_core && !endpoint_bad && !move.isLocal()) {
+                unsigned from_core = locationCore(move.from, arch);
+                unsigned to_core = locationCore(move.to, arch);
+                if (from_core != to_core) {
+                    if (stats)
+                        ++stats->interCoreTeleports;
+                    if (!move.blocking &&
+                        topo.linkBandwidth != unbounded) {
+                        route.clear();
+                        router.routeEdges(from_core, to_core, route);
+                        for (unsigned e : route)
+                            ++link_load[e];
+                    }
                 }
             }
 
@@ -182,6 +231,27 @@ checkCommSchedule(const LeafSchedule &sched, const MultiSimdArch &arch,
                         ctx);
                 }
             }
+        }
+
+        // M010: per-link masked-teleport budget. The analyzer must
+        // demote excess masked inter-core traffic to blocking; a link
+        // carrying more masked teleports than its bandwidth in one
+        // step has been over-subscribed.
+        if (multi_core && topo.linkBandwidth != unbounded) {
+            for (size_t e = 0; e < link_load.size(); ++e) {
+                if (link_load[e] > topo.linkBandwidth) {
+                    auto [a, b] = router.edges()[e];
+                    diags.error(
+                        DiagCode::CommLinkOvercap,
+                        csprintf("step %zu: link %u-%u carries %llu "
+                                 "masked teleports, bandwidth %llu",
+                                 ts, a, b,
+                                 (unsigned long long)link_load[e],
+                                 (unsigned long long)topo.linkBandwidth),
+                        ctx);
+                }
+            }
+            std::fill(link_load.begin(), link_load.end(), 0);
         }
 
         // Post-movement residency: every operand sits in its gate's

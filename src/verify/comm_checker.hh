@@ -27,7 +27,16 @@
  *  - M007 an operand is not resident in its gate's region after the
  *         movement phase;
  *  - M008 (warning) a move whose destination equals its current
- *         location (pure overhead).
+ *         location (pure overhead);
+ *  - M009 a move endpoint names a memory bank of a core the topology
+ *         does not have;
+ *  - M010 the masked inter-core teleports crossing one link in one
+ *         timestep exceed the link's EPR bandwidth (the analyzer must
+ *         demote the excess to blocking, not over-subscribe the link).
+ *
+ * On a multi-core topology the replay starts every qubit in its home
+ * core's memory bank, recomputing the identical pure qubit mapping the
+ * analyzer used (analysis/qubit_mapping.hh).
  */
 
 #ifndef MSQ_VERIFY_COMM_CHECKER_HH
@@ -50,11 +59,12 @@ struct CommCheckStats
     uint64_t localMoves = 0;      ///< region<->scratchpad moves
     uint64_t maskedTeleports = 0; ///< non-blocking global moves
     uint64_t deadMoves = 0;       ///< moves of dead qubits (any kind)
+    uint64_t interCoreTeleports = 0; ///< teleports crossing cores
 };
 
 /**
  * Replay @p sched's movement plan against @p arch and report every
- * violated communication invariant to @p diags (codes M001-M008).
+ * violated communication invariant to @p diags (codes M001-M010).
  *
  * @return true when the replay added no Error-severity diagnostics
  * (M005/M008 warnings alone keep the schedule passing).

@@ -50,7 +50,7 @@ makeLeafSummaryFn(const MultiSimdArch &arch,
         auto result = std::make_shared<LeafScheduleResult>();
         result->stats = comm.annotate(sched);
         result->bounds = computeLeafBounds(mod, arch);
-        result->summary = summarizeLeafSchedule(sched, arch.eprBandwidth);
+        result->summary = summarizeLeafSchedule(sched, arch);
         result->schedule = sched.sharedBuffer();
         return cache->insert(key, std::move(result))->summary;
     };
@@ -207,6 +207,7 @@ struct UnrolledWalk
             sum.commCycles += leaf.commCycles;
             sum.teleportMoves += leaf.teleportMoves;
             sum.blockingTeleports += leaf.blockingTeleports;
+            sum.interCoreTeleports += leaf.interCoreTeleports;
             sum.localMoves += leaf.localMoves;
             sum.stepsWithBlockingMove += leaf.stepsWithBlockingMove;
             sum.stepsWithOnlyLocalMoves += leaf.stepsWithOnlyLocalMoves;
@@ -279,14 +280,16 @@ checkEstimateExactness(const Program &prog, const MultiSimdArch &arch,
         LeafSchedule sched = scheduler.schedule(mod, arch);
         CommunicationAnalyzer comm(arch, mode);
         CommStats ground = comm.annotate(sched);
-        ResourceSummary fold =
-            summarizeLeafSchedule(sched, arch.eprBandwidth);
+        ResourceSummary fold = summarizeLeafSchedule(sched, arch);
         checkLeafField(diags, mod, "totalCycles/serialCycles",
                        fold.serialCycles, ground.totalCycles);
         checkLeafField(diags, mod, "teleportMoves", fold.teleportMoves,
                        ground.teleportMoves);
         checkLeafField(diags, mod, "blockingTeleports",
                        fold.blockingTeleports, ground.blockingTeleports);
+        checkLeafField(diags, mod, "interCoreTeleports",
+                       fold.interCoreTeleports,
+                       ground.interCoreTeleports);
         checkLeafField(diags, mod, "localMoves", fold.localMoves,
                        ground.localMoves);
         checkLeafField(diags, mod, "stepsWithBlockingMove",
@@ -354,6 +357,9 @@ checkEstimateExactness(const Program &prog, const MultiSimdArch &arch,
                           est.program.commCycles, p.commCycles);
         checkProgramField(diags, code, src, "teleportMoves",
                           est.program.teleportMoves, p.teleportMoves);
+        checkProgramField(diags, code, src, "interCoreTeleports",
+                          est.program.interCoreTeleports,
+                          p.interCoreTeleports);
         checkProgramField(diags, code, src, "localMoves",
                           est.program.localMoves, p.localMoves);
         checkProgramField(diags, code, src, "operandTouches",
@@ -424,6 +430,10 @@ checkEstimateExactness(const Program &prog, const MultiSimdArch &arch,
             weighted.blockingTeleports =
                 satAdd(weighted.blockingTeleports,
                        satMul(inv, local.blockingTeleports, wsat), wsat);
+            weighted.interCoreTeleports =
+                satAdd(weighted.interCoreTeleports,
+                       satMul(inv, local.interCoreTeleports, wsat),
+                       wsat);
             weighted.localMoves =
                 satAdd(weighted.localMoves,
                        satMul(inv, local.localMoves, wsat), wsat);
@@ -477,6 +487,9 @@ checkEstimateExactness(const Program &prog, const MultiSimdArch &arch,
             checkProgramField(diags, code, src, "blockingTeleports",
                               p.blockingTeleports,
                               weighted.blockingTeleports);
+            checkProgramField(diags, code, src, "interCoreTeleports",
+                              p.interCoreTeleports,
+                              weighted.interCoreTeleports);
             checkProgramField(diags, code, src, "localMoves",
                               p.localMoves, weighted.localMoves);
             checkProgramField(diags, code, src, "stepsWithBlockingMove",
@@ -553,6 +566,9 @@ checkEstimateExactness(const Program &prog, const MultiSimdArch &arch,
             checkProgramField(diags, code, src, "blockingTeleports",
                               p.blockingTeleports,
                               walk.sum.blockingTeleports);
+            checkProgramField(diags, code, src, "interCoreTeleports",
+                              p.interCoreTeleports,
+                              walk.sum.interCoreTeleports);
             checkProgramField(diags, code, src, "localMoves",
                               p.localMoves, walk.sum.localMoves);
             checkProgramField(diags, code, src, "stepsWithBlockingMove",

@@ -73,12 +73,16 @@ TEST(CommMode, Names)
                  "global+local");
 }
 
-TEST(Location, EqualityIgnoresRegionForGlobal)
+TEST(Location, EqualityComparesMemoryBankCore)
 {
-    Location g1 = Location::global();
-    Location g2 = Location::global();
-    g2.region = 7; // irrelevant
-    EXPECT_EQ(g1, g2);
+    // Global-memory locations carry the core index of the bank they
+    // denote (DESIGN.md §16): same bank compares equal, different banks
+    // differ. On the flat machine only bank 0 is ever constructed, so
+    // this refinement changes nothing there.
+    EXPECT_EQ(Location::global(), Location::global());
+    EXPECT_EQ(Location::global(), Location::inMemory(0));
+    EXPECT_NE(Location::inMemory(0), Location::inMemory(7));
+    EXPECT_EQ(Location::inMemory(3), Location::inMemory(3));
     EXPECT_NE(Location::inRegion(1), Location::inRegion(2));
     EXPECT_NE(Location::inRegion(1), Location::inLocalMem(1));
     EXPECT_EQ(Location::inLocalMem(3), Location::inLocalMem(3));
@@ -87,6 +91,8 @@ TEST(Location, EqualityIgnoresRegionForGlobal)
 TEST(Location, Describe)
 {
     EXPECT_EQ(Location::global().describe(), "mem");
+    EXPECT_EQ(Location::inMemory(0).describe(), "mem");
+    EXPECT_EQ(Location::inMemory(2).describe(), "mem2");
     EXPECT_EQ(Location::inRegion(2).describe(), "r2");
     EXPECT_EQ(Location::inLocalMem(2).describe(), "r2.local");
 }

@@ -123,8 +123,10 @@ expectResultsEqual(const LeafScheduleResult &a,
     EXPECT_EQ(a.stats.peakRegionOccupancy, b.stats.peakRegionOccupancy);
     EXPECT_EQ(a.attempt.provenance, b.attempt.provenance);
     EXPECT_EQ(a.attempt.nodesExpanded, b.attempt.nodesExpanded);
+    EXPECT_EQ(a.stats.interCoreTeleports, b.stats.interCoreTeleports);
     EXPECT_EQ(a.summary.gateOps, b.summary.gateOps);
     EXPECT_EQ(a.summary.serialCycles, b.summary.serialCycles);
+    EXPECT_EQ(a.summary.interCoreTeleports, b.summary.interCoreTeleports);
     EXPECT_EQ(a.summary.occupancy, b.summary.occupancy);
     EXPECT_EQ(a.summary.saturated, b.summary.saturated);
     EXPECT_EQ(a.bounds.criticalPath, b.bounds.criticalPath);
@@ -139,13 +141,15 @@ std::shared_ptr<LeafScheduleResult>
 roundTrip(const LeafScheduleResult &result)
 {
     std::vector<uint8_t> bytes;
-    serializeLeafResult(result, "lpfs", bytes);
+    serializeLeafResult(result, "lpfs", "d=0|lm=0|epr=0", bytes);
     std::string fingerprint;
-    auto decoded =
-        deserializeLeafResult(bytes.data(), bytes.size(), fingerprint);
+    std::string archFp;
+    auto decoded = deserializeLeafResult(bytes.data(), bytes.size(),
+                                         fingerprint, archFp);
     EXPECT_NE(decoded, nullptr);
     if (decoded) {
         EXPECT_EQ(fingerprint, "lpfs");
+        EXPECT_EQ(archFp, "d=0|lm=0|epr=0");
         expectResultsEqual(result, *decoded);
     }
     return decoded;
@@ -259,13 +263,14 @@ TEST(CacheIo, ByteIdenticalReserialization)
                                  i % 2 ? CommMode::Global
                                        : CommMode::None);
         std::vector<uint8_t> first;
-        serializeLeafResult(*result, "lpfs", first);
+        serializeLeafResult(*result, "lpfs", "d=0|lm=0|epr=0", first);
         std::string fingerprint;
+        std::string archFp;
         auto decoded = deserializeLeafResult(first.data(), first.size(),
-                                             fingerprint);
+                                             fingerprint, archFp);
         ASSERT_NE(decoded, nullptr);
         std::vector<uint8_t> second;
-        serializeLeafResult(*decoded, fingerprint, second);
+        serializeLeafResult(*decoded, fingerprint, archFp, second);
         EXPECT_EQ(first, second) << "iteration " << i;
     }
 }
@@ -276,11 +281,13 @@ TEST(CacheIo, TruncatedPayloadRejectedNotCrash)
     Module mod = randomLeaf(rng, 6, 30);
     auto result = makeResult(mod, 4, CommMode::Global);
     std::vector<uint8_t> bytes;
-    serializeLeafResult(*result, "lpfs", bytes);
+    serializeLeafResult(*result, "lpfs", "d=0|lm=0|epr=0", bytes);
     // Every proper prefix must decode to nullptr, never crash.
     for (size_t len = 0; len < bytes.size(); ++len) {
         std::string fingerprint;
-        EXPECT_EQ(deserializeLeafResult(bytes.data(), len, fingerprint),
+        std::string archFp;
+        EXPECT_EQ(deserializeLeafResult(bytes.data(), len, fingerprint,
+                                        archFp),
                   nullptr)
             << "prefix " << len;
     }
@@ -633,6 +640,187 @@ TEST(RebindGuard, MismatchedEntryEvictedAndRecomputed)
         EXPECT_EQ(healedEntries[i].second->stats.totalCycles,
                   cleanEntries[i].second->stats.totalCycles);
     }
+}
+
+// ---------------------------------------------------------------------
+// .msqc v2: topology-fingerprint guard (P007), inter-core counter
+// round-trips, and v1 back-compat (old flat-machine files still load).
+// ---------------------------------------------------------------------
+
+void
+pushLe32(std::vector<uint8_t> &out, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void
+pushLe64(std::vector<uint8_t> &out, uint64_t v)
+{
+    pushLe32(out, static_cast<uint32_t>(v));
+    pushLe32(out, static_cast<uint32_t>(v >> 32));
+}
+
+uint32_t
+le32At(const std::vector<uint8_t> &bytes, size_t pos)
+{
+    return static_cast<uint32_t>(bytes[pos]) |
+           (static_cast<uint32_t>(bytes[pos + 1]) << 8) |
+           (static_cast<uint32_t>(bytes[pos + 2]) << 16) |
+           (static_cast<uint32_t>(bytes[pos + 3]) << 24);
+}
+
+/** One-entry cache file assembled by hand (forged header fields). */
+std::vector<uint8_t>
+buildCacheFile(uint32_t version, const std::string &key,
+               const std::vector<uint8_t> &payload)
+{
+    std::vector<uint8_t> file(cacheFileMagic, cacheFileMagic + 4);
+    pushLe32(file, version);
+    pushLe32(file, cacheFileEndianTag);
+    pushLe64(file, 1);
+    pushLe32(file, static_cast<uint32_t>(key.size()));
+    file.insert(file.end(), key.begin(), key.end());
+    pushLe64(file, payload.size());
+    pushLe64(file, fnv1a64(payload.data(), payload.size()));
+    file.insert(file.end(), payload.begin(), payload.end());
+    return file;
+}
+
+/**
+ * Convert a v2 payload (serialized with an empty arch fingerprint) to
+ * the version-1 layout by dropping the three fields v2 added: the
+ * archFpLen u32 and the two trailing interCoreTeleports u64s of
+ * CommStats and ResourceSummary (the field offsets follow the layout
+ * table in cache_io.hh).
+ */
+std::vector<uint8_t>
+stripToV1Payload(const std::vector<uint8_t> &v2)
+{
+    uint32_t fpLen = le32At(v2, 16); // after opCount/qubitCount u64s
+    size_t archFpPos = 20 + fpLen;
+    size_t csInterPos = archFpPos + 4 + 10 * 8;
+    size_t attemptBytes = 1 + 5 * 8;
+    size_t rsInterPos = csInterPos + 8 + attemptBytes + 14 * 8;
+    std::vector<uint8_t> v1;
+    v1.insert(v1.end(), v2.begin(), v2.begin() + archFpPos);
+    v1.insert(v1.end(), v2.begin() + archFpPos + 4,
+              v2.begin() + csInterPos);
+    v1.insert(v1.end(), v2.begin() + csInterPos + 8,
+              v2.begin() + rsInterPos);
+    v1.insert(v1.end(), v2.begin() + rsInterPos + 8, v2.end());
+    return v1;
+}
+
+TEST(CacheIoV2, InterCoreCountersRoundTrip)
+{
+    Rng rng(21);
+    Module mod = randomLeaf(rng, 6, 30);
+    auto result = makeResult(mod, 4, CommMode::Global);
+    result->stats.interCoreTeleports = 7;
+    result->summary.interCoreTeleports = 5;
+    roundTrip(*result);
+}
+
+TEST(CacheIoV2, MultiCoreKeySuffixRoundTrip)
+{
+    MultiSimdArch arch;
+    std::string error;
+    ASSERT_TRUE(parseTopologySpec(
+        "cores=4,k=1,shape=ring,link-bw=1,link-lat=3", arch, error))
+        << error;
+    const std::string suffix = leafScheduleKeySuffix(
+        LpfsScheduler().fingerprint(), arch, CommMode::Global);
+    EXPECT_NE(suffix.find("topo=ring:4x1"), std::string::npos);
+
+    LeafScheduleCache cache;
+    populate(cache, suffix);
+    const std::string path = tempPath("cache_multicore.msqc");
+    DiagnosticEngine diags;
+    ASSERT_EQ(cache.saveTo(path, &diags), 2u);
+
+    // The stored arch fingerprint agrees with the key, so the entries
+    // load cleanly — no P007.
+    LeafScheduleCache loaded;
+    EXPECT_EQ(loaded.loadFrom(path, &diags), 2u);
+    EXPECT_EQ(diags.numWarnings(), 0u);
+    EXPECT_FALSE(diags.has(DiagCode::CacheTopologyMismatch));
+    auto original = cache.snapshotEntries();
+    auto reloaded = loaded.snapshotEntries();
+    ASSERT_EQ(original.size(), reloaded.size());
+    for (size_t i = 0; i < original.size(); ++i) {
+        EXPECT_EQ(original[i].first, reloaded[i].first);
+        expectResultsEqual(*original[i].second, *reloaded[i].second);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(CacheIoV2, TopologyMismatchReportsP007)
+{
+    // Payload claims it was scheduled for a ring topology; the key it
+    // is filed under is a flat-machine key. The entry must be skipped
+    // with a P007 diagnostic, not rebound to the wrong machine.
+    MultiSimdArch arch(4);
+    const std::string fp = LpfsScheduler().fingerprint();
+    const std::string suffix =
+        leafScheduleKeySuffix(fp, arch, CommMode::Global);
+    Rng rng(9);
+    Module mod = randomLeaf(rng, 5, 25);
+    auto result = makeResult(mod, 4, CommMode::Global);
+
+    std::vector<uint8_t> payload;
+    serializeLeafResult(*result, fp,
+                        "topo=ring:9x9|lbw=1|llat=3|map=greedy",
+                        payload);
+    std::vector<uint8_t> file = buildCacheFile(
+        cacheFileVersion, leafScheduleKey(mod, 4, suffix), payload);
+
+    const std::string path = tempPath("cache_p007.msqc");
+    std::ofstream(path, std::ios::binary)
+        .write(reinterpret_cast<const char *>(file.data()),
+               static_cast<std::streamsize>(file.size()));
+    LeafScheduleCache loaded;
+    DiagnosticEngine diags;
+    EXPECT_EQ(loaded.loadFrom(path, &diags), 0u);
+    EXPECT_TRUE(diags.has(DiagCode::CacheTopologyMismatch));
+    EXPECT_EQ(loaded.size(), 0u);
+    std::remove(path.c_str());
+}
+
+TEST(CacheIoV2, VersionOneFileStillLoads)
+{
+    // A v1 file is byte-for-byte what the pre-topology code wrote: no
+    // arch fingerprint, 10-field CommStats, 14-field ResourceSummary.
+    MultiSimdArch arch(4);
+    const std::string fp = LpfsScheduler().fingerprint();
+    const std::string suffix =
+        leafScheduleKeySuffix(fp, arch, CommMode::Global);
+    Rng rng(13);
+    Module mod = randomLeaf(rng, 6, 30);
+    auto result = makeResult(mod, 4, CommMode::Global);
+    result->stats.interCoreTeleports = 0;
+
+    std::vector<uint8_t> v2payload;
+    serializeLeafResult(*result, fp, "", v2payload);
+    std::vector<uint8_t> v1payload = stripToV1Payload(v2payload);
+    ASSERT_EQ(v1payload.size(), v2payload.size() - 4 - 8 - 8);
+    std::vector<uint8_t> file = buildCacheFile(
+        1, leafScheduleKey(mod, 4, suffix), v1payload);
+
+    const std::string path = tempPath("cache_v1.msqc");
+    std::ofstream(path, std::ios::binary)
+        .write(reinterpret_cast<const char *>(file.data()),
+               static_cast<std::streamsize>(file.size()));
+    LeafScheduleCache loaded;
+    DiagnosticEngine diags;
+    EXPECT_EQ(loaded.loadFrom(path, &diags), 1u);
+    EXPECT_EQ(diags.numWarnings(), 0u);
+    auto entries = loaded.snapshotEntries();
+    ASSERT_EQ(entries.size(), 1u);
+    expectResultsEqual(*result, *entries[0].second);
+    EXPECT_EQ(entries[0].second->stats.interCoreTeleports, 0u);
+    EXPECT_EQ(entries[0].second->summary.interCoreTeleports, 0u);
+    std::remove(path.c_str());
 }
 
 TEST(RebindGuard, LegacyZeroCountFixturesStillRebind)

@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "arch/multi_simd.hh"
 #include "sched/comm.hh"
 #include "sched/lpfs.hh"
 #include "sched/rcp.hh"
@@ -270,6 +273,66 @@ TEST(CommChecker, M008RedundantMoveIsWarningOnly)
     EXPECT_TRUE(hasCode(diags, DiagCode::CommRedundantMove));
 }
 
+TEST(CommChecker, M009MemoryBankCoreOutOfRange)
+{
+    MultiSimdArch arch;
+    std::string error;
+    ASSERT_TRUE(parseTopologySpec("cores=2,k=1", arch, error)) << error;
+
+    Module mod = chainModule();
+    LeafSchedule sched =
+        TestScheduleBuilder(mod, 2).step({{0, 0}}).step({{0, 1}}).take();
+    sched.appendMove(
+        0, makeMove(0, Location::global(), Location::inRegion(0), false));
+    // Evict q to the memory bank of core 5; the machine has 2 cores.
+    sched.appendEmptyStep();
+    sched.appendMove(
+        2, makeMove(0, Location::inRegion(0), Location::inMemory(5)));
+
+    DiagnosticEngine diags;
+    EXPECT_FALSE(checkCommSchedule(sched, arch, diags));
+    EXPECT_TRUE(hasCode(diags, DiagCode::CommCoreOutOfRange));
+}
+
+TEST(CommChecker, M010LinkOversubscribedByMaskedTeleports)
+{
+    // Two masked teleports cross the single 0-1 link in one step under
+    // link-bw=1: the analyzer would have demoted one to blocking, so a
+    // plan that keeps both masked is cheating the cost model.
+    MultiSimdArch arch;
+    std::string error;
+    ASSERT_TRUE(parseTopologySpec("cores=2,k=1,link-bw=1,map=roundrobin",
+                                  arch, error))
+        << error;
+
+    Module mod("m");
+    QubitId a = mod.addLocal("a");
+    QubitId b = mod.addLocal("b");
+    mod.addGate(GateKind::H, {a});
+    mod.addGate(GateKind::H, {b});
+    // a homes on core 0 and computes on core 1; b the reverse.
+    LeafSchedule sched =
+        TestScheduleBuilder(mod, 2).step({{0, 1}, {1, 0}}).take();
+    sched.appendMove(
+        0, makeMove(a, Location::inMemory(0), Location::inRegion(1), false));
+    sched.appendMove(
+        0, makeMove(b, Location::inMemory(1), Location::inRegion(0), false));
+
+    DiagnosticEngine diags;
+    CommCheckStats stats;
+    EXPECT_FALSE(checkCommSchedule(sched, arch, diags, &stats));
+    EXPECT_TRUE(hasCode(diags, DiagCode::CommLinkOvercap));
+    EXPECT_EQ(stats.interCoreTeleports, 2u);
+
+    // The identical plan is legal once the link is wide enough.
+    MultiSimdArch wide;
+    ASSERT_TRUE(parseTopologySpec("cores=2,k=1,link-bw=2,map=roundrobin",
+                                  wide, error))
+        << error;
+    DiagnosticEngine clean;
+    EXPECT_TRUE(checkCommSchedule(sched, wide, clean));
+}
+
 /** A denser module exercising cross-region reuse and parking. */
 Module
 reuseModule()
@@ -300,6 +363,38 @@ TEST(CommChecker, RealSchedulersPassUnderAllModes)
             CommunicationAnalyzer(arch, mode).annotate(sched);
             DiagnosticEngine diags;
             EXPECT_TRUE(checkCommSchedule(sched, arch, diags))
+                << "RCP mode " << static_cast<int>(mode);
+            EXPECT_EQ(diags.numErrors(), 0u);
+        }
+        {
+            LpfsScheduler lpfs;
+            LeafSchedule sched = lpfs.schedule(mod, arch);
+            CommunicationAnalyzer(arch, mode).annotate(sched);
+            DiagnosticEngine diags;
+            EXPECT_TRUE(checkCommSchedule(sched, arch, diags))
+                << "LPFS mode " << static_cast<int>(mode);
+            EXPECT_EQ(diags.numErrors(), 0u);
+        }
+    }
+}
+
+TEST(CommChecker, MultiCoreAnalyzerOutputReplaysClean)
+{
+    Module mod = reuseModule();
+    MultiSimdArch arch;
+    std::string error;
+    ASSERT_TRUE(parseTopologySpec(
+        "cores=2,k=2,d=4,local-mem=2,link-bw=2,link-lat=3", arch,
+        error))
+        << error;
+    for (CommMode mode : {CommMode::Global, CommMode::GlobalWithLocalMem}) {
+        {
+            RcpScheduler rcp;
+            LeafSchedule sched = rcp.schedule(mod, arch);
+            CommunicationAnalyzer(arch, mode).annotate(sched);
+            DiagnosticEngine diags;
+            CommCheckStats stats;
+            EXPECT_TRUE(checkCommSchedule(sched, arch, diags, &stats))
                 << "RCP mode " << static_cast<int>(mode);
             EXPECT_EQ(diags.numErrors(), 0u);
         }

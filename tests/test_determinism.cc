@@ -62,6 +62,7 @@ expectSameSchedule(const ProgramSchedule &a, const ProgramSchedule &b,
         EXPECT_EQ(ma.comm.operandSlots, mb.comm.operandSlots);
         EXPECT_EQ(ma.comm.peakRegionOccupancy,
                   mb.comm.peakRegionOccupancy);
+        EXPECT_EQ(ma.comm.interCoreTeleports, mb.comm.interCoreTeleports);
         EXPECT_EQ(ma.comm.totalCycles, mb.comm.totalCycles);
     }
 }
@@ -118,6 +119,61 @@ TEST(Determinism, ThreadCountAndCacheInvariance)
                 } else {
                     EXPECT_EQ(other.leafCacheMisses, 0u) << context;
                 }
+            }
+        }
+    }
+}
+
+/**
+ * The §9 contract holds unchanged on a multi-core topology: qubit
+ * mapping, link routing and inter-core teleport accounting are pure
+ * deterministic functions, so a 4-core machine schedules bit-identically
+ * for every thread count and for memoization on vs off.
+ */
+TEST(Determinism, MultiCoreTopologyInvariance)
+{
+    auto run = [](const char *workload, SchedulerKind kind,
+                  unsigned threads, bool cache) {
+        auto spec = workloads::findWorkload(workloads::scaledParams(),
+                                            workload);
+        Program prog = spec.build();
+        ToolflowConfig config;
+        config.scheduler = kind;
+        std::string error;
+        EXPECT_TRUE(parseTopologySpec(
+            "cores=4,k=1,shape=ring,link-bw=2,link-lat=3", config.arch,
+            error))
+            << error;
+        config.commMode = CommMode::Global;
+        config.rotations = Toolflow::rotationPresetFor(workload);
+        config.numThreads = threads;
+        config.leafCache = cache;
+        return Toolflow(config).run(prog);
+    };
+    for (const char *workload : {"grovers", "tfp"}) {
+        for (SchedulerKind kind :
+             {SchedulerKind::Rcp, SchedulerKind::Lpfs}) {
+            ToolflowResult baseline = run(workload, kind, 1, false);
+            struct Config
+            {
+                unsigned threads;
+                bool cache;
+            };
+            for (Config config : {Config{2, false}, Config{8, false},
+                                  Config{1, true}, Config{2, true},
+                                  Config{8, true}}) {
+                ToolflowResult other = run(workload, kind,
+                                           config.threads, config.cache);
+                std::string context =
+                    std::string("4-core ") + workload + "/" +
+                    schedulerKindName(kind) + " threads=" +
+                    std::to_string(config.threads) +
+                    (config.cache ? " cache" : "");
+                EXPECT_EQ(baseline.scheduledCycles,
+                          other.scheduledCycles)
+                    << context;
+                expectSameSchedule(baseline.schedule, other.schedule,
+                                   context);
             }
         }
     }

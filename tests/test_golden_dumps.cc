@@ -94,7 +94,10 @@ dumpWorkload(const Program &prog, const LeafScheduler &scheduler,
            << " teleports=" << stats.teleportMoves
            << " blocking=" << stats.blockingTeleports
            << " local=" << stats.localMoves
-           << " peak=" << stats.peakBlockingMovesPerStep << "\n";
+           << " peak=" << stats.peakBlockingMovesPerStep;
+        if (arch.topology.multiCore())
+            os << " intercore=" << stats.interCoreTeleports;
+        os << "\n";
         TimelinePrintOptions options;
         options.maxSteps = maxSteps;
         options.showMoves = true;
@@ -179,6 +182,56 @@ TEST_P(GoldenDumps, LpfsLocalMem)
     checkGolden(std::string(GetParam()) + "_lpfs_k4_local",
                 dumpWorkload(prog, lpfs, MultiSimdArch(4, unbounded, 2),
                              CommMode::GlobalWithLocalMem));
+}
+
+/**
+ * Multi-core equivalence fixtures (DESIGN.md §16): one workload dumped
+ * on a ring, a mesh and an all-to-all 4-core machine. These lock down
+ * the qubit mapping, the link routing and the inter-core teleport
+ * accounting the same way the flat fixtures lock down the schedule
+ * semantics.
+ */
+TEST(GoldenDumpsMultiCore, ShapesLockMappingAndRouting)
+{
+    struct Fixture
+    {
+        const char *name;
+        const char *spec;
+    };
+    const Fixture fixtures[] = {
+        {"grovers_lpfs_ring4",
+         "cores=4,k=1,shape=ring,link-bw=1,link-lat=3"},
+        {"grovers_lpfs_mesh4",
+         "cores=4,k=1,shape=mesh,link-bw=1,link-lat=3"},
+        {"grovers_lpfs_all4",
+         "cores=4,k=1,shape=all-to-all,link-bw=1,link-lat=3"},
+    };
+    Program prog = prepare("grovers");
+    LpfsScheduler lpfs;
+    for (const Fixture &fixture : fixtures) {
+        MultiSimdArch arch;
+        std::string error;
+        ASSERT_TRUE(parseTopologySpec(fixture.spec, arch, error))
+            << error;
+        checkGolden(fixture.name,
+                    dumpWorkload(prog, lpfs, arch, CommMode::Global));
+    }
+}
+
+/**
+ * The degenerate one-core topology must reproduce the flat machine's
+ * dump byte-for-byte — the core refactor invariant, checked against the
+ * same fixture the flat run uses.
+ */
+TEST(GoldenDumpsMultiCore, OneCoreTopologyMatchesFlatFixture)
+{
+    Program prog = prepare("grovers");
+    LpfsScheduler lpfs;
+    MultiSimdArch arch;
+    std::string error;
+    ASSERT_TRUE(parseTopologySpec("cores=1,k=4", arch, error)) << error;
+    checkGolden("grovers_lpfs_k4",
+                dumpWorkload(prog, lpfs, arch, CommMode::Global));
 }
 
 INSTANTIATE_TEST_SUITE_P(Workloads, GoldenDumps,

@@ -1,0 +1,589 @@
+/**
+ * @file
+ * Tests for the multi-core topology backend (DESIGN.md §16): topology
+ * construction validation (A-code family), deterministic routing,
+ * fingerprints, --topology spec parsing, the qubit-partitioning pass
+ * and the topology-aware movement-phase cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/qubit_mapping.hh"
+#include "arch/location.hh"
+#include "arch/multi_simd.hh"
+#include "arch/schedule.hh"
+#include "arch/topology.hh"
+#include "ir/program.hh"
+#include "passes/qubit_mapping_pass.hh"
+#include "sched/comm.hh"
+#include "sched/core_affinity.hh"
+#include "sched/rcp.hh"
+#include "support/diagnostic.hh"
+#include "support/logging.hh"
+
+namespace {
+
+using namespace msq;
+
+Topology
+multiCoreTopo(unsigned cores, unsigned regionsPerCore,
+              TopologyShape shape = TopologyShape::Ring)
+{
+    Topology topo;
+    topo.cores = cores;
+    topo.regionsPerCore = regionsPerCore;
+    topo.shape = shape;
+    return topo;
+}
+
+TEST(Topology, DefaultIsFlatMachine)
+{
+    Topology topo;
+    EXPECT_FALSE(topo.multiCore());
+    EXPECT_TRUE(topo.edges().empty());
+    EXPECT_EQ(topo.fingerprint(), "");
+    EXPECT_EQ(topo.describe(), "");
+    EXPECT_TRUE(topo.validate());
+    EXPECT_EQ(topo.coreOfRegion(0), 0u);
+    EXPECT_EQ(topo.coreOfRegion(17), 0u);
+}
+
+// A001: a machine with no cores cannot exist.
+TEST(Topology, ValidateRejectsZeroCores)
+{
+    Topology topo;
+    topo.cores = 0;
+    DiagnosticEngine diags;
+    EXPECT_FALSE(topo.validate(&diags));
+    EXPECT_TRUE(diags.has(DiagCode::ArchNoCores));
+}
+
+// A002: a zero-bandwidth link can never carry a teleport.
+TEST(Topology, ValidateRejectsZeroLinkBandwidth)
+{
+    Topology topo = multiCoreTopo(2, 1);
+    topo.linkBandwidth = 0;
+    DiagnosticEngine diags;
+    EXPECT_FALSE(topo.validate(&diags));
+    EXPECT_TRUE(diags.has(DiagCode::ArchZeroLinkBandwidth));
+}
+
+// A003: multiple cores with no links between them cannot route.
+TEST(Topology, ValidateRejectsDisconnectedEdgelessGraph)
+{
+    Topology topo = multiCoreTopo(3, 1, TopologyShape::SingleCore);
+    DiagnosticEngine diags;
+    EXPECT_FALSE(topo.validate(&diags));
+    EXPECT_TRUE(diags.has(DiagCode::ArchDisconnectedTopology));
+}
+
+// A003 also fires for an extra link naming a core that does not exist.
+TEST(Topology, ValidateRejectsOutOfRangeLink)
+{
+    Topology topo = multiCoreTopo(2, 1);
+    topo.extraLinks.push_back({0, 9});
+    DiagnosticEngine diags;
+    EXPECT_FALSE(topo.validate(&diags));
+    EXPECT_TRUE(diags.has(DiagCode::ArchDisconnectedTopology));
+}
+
+// A004: a core linked to itself is a construction error.
+TEST(Topology, ValidateRejectsSelfLoopLink)
+{
+    Topology topo = multiCoreTopo(2, 1);
+    topo.extraLinks.push_back({1, 1});
+    DiagnosticEngine diags;
+    EXPECT_FALSE(topo.validate(&diags));
+    EXPECT_TRUE(diags.has(DiagCode::ArchSelfLoopLink));
+}
+
+// A005: a multi-core machine must say how its regions split.
+TEST(Topology, ValidateRejectsMissingRegionSplit)
+{
+    Topology topo = multiCoreTopo(4, 0);
+    DiagnosticEngine diags;
+    EXPECT_FALSE(topo.validate(&diags));
+    EXPECT_TRUE(diags.has(DiagCode::ArchNoRegionSplit));
+}
+
+// Without a DiagnosticEngine the construction contract is fatal(),
+// exactly like MultiSimdArch::validate.
+TEST(Topology, ValidateWithoutEngineThrows)
+{
+    Topology topo;
+    topo.cores = 0;
+    EXPECT_THROW(topo.validate(), FatalError);
+}
+
+TEST(Topology, EdgesAreCanonicalAndShapeCorrect)
+{
+    // Ring of 4: a cycle, each pair ascending, list sorted.
+    Topology ring = multiCoreTopo(4, 2);
+    std::vector<std::pair<unsigned, unsigned>> want_ring{
+        {0, 1}, {0, 3}, {1, 2}, {2, 3}};
+    EXPECT_EQ(ring.edges(), want_ring);
+
+    // Ring of 2 degenerates to a single link, not a doubled one.
+    EXPECT_EQ(multiCoreTopo(2, 1).edges().size(), 1u);
+
+    // 2x2 mesh: 4 edges. All-to-all of 4: 6 edges.
+    EXPECT_EQ(multiCoreTopo(4, 1, TopologyShape::Mesh).edges().size(),
+              4u);
+    EXPECT_EQ(
+        multiCoreTopo(4, 1, TopologyShape::AllToAll).edges().size(),
+        6u);
+
+    // Extra links are normalized and deduplicated into the list.
+    Topology chord = multiCoreTopo(4, 1);
+    chord.extraLinks.push_back({2, 0}); // descending on purpose
+    chord.extraLinks.push_back({0, 1}); // duplicate of a ring edge
+    std::vector<std::pair<unsigned, unsigned>> want_chord{
+        {0, 1}, {0, 2}, {0, 3}, {1, 2}, {2, 3}};
+    EXPECT_EQ(chord.edges(), want_chord);
+    EXPECT_TRUE(chord.validate());
+}
+
+TEST(Topology, CoreOfRegionGeometry)
+{
+    Topology topo = multiCoreTopo(4, 2);
+    EXPECT_EQ(topo.coreOfRegion(0), 0u);
+    EXPECT_EQ(topo.coreOfRegion(1), 0u);
+    EXPECT_EQ(topo.coreOfRegion(2), 1u);
+    EXPECT_EQ(topo.coreOfRegion(7), 3u);
+    // Regions past the split clamp to the last core instead of
+    // inventing cores that do not exist.
+    EXPECT_EQ(topo.coreOfRegion(100), 3u);
+}
+
+TEST(Topology, FingerprintAndDescribe)
+{
+    Topology topo = multiCoreTopo(4, 2);
+    topo.linkBandwidth = 1;
+    topo.linkLatency = 3;
+    EXPECT_EQ(topo.fingerprint(),
+              "topo=ring:4x2|lbw=1|llat=3|map=greedy");
+    EXPECT_EQ(topo.describe(), "ring(4x2, link-bw=1, link-lat=3)");
+
+    topo.mapping = MappingStrategy::RoundRobin;
+    EXPECT_EQ(topo.fingerprint(),
+              "topo=ring:4x2|lbw=1|llat=3|map=roundrobin");
+
+    // Extra links are part of the cache key, in canonical order
+    // regardless of the order they were specified in.
+    Topology with_links = multiCoreTopo(4, 2);
+    with_links.linkBandwidth = 1;
+    with_links.linkLatency = 3;
+    with_links.extraLinks.push_back({2, 0});
+    with_links.extraLinks.push_back({1, 3});
+    EXPECT_EQ(with_links.fingerprint(),
+              "topo=ring:4x2|lbw=1|llat=3|map=greedy|links=0-2.1-3");
+}
+
+TEST(TopologyRouter, ShortestPathsAreDeterministic)
+{
+    Topology ring = multiCoreTopo(4, 1);
+    TopologyRouter router(ring);
+    EXPECT_EQ(router.dist(0, 0), 0u);
+    EXPECT_EQ(router.dist(0, 1), 1u);
+    EXPECT_EQ(router.dist(0, 2), 2u);
+    EXPECT_EQ(router.dist(3, 1), 2u);
+
+    // The canonical route 0 -> 2 goes through core 1 (the
+    // lexicographically-least shortest path), never through core 3.
+    std::vector<unsigned> route;
+    router.routeEdges(0, 2, route);
+    ASSERT_EQ(route.size(), 2u);
+    EXPECT_EQ(router.edges()[route[0]], std::make_pair(0u, 1u));
+    EXPECT_EQ(router.edges()[route[1]], std::make_pair(1u, 2u));
+
+    // routeEdges appends: callers own clearing.
+    router.routeEdges(0, 1, route);
+    EXPECT_EQ(route.size(), 3u);
+
+    // All-to-all: every pair one hop apart.
+    TopologyRouter full(multiCoreTopo(4, 1, TopologyShape::AllToAll));
+    for (unsigned a = 0; a < 4; ++a)
+        for (unsigned b = 0; b < 4; ++b)
+            EXPECT_EQ(full.dist(a, b), a == b ? 0u : 1u);
+
+    // 2x3 mesh: opposite corners are 3 hops apart.
+    TopologyRouter mesh(multiCoreTopo(6, 1, TopologyShape::Mesh));
+    EXPECT_EQ(mesh.dist(0, 5), 3u);
+}
+
+TEST(ParseTopologySpec, GoodSpecConfiguresArch)
+{
+    MultiSimdArch arch;
+    std::string error;
+    ASSERT_TRUE(parseTopologySpec(
+        "cores=4,k=2,shape=ring,link-bw=1,link-lat=3,map=roundrobin",
+        arch, error))
+        << error;
+    EXPECT_EQ(arch.k, 8u); // machine total = cores * per-core k
+    EXPECT_EQ(arch.topology.cores, 4u);
+    EXPECT_EQ(arch.topology.regionsPerCore, 2u);
+    EXPECT_EQ(arch.topology.shape, TopologyShape::Ring);
+    EXPECT_EQ(arch.topology.linkBandwidth, 1u);
+    EXPECT_EQ(arch.topology.linkLatency, 3u);
+    EXPECT_EQ(arch.topology.mapping, MappingStrategy::RoundRobin);
+}
+
+TEST(ParseTopologySpec, DefaultsAndSingleCore)
+{
+    // cores=1 collapses to the flat machine whatever else is set.
+    MultiSimdArch arch;
+    std::string error;
+    ASSERT_TRUE(parseTopologySpec("cores=1,k=6", arch, error)) << error;
+    EXPECT_EQ(arch.k, 6u);
+    EXPECT_FALSE(arch.topology.multiCore());
+    EXPECT_EQ(arch.fingerprint(), MultiSimdArch(6).fingerprint());
+
+    // cores>1 without shape defaults to a ring; omitted k keeps the
+    // arch's k as the per-core tile size.
+    MultiSimdArch arch2(4);
+    ASSERT_TRUE(parseTopologySpec("cores=2", arch2, error)) << error;
+    EXPECT_EQ(arch2.topology.shape, TopologyShape::Ring);
+    EXPECT_EQ(arch2.topology.regionsPerCore, 4u);
+    EXPECT_EQ(arch2.k, 8u);
+}
+
+TEST(ParseTopologySpec, ExtraLinks)
+{
+    MultiSimdArch arch;
+    std::string error;
+    ASSERT_TRUE(parseTopologySpec("cores=4,k=1,link=0-2,link=1-3",
+                                  arch, error))
+        << error;
+    ASSERT_EQ(arch.topology.extraLinks.size(), 2u);
+    EXPECT_EQ(arch.topology.extraLinks[0], std::make_pair(0u, 2u));
+    EXPECT_EQ(arch.topology.edges().size(), 6u); // ring(4) + 2 chords
+}
+
+TEST(ParseTopologySpec, BadSpecsRejected)
+{
+    const char *bad[] = {
+        "nonsense",                 // not key=value
+        "cores=0",                  // A001 at validation
+        "cores=4,k=2,link-bw=0",    // A002
+        "cores=4,k=2,shape=single", // A003 (edgeless multi-core)
+        "cores=4,k=2,link=1-1",     // A004 self-loop
+        "cores=4,k=2,link=0-z",     // malformed link pair
+        "cores=4,k=2,link=07",      // no dash
+        "cores=two",                // non-numeric count
+        "cores=4,k=0",              // zero per-core regions
+        "shape=torus",              // unknown shape
+        "map=random",               // unknown strategy
+        "cores=4,k=2,link-lat=0",   // zero-latency link
+        "frobnicate=1",             // unknown key
+    };
+    for (const char *spec : bad) {
+        MultiSimdArch arch;
+        std::string error;
+        EXPECT_FALSE(parseTopologySpec(spec, arch, error))
+            << "spec accepted: " << spec;
+        EXPECT_FALSE(error.empty()) << spec;
+    }
+}
+
+// --- qubit mapping -----------------------------------------------------
+
+/** Two 3-qubit cliques joined by a single weak edge. */
+Module
+twoClusterModule()
+{
+    Module mod("clusters");
+    auto reg = mod.addRegister("q", 6);
+    for (int rep = 0; rep < 4; ++rep) {
+        mod.addGate(GateKind::CNOT, {reg[0], reg[1]});
+        mod.addGate(GateKind::CNOT, {reg[1], reg[2]});
+        mod.addGate(GateKind::CNOT, {reg[0], reg[2]});
+        mod.addGate(GateKind::CNOT, {reg[3], reg[4]});
+        mod.addGate(GateKind::CNOT, {reg[4], reg[5]});
+        mod.addGate(GateKind::CNOT, {reg[3], reg[5]});
+    }
+    mod.addGate(GateKind::CNOT, {reg[2], reg[3]}); // weak bridge
+    return mod;
+}
+
+TEST(QubitMapping, InteractionGraphCountsSharedOperands)
+{
+    Module mod = twoClusterModule();
+    QubitInteractionGraph graph(mod);
+    EXPECT_EQ(graph.numQubits(), 6u);
+    EXPECT_EQ(graph.weight(0, 1), 4u);
+    EXPECT_EQ(graph.weight(1, 0), 4u);
+    EXPECT_EQ(graph.weight(2, 3), 1u);
+    EXPECT_EQ(graph.weight(0, 5), 0u);
+    EXPECT_EQ(graph.totalWeight(0), 8u);
+    EXPECT_EQ(graph.totalWeight(2), 9u); // 4 + 4 + bridge
+}
+
+TEST(QubitMapping, GreedyKeepsClustersTogether)
+{
+    Module mod = twoClusterModule();
+    Topology topo = multiCoreTopo(2, 2);
+    std::vector<unsigned> mapping = computeQubitMapping(mod, topo);
+    ASSERT_EQ(mapping.size(), 6u);
+    // Each clique lands on one core; only the bridge edge is cut.
+    EXPECT_EQ(mapping[0], mapping[1]);
+    EXPECT_EQ(mapping[1], mapping[2]);
+    EXPECT_EQ(mapping[3], mapping[4]);
+    EXPECT_EQ(mapping[4], mapping[5]);
+    EXPECT_NE(mapping[0], mapping[3]);
+    EXPECT_EQ(mappingCutWeight(mod, mapping), 1u);
+
+    // Round-robin scatters both cliques across the cores.
+    Topology rr = topo;
+    rr.mapping = MappingStrategy::RoundRobin;
+    std::vector<unsigned> naive = computeQubitMapping(mod, rr);
+    for (unsigned q = 0; q < 6; ++q)
+        EXPECT_EQ(naive[q], q % 2);
+    EXPECT_GT(mappingCutWeight(mod, naive),
+              mappingCutWeight(mod, mapping));
+}
+
+TEST(QubitMapping, DeterministicAcrossCalls)
+{
+    Module mod = twoClusterModule();
+    Topology topo = multiCoreTopo(4, 1);
+    std::vector<unsigned> first = computeQubitMapping(mod, topo);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(computeQubitMapping(mod, topo), first);
+}
+
+TEST(QubitMapping, SingleCoreMapsEverythingToZero)
+{
+    Module mod = twoClusterModule();
+    std::vector<unsigned> mapping =
+        computeQubitMapping(mod, Topology{});
+    for (unsigned core : mapping)
+        EXPECT_EQ(core, 0u);
+}
+
+TEST(QubitMappingPass, ReportsPerLeafCuts)
+{
+    Program prog;
+    ModuleId main_id = prog.addModule("main");
+    Module &main_mod = prog.module(main_id);
+    auto reg = main_mod.addRegister("q", 6);
+    for (int rep = 0; rep < 4; ++rep) {
+        main_mod.addGate(GateKind::CNOT, {reg[0], reg[1]});
+        main_mod.addGate(GateKind::CNOT, {reg[1], reg[2]});
+        main_mod.addGate(GateKind::CNOT, {reg[0], reg[2]});
+        main_mod.addGate(GateKind::CNOT, {reg[3], reg[4]});
+        main_mod.addGate(GateKind::CNOT, {reg[4], reg[5]});
+        main_mod.addGate(GateKind::CNOT, {reg[3], reg[5]});
+    }
+    main_mod.addGate(GateKind::CNOT, {reg[2], reg[3]});
+    prog.setEntry(main_id);
+
+    QubitMappingPass pass(multiCoreTopo(2, 2));
+    pass.run(prog);
+    ASSERT_EQ(pass.reports().size(), 1u);
+    const auto &report = pass.reports()[0];
+    EXPECT_EQ(report.module, "main");
+    EXPECT_EQ(report.totalWeight, 25u); // 6 clique edges * 4 + bridge
+    EXPECT_EQ(report.cutWeight, 1u);
+    EXPECT_GT(report.roundRobinCutWeight, report.cutWeight);
+
+    // On the flat machine the pass is a no-op.
+    QubitMappingPass flat(Topology{});
+    flat.run(prog);
+    EXPECT_TRUE(flat.reports().empty());
+}
+
+// --- movement-phase cost model -----------------------------------------
+
+TEST(MovePhaseCostModel, FlatMachineMatchesMovePhaseCycles)
+{
+    MultiSimdArch arch = MultiSimdArch(4).withEprBandwidth(2);
+    MovePhaseCostModel model(arch);
+
+    std::vector<Move> moves;
+    auto check = [&] {
+        EXPECT_EQ(model.cycles(moves.data(),
+                               moves.data() + moves.size()),
+                  movePhaseCycles(moves.data(),
+                                  moves.data() + moves.size(),
+                                  arch.eprBandwidth));
+    };
+    check();
+    moves.push_back({0, Location::global(), Location::inRegion(0),
+                     false});
+    check();
+    moves.push_back({1, Location::inRegion(0), Location::inLocalMem(0),
+                     false});
+    check();
+    for (QubitId q = 2; q < 7; ++q) {
+        moves.push_back({q, Location::global(), Location::inRegion(1),
+                         true});
+        check();
+    }
+}
+
+TEST(MovePhaseCostModel, InterCoreRoutesOverLinks)
+{
+    MultiSimdArch arch;
+    std::string error;
+    ASSERT_TRUE(parseTopologySpec(
+        "cores=4,k=1,shape=ring,link-bw=1,link-lat=3", arch, error))
+        << error;
+    MovePhaseCostModel model(arch);
+
+    // Region 0 (core 0) -> region 2 (core 2): 2 hops on the ring.
+    Move two_hops{0, Location::inRegion(0), Location::inRegion(2),
+                  true};
+    EXPECT_TRUE(model.interCore(two_hops));
+    EXPECT_EQ(model.hops(two_hops), 2u);
+    // One blocking inter-core teleport: linkLatency * hops cycles.
+    EXPECT_EQ(model.cycles(&two_hops, &two_hops + 1), 6u);
+
+    // A fetch from core 2's memory bank into core 0 is also 2 hops.
+    Move bank_fetch{1, Location::inMemory(2), Location::inRegion(0),
+                    true};
+    EXPECT_TRUE(model.interCore(bank_fetch));
+    EXPECT_EQ(model.hops(bank_fetch), 2u);
+
+    // Intra-core traffic stays on the EPR fabric: a blocking move
+    // within core 1 costs the classic 4-cycle teleport.
+    Move intra{2, Location::inMemory(1), Location::inRegion(1), true};
+    EXPECT_FALSE(model.interCore(intra));
+    EXPECT_EQ(model.cycles(&intra, &intra + 1), 4u);
+
+    // Two blocking one-hop teleports crowding the same link serialize
+    // into a second pipelined round: lat * (hops + rounds - 1).
+    std::vector<Move> crowd{
+        {3, Location::inRegion(0), Location::inRegion(1), true},
+        {4, Location::inMemory(0), Location::inRegion(1), true},
+    };
+    EXPECT_EQ(model.cycles(crowd.data(), crowd.data() + 2), 6u);
+}
+
+TEST(LocationCore, MapsThroughTopology)
+{
+    MultiSimdArch arch;
+    std::string error;
+    ASSERT_TRUE(parseTopologySpec("cores=2,k=2", arch, error)) << error;
+    EXPECT_EQ(locationCore(Location::inRegion(0), arch), 0u);
+    EXPECT_EQ(locationCore(Location::inRegion(1), arch), 0u);
+    EXPECT_EQ(locationCore(Location::inRegion(2), arch), 1u);
+    EXPECT_EQ(locationCore(Location::inLocalMem(3), arch), 1u);
+    EXPECT_EQ(locationCore(Location::global(), arch), 0u);
+    EXPECT_EQ(locationCore(Location::inMemory(1), arch), 1u);
+}
+
+TEST(MultiSimdArch, FingerprintCoversTopology)
+{
+    MultiSimdArch flat(4, 16, 2);
+    EXPECT_EQ(flat.fingerprint(), "d=16|lm=2|epr=" +
+              std::to_string(unbounded));
+
+    MultiSimdArch multi;
+    std::string error;
+    ASSERT_TRUE(parseTopologySpec("cores=2,k=2,link-bw=1", multi,
+                                  error))
+        << error;
+    EXPECT_NE(multi.fingerprint().find("topo=ring:2x2"),
+              std::string::npos);
+    // Same machine, different mapping strategy: different key.
+    MultiSimdArch rr;
+    ASSERT_TRUE(parseTopologySpec("cores=2,k=2,link-bw=1,map=roundrobin",
+                                  rr, error))
+        << error;
+    EXPECT_NE(multi.fingerprint(), rr.fingerprint());
+}
+
+// --- core-affinity region rebind ---------------------------------------
+
+/** Two independent 2-qubit pairs; greedy maps each pair to its own core. */
+Module
+pairModule()
+{
+    Module mod("pairs");
+    auto reg = mod.addRegister("q", 4);
+    for (int rep = 0; rep < 4; ++rep)
+        mod.addGate(GateKind::CNOT, {reg[0], reg[1]});
+    for (int rep = 0; rep < 4; ++rep)
+        mod.addGate(GateKind::CNOT, {reg[2], reg[3]});
+    return mod;
+}
+
+TEST(CoreAffinity, SingleCoreIsIdentity)
+{
+    Module mod = twoClusterModule();
+    MultiSimdArch arch(2);
+    LeafSchedule sched = RcpScheduler().schedule(mod, arch);
+    LeafSchedule same = applyCoreAffinity(sched, arch);
+    // No rebind on the flat machine: the very same buffer comes back.
+    EXPECT_EQ(same.sharedBuffer().get(), sched.sharedBuffer().get());
+}
+
+TEST(CoreAffinity, SlotsLandOnHomeCores)
+{
+    Module mod = pairModule();
+    MultiSimdArch arch;
+    std::string error;
+    ASSERT_TRUE(parseTopologySpec("cores=2,k=1", arch, error)) << error;
+    std::vector<unsigned> home = computeQubitMapping(mod, arch.topology);
+    ASSERT_EQ(home[0], home[1]);
+    ASSERT_EQ(home[2], home[3]);
+    ASSERT_NE(home[0], home[2]);
+
+    // Hand-place each step so both pairs sit on the WRONG core: ops
+    // 0..3 touch {q0,q1}, ops 4..7 touch {q2,q3}.
+    ScheduleBuilder builder(mod, arch.k);
+    for (uint32_t i = 0; i < 4; ++i) {
+        builder.beginStep();
+        builder.slot(home[2]).kind = GateKind::CNOT;
+        builder.slot(home[2]).ops.push_back(i);
+        builder.slot(home[0]).kind = GateKind::CNOT;
+        builder.slot(home[0]).ops.push_back(4 + i);
+        builder.endStep();
+    }
+    LeafSchedule sched = builder.finish();
+
+    LeafSchedule bound = applyCoreAffinity(sched, arch);
+    ASSERT_EQ(bound.computeTimesteps(), 4u);
+    EXPECT_EQ(bound.scheduledOps(), 8u);
+    for (TimestepView step : bound.steps()) {
+        ASSERT_EQ(step.numSlots(), 2u);
+        for (RegionSlotView slot : step) {
+            ASSERT_EQ(slot.numOps(), 1u);
+            QubitId q = mod.op(slot.ops()[0]).operands[0];
+            EXPECT_EQ(arch.coreOfRegion(slot.region()), home[q])
+                << "op " << slot.ops()[0] << " off its home core";
+        }
+    }
+
+    // Deterministic and stable: rebinding again changes nothing.
+    LeafSchedule again = applyCoreAffinity(bound, arch);
+    EXPECT_EQ(again.buffer().slots.size(), bound.buffer().slots.size());
+    for (size_t i = 0; i < bound.buffer().slots.size(); ++i)
+        EXPECT_EQ(again.buffer().slots[i].region,
+                  bound.buffer().slots[i].region);
+}
+
+TEST(CoreAffinity, GreedyMappingCutsInterCoreTeleports)
+{
+    Module mod = twoClusterModule();
+    std::string error;
+    MultiSimdArch greedy;
+    ASSERT_TRUE(parseTopologySpec("cores=2,k=1", greedy, error)) << error;
+    MultiSimdArch naive = greedy;
+    naive.topology.mapping = MappingStrategy::RoundRobin;
+
+    auto teleports = [&](const MultiSimdArch &arch) {
+        LeafSchedule sched = RcpScheduler().schedule(mod, arch);
+        return CommunicationAnalyzer(arch, CommMode::Global)
+            .annotate(sched)
+            .interCoreTeleports;
+    };
+    // The clustered mapping keeps each clique's traffic on one core;
+    // round-robin interleaves the cliques across both.
+    EXPECT_LT(teleports(greedy), teleports(naive));
+}
+
+} // namespace

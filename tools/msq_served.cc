@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "arch/multi_simd.hh"
 #include "core/serve.hh"
 #include "support/logging.hh"
 #include "support/strings.hh"
@@ -59,6 +60,10 @@ usage(const char *argv0)
         << "  --d=<n|inf>      default region width (default inf)\n"
         << "  --local-mem=<n>  default scratchpad capacity (default 0)\n"
         << "  --epr=<n|inf>    default EPR bandwidth (default inf)\n"
+        << "  --topology=<spec> default multi-core topology applied to\n"
+        << "                   requests without a \"topology\" field,\n"
+        << "                   e.g. cores=4,k=2,shape=ring,link-bw=1;\n"
+        << "                   bad specs exit 2\n"
         << "  --threads=<n>    batch parallelism (default: hardware)\n"
         << "  --batch=<n>      requests handled concurrently (default 1;\n"
         << "                   responses stay in request order)\n"
@@ -119,6 +124,19 @@ parseArgs(int argc, char **argv, Options &options)
             if (!parseCount(arg.substr(6), value) || value == 0)
                 return false;
             options.serve.eprBandwidth = value;
+        } else if (startsWith(arg, "--topology=")) {
+            options.serve.topology = arg.substr(11);
+            // Fail fast on a malformed spec: validate it against a
+            // scratch arch now rather than erroring on every request.
+            MultiSimdArch probe;
+            std::string error;
+            if (options.serve.topology.empty() ||
+                !parseTopologySpec(options.serve.topology, probe,
+                                   error)) {
+                std::cerr << "msq-served: bad --topology: " << error
+                          << "\n";
+                return false;
+            }
         } else if (startsWith(arg, "--threads=")) {
             if (!parseCount(arg.substr(10), value))
                 return false;

@@ -15,12 +15,17 @@
  *   --dataflow      print interprocedural liveness / entanglement facts
  *   --check-comm    decompose + flatten, schedule every leaf under RCP
  *                   and LPFS, and replay the movement plans through the
- *                   comm-schedule race detector (codes M001-M008); also
+ *                   comm-schedule race detector (codes M001-M010); also
  *                   validates a coarse schedule of the whole program
  *   --k=N           regions for --check-comm (default 4)
  *   --d=N           SIMD width per region for --check-comm (default inf)
  *   --local-mem=N   scratchpad capacity for --check-comm (default 0);
  *                   nonzero also exercises CommMode::GlobalWithLocalMem
+ *   --topology=SPEC multi-core machine for the scheduling checks
+ *                   (parseTopologySpec grammar, e.g.
+ *                   "cores=4,k=2,shape=ring,link-bw=1,link-lat=3");
+ *                   overrides --k with cores * per-core k. Malformed or
+ *                   invalid specs (A001-A005) exit 2
  *   --threads=N     scheduling fan-out for --check-comm (default 1;
  *                   0 = hardware concurrency). Results are identical
  *                   for every value; this only changes wall-clock time
@@ -28,8 +33,11 @@
  *                   checker self-test: corrupt the first eligible
  *                   movement plan before replaying it. KIND is
  *                   move-during-gate (expect M001), oversubscribe
- *                   (expect M003 under a finite --d), or dead-teleport
- *                   (expect M005)
+ *                   (expect M003 under a finite --d), dead-teleport
+ *                   (expect M005), core-range (expect M009: a move
+ *                   naming the memory bank of a nonexistent core), or
+ *                   link-overcap (expect M010; needs --topology with a
+ *                   finite link-bw)
  *   --bounds        decompose + flatten, coarse-schedule the whole
  *                   program under RCP and LPFS, and check every leaf
  *                   and blackbox dimension against the static makespan
@@ -107,6 +115,7 @@
 #include <vector>
 
 #include "analysis/qubit_analyses.hh"
+#include "analysis/qubit_mapping.hh"
 #include "arch/multi_simd.hh"
 #include "frontend/parser.hh"
 #include "frontend/qasm_reader.hh"
@@ -170,6 +179,8 @@ struct Options
     unsigned k = 4;
     uint64_t d = unbounded;
     uint64_t localMem = 0;
+    /** --topology spec; empty = the flat single-core machine. */
+    std::string topology;
     uint64_t scale = 1;
     unsigned threads = 1;
     /** --scheduler value; empty = the default RCP+LPFS pair. */
@@ -188,6 +199,23 @@ struct Options
     std::vector<std::string> files;
     std::vector<std::string> workloads;
 };
+
+/**
+ * The machine every scheduling check runs on: --k/--d/--local-mem,
+ * reshaped by --topology when given. The spec was validated at argv
+ * time, so this cannot fail here.
+ */
+MultiSimdArch
+makeArch(const Options &options)
+{
+    MultiSimdArch arch(options.k, options.d, options.localMem);
+    if (!options.topology.empty()) {
+        std::string error;
+        if (!parseTopologySpec(options.topology, arch, error))
+            fatal("--topology=" + options.topology + ": " + error);
+    }
+    return arch;
+}
 
 /** Communication model --bounds / --estimate cost schedules with. */
 CommMode
@@ -250,9 +278,10 @@ usage(std::ostream &out)
            " [--quiet]\n"
            "                  [--dataflow] [--check-comm] [--k=N] [--d=N]"
            " [--local-mem=N]\n"
-           "                  [--threads=N]\n"
-           "                  [--inject-comm-fault="
-           "move-during-gate|oversubscribe|dead-teleport]\n"
+           "                  [--topology=SPEC] [--threads=N]\n"
+           "                  [--inject-comm-fault=move-during-gate|"
+           "oversubscribe|\n"
+           "                      dead-teleport|core-range|link-overcap]\n"
            "                  [--bounds] [--bounds-json=PATH]"
            " [--workload=NAME]\n"
            "                  [--scheduler=rcp|lpfs|opt] [--opt-budget=N]"
@@ -357,7 +386,8 @@ printDataflow(const std::string &path, const Program &prog)
  * with particular structure and skip ineligible ones).
  */
 bool
-injectCommFault(LeafSchedule &sched, const std::string &kind)
+injectCommFault(LeafSchedule &sched, const MultiSimdArch &arch,
+                const std::string &kind)
 {
     const Module &mod = sched.module();
     const uint64_t num_steps = sched.computeTimesteps();
@@ -417,6 +447,69 @@ injectCommFault(LeafSchedule &sched, const std::string &kind)
             injected = true;
         }
         return injected;
+    }
+
+    if (kind == "core-range") {
+        // A move whose memory-bank endpoint names a core the topology
+        // does not have. Works on any machine: the flat topology has
+        // exactly core 0, so bank 1 is already out of range (M009).
+        if (num_steps == 0 || mod.numQubits() == 0)
+            return false;
+        const std::vector<unsigned> home =
+            computeQubitMapping(mod, arch.topology);
+        Move fault;
+        fault.qubit = 0;
+        fault.from = arch.topology.multiCore()
+                         ? Location::inMemory(home[0])
+                         : Location::global();
+        fault.to = Location::inMemory(arch.topology.cores);
+        fault.blocking = true;
+        sched.appendMove(0, fault);
+        return true;
+    }
+
+    if (kind == "link-overcap") {
+        // Over-subscribe one inter-core link with masked teleports:
+        // linkBandwidth + 1 qubits of one core all teleported to the
+        // next core in the same timestep (M010). Needs a multi-core
+        // topology with a finite link bandwidth.
+        const Topology &topo = arch.topology;
+        if (!topo.multiCore() || topo.linkBandwidth == unbounded ||
+            num_steps == 0)
+            return false;
+        // Replay the plan from the home mapping to learn where every
+        // qubit sits at the final step.
+        const std::vector<unsigned> home =
+            computeQubitMapping(mod, topo);
+        std::vector<Location> loc(mod.numQubits());
+        for (QubitId q = 0; q < mod.numQubits(); ++q)
+            loc[q] = Location::inMemory(home[q]);
+        for (ScheduleWalker walker(sched); !walker.atEnd();
+             walker.next()) {
+            for (const Move &move : walker.step().moves())
+                if (move.qubit < loc.size())
+                    loc[move.qubit] = move.to;
+        }
+        std::vector<std::vector<QubitId>> byCore(topo.cores);
+        for (QubitId q = 0; q < mod.numQubits(); ++q)
+            byCore[locationCore(loc[q], arch)].push_back(q);
+        unsigned best = 0;
+        for (unsigned c = 1; c < topo.cores; ++c)
+            if (byCore[c].size() > byCore[best].size())
+                best = c;
+        if (byCore[best].size() < topo.linkBandwidth + 1)
+            return false;
+        const unsigned target = (best + 1) % topo.cores;
+        const uint64_t final_step = num_steps - 1;
+        for (uint64_t i = 0; i < topo.linkBandwidth + 1; ++i) {
+            Move fault;
+            fault.qubit = byCore[best][i];
+            fault.from = loc[fault.qubit];
+            fault.to = Location::inMemory(target);
+            fault.blocking = false;
+            sched.appendMove(final_step, fault);
+        }
+        return true;
     }
 
     if (kind == "dead-teleport") {
@@ -490,7 +583,7 @@ checkCommunication(const std::string &path, Program &prog,
                    const Options &options, DiagnosticEngine &diags,
                    MetricsRegistry &metrics)
 {
-    MultiSimdArch arch(options.k, options.d, options.localMem);
+    const MultiSimdArch arch = makeArch(options);
 
     std::vector<CommMode> modes{CommMode::Global};
     if (options.localMem > 0)
@@ -511,7 +604,7 @@ checkCommunication(const std::string &path, Program &prog,
                 analyzer.annotate(sched);
                 bool faulted = false;
                 if (fault_pending &&
-                    injectCommFault(sched, options.injectFault)) {
+                    injectCommFault(sched, arch, options.injectFault)) {
                     fault_pending = false;
                     faulted = true;
                 }
@@ -566,7 +659,7 @@ checkBounds(const std::string &path, Program &prog,
             MetricsRegistry &metrics,
             std::vector<BoundsJsonEntry> &json_entries)
 {
-    MultiSimdArch arch(options.k, options.d, options.localMem);
+    const MultiSimdArch arch = makeArch(options);
     const CommMode mode = resolveCommMode(options);
 
     for (const auto &scheduler : makeCheckSchedulers(options, mode)) {
@@ -630,7 +723,7 @@ checkEstimate(const std::string &path, Program &prog,
               MetricsRegistry &metrics,
               std::vector<EstimateJsonEntry> &json_entries)
 {
-    MultiSimdArch arch(options.k, options.d, options.localMem);
+    const MultiSimdArch arch = makeArch(options);
     const CommMode mode = resolveCommMode(options);
 
     for (const auto &scheduler : makeCheckSchedulers(options, mode)) {
@@ -732,7 +825,7 @@ writeBoundsJson(const Options &options,
                   << options.boundsJson << "'\n";
         return false;
     }
-    MultiSimdArch arch(options.k, options.d, options.localMem);
+    const MultiSimdArch arch = makeArch(options);
     const CommMode mode = resolveCommMode(options);
     out << "{\n"
         << "  \"schema\": \"msq-optimality-gap-v1\",\n"
@@ -790,7 +883,7 @@ writeEstimateJson(const Options &options,
                   << options.estimateJson << "'\n";
         return false;
     }
-    MultiSimdArch arch(options.k, options.d, options.localMem);
+    const MultiSimdArch arch = makeArch(options);
     const CommMode mode = resolveCommMode(options);
     out << "{\n"
         << "  \"schema\": \"msq-resource-estimate-v1\",\n"
@@ -1142,6 +1235,19 @@ main(int argc, char **argv)
                 std::cerr << "msq-verify: bad value in '" << arg << "'\n";
                 return 2;
             }
+        } else if (startsWith(arg, "--topology=")) {
+            options.topology = arg.substr(11);
+            // Validate now so a malformed or invalid (A001-A005) spec
+            // dies through the documented exit-2 usage path instead of
+            // mid-run.
+            MultiSimdArch probe(options.k, options.d, options.localMem);
+            std::string error;
+            if (options.topology.empty() ||
+                !parseTopologySpec(options.topology, probe, error)) {
+                std::cerr << "msq-verify: bad value in '" << arg << "'"
+                          << (error.empty() ? "" : ": " + error) << "\n";
+                return 2;
+            }
         } else if (startsWith(arg, "--threads=")) {
             uint64_t value = 0;
             if (!parseCount(arg.substr(10), value) || value == unbounded) {
@@ -1165,7 +1271,9 @@ main(int argc, char **argv)
             options.injectFault = arg.substr(20);
             if (options.injectFault != "move-during-gate" &&
                 options.injectFault != "oversubscribe" &&
-                options.injectFault != "dead-teleport") {
+                options.injectFault != "dead-teleport" &&
+                options.injectFault != "core-range" &&
+                options.injectFault != "link-overcap") {
                 std::cerr << "msq-verify: unknown fault kind '"
                           << options.injectFault << "'\n";
                 return 2;
